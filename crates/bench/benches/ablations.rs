@@ -1,0 +1,38 @@
+//! Criterion benches for the ablation studies and the corner-case
+//! circuit validation sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use timber_bench::ablations;
+
+fn ablation_schedule(c: &mut Criterion) {
+    c.bench_function("ablation_schedule", |b| {
+        b.iter(|| black_box(ablations::ablation_schedule(5_000)))
+    });
+}
+
+fn ablation_droop(c: &mut Criterion) {
+    c.bench_function("ablation_droop", |b| {
+        b.iter(|| black_box(ablations::ablation_droop(5_000)))
+    });
+}
+
+fn ablation_metastability(c: &mut Criterion) {
+    c.bench_function("ablation_metastability", |b| {
+        b.iter(|| black_box(ablations::ablation_metastability(5_000)))
+    });
+}
+
+fn circuit_validation(c: &mut Criterion) {
+    c.bench_function("circuit_validation_sweep", |b| {
+        b.iter(|| black_box(ablations::validation()))
+    });
+}
+
+criterion_group!(
+    name = ablation_benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_schedule, ablation_droop, ablation_metastability, circuit_validation
+);
+criterion_main!(ablation_benches);

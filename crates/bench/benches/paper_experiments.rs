@@ -1,0 +1,70 @@
+//! Criterion benches: one per paper table/figure, timing the full
+//! regeneration of each experiment (the rows/series the paper reports).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use timber_bench::experiments;
+
+fn table1_feature_matrix(c: &mut Criterion) {
+    c.bench_function("table1_feature_matrix", |b| {
+        b.iter(|| black_box(experiments::table1()))
+    });
+}
+
+fn fig1_path_distribution(c: &mut Criterion) {
+    c.bench_function("fig1_path_distribution", |b| {
+        b.iter(|| black_box(experiments::fig1()))
+    });
+}
+
+fn fig2_schedule(c: &mut Criterion) {
+    c.bench_function("fig2_schedule", |b| {
+        b.iter(|| black_box(experiments::fig2()))
+    });
+}
+
+fn fig5_ff_waveforms(c: &mut Criterion) {
+    c.bench_function("fig5_ff_waveforms", |b| {
+        b.iter(|| black_box(experiments::fig5()))
+    });
+}
+
+fn fig7_latch_waveforms(c: &mut Criterion) {
+    c.bench_function("fig7_latch_waveforms", |b| {
+        b.iter(|| black_box(experiments::fig7()))
+    });
+}
+
+fn fig8_overheads(c: &mut Criterion) {
+    c.bench_function("fig8_overheads", |b| {
+        b.iter(|| black_box(experiments::fig8()))
+    });
+}
+
+fn claims_error_rates(c: &mut Criterion) {
+    c.bench_function("claims_error_rates", |b| {
+        b.iter(|| black_box(experiments::claims(20_000)))
+    });
+}
+
+fn compare_schemes(c: &mut Criterion) {
+    c.bench_function("compare_schemes", |b| {
+        b.iter(|| black_box(experiments::compare(5_000)))
+    });
+}
+
+criterion_group!(
+    name = paper;
+    config = Criterion::default().sample_size(10);
+    targets =
+        table1_feature_matrix,
+        fig1_path_distribution,
+        fig2_schedule,
+        fig5_ff_waveforms,
+        fig7_latch_waveforms,
+        fig8_overheads,
+        claims_error_rates,
+        compare_schemes
+);
+criterion_main!(paper);

@@ -1,0 +1,133 @@
+//! `repro` — regenerates every table and figure of the TIMBER paper.
+//!
+//! ```text
+//! repro [table1|fig1|fig2|fig5|fig7|fig8|claims|compare|margin|\
+//!        ablation-schedule|ablation-droop|metastability|validate|all] [--json]
+//! ```
+
+use std::env;
+
+use timber_bench::{ablations, experiments, margin, report};
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let run = |name: &str| what == "all" || what == name;
+
+    if run("table1") {
+        println!("== Table 1: comparison of online timing-error-resilience techniques ==");
+        println!("{}", experiments::table1());
+    }
+    if run("fig1") {
+        println!("== Fig. 1: critical-path distribution between flip-flops ==");
+        let r = experiments::fig1();
+        if json {
+            println!("{}", report::fig1_json(&r));
+        } else {
+            println!("{}", r.render());
+        }
+    }
+    if run("fig2") {
+        println!("== Fig. 2: checking-period schedules ==");
+        println!("{}", experiments::fig2());
+    }
+    if run("fig5") {
+        println!("== Fig. 5: two-stage timing error in a TIMBER flip-flop design ==");
+        let r = experiments::fig5();
+        println!("{}", r.render);
+        println!(
+            "Err1 flags: {} (expected 0)   Err2 flags: {} (expected 1)   data correct: {}",
+            r.err1_rises, r.err2_rises, r.data_correct
+        );
+        println!();
+    }
+    if run("fig7") {
+        println!("== Fig. 7: two-stage timing error in a TIMBER latch design ==");
+        let r = experiments::fig7();
+        println!("{}", r.render);
+        println!(
+            "Err1 flags: {} (expected 0)   Err2 flags: {} (expected 1)   data correct: {}",
+            r.err1_rises, r.err2_rises, r.data_correct
+        );
+        println!();
+    }
+    if run("fig8") {
+        println!("== Fig. 8: TIMBER overheads on the synthetic processor ==");
+        let points = experiments::fig8();
+        if json {
+            println!("{}", report::fig8_json(&points));
+        } else {
+            println!("{}", experiments::render_fig8(&points));
+        }
+    }
+    if run("claims") {
+        println!("== §3/§4 claims: error rates, flagging policies, performance loss ==");
+        let r = experiments::claims(1_000_000);
+        if json {
+            println!("{}", report::claims_json(&r));
+        } else {
+            println!("{}", r.render());
+        }
+    }
+    if run("claims-netlist") {
+        println!("== §3/§4 claims on netlist-derived stage profiles ==");
+        let r = experiments::claims_netlist_backed(1_000_000);
+        if json {
+            println!("{}", report::claims_json(&r));
+        } else {
+            println!("{}", r.render());
+        }
+    }
+    if run("margin") {
+        println!("== Margin recovery: minimum safe operating period per scheme ==");
+        let rows = margin::margin_recovery(300_000);
+        println!("{}", margin::render_margin(&rows));
+    }
+    if run("validate") {
+        println!("== Corner-case circuit validation (paper §1: \"validated using corner-case circuit simulations\") ==");
+        println!("{}", ablations::render_validation(&ablations::validation()));
+    }
+    if run("ablation-schedule") {
+        println!("== Ablation: TB/ED interval split vs flagging policy ==");
+        let rows = ablations::ablation_schedule(500_000);
+        println!("{}", ablations::render_ablation_schedule(&rows));
+    }
+    if run("ablation-droop") {
+        println!("== Ablation: droop depth vs masking coverage ==");
+        let rows = ablations::ablation_droop(500_000);
+        println!("{}", ablations::render_ablation_droop(&rows));
+    }
+    if run("dag") {
+        println!("== Extension: reconvergent (diamond) topology with the DAG error relay ==");
+        let r = ablations::ablation_dag(500_000);
+        println!("{}", ablations::render_dag(&r));
+    }
+    if run("glitch") {
+        println!("== Ablation: glitch propagation through the TIMBER latch (the §5.2 drawback) ==");
+        let g = ablations::ablation_glitch_activity(200);
+        println!("{}", ablations::render_glitch(&g));
+    }
+    if run("metastability") {
+        println!("== Ablation: Razor metastability exposure vs TIMBER immunity ==");
+        let r = ablations::ablation_metastability(500_000);
+        println!("{}", ablations::render_metastability(&r));
+    }
+    if run("compare") {
+        println!("== Cross-scheme comparison under the identical stress environment ==");
+        let rows = experiments::compare(1_000_000);
+        if json {
+            println!("{}", report::compare_json(&rows, experiments::PERIOD));
+        } else {
+            println!(
+                "{}",
+                experiments::render_compare(&rows, experiments::PERIOD)
+            );
+        }
+    }
+}

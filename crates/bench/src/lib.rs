@@ -1,0 +1,39 @@
+//! # timber-bench
+//!
+//! The experiment harness that regenerates every table and figure of
+//! the TIMBER paper (see `EXPERIMENTS.md` at the repository root for
+//! the paper-vs-measured record).
+//!
+//! Each experiment is a library function returning a structured result
+//! plus a text rendering; the `repro` binary prints them and the
+//! Criterion benches in `benches/` time them. Experiments are seeded
+//! and deterministic.
+//!
+//! | Paper item | Function |
+//! |---|---|
+//! | Table 1   | [`experiments::table1`] |
+//! | Fig. 1    | [`experiments::fig1`] |
+//! | Fig. 2    | [`experiments::fig2`] |
+//! | Fig. 5    | [`experiments::fig5`] |
+//! | Fig. 7    | [`experiments::fig7`] |
+//! | Fig. 8    | [`experiments::fig8`] |
+//! | §3/§4 claims | [`experiments::claims`] |
+//! | Cross-scheme comparison | [`experiments::compare`] |
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod experiments;
+pub mod margin;
+pub mod report;
+
+pub use ablations::{
+    ablation_dag, ablation_droop, ablation_glitch_activity, ablation_metastability,
+    ablation_schedule, validation, DagResult, GlitchActivity, MetastabilityResult,
+    ValidationSummary,
+};
+pub use experiments::{
+    claims, compare, fig1, fig2, fig5, fig7, fig8, table1, ClaimsResult, CompareRow, Fig1Result,
+    WaveResult,
+};
+pub use margin::{margin_recovery, render_margin, MarginRow};

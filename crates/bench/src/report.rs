@@ -1,0 +1,101 @@
+//! Machine-readable experiment reports (JSON), so `EXPERIMENTS.md`
+//! numbers can be regenerated and diffed.
+
+use serde_json::{json, Value};
+
+use crate::experiments::{ClaimsResult, CompareRow, Fig1Result};
+use timber_power::Fig8Point;
+
+/// Serialises the Fig. 1 result.
+pub fn fig1_json(r: &Fig1Result) -> Value {
+    json!({
+        "figure": "fig1",
+        "bars": r.bars.iter().map(|b| json!({
+            "perf": b.perf.to_string(),
+            "c_pct": b.c_pct,
+            "target_ending": b.target_ending,
+            "model_ending": b.model_ending,
+            "target_both": b.target_both,
+            "model_both": b.model_both,
+            "structural_ending": b.structural_ending,
+            "structural_both": b.structural_both,
+        })).collect::<Vec<_>>(),
+    })
+}
+
+/// Serialises the Fig. 8 table.
+pub fn fig8_json(points: &[Fig8Point]) -> Value {
+    json!({
+        "figure": "fig8",
+        "points": points.iter().map(|p| json!({
+            "perf": p.perf.to_string(),
+            "c_pct": p.c_pct,
+            "relay_area_pct": p.relay_area_pct,
+            "relay_slack_pct": p.relay_slack_pct,
+            "ff_power_overhead_pct": p.ff_power_overhead_pct,
+            "ff_power_overhead_with_tb_pct": p.ff_power_overhead_with_tb_pct,
+            "latch_power_overhead_pct": p.latch_power_overhead_pct,
+            "latch_power_overhead_with_tb_pct": p.latch_power_overhead_with_tb_pct,
+            "margin_without_tb_pct": p.margin_without_tb_pct,
+            "margin_with_tb_pct": p.margin_with_tb_pct,
+        })).collect::<Vec<_>>(),
+    })
+}
+
+/// Serialises the claims result.
+pub fn claims_json(r: &ClaimsResult) -> Value {
+    let stats = |s: &timber_pipeline::RunStats| {
+        json!({
+            "cycles": s.cycles,
+            "masked": s.masked,
+            "flagged": s.flagged,
+            "corrupted": s.corrupted,
+            "chain_histogram": s.chain_histogram,
+            "multi_stage_fraction": s.multi_stage_fraction(),
+            "slowdown_episodes": s.slowdown_episodes,
+            "throughput_loss": s.throughput_loss(r.period),
+        })
+    };
+    json!({
+        "experiment": "claims",
+        "deferred": stats(&r.deferred),
+        "immediate": stats(&r.immediate),
+    })
+}
+
+/// Serialises the comparison rows.
+pub fn compare_json(rows: &[CompareRow], period: timber_netlist::Picos) -> Value {
+    json!({
+        "experiment": "compare",
+        "rows": rows.iter().map(|r| json!({
+            "scheme": r.name,
+            "masked": r.stats.masked,
+            "detected": r.stats.detected,
+            "predicted": r.stats.predicted,
+            "corrupted": r.stats.corrupted,
+            "ipc": r.stats.ipc(),
+            "throughput_loss": r.stats.throughput_loss(period),
+        })).collect::<Vec<_>>(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments;
+
+    #[test]
+    fn fig8_json_roundtrips() {
+        let v = fig8_json(&experiments::fig8());
+        assert_eq!(v["points"].as_array().unwrap().len(), 12);
+        let text = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(back["figure"], "fig8");
+    }
+
+    #[test]
+    fn fig1_json_has_all_bars() {
+        let v = fig1_json(&experiments::fig1());
+        assert_eq!(v["bars"].as_array().unwrap().len(), 12);
+    }
+}

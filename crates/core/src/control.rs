@@ -1,0 +1,145 @@
+//! Error consolidation: the OR-tree feeding the central error control
+//! unit.
+//!
+//! Error signals from all TIMBER sequential elements are consolidated
+//! with an OR-tree whose latency dominates the error-consolidation
+//! latency (paper §4). The schedule's budget — `k_ed − 1 + 0.5` cycles
+//! — bounds how long consolidation may take before the controller must
+//! reduce the clock frequency.
+
+use timber_netlist::{Area, Picos};
+
+use crate::schedule::CheckingPeriod;
+
+/// Model of the error-consolidation OR-tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConsolidationTree {
+    /// Number of error sources (TIMBER elements in the design).
+    pub sources: usize,
+    /// OR-gate fanin.
+    pub fanin: usize,
+    /// Delay per tree level (gate + local wire).
+    pub level_delay: Picos,
+    /// Extra flat latency for the global route to the control unit.
+    pub route_delay: Picos,
+}
+
+impl ConsolidationTree {
+    /// Creates a tree with standard parameters: 4-input OR gates, 40 ps
+    /// per level (gate + wire), 200 ps global route.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is zero.
+    pub fn new(sources: usize) -> ConsolidationTree {
+        assert!(sources > 0, "need at least one error source");
+        ConsolidationTree {
+            sources,
+            fanin: 4,
+            level_delay: Picos(40),
+            route_delay: Picos(200),
+        }
+    }
+
+    /// Number of OR-gate levels.
+    pub fn levels(&self) -> usize {
+        if self.sources <= 1 {
+            return 0;
+        }
+        let mut levels = 0usize;
+        let mut remaining = self.sources;
+        while remaining > 1 {
+            remaining = remaining.div_ceil(self.fanin);
+            levels += 1;
+        }
+        levels
+    }
+
+    /// Total consolidation latency.
+    pub fn latency(&self) -> Picos {
+        self.level_delay * self.levels() as i64 + self.route_delay
+    }
+
+    /// Latency in clock cycles.
+    pub fn latency_cycles(&self, period: Picos) -> f64 {
+        self.latency().ratio(period)
+    }
+
+    /// True when the tree settles within the schedule's consolidation
+    /// budget.
+    pub fn meets_budget(&self, schedule: &CheckingPeriod) -> bool {
+        self.latency_cycles(schedule.period()) <= schedule.consolidation_budget_cycles()
+    }
+
+    /// Number of OR gates in the tree.
+    pub fn gate_count(&self) -> usize {
+        if self.sources <= 1 {
+            return 0;
+        }
+        let mut gates = 0usize;
+        let mut remaining = self.sources;
+        while remaining > 1 {
+            let next = remaining.div_ceil(self.fanin);
+            gates += next;
+            remaining = next;
+        }
+        gates
+    }
+
+    /// Tree area at 2 inverter-equivalents per OR gate.
+    pub fn area(&self) -> Area {
+        Area(2.0) * self.gate_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_follow_log_fanin() {
+        assert_eq!(ConsolidationTree::new(1).levels(), 0);
+        assert_eq!(ConsolidationTree::new(4).levels(), 1);
+        assert_eq!(ConsolidationTree::new(5).levels(), 2);
+        assert_eq!(ConsolidationTree::new(16).levels(), 2);
+        assert_eq!(ConsolidationTree::new(1000).levels(), 5);
+    }
+
+    #[test]
+    fn latency_includes_route() {
+        let t = ConsolidationTree::new(16);
+        assert_eq!(t.latency(), Picos(2 * 40 + 200));
+    }
+
+    #[test]
+    fn budget_check_against_fig2_schedule() {
+        // 10k sources, 1ns clock: 7 levels x 40 + 200 = 480ps < 1.5
+        // cycles (1500ps).
+        let s = CheckingPeriod::new(Picos(1000), 12.0, 1, 2).unwrap();
+        let t = ConsolidationTree::new(10_000);
+        assert!(t.latency_cycles(Picos(1000)) < 1.5);
+        assert!(t.meets_budget(&s));
+    }
+
+    #[test]
+    fn budget_violated_by_slow_tree() {
+        let s = CheckingPeriod::new(Picos(1000), 12.0, 1, 2).unwrap();
+        let mut t = ConsolidationTree::new(100_000);
+        t.level_delay = Picos(400);
+        assert!(!t.meets_budget(&s));
+    }
+
+    #[test]
+    fn gate_count_accumulates_levels() {
+        // 16 sources, fanin 4: 4 + 1 gates.
+        assert_eq!(ConsolidationTree::new(16).gate_count(), 5);
+        assert_eq!(ConsolidationTree::new(1).gate_count(), 0);
+        assert!(ConsolidationTree::new(16).area().0 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one error source")]
+    fn sources_validated() {
+        let _ = ConsolidationTree::new(0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Design integration: applying TIMBER to a gate-level netlist.
+//!
+//! For a checking period of `c%` of the clock, the paper replaces every
+//! flip-flop terminating a top-c% critical path with a TIMBER element
+//! (§6). This module computes the replacement set with `timber-sta`,
+//! sizes each replaced flop's error-relay cone (only upstream TIMBER
+//! flops that are *both* start- and end-points of critical paths
+//! contribute), derives the short-path padding plan for the extended
+//! hold constraint, and checks the consolidation OR-tree against the
+//! schedule's latency budget.
+
+use timber_netlist::{Area, FlopId, Netlist, Picos};
+use timber_sta::{classify_flops, ClockConstraint, HoldAnalysis, PathDistribution, TimingAnalysis};
+
+use crate::control::ConsolidationTree;
+use crate::relay::RelayEstimate;
+use crate::schedule::CheckingPeriod;
+
+/// Which TIMBER element replaces the selected flops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElementStyle {
+    /// TIMBER flip-flop (discrete borrowing + relay logic).
+    FlipFlop,
+    /// TIMBER latch (continuous borrowing, no relay).
+    Latch,
+}
+
+/// A planned TIMBER integration for one design.
+#[derive(Debug)]
+pub struct TimberDesign {
+    schedule: CheckingPeriod,
+    style: ElementStyle,
+    checking_pct: f64,
+}
+
+impl TimberDesign {
+    /// Creates an integration plan generator.
+    pub fn new(schedule: CheckingPeriod, style: ElementStyle, checking_pct: f64) -> TimberDesign {
+        TimberDesign {
+            schedule,
+            style,
+            checking_pct,
+        }
+    }
+
+    /// The schedule in force.
+    pub fn schedule(&self) -> &CheckingPeriod {
+        &self.schedule
+    }
+
+    /// Analyses `netlist` and produces the integration report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has no flip-flops.
+    pub fn plan(&self, netlist: &Netlist, constraint: &ClockConstraint) -> DesignReport {
+        assert!(netlist.flop_count() > 0, "design must contain flip-flops");
+        let sta = TimingAnalysis::run(netlist, constraint);
+        let replaced = PathDistribution::replacement_set(&sta, netlist, self.checking_pct);
+
+        // Relay cones: only meaningful for the flip-flop style.
+        let relay_estimates = if self.style == ElementStyle::FlipFlop {
+            let threshold = constraint.period.scale(1.0 - self.checking_pct / 100.0);
+            let classes = classify_flops(&sta, threshold);
+            let replaced_set: std::collections::HashSet<FlopId> =
+                replaced.iter().copied().collect();
+            replaced
+                .iter()
+                .map(|&f| {
+                    let sources = timber_netlist::fanin_cone(netlist, f)
+                        .into_iter()
+                        .filter(|g| {
+                            replaced_set.contains(g) && classes[g.0 as usize].starts_and_ends()
+                        })
+                        .count();
+                    RelayEstimate::new(sources)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let hold = HoldAnalysis::run(netlist, constraint);
+        let padding = hold.padding_plan(netlist, self.schedule.checking());
+
+        let consolidation = if replaced.is_empty() {
+            None
+        } else {
+            Some(ConsolidationTree::new(replaced.len()))
+        };
+
+        DesignReport {
+            style: self.style,
+            schedule: self.schedule,
+            total_flops: netlist.flop_count(),
+            replaced,
+            relay_estimates,
+            padding_buffers: padding.buffers_needed(Picos(28)),
+            padding_total: padding.total_padding,
+            consolidation,
+            period: constraint.period,
+        }
+    }
+}
+
+/// Result of planning a TIMBER integration.
+#[derive(Debug)]
+pub struct DesignReport {
+    /// Element style used.
+    pub style: ElementStyle,
+    /// Schedule used.
+    pub schedule: CheckingPeriod,
+    /// Flip-flops in the design.
+    pub total_flops: usize,
+    /// Flops to replace with TIMBER elements (endpoints of top-c%
+    /// paths).
+    pub replaced: Vec<FlopId>,
+    /// Per-replaced-flop relay estimates (empty for the latch style).
+    pub relay_estimates: Vec<RelayEstimate>,
+    /// Delay buffers needed to satisfy the extended hold constraint.
+    pub padding_buffers: usize,
+    /// Total padding delay inserted.
+    pub padding_total: Picos,
+    /// Error-consolidation tree (None when nothing is replaced).
+    pub consolidation: Option<ConsolidationTree>,
+    /// Clock period analysed against.
+    pub period: Picos,
+}
+
+impl DesignReport {
+    /// Fraction of flops replaced.
+    pub fn replacement_fraction(&self) -> f64 {
+        self.replaced.len() as f64 / self.total_flops as f64
+    }
+
+    /// Total relay-logic area over all replaced flops.
+    pub fn relay_area(&self) -> Area {
+        self.relay_estimates.iter().map(RelayEstimate::area).sum()
+    }
+
+    /// Worst (smallest) relay timing slack as a percentage of half the
+    /// clock period; `None` for the latch style.
+    pub fn worst_relay_slack_pct(&self) -> Option<f64> {
+        self.relay_estimates
+            .iter()
+            .map(|e| e.slack_pct(self.period))
+            .fold(None, |acc, s| Some(acc.map_or(s, |a: f64| a.min(s))))
+    }
+
+    /// Largest relay cone among replaced flops.
+    pub fn max_relay_sources(&self) -> usize {
+        self.relay_estimates
+            .iter()
+            .map(|e| e.sources)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// True when the consolidation tree settles within the schedule's
+    /// latency budget (trivially true when nothing is replaced).
+    pub fn consolidation_ok(&self) -> bool {
+        self.consolidation
+            .map(|t| t.meets_budget(&self.schedule))
+            .unwrap_or(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timber_netlist::{pipelined_datapath, CellLibrary, DatapathSpec};
+
+    fn datapath() -> Netlist {
+        let lib = CellLibrary::standard();
+        pipelined_datapath(&lib, &DatapathSpec::uniform(4, 12, 150, 0.7, 17)).unwrap()
+    }
+
+    fn period_for(nl: &Netlist) -> Picos {
+        // Pick a period just above the critical delay so the design
+        // meets timing with a few percent of slack.
+        let sta = TimingAnalysis::run(nl, &ClockConstraint::with_period(Picos(100_000)));
+        sta.worst_arrival().scale(1.05) + Picos(30)
+    }
+
+    #[test]
+    fn replacement_grows_with_checking_period() {
+        let nl = datapath();
+        let period = period_for(&nl);
+        let clk = ClockConstraint::with_period(period);
+        let mut prev = 0usize;
+        for c in [10.0, 20.0, 30.0, 40.0] {
+            let schedule = CheckingPeriod::deferred_flagging(period, c).unwrap();
+            let d = TimberDesign::new(schedule, ElementStyle::FlipFlop, c);
+            let report = d.plan(&nl, &clk);
+            assert!(
+                report.replaced.len() >= prev,
+                "larger c must replace at least as many flops"
+            );
+            prev = report.replaced.len();
+        }
+    }
+
+    #[test]
+    fn relay_cones_are_small_subset() {
+        let nl = datapath();
+        let period = period_for(&nl);
+        let clk = ClockConstraint::with_period(period);
+        let schedule = CheckingPeriod::deferred_flagging(period, 30.0).unwrap();
+        let d = TimberDesign::new(schedule, ElementStyle::FlipFlop, 30.0);
+        let report = d.plan(&nl, &clk);
+        assert!(!report.replaced.is_empty());
+        assert_eq!(report.relay_estimates.len(), report.replaced.len());
+        // The paper's observation: relay sources are a small subset of
+        // the design's flops.
+        assert!(report.max_relay_sources() <= nl.flop_count() / 2);
+    }
+
+    #[test]
+    fn latch_style_needs_no_relay() {
+        let nl = datapath();
+        let period = period_for(&nl);
+        let clk = ClockConstraint::with_period(period);
+        let schedule = CheckingPeriod::deferred_flagging(period, 20.0).unwrap();
+        let d = TimberDesign::new(schedule, ElementStyle::Latch, 20.0);
+        let report = d.plan(&nl, &clk);
+        assert!(report.relay_estimates.is_empty());
+        assert_eq!(report.relay_area(), Area(0.0));
+        assert_eq!(report.worst_relay_slack_pct(), None);
+    }
+
+    #[test]
+    fn relay_slack_is_large() {
+        let nl = datapath();
+        let period = period_for(&nl);
+        let clk = ClockConstraint::with_period(period);
+        let schedule = CheckingPeriod::deferred_flagging(period, 30.0).unwrap();
+        let d = TimberDesign::new(schedule, ElementStyle::FlipFlop, 30.0);
+        let report = d.plan(&nl, &clk);
+        if let Some(slack) = report.worst_relay_slack_pct() {
+            assert!(slack > 30.0, "relay slack should be large, got {slack}%");
+        }
+    }
+
+    #[test]
+    fn padding_grows_with_checking_period() {
+        let nl = datapath();
+        let period = period_for(&nl);
+        let clk = ClockConstraint::with_period(period);
+        let small = TimberDesign::new(
+            CheckingPeriod::deferred_flagging(period, 10.0).unwrap(),
+            ElementStyle::FlipFlop,
+            10.0,
+        )
+        .plan(&nl, &clk);
+        let large = TimberDesign::new(
+            CheckingPeriod::deferred_flagging(period, 40.0).unwrap(),
+            ElementStyle::FlipFlop,
+            40.0,
+        )
+        .plan(&nl, &clk);
+        assert!(large.padding_total >= small.padding_total);
+    }
+
+    #[test]
+    fn consolidation_within_budget() {
+        let nl = datapath();
+        let period = period_for(&nl);
+        let clk = ClockConstraint::with_period(period);
+        let schedule = CheckingPeriod::deferred_flagging(period, 30.0).unwrap();
+        let d = TimberDesign::new(schedule, ElementStyle::FlipFlop, 30.0);
+        let report = d.plan(&nl, &clk);
+        assert!(report.consolidation_ok());
+        assert!(report.replacement_fraction() > 0.0);
+        assert!(report.replacement_fraction() <= 1.0);
+    }
+}

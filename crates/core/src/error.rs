@@ -1,0 +1,77 @@
+//! Error type for TIMBER configuration.
+
+use std::error::Error;
+use std::fmt;
+
+use timber_netlist::Picos;
+
+/// Errors raised when configuring TIMBER structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TimberError {
+    /// The checking period has no intervals (`k_tb + k_ed == 0`).
+    EmptySchedule,
+    /// The checking-period percentage is outside the usable range.
+    InvalidCheckingPercent {
+        /// Offending value.
+        got_percent_x100: i64,
+    },
+    /// The checking period exceeds half the clock period, violating the
+    /// falling-edge error-latch requirement.
+    CheckingPeriodTooLong {
+        /// The requested checking period.
+        checking: Picos,
+        /// Half the clock period (the limit).
+        limit: Picos,
+    },
+    /// The clock period is not positive.
+    InvalidPeriod,
+}
+
+impl fmt::Display for TimberError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimberError::EmptySchedule => {
+                write!(f, "checking period needs at least one interval")
+            }
+            TimberError::InvalidCheckingPercent { got_percent_x100 } => write!(
+                f,
+                "checking period percentage {} is outside (0, 50]",
+                *got_percent_x100 as f64 / 100.0
+            ),
+            TimberError::CheckingPeriodTooLong { checking, limit } => write!(
+                f,
+                "checking period {checking} exceeds half the clock period ({limit})"
+            ),
+            TimberError::InvalidPeriod => write!(f, "clock period must be positive"),
+        }
+    }
+}
+
+impl Error for TimberError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(TimberError::EmptySchedule.to_string().contains("interval"));
+        let e = TimberError::InvalidCheckingPercent {
+            got_percent_x100: 7500,
+        };
+        assert!(e.to_string().contains("75"));
+        let e = TimberError::CheckingPeriodTooLong {
+            checking: Picos(600),
+            limit: Picos(500),
+        };
+        assert!(e.to_string().contains("600ps"));
+        assert!(TimberError::InvalidPeriod.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<TimberError>();
+    }
+}

@@ -1,0 +1,429 @@
+//! Gate-level full-design simulation: compile a whole netlist into the
+//! event-driven waveform simulator, with TIMBER flip-flops swapped in
+//! at selected boundaries.
+//!
+//! This closes the loop between every layer of the reproduction: the
+//! same `timber-netlist` design analysed by STA is compiled gate-for-
+//! gate into `timber-wavesim` (one [`TableGate`] per library cell, one
+//! sequential element per flop), clocked, driven with input vectors,
+//! optionally derated (the event-level rendition of a droop event), and
+//! checked in lockstep against the zero-delay functional evaluator.
+//! With conventional flops, derating past the slack corrupts captured
+//! state; with TIMBER flip-flops on the same netlist, the late arrivals
+//! are masked and the lockstep comparison stays exact.
+//!
+//! [`TableGate`]: timber_wavesim::TableGate
+
+use std::collections::HashSet;
+
+use timber_netlist::{FlopId, NetId, Netlist, Picos};
+use timber_wavesim::{Circuit, Logic, SigId, Simulator, TableGate};
+
+use crate::circuit::{build_timber_ff, TimberFfSpec};
+use crate::schedule::CheckingPeriod;
+
+/// Which sequential element each flop compiles to.
+#[derive(Debug, Clone)]
+pub enum SeqStyle {
+    /// Conventional edge-triggered flops everywhere.
+    Conventional,
+    /// TIMBER flip-flops (with the saturated sampling delay
+    /// `usable_checking`) at the listed flops, conventional elsewhere.
+    TimberFf {
+        /// The checking-period schedule sizing the cells.
+        schedule: CheckingPeriod,
+        /// Flops to replace.
+        replaced: Vec<FlopId>,
+    },
+}
+
+/// A compiled gate-level design ready to clock.
+#[derive(Debug)]
+pub struct CompiledDesign {
+    sim: Simulator,
+    clk_period: Picos,
+    pi_sigs: Vec<(NetId, SigId)>,
+    flop_q_sigs: Vec<SigId>,
+    clk_to_q: Picos,
+    /// Cycles already driven.
+    cycles_driven: u64,
+}
+
+/// Compiles `netlist` into an event-driven simulator.
+///
+/// Every combinational instance becomes a table gate whose delay is the
+/// cell's worst arc scaled by `derate` (the event-level model of a
+/// global slow-down); flops become edge-triggered cells or TIMBER
+/// flip-flops per `style`.
+///
+/// # Panics
+///
+/// Panics if `derate` is not positive or the period is not positive.
+pub fn compile(
+    netlist: &Netlist,
+    period: Picos,
+    style: &SeqStyle,
+    derate: f64,
+    horizon_cycles: u64,
+) -> CompiledDesign {
+    assert!(derate > 0.0, "derate must be positive");
+    assert!(period > Picos::ZERO, "period must be positive");
+    let clk_to_q = Picos(40);
+    let mut c = Circuit::new();
+    let clk = c.signal("clk");
+
+    // One signal per net.
+    let sigs: Vec<SigId> = netlist
+        .net_ids()
+        .map(|n| c.signal(netlist.net(n).name()))
+        .collect();
+
+    // Combinational cells.
+    for inst_id in netlist.instance_ids() {
+        let inst = netlist.instance(inst_id);
+        let cell = netlist.library().cell(inst.cell());
+        let inputs: Vec<SigId> = inst.inputs().iter().map(|&n| sigs[n.0 as usize]).collect();
+        let delay = cell.worst_delay().scale(derate).max(Picos(1));
+        c.add_element(Box::new(TableGate::new(
+            cell.function(),
+            inputs,
+            sigs[inst.output().0 as usize],
+            delay,
+        )));
+    }
+
+    // Sequential cells.
+    let replaced_set: HashSet<FlopId> = match style {
+        SeqStyle::Conventional => HashSet::new(),
+        SeqStyle::TimberFf { replaced, .. } => replaced.iter().copied().collect(),
+    };
+
+    // Short-path padding (paper §4): a TIMBER cell keeps listening to
+    // its D input until the delayed M1 sample, so every path feeding a
+    // replaced flop must be slower than that window or the *next*
+    // vector's data races in — the classic extended-hold violation.
+    //
+    // Padding is inserted at the D pin, which also delays the max path
+    // through that pin, so each pad is capped by the pin's setup slack
+    // (in the compiled-delay model: worst cell delay per gate, TIMBER
+    // launch ≈ 6 ps). A deficit the cap cannot cover means the chosen
+    // checking period is *infeasible* for this netlist — min and max
+    // paths share too much of the cone — and `compile` panics with the
+    // offending flop rather than building a silently racy design.
+    let padding: Vec<Picos> = match style {
+        SeqStyle::Conventional => vec![Picos::ZERO; netlist.flop_count()],
+        SeqStyle::TimberFf { schedule, .. } => {
+            let hold_constraint = timber_sta::ClockConstraint {
+                period,
+                setup: Picos(0),
+                hold: Picos(10),
+                clk_to_q: Picos(5), // fastest TIMBER launch (P0 path)
+            };
+            let hold = timber_sta::HoldAnalysis::run(netlist, &hold_constraint);
+            // Max arrivals under the compiled-delay model.
+            struct CompiledDelays;
+            impl timber_sta::DelayCalculator for CompiledDelays {
+                fn max_arc_delay(
+                    &self,
+                    nl: &Netlist,
+                    inst: timber_netlist::InstId,
+                    _pin: usize,
+                ) -> Picos {
+                    nl.library().cell(nl.instance(inst).cell()).worst_delay()
+                }
+            }
+            let max_constraint = timber_sta::ClockConstraint {
+                period,
+                setup: Picos(0),
+                hold: Picos(10),
+                clk_to_q: Picos(6),
+            };
+            let sta =
+                timber_sta::TimingAnalysis::run_with(netlist, &max_constraint, &CompiledDelays);
+            let floor = schedule.usable_checking() + Picos(10);
+            netlist
+                .flop_ids()
+                .map(|f| {
+                    if !replaced_set.contains(&f) {
+                        return Picos::ZERO;
+                    }
+                    let min = hold.min_arrival(netlist.flop(f).d());
+                    if min >= floor {
+                        return Picos::ZERO;
+                    }
+                    let deficit = floor - min;
+                    let slack = period - Picos(10) - sta.arrival(netlist.flop(f).d());
+                    assert!(
+                        deficit <= slack,
+                        "checking period infeasible: flop {} needs {deficit} of padding \
+                         but has only {slack} of setup slack; shrink the checking period",
+                        netlist.flop(f).name()
+                    );
+                    deficit
+                })
+                .collect()
+        }
+    };
+
+    for flop_id in netlist.flop_ids() {
+        let flop = netlist.flop(flop_id);
+        let mut d = sigs[flop.d().0 as usize];
+        let q = sigs[flop.q().0 as usize];
+        let pad = padding[flop_id.0 as usize];
+        if pad > Picos::ZERO {
+            let padded = c.signal(&format!("{}_padded", flop.name()));
+            c.buffer(d, padded, pad);
+            d = padded;
+        }
+        if let (SeqStyle::TimberFf { schedule, .. }, true) =
+            (style, replaced_set.contains(&flop_id))
+        {
+            // Saturated sampling delay: the cell masks anything within
+            // the usable checking window.
+            let cell = build_timber_ff(
+                &mut c,
+                flop.name(),
+                d,
+                clk,
+                &TimberFfSpec {
+                    delta: schedule.usable_checking(),
+                    ..TimberFfSpec::default()
+                },
+            );
+            c.stimulus(cell.flag_enable, &[(Picos::ZERO, Logic::One)]);
+            // Drive the netlist's Q net from the cell's output.
+            c.buffer(cell.q, q, Picos(1));
+        } else {
+            c.dff(d, clk, q, clk_to_q);
+        }
+        c.watch(q);
+    }
+
+    let horizon = period * (horizon_cycles as i64 + 2);
+    c.clock_with_offset(clk, period, period, horizon);
+
+    let pi_sigs: Vec<(NetId, SigId)> = netlist
+        .primary_inputs()
+        .iter()
+        .map(|&n| (n, sigs[n.0 as usize]))
+        .collect();
+    let flop_q_sigs: Vec<SigId> = netlist
+        .flop_ids()
+        .map(|f| sigs[netlist.flop(f).q().0 as usize])
+        .collect();
+
+    CompiledDesign {
+        sim: c.into_simulator(),
+        clk_period: period,
+        pi_sigs,
+        flop_q_sigs,
+        clk_to_q,
+        cycles_driven: 0,
+    }
+}
+
+impl CompiledDesign {
+    /// Applies an input vector (one bool per primary input, in netlist
+    /// order) for the upcoming cycle, then advances one clock period.
+    ///
+    /// Inputs change shortly after the previous capturing edge, so they
+    /// are stable well before the next one — the same contract as
+    /// `Evaluator::clock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length does not match the primary-input
+    /// count.
+    pub fn step(&mut self, inputs: &[bool]) {
+        assert_eq!(
+            inputs.len(),
+            self.pi_sigs.len(),
+            "one bit per primary input"
+        );
+        // Rising edges sit at T, 2T, …; vector n is applied in the low
+        // phase after edge n (at n·T + 5T/8, past the previous sampling
+        // point at n·T + T/2 − 1) and captured by the edge at (n+1)·T.
+        let t_apply = self.clk_period * (self.cycles_driven as i64) + self.clk_period / 2
+            + self.clk_period / 8;
+        for (&(_, sig), &bit) in self.pi_sigs.iter().zip(inputs) {
+            self.sim.inject(t_apply, sig, Logic::from_bool(bit));
+        }
+        self.cycles_driven += 1;
+        // Run to just before the next injection point: past the capture
+        // edge, the whole checking period and any TIMBER handover.
+        let until = self.clk_period * (self.cycles_driven as i64) + self.clk_period / 2
+            - Picos(1);
+        self.sim.run_until(until);
+    }
+
+    /// Samples every flop's Q after the most recent capture (and after
+    /// any TIMBER handover within the checking period). `None` for an
+    /// X output.
+    pub fn flop_states(&self) -> Vec<Option<bool>> {
+        self.flop_q_sigs
+            .iter()
+            .map(|&s| self.sim.value(s).to_bool())
+            .collect()
+    }
+
+    /// The clock-to-Q delay the conventional flops were compiled with.
+    pub fn clk_to_q(&self) -> Picos {
+        self.clk_to_q
+    }
+}
+
+/// Result of a lockstep comparison against the functional evaluator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockstepResult {
+    /// Cycles compared.
+    pub cycles: u64,
+    /// Cycles with at least one mismatching or unknown flop state.
+    pub mismatched_cycles: u64,
+    /// Total mismatching flop samples.
+    pub mismatched_flops: u64,
+}
+
+impl LockstepResult {
+    /// True when every sampled state matched the functional reference.
+    pub fn exact(&self) -> bool {
+        self.mismatched_flops == 0
+    }
+}
+
+/// Drives the compiled design and the zero-delay evaluator with the
+/// same pseudo-random input vectors for `cycles` cycles and compares
+/// every flop state after every capture edge.
+pub fn lockstep_compare(
+    netlist: &Netlist,
+    period: Picos,
+    style: &SeqStyle,
+    derate: f64,
+    cycles: u64,
+    seed: u64,
+) -> LockstepResult {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut design = compile(netlist, period, style, derate, cycles);
+    let mut reference = timber_netlist::Evaluator::new(netlist);
+    // Settle the reference with all-zero inputs (matching the
+    // simulator's X-to-known warm-up handled below).
+    let pis = netlist.primary_inputs().to_vec();
+
+    let mut mismatched_cycles = 0u64;
+    let mut mismatched_flops = 0u64;
+    for cycle in 0..cycles {
+        let vector: Vec<bool> = (0..pis.len()).map(|_| rng.gen_bool(0.5)).collect();
+        for (&pi, &bit) in pis.iter().zip(&vector) {
+            reference.set_input(pi, bit);
+        }
+        reference.settle();
+        reference.clock();
+        design.step(&vector);
+        // Skip the first two cycles: the event simulator starts from X
+        // while the evaluator starts from zeros.
+        if cycle < 2 {
+            continue;
+        }
+        let states = design.flop_states();
+        let mut cycle_bad = false;
+        for (i, f) in netlist.flop_ids().enumerate() {
+            let expect = reference.flop_state(f);
+            match states[i] {
+                Some(got) if got == expect => {}
+                _ => {
+                    cycle_bad = true;
+                    mismatched_flops += 1;
+                }
+            }
+        }
+        if cycle_bad {
+            mismatched_cycles += 1;
+        }
+    }
+    LockstepResult {
+        cycles,
+        mismatched_cycles,
+        mismatched_flops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timber_netlist::{ripple_carry_adder, CellLibrary};
+    use timber_sta::{ClockConstraint, TimingAnalysis};
+
+    fn adder() -> Netlist {
+        ripple_carry_adder(&CellLibrary::standard(), 4).unwrap()
+    }
+
+    fn critical(netlist: &Netlist) -> Picos {
+        TimingAnalysis::run(netlist, &ClockConstraint::with_period(Picos(1_000_000)))
+            .worst_arrival()
+    }
+
+    #[test]
+    fn conventional_design_matches_reference_at_nominal_speed() {
+        let nl = adder();
+        let period = critical(&nl).scale(1.15);
+        let r = lockstep_compare(&nl, period, &SeqStyle::Conventional, 1.0, 30, 7);
+        assert!(r.exact(), "{r:?}");
+        assert_eq!(r.cycles, 30);
+    }
+
+    #[test]
+    fn conventional_design_corrupts_when_derated_past_slack() {
+        let nl = adder();
+        // 15% margin, 30% slow-down: the carry chain misses the edge.
+        let period = critical(&nl).scale(1.15);
+        let r = lockstep_compare(&nl, period, &SeqStyle::Conventional, 1.3, 30, 7);
+        assert!(
+            r.mismatched_flops > 0,
+            "derating past the margin must corrupt: {r:?}"
+        );
+    }
+
+    #[test]
+    fn timber_design_masks_the_same_derating() {
+        let nl = adder();
+        let period = critical(&nl).scale(1.15);
+        // Checking period 30% of the clock (the widest this netlist's
+        // short-path slack can pad): the saturated TIMBER FF masks the
+        // overshoot the 30% derate causes on the deep endpoints.
+        let schedule = CheckingPeriod::new(period, 30.0, 1, 2).expect("valid");
+        let replaced: Vec<FlopId> = nl.flop_ids().collect();
+        let style = SeqStyle::TimberFf { schedule, replaced };
+        let r = lockstep_compare(&nl, period, &style, 1.3, 30, 7);
+        assert!(
+            r.exact(),
+            "TIMBER cells must mask what the conventional flops corrupt: {r:?}"
+        );
+    }
+
+    #[test]
+    fn partial_gate_level_replacement_protects_covered_endpoints() {
+        let nl = adder();
+        let period = critical(&nl).scale(1.15);
+        let schedule = CheckingPeriod::new(period, 30.0, 1, 2).expect("valid");
+        // Replace only the endpoints of near-critical paths (the sum
+        // and carry-out registers fed by the carry chain).
+        let clk = ClockConstraint::with_period(period);
+        let sta = TimingAnalysis::run(&nl, &clk);
+        let replaced = timber_sta::PathDistribution::replacement_set(&sta, &nl, 40.0);
+        assert!(!replaced.is_empty() && replaced.len() < nl.flop_count());
+        let style = SeqStyle::TimberFf { schedule, replaced };
+        // A mild derate that only pushes the deepest paths over: the
+        // protected endpoints mask it; unprotected shallow endpoints
+        // never needed protection.
+        let r = lockstep_compare(&nl, period, &style, 1.2, 30, 7);
+        assert!(r.exact(), "{r:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one bit per primary input")]
+    fn step_validates_vector_width() {
+        let nl = adder();
+        let mut d = compile(&nl, Picos(2000), &SeqStyle::Conventional, 1.0, 4);
+        d.step(&[true]);
+    }
+}

@@ -1,0 +1,434 @@
+//! `timber_pipeline::SequentialScheme` implementations for both TIMBER
+//! cells, so the architectural simulator can run TIMBER against the
+//! baseline techniques.
+
+use timber_netlist::Picos;
+use timber_pipeline::{CycleContext, SequentialScheme, StageOutcome};
+
+use crate::flipflop::{CaptureOutcome, TimberFlipFlop};
+use crate::latch::TimberLatch;
+use crate::relay::ErrorRelay;
+use crate::schedule::CheckingPeriod;
+
+fn to_stage_outcome(out: CaptureOutcome) -> StageOutcome {
+    match out {
+        CaptureOutcome::OnTime => StageOutcome::Ok,
+        CaptureOutcome::Masked {
+            borrowed, flagged, ..
+        } => StageOutcome::Masked { borrowed, flagged },
+        CaptureOutcome::Escaped { .. } => StageOutcome::Corrupted,
+    }
+}
+
+/// Pipeline scheme built from [`TimberFlipFlop`]s with error relaying
+/// between consecutive stage boundaries.
+///
+/// The relay is modelled for a linear pipeline: boundary `s`'s select
+/// output becomes boundary `s+1`'s select input on the next cycle
+/// (matching the combinational relay settling during the remaining half
+/// cycle).
+#[derive(Debug)]
+pub struct TimberFfScheme {
+    schedule: CheckingPeriod,
+    relay: ErrorRelay,
+    flops: Vec<TimberFlipFlop>,
+    /// Select inputs to apply at the start of the next cycle.
+    pending_select: Vec<u8>,
+    last_cycle: Option<u64>,
+}
+
+impl TimberFfScheme {
+    /// Creates the scheme for `stages` boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is zero.
+    pub fn new(schedule: CheckingPeriod, stages: usize) -> TimberFfScheme {
+        assert!(stages > 0, "need at least one stage boundary");
+        TimberFfScheme {
+            schedule,
+            relay: ErrorRelay::new(&schedule),
+            flops: vec![TimberFlipFlop::new(schedule); stages],
+            pending_select: vec![0; stages],
+            last_cycle: None,
+        }
+    }
+
+    /// The schedule in force.
+    pub fn schedule(&self) -> &CheckingPeriod {
+        &self.schedule
+    }
+
+    /// Current select input at a boundary (test/diagnostic access).
+    pub fn select_at(&self, stage: usize) -> u8 {
+        self.flops[stage].select()
+    }
+
+    fn roll_cycle(&mut self, cycle: u64) {
+        if self.last_cycle != Some(cycle) {
+            self.last_cycle = Some(cycle);
+            for (flop, sel) in self.flops.iter_mut().zip(&mut self.pending_select) {
+                flop.set_select(*sel);
+                *sel = 0;
+            }
+        }
+    }
+}
+
+impl SequentialScheme for TimberFfScheme {
+    fn name(&self) -> &str {
+        "timber-ff"
+    }
+
+    fn evaluate(
+        &mut self,
+        stage: usize,
+        arrival: Picos,
+        _incoming_borrow: Picos,
+        ctx: &CycleContext,
+    ) -> StageOutcome {
+        self.roll_cycle(ctx.cycle);
+        let out = self.flops[stage].capture(arrival, ctx.period);
+        // Relay: downstream boundary's next-cycle select input is the
+        // max over its fanin; in the linear pipeline that is just this
+        // boundary's select output.
+        if stage + 1 < self.flops.len() {
+            let sel_out = match out {
+                CaptureOutcome::Masked { .. } => {
+                    self.relay.select_output(true, self.flops[stage].select())
+                }
+                _ => 0,
+            };
+            let slot = &mut self.pending_select[stage + 1];
+            *slot = self.relay.consolidate(&[*slot, sel_out]);
+        }
+        to_stage_outcome(out)
+    }
+
+    fn reset(&mut self) {
+        for flop in &mut self.flops {
+            *flop = TimberFlipFlop::new(self.schedule);
+        }
+        self.pending_select.iter_mut().for_each(|s| *s = 0);
+        self.last_cycle = None;
+    }
+}
+
+/// TIMBER flip-flop scheme for a **DAG** pipeline topology
+/// (`timber_pipeline::Topology`): the error relay consolidates select
+/// outputs over each boundary's real predecessor set instead of the
+/// linear previous-stage shortcut — the paper's Fig. 4 rule exactly.
+///
+/// Use with `timber_pipeline::TopologySim`, passing the same topology
+/// to both.
+#[derive(Debug)]
+pub struct TimberDagScheme {
+    schedule: CheckingPeriod,
+    relay: ErrorRelay,
+    flops: Vec<TimberFlipFlop>,
+    /// preds[b] = upstream boundaries of b.
+    preds: Vec<Vec<usize>>,
+    /// Select outputs published this cycle.
+    outputs: Vec<u8>,
+    last_cycle: Option<u64>,
+}
+
+impl TimberDagScheme {
+    /// Creates the scheme for a boundary DAG given as predecessor
+    /// lists (indices must be topologically ordered, as in
+    /// `timber_pipeline::Topology`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `preds` is empty or contains a forward edge.
+    pub fn new(schedule: CheckingPeriod, preds: Vec<Vec<usize>>) -> TimberDagScheme {
+        assert!(!preds.is_empty(), "need at least one boundary");
+        for (b, ps) in preds.iter().enumerate() {
+            for &p in ps {
+                assert!(p < b, "predecessor {p} of boundary {b} violates topological order");
+            }
+        }
+        let n = preds.len();
+        TimberDagScheme {
+            schedule,
+            relay: ErrorRelay::new(&schedule),
+            flops: vec![TimberFlipFlop::new(schedule); n],
+            preds,
+            outputs: vec![0; n],
+            last_cycle: None,
+        }
+    }
+
+    /// Current select input at a boundary (diagnostics).
+    pub fn select_at(&self, boundary: usize) -> u8 {
+        self.flops[boundary].select()
+    }
+
+    fn roll_cycle(&mut self, cycle: u64) {
+        if self.last_cycle == Some(cycle) {
+            return;
+        }
+        self.last_cycle = Some(cycle);
+        // Consolidate last cycle's select outputs over each boundary's
+        // fanin set, then clear the outputs for this cycle.
+        for b in 0..self.flops.len() {
+            let outs: Vec<u8> = self.preds[b].iter().map(|&p| self.outputs[p]).collect();
+            let sel = self.relay.consolidate(&outs);
+            self.flops[b].set_select(sel);
+        }
+        self.outputs.iter_mut().for_each(|o| *o = 0);
+    }
+}
+
+impl SequentialScheme for TimberDagScheme {
+    fn name(&self) -> &str {
+        "timber-ff-dag"
+    }
+
+    fn evaluate(
+        &mut self,
+        stage: usize,
+        arrival: Picos,
+        _incoming_borrow: Picos,
+        ctx: &CycleContext,
+    ) -> StageOutcome {
+        self.roll_cycle(ctx.cycle);
+        let select_in = self.flops[stage].select();
+        let out = self.flops[stage].capture(arrival, ctx.period);
+        self.outputs[stage] = match out {
+            CaptureOutcome::Masked { .. } => self.relay.select_output(true, select_in),
+            _ => 0,
+        };
+        to_stage_outcome(out)
+    }
+
+    fn reset(&mut self) {
+        for flop in &mut self.flops {
+            *flop = TimberFlipFlop::new(self.schedule);
+        }
+        self.outputs.iter_mut().for_each(|o| *o = 0);
+        self.last_cycle = None;
+    }
+}
+
+/// Pipeline scheme built from [`TimberLatch`]es (continuous borrowing,
+/// no relay logic).
+#[derive(Debug)]
+pub struct TimberLatchScheme {
+    schedule: CheckingPeriod,
+    latches: Vec<TimberLatch>,
+}
+
+impl TimberLatchScheme {
+    /// Creates the scheme for `stages` boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is zero.
+    pub fn new(schedule: CheckingPeriod, stages: usize) -> TimberLatchScheme {
+        assert!(stages > 0, "need at least one stage boundary");
+        TimberLatchScheme {
+            schedule,
+            latches: vec![TimberLatch::new(schedule); stages],
+        }
+    }
+
+    /// The schedule in force.
+    pub fn schedule(&self) -> &CheckingPeriod {
+        &self.schedule
+    }
+}
+
+impl SequentialScheme for TimberLatchScheme {
+    fn name(&self) -> &str {
+        "timber-latch"
+    }
+
+    fn evaluate(
+        &mut self,
+        stage: usize,
+        arrival: Picos,
+        _incoming_borrow: Picos,
+        ctx: &CycleContext,
+    ) -> StageOutcome {
+        to_stage_outcome(self.latches[stage].capture(arrival, ctx.period))
+    }
+
+    fn reset(&mut self) {
+        for l in &mut self.latches {
+            *l = TimberLatch::new(self.schedule);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> CheckingPeriod {
+        CheckingPeriod::new(Picos(1000), 12.0, 1, 2).unwrap()
+    }
+
+    fn ctx(cycle: u64) -> CycleContext {
+        CycleContext {
+            cycle,
+            period: Picos(1000),
+            nominal_period: Picos(1000),
+        }
+    }
+
+    #[test]
+    fn single_stage_error_masked_without_flag() {
+        let mut s = TimberFfScheme::new(sched(), 3);
+        let out = s.evaluate(0, Picos(1030), Picos::ZERO, &ctx(0));
+        assert_eq!(
+            out,
+            StageOutcome::Masked {
+                borrowed: Picos(40),
+                flagged: false
+            }
+        );
+    }
+
+    #[test]
+    fn relay_raises_downstream_select_next_cycle() {
+        let mut s = TimberFfScheme::new(sched(), 3);
+        // Cycle 0: error at boundary 0.
+        let _ = s.evaluate(0, Picos(1030), Picos::ZERO, &ctx(0));
+        let _ = s.evaluate(1, Picos(900), Picos::ZERO, &ctx(0));
+        let _ = s.evaluate(2, Picos(900), Picos::ZERO, &ctx(0));
+        // Cycle 1: boundary 1 now has select 1 -> can mask up to 80ps.
+        let _ = s.evaluate(0, Picos(900), Picos::ZERO, &ctx(1));
+        assert_eq!(s.select_at(1), 1);
+        let out = s.evaluate(1, Picos(1070), Picos(40), &ctx(1));
+        assert_eq!(
+            out,
+            StageOutcome::Masked {
+                borrowed: Picos(80),
+                flagged: true
+            }
+        );
+    }
+
+    #[test]
+    fn two_stage_error_without_relay_escapes() {
+        let mut s = TimberFfScheme::new(sched(), 3);
+        // Boundary 1 with select 0 sees a 70ps overshoot directly.
+        let out = s.evaluate(1, Picos(1070), Picos::ZERO, &ctx(0));
+        assert_eq!(out, StageOutcome::Corrupted);
+    }
+
+    #[test]
+    fn selects_decay_after_clean_cycle() {
+        let mut s = TimberFfScheme::new(sched(), 2);
+        let _ = s.evaluate(0, Picos(1030), Picos::ZERO, &ctx(0));
+        let _ = s.evaluate(1, Picos(900), Picos::ZERO, &ctx(0));
+        // Cycle 1: clean everywhere.
+        let _ = s.evaluate(0, Picos(900), Picos::ZERO, &ctx(1));
+        let _ = s.evaluate(1, Picos(900), Picos::ZERO, &ctx(1));
+        // Cycle 2: boundary 1 back to select 0.
+        let _ = s.evaluate(0, Picos(900), Picos::ZERO, &ctx(2));
+        assert_eq!(s.select_at(1), 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut s = TimberFfScheme::new(sched(), 2);
+        let _ = s.evaluate(0, Picos(1030), Picos::ZERO, &ctx(0));
+        s.reset();
+        assert_eq!(s.select_at(0), 0);
+        assert_eq!(s.select_at(1), 0);
+    }
+
+    #[test]
+    fn dag_scheme_consolidates_over_reconvergent_fanin() {
+        // Diamond: 0 -> {1, 2} -> 3.
+        let preds = vec![vec![], vec![0], vec![0], vec![1, 2]];
+        let mut s = TimberDagScheme::new(sched(), preds);
+        // Cycle 0: errors at boundaries 1 AND 2.
+        let _ = s.evaluate(0, Picos(900), Picos::ZERO, &ctx(0));
+        let _ = s.evaluate(1, Picos(1030), Picos::ZERO, &ctx(0));
+        let _ = s.evaluate(2, Picos(1030), Picos::ZERO, &ctx(0));
+        let _ = s.evaluate(3, Picos(900), Picos::ZERO, &ctx(0));
+        // Cycle 1: boundary 3's select is the max of both relays (1).
+        let _ = s.evaluate(0, Picos(900), Picos::ZERO, &ctx(1));
+        assert_eq!(s.select_at(3), 1);
+        // And with the raised select it masks a 2-unit violation.
+        let _ = s.evaluate(1, Picos(900), Picos::ZERO, &ctx(1));
+        let _ = s.evaluate(2, Picos(900), Picos::ZERO, &ctx(1));
+        let out = s.evaluate(3, Picos(1070), Picos(40), &ctx(1));
+        assert_eq!(
+            out,
+            StageOutcome::Masked {
+                borrowed: Picos(80),
+                flagged: true
+            }
+        );
+    }
+
+    #[test]
+    fn dag_scheme_on_linear_chain_matches_linear_scheme() {
+        // A 3-stage chain expressed as a DAG behaves exactly like
+        // TimberFfScheme over a deterministic event sequence.
+        let preds = vec![vec![], vec![0], vec![1]];
+        let mut dag = TimberDagScheme::new(sched(), preds);
+        let mut lin = TimberFfScheme::new(sched(), 3);
+        let arrivals = [
+            [1030i64, 900, 900],
+            [900, 1070, 900],
+            [900, 900, 900],
+            [1030, 900, 900],
+            [900, 1070, 1110],
+        ];
+        for (cycle, row) in arrivals.iter().enumerate() {
+            for (stage, &a) in row.iter().enumerate() {
+                let d = dag.evaluate(stage, Picos(a), Picos::ZERO, &ctx(cycle as u64));
+                let l = lin.evaluate(stage, Picos(a), Picos::ZERO, &ctx(cycle as u64));
+                assert_eq!(d, l, "cycle {cycle} stage {stage}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "topological order")]
+    fn dag_scheme_rejects_forward_edges() {
+        let _ = TimberDagScheme::new(sched(), vec![vec![1], vec![]]);
+    }
+
+    #[test]
+    fn latch_scheme_borrows_continuously() {
+        let mut s = TimberLatchScheme::new(sched(), 2);
+        let out = s.evaluate(0, Picos(1023), Picos::ZERO, &ctx(0));
+        assert_eq!(
+            out,
+            StageOutcome::Masked {
+                borrowed: Picos(23),
+                flagged: false
+            }
+        );
+        // Beyond the TB window: flagged.
+        let out = s.evaluate(1, Picos(1100), Picos::ZERO, &ctx(0));
+        assert_eq!(
+            out,
+            StageOutcome::Masked {
+                borrowed: Picos(100),
+                flagged: true
+            }
+        );
+    }
+
+    #[test]
+    fn latch_scheme_corrupts_past_checking_period() {
+        let mut s = TimberLatchScheme::new(sched(), 1);
+        let out = s.evaluate(0, Picos(1130), Picos::ZERO, &ctx(0));
+        assert_eq!(out, StageOutcome::Corrupted);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        assert_ne!(
+            TimberFfScheme::new(sched(), 1).name(),
+            TimberLatchScheme::new(sched(), 1).name()
+        );
+    }
+}

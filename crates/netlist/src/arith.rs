@@ -1,0 +1,425 @@
+//! Arithmetic circuit generators: realistic datapath blocks with
+//! well-understood critical-path structure.
+//!
+//! These complement the random generators in [`crate::gen`]: a
+//! Kogge–Stone adder (logarithmic-depth carry tree — the "fast" block
+//! whose paths bunch just under the clock), an array multiplier (deep
+//! quadratic structure — the classic speed-path generator), and a small
+//! ALU that muxes between them (mixed path profile). All are verified
+//! bit-exactly against integer arithmetic by the test suite.
+
+use crate::cell::CellLibrary;
+use crate::error::NetlistError;
+use crate::netlist::{NetId, Netlist, NetlistBuilder};
+
+/// Builds an `n`-bit Kogge–Stone adder with registered inputs and
+/// outputs.
+///
+/// Depth grows as `log2(n)` prefix levels, so for the same width its
+/// critical path is far shorter than the ripple adder's — useful for
+/// mixed-criticality designs.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from construction (cannot occur with the
+/// standard library).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn kogge_stone_adder(library: &CellLibrary, n: usize) -> Result<Netlist, NetlistError> {
+    assert!(n > 0, "adder width must be positive");
+    let mut b = NetlistBuilder::new(format!("ks{n}"), library);
+    let mut a_bits = Vec::with_capacity(n);
+    let mut b_bits = Vec::with_capacity(n);
+    for i in 0..n {
+        let ai = b.input(&format!("a{i}"));
+        let bi = b.input(&format!("b{i}"));
+        a_bits.push(b.flop(&format!("ra{i}"), ai));
+        b_bits.push(b.flop(&format!("rb{i}"), bi));
+    }
+
+    // Pre-processing: generate/propagate per bit.
+    let mut g: Vec<NetId> = Vec::with_capacity(n);
+    let mut p: Vec<NetId> = Vec::with_capacity(n);
+    for i in 0..n {
+        g.push(b.gate("and2", &[a_bits[i], b_bits[i]])?);
+        p.push(b.gate("xor2", &[a_bits[i], b_bits[i]])?);
+    }
+
+    // Prefix tree: (g, p) o (g', p') = (g | (p & g'), p & p').
+    let mut g_lvl = g.clone();
+    let mut p_lvl = p.clone();
+    let mut dist = 1usize;
+    while dist < n {
+        let mut g_next = g_lvl.clone();
+        let mut p_next = p_lvl.clone();
+        for i in dist..n {
+            let t = b.gate("and2", &[p_lvl[i], g_lvl[i - dist]])?;
+            g_next[i] = b.gate("or2", &[g_lvl[i], t])?;
+            p_next[i] = b.gate("and2", &[p_lvl[i], p_lvl[i - dist]])?;
+        }
+        g_lvl = g_next;
+        p_lvl = p_next;
+        dist *= 2;
+    }
+
+    // Post-processing: sum_i = p_i ^ carry_{i-1}; carry_{i-1} = G_{i-1}.
+    for i in 0..n {
+        let sum = if i == 0 {
+            // No carry-in.
+            p[0]
+        } else {
+            b.gate("xor2", &[p[i], g_lvl[i - 1]])?
+        };
+        let q = b.flop(&format!("rs{i}"), sum);
+        b.output(&format!("s{i}"), q);
+    }
+    let qc = b.flop("rcout", g_lvl[n - 1]);
+    b.output("cout", qc);
+    b.finish()
+}
+
+/// Builds an `n × n` array multiplier with registered inputs and a
+/// registered `2n`-bit product.
+///
+/// The carry-save array gives a critical path of ~`2n` full-adder
+/// stages — the deepest block in the suite and the canonical source of
+/// speed paths in real datapaths.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from construction.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn array_multiplier(library: &CellLibrary, n: usize) -> Result<Netlist, NetlistError> {
+    assert!(n > 0, "multiplier width must be positive");
+    let mut b = NetlistBuilder::new(format!("mul{n}"), library);
+    let mut a_bits = Vec::with_capacity(n);
+    let mut b_bits = Vec::with_capacity(n);
+    for i in 0..n {
+        let ai = b.input(&format!("a{i}"));
+        a_bits.push(b.flop(&format!("ra{i}"), ai));
+    }
+    for i in 0..n {
+        let bi = b.input(&format!("b{i}"));
+        b_bits.push(b.flop(&format!("rb{i}"), bi));
+    }
+
+    // Partial products pp[i][j] = a_i & b_j.
+    let mut pp = vec![vec![None::<NetId>; n]; n];
+    for (i, &ai) in a_bits.iter().enumerate() {
+        for (j, &bj) in b_bits.iter().enumerate() {
+            pp[i][j] = Some(b.gate("and2", &[ai, bj])?);
+        }
+    }
+
+    // Row-by-row carry-save accumulation.
+    // `acc[k]` holds the current sum bit for product bit k.
+    let mut product = Vec::with_capacity(2 * n);
+    let mut acc: Vec<Option<NetId>> = (0..n).map(|j| pp[0][j]).collect();
+    product.push(acc[0].expect("pp exists")); // product bit 0
+    acc.remove(0);
+    acc.push(None); // weight-aligned for the next row
+
+    for row in pp.iter().take(n).skip(1) {
+        let mut carry: Option<NetId> = None;
+        let mut next_acc: Vec<Option<NetId>> = Vec::with_capacity(n);
+        for j in 0..n {
+            let addend = row[j];
+            let current = acc[j];
+            let (sum, new_carry) = match (current, addend, carry) {
+                (Some(x), Some(y), Some(c)) => {
+                    let s = b.gate("fa_sum", &[x, y, c])?;
+                    let co = b.gate("fa_carry", &[x, y, c])?;
+                    (Some(s), Some(co))
+                }
+                (Some(x), Some(y), None) => {
+                    let s = b.gate("xor2", &[x, y])?;
+                    let co = b.gate("and2", &[x, y])?;
+                    (Some(s), Some(co))
+                }
+                (Some(x), None, Some(c)) | (None, Some(x), Some(c)) => {
+                    let s = b.gate("xor2", &[x, c])?;
+                    let co = b.gate("and2", &[x, c])?;
+                    (Some(s), Some(co))
+                }
+                (Some(x), None, None) | (None, Some(x), None) => (Some(x), None),
+                (None, None, Some(c)) => (Some(c), None),
+                (None, None, None) => (None, None),
+            };
+            next_acc.push(sum);
+            carry = new_carry;
+        }
+        // The low bit of this row is final.
+        product.push(next_acc[0].expect("row low bit exists"));
+        next_acc.remove(0);
+        next_acc.push(carry);
+        acc = next_acc;
+    }
+    // Remaining accumulator bits are the high product bits.
+    product.extend(acc.into_iter().flatten());
+    // Pad with constant-0 nets if the top carry never materialised.
+    while product.len() < 2 * n {
+        let zero = {
+            let a0 = a_bits[0];
+            let na0 = b.gate("inv", &[a0])?;
+            b.gate("and2", &[a0, na0])?
+        };
+        product.push(zero);
+    }
+
+    for (k, &net) in product.iter().enumerate() {
+        let q = b.flop(&format!("rp{k}"), net);
+        b.output(&format!("p{k}"), q);
+    }
+    b.finish()
+}
+
+/// Operations of the [`alu`] block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// `a + b` (ripple core).
+    Add,
+    /// `a & b`.
+    And,
+    /// `a ^ b`.
+    Xor,
+}
+
+impl AluOp {
+    /// The `(op0, op1)` opcode bits driving the ALU's select inputs:
+    /// `op1` chooses logic-vs-add, `op0` chooses xor-vs-and.
+    pub fn encoding(self) -> (bool, bool) {
+        match self {
+            AluOp::Add => (false, false),
+            AluOp::And => (false, true),
+            AluOp::Xor => (true, true),
+        }
+    }
+
+    /// Evaluates the operation on `width`-bit operands (modulo 2^width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds 63.
+    pub fn apply(self, a: u64, b: u64, width: u32) -> u64 {
+        assert!(width > 0 && width < 64, "width must be in 1..=63");
+        let mask = (1u64 << width) - 1;
+        match self {
+            AluOp::Add => a.wrapping_add(b) & mask,
+            AluOp::And => a & b & mask,
+            AluOp::Xor => (a ^ b) & mask,
+        }
+    }
+}
+
+/// Builds an `n`-bit three-function ALU (add / and / xor) selected by a
+/// registered 2-bit opcode, with registered operands and result.
+///
+/// The mux tree after the function units creates the mixed path profile
+/// typical of execute stages: the adder dominates timing while the
+/// logical ops finish early.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from construction.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn alu(library: &CellLibrary, n: usize) -> Result<Netlist, NetlistError> {
+    assert!(n > 0, "alu width must be positive");
+    let mut b = NetlistBuilder::new(format!("alu{n}"), library);
+    let mut a_bits = Vec::with_capacity(n);
+    let mut b_bits = Vec::with_capacity(n);
+    for i in 0..n {
+        let ai = b.input(&format!("a{i}"));
+        let bi = b.input(&format!("b{i}"));
+        a_bits.push(b.flop(&format!("ra{i}"), ai));
+        b_bits.push(b.flop(&format!("rb{i}"), bi));
+    }
+    let op0_pi = b.input("op0");
+    let op1_pi = b.input("op1");
+    let op0 = b.flop("rop0", op0_pi);
+    let op1 = b.flop("rop1", op1_pi);
+
+    // Adder core (ripple).
+    let mut carry: Option<NetId> = None;
+    let mut add_bits = Vec::with_capacity(n);
+    for i in 0..n {
+        let (s, c) = match carry {
+            None => {
+                let s = b.gate("xor2", &[a_bits[i], b_bits[i]])?;
+                let c = b.gate("and2", &[a_bits[i], b_bits[i]])?;
+                (s, c)
+            }
+            Some(cin) => {
+                let s = b.gate("fa_sum", &[a_bits[i], b_bits[i], cin])?;
+                let c = b.gate("fa_carry", &[a_bits[i], b_bits[i], cin])?;
+                (s, c)
+            }
+        };
+        add_bits.push(s);
+        carry = Some(c);
+    }
+
+    // Logical units and the result mux: op1 ? (op0 ? xor : and) : add.
+    for i in 0..n {
+        let and_i = b.gate("and2", &[a_bits[i], b_bits[i]])?;
+        let xor_i = b.gate("xor2", &[a_bits[i], b_bits[i]])?;
+        let logic_i = b.gate("mux2", &[and_i, xor_i, op0])?;
+        let res_i = b.gate("mux2", &[add_bits[i], logic_i, op1])?;
+        let q = b.flop(&format!("rr{i}"), res_i);
+        b.output(&format!("r{i}"), q);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+
+    fn drive_bits(ev: &mut Evaluator<'_>, pis: &[NetId], value: u64) {
+        for (i, &pi) in pis.iter().enumerate() {
+            ev.set_input(pi, (value >> i) & 1 == 1);
+        }
+    }
+
+    fn read_bits(out: &[bool]) -> u64 {
+        out.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+    }
+
+    #[test]
+    fn kogge_stone_adds_exhaustively_at_4_bits() {
+        let lib = CellLibrary::standard();
+        let nl = kogge_stone_adder(&lib, 4).unwrap();
+        let pis = nl.primary_inputs().to_vec();
+        let mut ev = Evaluator::new(&nl);
+        for a in 0u64..16 {
+            for bb in 0u64..16 {
+                // Inputs interleave a_i, b_i.
+                for i in 0..4 {
+                    ev.set_input(pis[2 * i], (a >> i) & 1 == 1);
+                    ev.set_input(pis[2 * i + 1], (bb >> i) & 1 == 1);
+                }
+                ev.settle();
+                ev.clock(); // capture operands
+                ev.clock(); // capture result
+                let got = read_bits(&ev.outputs());
+                assert_eq!(got, a + bb, "{a} + {bb}");
+            }
+        }
+    }
+
+    #[test]
+    fn kogge_stone_is_shallower_than_ripple() {
+        let lib = CellLibrary::standard();
+        let ks = kogge_stone_adder(&lib, 16).unwrap();
+        let rca = crate::gen::ripple_carry_adder(&lib, 16).unwrap();
+        let depth = |nl: &Netlist| {
+            crate::graph::levelize(nl)
+                .unwrap()
+                .into_iter()
+                .max()
+                .unwrap_or(0)
+        };
+        assert!(
+            depth(&ks) < depth(&rca),
+            "KS depth {} must beat RCA depth {}",
+            depth(&ks),
+            depth(&rca)
+        );
+    }
+
+    #[test]
+    fn multiplier_matches_integer_multiplication() {
+        let lib = CellLibrary::standard();
+        let nl = array_multiplier(&lib, 4).unwrap();
+        let pis = nl.primary_inputs().to_vec();
+        // Inputs: a0..a3 then b0..b3.
+        let mut ev = Evaluator::new(&nl);
+        for a in 0u64..16 {
+            for bb in 0u64..16 {
+                drive_bits(&mut ev, &pis[..4], a);
+                drive_bits(&mut ev, &pis[4..8], bb);
+                ev.settle();
+                ev.clock();
+                ev.clock();
+                let got = read_bits(&ev.outputs());
+                assert_eq!(got, a * bb, "{a} * {bb}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_is_the_deepest_block() {
+        let lib = CellLibrary::standard();
+        let mul = array_multiplier(&lib, 8).unwrap();
+        let ks = kogge_stone_adder(&lib, 8).unwrap();
+        let depth = |nl: &Netlist| {
+            crate::graph::levelize(nl)
+                .unwrap()
+                .into_iter()
+                .max()
+                .unwrap_or(0)
+        };
+        assert!(depth(&mul) > 2 * depth(&ks));
+    }
+
+    #[test]
+    fn alu_computes_all_three_ops() {
+        let lib = CellLibrary::standard();
+        let nl = alu(&lib, 4).unwrap();
+        let pis = nl.primary_inputs().to_vec();
+        // Inputs interleave a_i, b_i; then op0, op1.
+        let mut ev = Evaluator::new(&nl);
+        for op in [AluOp::Add, AluOp::And, AluOp::Xor] {
+            let (op0, op1) = op.encoding();
+            for a in [0u64, 3, 9, 15] {
+                for bb in [0u64, 5, 12, 15] {
+                    for i in 0..4 {
+                        ev.set_input(pis[2 * i], (a >> i) & 1 == 1);
+                        ev.set_input(pis[2 * i + 1], (bb >> i) & 1 == 1);
+                    }
+                    ev.set_input(pis[8], op0);
+                    ev.set_input(pis[9], op1);
+                    ev.settle();
+                    ev.clock();
+                    ev.clock();
+                    let got = read_bits(&ev.outputs());
+                    assert_eq!(got, op.apply(a, bb, 4), "op={op:?} {a},{bb}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aluop_apply_matches_semantics() {
+        assert_eq!(AluOp::Add.apply(15, 1, 4), 0); // wraps mod 16
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010, 4), 0b1000);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010, 4), 0b0110);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in 1..=63")]
+    fn aluop_apply_validates_width() {
+        let _ = AluOp::Add.apply(1, 1, 0);
+    }
+
+    #[test]
+    fn blocks_have_expected_interface_sizes() {
+        let lib = CellLibrary::standard();
+        let ks = kogge_stone_adder(&lib, 8).unwrap();
+        assert_eq!(ks.primary_outputs().len(), 9); // 8 sum + cout
+        let mul = array_multiplier(&lib, 4).unwrap();
+        assert_eq!(mul.primary_outputs().len(), 8); // 2n product bits
+        let alu8 = alu(&lib, 8).unwrap();
+        assert_eq!(alu8.primary_outputs().len(), 8);
+    }
+}

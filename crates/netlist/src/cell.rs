@@ -1,0 +1,447 @@
+//! Standard-cell library: logic function, timing arcs, area and power.
+//!
+//! Delay, area and power numbers are relative values representative of a
+//! 45 nm-class library (the paper's industrial library is proprietary).
+//! Absolute calibration does not matter for the reproduction: every
+//! result in the paper is reported relative to a base design, and our
+//! experiments inherit that normalisation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::logic::LogicFn;
+use crate::units::{Area, Picos};
+
+/// Index of a cell in a [`CellLibrary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub u32);
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell#{}", self.0)
+    }
+}
+
+/// A pin-to-pin timing arc: the delay from a transition on one input pin
+/// to the resulting transition on the output pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingArc {
+    /// Delay for a rising output transition.
+    pub rise: Picos,
+    /// Delay for a falling output transition.
+    pub fall: Picos,
+}
+
+impl TimingArc {
+    /// An arc with equal rise and fall delay.
+    pub fn symmetric(delay: Picos) -> TimingArc {
+        TimingArc {
+            rise: delay,
+            fall: delay,
+        }
+    }
+
+    /// Worst (largest) of the rise/fall delays; used for max-delay STA.
+    pub fn worst(&self) -> Picos {
+        self.rise.max(self.fall)
+    }
+
+    /// Best (smallest) of the rise/fall delays; used for hold analysis.
+    pub fn best(&self) -> Picos {
+        self.rise.min(self.fall)
+    }
+}
+
+/// A combinational standard cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    name: String,
+    function: LogicFn,
+    arcs: Vec<TimingArc>,
+    area: Area,
+    /// Static leakage power, relative units.
+    leakage: f64,
+    /// Energy per output transition, relative units.
+    switch_energy: f64,
+}
+
+impl Cell {
+    /// Creates a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of arcs does not match the function arity.
+    pub fn new(
+        name: impl Into<String>,
+        function: LogicFn,
+        arcs: Vec<TimingArc>,
+        area: Area,
+        leakage: f64,
+        switch_energy: f64,
+    ) -> Cell {
+        let name = name.into();
+        assert_eq!(
+            arcs.len(),
+            function.arity(),
+            "cell {name}: one timing arc per input pin required"
+        );
+        Cell {
+            name,
+            function,
+            arcs,
+            area,
+            leakage,
+            switch_energy,
+        }
+    }
+
+    /// Cell name, e.g. `"nand2"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The boolean function computed by the cell.
+    pub fn function(&self) -> LogicFn {
+        self.function
+    }
+
+    /// Number of input pins.
+    pub fn num_inputs(&self) -> usize {
+        self.function.arity()
+    }
+
+    /// Timing arc from input pin `pin` to the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pin` is out of range.
+    pub fn arc(&self, pin: usize) -> TimingArc {
+        self.arcs[pin]
+    }
+
+    /// All timing arcs, indexed by input pin.
+    pub fn arcs(&self) -> &[TimingArc] {
+        &self.arcs
+    }
+
+    /// Cell area.
+    pub fn area(&self) -> Area {
+        self.area
+    }
+
+    /// Static leakage power (relative units).
+    pub fn leakage(&self) -> f64 {
+        self.leakage
+    }
+
+    /// Energy per output transition (relative units).
+    pub fn switch_energy(&self) -> f64 {
+        self.switch_energy
+    }
+
+    /// Worst-case (max over pins) input-to-output delay.
+    pub fn worst_delay(&self) -> Picos {
+        self.arcs
+            .iter()
+            .map(TimingArc::worst)
+            .fold(Picos::ZERO, Picos::max)
+    }
+}
+
+/// A library of combinational cells addressed by name or [`CellId`].
+///
+/// # Example
+///
+/// ```
+/// use timber_netlist::CellLibrary;
+///
+/// let lib = CellLibrary::standard();
+/// let nand2 = lib.find("nand2").expect("standard cell present");
+/// assert_eq!(lib.cell(nand2).num_inputs(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CellLibrary {
+    cells: Vec<Cell>,
+    by_name: HashMap<String, CellId>,
+}
+
+impl CellLibrary {
+    /// Creates an empty library.
+    pub fn new() -> CellLibrary {
+        CellLibrary {
+            cells: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// The built-in standard library used across the reproduction.
+    ///
+    /// Delays are loosely calibrated so a FO4 inverter is ~15 ps,
+    /// matching a 45 nm-class process; a two-input NAND is ~20 ps.
+    pub fn standard() -> CellLibrary {
+        let mut lib = CellLibrary::new();
+        let sym = |d: i64| TimingArc::symmetric(Picos(d));
+        let skew = |r: i64, f: i64| TimingArc {
+            rise: Picos(r),
+            fall: Picos(f),
+        };
+
+        lib.add(Cell::new(
+            "inv",
+            LogicFn::inverter(),
+            vec![skew(14, 16)],
+            Area(1.0),
+            0.02,
+            0.08,
+        ));
+        lib.add(Cell::new(
+            "buf",
+            LogicFn::buffer(),
+            vec![sym(28)],
+            Area(1.5),
+            0.03,
+            0.12,
+        ));
+        lib.add(Cell::new(
+            "nand2",
+            LogicFn::nand(2),
+            vec![skew(18, 22), skew(20, 24)],
+            Area(1.5),
+            0.04,
+            0.14,
+        ));
+        lib.add(Cell::new(
+            "nor2",
+            LogicFn::nor(2),
+            vec![skew(24, 18), skew(26, 20)],
+            Area(1.5),
+            0.04,
+            0.14,
+        ));
+        lib.add(Cell::new(
+            "and2",
+            LogicFn::and(2),
+            vec![sym(34), sym(36)],
+            Area(2.0),
+            0.05,
+            0.18,
+        ));
+        lib.add(Cell::new(
+            "or2",
+            LogicFn::or(2),
+            vec![sym(36), sym(38)],
+            Area(2.0),
+            0.05,
+            0.18,
+        ));
+        lib.add(Cell::new(
+            "nand3",
+            LogicFn::nand(3),
+            vec![sym(26), sym(28), sym(30)],
+            Area(2.0),
+            0.05,
+            0.18,
+        ));
+        lib.add(Cell::new(
+            "nor3",
+            LogicFn::nor(3),
+            vec![sym(32), sym(34), sym(36)],
+            Area(2.0),
+            0.05,
+            0.18,
+        ));
+        lib.add(Cell::new(
+            "xor2",
+            LogicFn::xor(2),
+            vec![sym(42), sym(44)],
+            Area(3.0),
+            0.07,
+            0.26,
+        ));
+        lib.add(Cell::new(
+            "xnor2",
+            LogicFn::xnor(2),
+            vec![sym(42), sym(44)],
+            Area(3.0),
+            0.07,
+            0.26,
+        ));
+        lib.add(Cell::new(
+            "mux2",
+            LogicFn::mux2(),
+            vec![sym(36), sym(36), sym(44)],
+            Area(3.0),
+            0.07,
+            0.24,
+        ));
+        lib.add(Cell::new(
+            "aoi21",
+            LogicFn::aoi21(),
+            vec![sym(28), sym(30), sym(24)],
+            Area(2.0),
+            0.05,
+            0.18,
+        ));
+        lib.add(Cell::new(
+            "oai21",
+            LogicFn::oai21(),
+            vec![sym(28), sym(30), sym(24)],
+            Area(2.0),
+            0.05,
+            0.18,
+        ));
+        lib.add(Cell::new(
+            "fa_sum",
+            LogicFn::fa_sum(),
+            vec![sym(58), sym(60), sym(52)],
+            Area(4.5),
+            0.10,
+            0.40,
+        ));
+        lib.add(Cell::new(
+            "fa_carry",
+            LogicFn::fa_carry(),
+            vec![sym(44), sym(46), sym(38)],
+            Area(4.0),
+            0.09,
+            0.36,
+        ));
+        lib
+    }
+
+    /// Adds a cell and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cell with the same name already exists.
+    pub fn add(&mut self, cell: Cell) -> CellId {
+        let id = CellId(self.cells.len() as u32);
+        let prev = self.by_name.insert(cell.name().to_owned(), id);
+        assert!(
+            prev.is_none(),
+            "duplicate cell name {:?} in library",
+            cell.name()
+        );
+        self.cells.push(cell);
+        id
+    }
+
+    /// Looks up a cell id by name.
+    pub fn find(&self, name: &str) -> Option<CellId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the cell for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this library.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.0 as usize]
+    }
+
+    /// Number of cells in the library.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the library holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Iterates over `(CellId, &Cell)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellId(i as u32), c))
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> CellLibrary {
+        CellLibrary::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_library_has_expected_cells() {
+        let lib = CellLibrary::standard();
+        for name in [
+            "inv", "buf", "nand2", "nor2", "and2", "or2", "nand3", "nor3", "xor2", "xnor2", "mux2",
+            "aoi21", "oai21", "fa_sum", "fa_carry",
+        ] {
+            assert!(lib.find(name).is_some(), "missing {name}");
+        }
+        assert_eq!(lib.len(), 15);
+        assert!(!lib.is_empty());
+    }
+
+    #[test]
+    fn cells_have_one_arc_per_input() {
+        let lib = CellLibrary::standard();
+        for (_, cell) in lib.iter() {
+            assert_eq!(cell.arcs().len(), cell.num_inputs());
+            assert!(cell.area().0 > 0.0);
+            assert!(cell.leakage() > 0.0);
+            assert!(cell.switch_energy() > 0.0);
+        }
+    }
+
+    #[test]
+    fn arc_worst_and_best() {
+        let arc = TimingArc {
+            rise: Picos(10),
+            fall: Picos(14),
+        };
+        assert_eq!(arc.worst(), Picos(14));
+        assert_eq!(arc.best(), Picos(10));
+        let s = TimingArc::symmetric(Picos(7));
+        assert_eq!(s.worst(), Picos(7));
+        assert_eq!(s.best(), Picos(7));
+    }
+
+    #[test]
+    fn worst_delay_is_max_over_pins() {
+        let lib = CellLibrary::standard();
+        let nand2 = lib.cell(lib.find("nand2").unwrap());
+        assert_eq!(nand2.worst_delay(), Picos(24));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cell name")]
+    fn duplicate_names_rejected() {
+        let mut lib = CellLibrary::standard();
+        lib.add(Cell::new(
+            "inv",
+            LogicFn::inverter(),
+            vec![TimingArc::symmetric(Picos(1))],
+            Area(1.0),
+            0.01,
+            0.01,
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "one timing arc per input pin")]
+    fn arc_count_validated() {
+        let _ = Cell::new(
+            "bad",
+            LogicFn::and(2),
+            vec![TimingArc::symmetric(Picos(1))],
+            Area(1.0),
+            0.01,
+            0.01,
+        );
+    }
+
+    #[test]
+    fn find_unknown_returns_none() {
+        assert!(CellLibrary::standard().find("quantum_ff").is_none());
+    }
+}

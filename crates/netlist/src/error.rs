@@ -1,0 +1,85 @@
+//! Error types for netlist construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A cell name was not found in the library.
+    UnknownCell(String),
+    /// A gate was instantiated with the wrong number of input nets.
+    ArityMismatch {
+        /// Cell name.
+        cell: String,
+        /// Number of pins the cell has.
+        expected: usize,
+        /// Number of nets supplied.
+        got: usize,
+    },
+    /// A net has no driver (it is not a primary input, a flop output, or
+    /// a gate output).
+    UndrivenNet(String),
+    /// A net has more than one driver.
+    MultiplyDrivenNet(String),
+    /// The combinational logic contains a cycle (through the named net).
+    CombinationalLoop(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownCell(name) => write!(f, "unknown cell {name:?}"),
+            NetlistError::ArityMismatch {
+                cell,
+                expected,
+                got,
+            } => write!(
+                f,
+                "cell {cell:?} expects {expected} inputs but {got} were connected"
+            ),
+            NetlistError::UndrivenNet(name) => write!(f, "net {name:?} has no driver"),
+            NetlistError::MultiplyDrivenNet(name) => {
+                write!(f, "net {name:?} has more than one driver")
+            }
+            NetlistError::CombinationalLoop(name) => {
+                write!(f, "combinational loop through net {name:?}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NetlistError::UnknownCell("foo".into());
+        assert_eq!(e.to_string(), "unknown cell \"foo\"");
+        let e = NetlistError::ArityMismatch {
+            cell: "nand2".into(),
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains("expects 2 inputs"));
+        assert!(NetlistError::UndrivenNet("n1".into())
+            .to_string()
+            .contains("no driver"));
+        assert!(NetlistError::MultiplyDrivenNet("n1".into())
+            .to_string()
+            .contains("more than one driver"));
+        assert!(NetlistError::CombinationalLoop("n1".into())
+            .to_string()
+            .contains("loop"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,217 @@
+//! Zero-delay functional evaluation of a netlist.
+//!
+//! [`Evaluator`] computes steady-state net values for given primary-input
+//! and flop-state assignments, and can step the clock (flops capture
+//! their D values). It is the functional reference the generators and the
+//! event-driven simulator are checked against.
+
+use crate::netlist::{Driver, FlopId, InstId, NetId, Netlist};
+
+/// Functional evaluator for a [`Netlist`].
+///
+/// # Example
+///
+/// ```
+/// use timber_netlist::{CellLibrary, Evaluator, NetlistBuilder};
+///
+/// # fn main() -> Result<(), timber_netlist::NetlistError> {
+/// let lib = CellLibrary::standard();
+/// let mut b = NetlistBuilder::new("inv", &lib);
+/// let a = b.input("a");
+/// let y = b.gate("inv", &[a])?;
+/// b.output("y", y);
+/// let nl = b.finish()?;
+///
+/// let mut ev = Evaluator::new(&nl);
+/// ev.set_input(a, true);
+/// ev.settle();
+/// assert!(!ev.value(y));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Evaluator<'nl> {
+    netlist: &'nl Netlist,
+    values: Vec<bool>,
+    flop_state: Vec<bool>,
+    topo: Vec<InstId>,
+}
+
+impl<'nl> Evaluator<'nl> {
+    /// Creates an evaluator with all inputs and flop states at 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains a combinational loop; validated
+    /// netlists built via `NetlistBuilder::finish` never do.
+    pub fn new(netlist: &'nl Netlist) -> Evaluator<'nl> {
+        let topo = crate::graph::topo_order(netlist).expect("validated netlist must be acyclic");
+        Evaluator {
+            netlist,
+            values: vec![false; netlist.net_count()],
+            flop_state: vec![false; netlist.flop_count()],
+            topo,
+        }
+    }
+
+    /// Sets a primary-input net value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a primary input.
+    pub fn set_input(&mut self, net: NetId, value: bool) {
+        assert!(
+            matches!(self.netlist.net(net).driver(), Some(Driver::PrimaryInput)),
+            "{net} is not a primary input"
+        );
+        self.values[net.0 as usize] = value;
+    }
+
+    /// Forces a flop's current state (its Q value before the next edge).
+    pub fn set_flop_state(&mut self, flop: FlopId, value: bool) {
+        self.flop_state[flop.0 as usize] = value;
+    }
+
+    /// Current flop state.
+    pub fn flop_state(&self, flop: FlopId) -> bool {
+        self.flop_state[flop.0 as usize]
+    }
+
+    /// Propagates values through the combinational logic until stable
+    /// (one topological pass, since the logic is acyclic).
+    pub fn settle(&mut self) {
+        // Flop Q nets reflect the stored state.
+        for flop_id in self.netlist.flop_ids() {
+            let q = self.netlist.flop(flop_id).q();
+            self.values[q.0 as usize] = self.flop_state[flop_id.0 as usize];
+        }
+        let mut inputs = Vec::with_capacity(6);
+        for &inst_id in &self.topo {
+            let inst = self.netlist.instance(inst_id);
+            inputs.clear();
+            inputs.extend(inst.inputs().iter().map(|&n| self.values[n.0 as usize]));
+            let cell = self.netlist.library().cell(inst.cell());
+            self.values[inst.output().0 as usize] = cell.function().eval(&inputs);
+        }
+    }
+
+    /// Value of a net after the last [`settle`](Self::settle).
+    pub fn value(&self, net: NetId) -> bool {
+        self.values[net.0 as usize]
+    }
+
+    /// Applies a clock edge: every flop captures its D value, then the
+    /// logic re-settles.
+    pub fn clock(&mut self) {
+        // Capture all D values simultaneously (edge-triggered semantics).
+        let captured: Vec<bool> = self
+            .netlist
+            .flop_ids()
+            .map(|f| self.values[self.netlist.flop(f).d().0 as usize])
+            .collect();
+        self.flop_state = captured;
+        self.settle();
+    }
+
+    /// Convenience: reads the primary outputs as a vector of bits in
+    /// declaration order.
+    pub fn outputs(&self) -> Vec<bool> {
+        self.netlist
+            .primary_outputs()
+            .iter()
+            .map(|(_, net)| self.value(*net))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellLibrary;
+    use crate::netlist::NetlistBuilder;
+
+    #[test]
+    fn combinational_logic_evaluates() {
+        let lib = CellLibrary::standard();
+        let mut b = NetlistBuilder::new("maj", &lib);
+        let x = b.input("x");
+        let y = b.input("y");
+        let z = b.input("z");
+        let m = b.gate("fa_carry", &[x, y, z]).unwrap();
+        b.output("maj", m);
+        let nl = b.finish().unwrap();
+        let mut ev = Evaluator::new(&nl);
+        for bits in 0u8..8 {
+            let (a, c, d) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
+            ev.set_input(x, a);
+            ev.set_input(y, c);
+            ev.set_input(z, d);
+            ev.settle();
+            assert_eq!(ev.value(m), (a as u8 + c as u8 + d as u8) >= 2);
+        }
+    }
+
+    #[test]
+    fn clock_captures_d_and_propagates() {
+        let lib = CellLibrary::standard();
+        let mut b = NetlistBuilder::new("shift", &lib);
+        let a = b.input("a");
+        let q0 = b.flop("f0", a);
+        let q1 = b.flop("f1", q0);
+        b.output("o", q1);
+        let nl = b.finish().unwrap();
+        let mut ev = Evaluator::new(&nl);
+        ev.set_input(a, true);
+        ev.settle();
+        assert!(!ev.value(q0));
+        ev.clock();
+        assert!(ev.value(q0));
+        assert!(!ev.value(q1));
+        ev.clock();
+        assert!(ev.value(q1));
+    }
+
+    #[test]
+    fn set_flop_state_overrides_q() {
+        let lib = CellLibrary::standard();
+        let mut b = NetlistBuilder::new("t", &lib);
+        let a = b.input("a");
+        let q = b.flop("f", a);
+        let y = b.gate("inv", &[q]).unwrap();
+        b.output("y", y);
+        let nl = b.finish().unwrap();
+        let mut ev = Evaluator::new(&nl);
+        ev.set_flop_state(crate::netlist::FlopId(0), true);
+        ev.settle();
+        assert!(ev.flop_state(crate::netlist::FlopId(0)));
+        assert!(!ev.value(y));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a primary input")]
+    fn set_input_rejects_internal_nets() {
+        let lib = CellLibrary::standard();
+        let mut b = NetlistBuilder::new("t", &lib);
+        let a = b.input("a");
+        let y = b.gate("inv", &[a]).unwrap();
+        b.output("y", y);
+        let nl = b.finish().unwrap();
+        let mut ev = Evaluator::new(&nl);
+        ev.set_input(y, true);
+    }
+
+    #[test]
+    fn outputs_in_declaration_order() {
+        let lib = CellLibrary::standard();
+        let mut b = NetlistBuilder::new("t", &lib);
+        let a = b.input("a");
+        let n = b.gate("inv", &[a]).unwrap();
+        b.output("first", a);
+        b.output("second", n);
+        let nl = b.finish().unwrap();
+        let mut ev = Evaluator::new(&nl);
+        ev.set_input(a, true);
+        ev.settle();
+        assert_eq!(ev.outputs(), vec![true, false]);
+    }
+}

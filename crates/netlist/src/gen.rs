@@ -1,0 +1,371 @@
+//! Synthetic circuit generators.
+//!
+//! The paper's evaluation vehicle is a proprietary industrial processor.
+//! These generators produce structurally realistic substitutes: arithmetic
+//! blocks with long carry chains (deep critical paths), seeded random
+//! logic DAGs, and multi-stage pipelined datapaths whose per-stage depth
+//! profile is controllable so the `timber-proc` crate can shape critical-
+//! path distributions like the paper's Fig. 1.
+//!
+//! All randomness is seeded; the same spec always yields the same netlist.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cell::CellLibrary;
+use crate::error::NetlistError;
+use crate::netlist::{NetId, Netlist, NetlistBuilder};
+
+/// Builds an `n`-bit ripple-carry adder with registered inputs and
+/// outputs.
+///
+/// The carry chain gives the block a single dominant critical path of
+/// depth ~`n`, a good proxy for an execution-stage speed path.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from construction (cannot occur with the
+/// standard library).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ripple_carry_adder(library: &CellLibrary, n: usize) -> Result<Netlist, NetlistError> {
+    assert!(n > 0, "adder width must be positive");
+    let mut b = NetlistBuilder::new(format!("rca{n}"), library);
+    let mut a_bits = Vec::with_capacity(n);
+    let mut b_bits = Vec::with_capacity(n);
+    for i in 0..n {
+        let ai = b.input(&format!("a{i}"));
+        let bi = b.input(&format!("b{i}"));
+        a_bits.push(b.flop(&format!("ra{i}"), ai));
+        b_bits.push(b.flop(&format!("rb{i}"), bi));
+    }
+    let cin = b.input("cin");
+    let mut carry = b.flop("rcin", cin);
+    for i in 0..n {
+        let sum = b.gate("fa_sum", &[a_bits[i], b_bits[i], carry])?;
+        let cout = b.gate("fa_carry", &[a_bits[i], b_bits[i], carry])?;
+        let qs = b.flop(&format!("rs{i}"), sum);
+        b.output(&format!("s{i}"), qs);
+        carry = cout;
+    }
+    let qc = b.flop("rcout", carry);
+    b.output("cout", qc);
+    b.finish()
+}
+
+/// Parameters for [`random_dag`].
+#[derive(Debug, Clone)]
+pub struct RandomDagSpec {
+    /// Number of registered inputs feeding the logic cloud.
+    pub inputs: usize,
+    /// Number of registered outputs.
+    pub outputs: usize,
+    /// Number of combinational gates.
+    pub gates: usize,
+    /// How strongly gate inputs prefer recent (deep) nets over early
+    /// (shallow) ones, in `[0, 1)`. Higher values yield deeper circuits.
+    pub depth_bias: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomDagSpec {
+    fn default() -> RandomDagSpec {
+        RandomDagSpec {
+            inputs: 16,
+            outputs: 16,
+            gates: 200,
+            depth_bias: 0.7,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates a seeded random combinational DAG between an input register
+/// bank and an output register bank.
+///
+/// Gates are drawn from the 2-input subset of the standard library; each
+/// gate's fanins are sampled with a bias toward recently created nets so
+/// that `depth_bias` controls logic depth.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from construction.
+///
+/// # Panics
+///
+/// Panics if any count is zero or `depth_bias` is outside `[0, 1)`.
+pub fn random_dag(library: &CellLibrary, spec: &RandomDagSpec) -> Result<Netlist, NetlistError> {
+    assert!(spec.inputs > 0 && spec.outputs > 0 && spec.gates > 0);
+    assert!((0.0..1.0).contains(&spec.depth_bias), "depth_bias in [0,1)");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let gate_menu = ["nand2", "nor2", "and2", "or2", "xor2", "xnor2"];
+    let mut b = NetlistBuilder::new(format!("rand_dag_{}", spec.seed), library);
+
+    let mut pool: Vec<NetId> = Vec::with_capacity(spec.inputs + spec.gates);
+    for i in 0..spec.inputs {
+        let pi = b.input(&format!("in{i}"));
+        pool.push(b.flop(&format!("ri{i}"), pi));
+    }
+    for _ in 0..spec.gates {
+        let cell = gate_menu[rng.gen_range(0..gate_menu.len())];
+        let x = pick_biased(&mut rng, pool.len(), spec.depth_bias);
+        let y = pick_biased(&mut rng, pool.len(), spec.depth_bias);
+        let out = b.gate(cell, &[pool[x], pool[y]])?;
+        pool.push(out);
+    }
+    // Register the deepest nets as outputs so the critical path is observable.
+    for (i, &net) in pool.iter().rev().take(spec.outputs).enumerate() {
+        let q = b.flop(&format!("ro{i}"), net);
+        b.output(&format!("out{i}"), q);
+    }
+    b.finish()
+}
+
+/// Samples an index in `[0, len)` biased toward the end of the range.
+///
+/// With bias `p`, repeatedly keeps only the last `(1-p)` fraction of the
+/// range with probability `p`, geometrically concentrating picks near the
+/// most recently created nets.
+fn pick_biased(rng: &mut StdRng, len: usize, bias: f64) -> usize {
+    debug_assert!(len > 0);
+    let mut lo = 0usize;
+    while len - lo > 1 && rng.gen_bool(bias) {
+        lo += (len - lo) / 2;
+    }
+    rng.gen_range(lo..len)
+}
+
+/// Parameters for [`pipelined_datapath`].
+#[derive(Debug, Clone)]
+pub struct DatapathSpec {
+    /// Number of pipeline stages.
+    pub stages: usize,
+    /// Register bits per stage boundary.
+    pub width: usize,
+    /// Gates in each stage's logic cloud, one entry per stage.
+    pub stage_gates: Vec<usize>,
+    /// Depth bias for each stage's cloud (see [`RandomDagSpec`]).
+    pub stage_depth_bias: Vec<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DatapathSpec {
+    /// A uniform datapath: every stage has the same size and bias.
+    pub fn uniform(
+        stages: usize,
+        width: usize,
+        gates: usize,
+        bias: f64,
+        seed: u64,
+    ) -> DatapathSpec {
+        DatapathSpec {
+            stages,
+            width,
+            stage_gates: vec![gates; stages],
+            stage_depth_bias: vec![bias; stages],
+            seed,
+        }
+    }
+}
+
+/// Generates a multi-stage pipelined datapath: `stages + 1` register
+/// banks with a random logic cloud between consecutive banks.
+///
+/// Per-stage gate counts and depth biases let callers shape which stage
+/// boundaries terminate (and originate) deep paths — the structural knob
+/// behind the Fig. 1 reproduction.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from construction.
+///
+/// # Panics
+///
+/// Panics if `stages == 0`, `width == 0`, or the per-stage vectors do not
+/// have `stages` entries.
+pub fn pipelined_datapath(
+    library: &CellLibrary,
+    spec: &DatapathSpec,
+) -> Result<Netlist, NetlistError> {
+    assert!(spec.stages > 0 && spec.width > 0);
+    assert_eq!(
+        spec.stage_gates.len(),
+        spec.stages,
+        "one gate count per stage"
+    );
+    assert_eq!(
+        spec.stage_depth_bias.len(),
+        spec.stages,
+        "one depth bias per stage"
+    );
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let gate_menu = ["nand2", "nor2", "and2", "or2", "xor2", "aoi21"];
+    let mut b = NetlistBuilder::new(format!("datapath_{}", spec.seed), library);
+
+    // Input register bank.
+    let mut bank: Vec<NetId> = (0..spec.width)
+        .map(|i| {
+            let pi = b.input(&format!("in{i}"));
+            b.flop(&format!("r0_{i}"), pi)
+        })
+        .collect();
+
+    for stage in 0..spec.stages {
+        let mut pool = bank.clone();
+        for _ in 0..spec.stage_gates[stage] {
+            let cell = gate_menu[rng.gen_range(0..gate_menu.len())];
+            let arity = library
+                .cell(library.find(cell).expect("standard cell"))
+                .num_inputs();
+            let mut ins = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                let idx = pick_biased(&mut rng, pool.len(), spec.stage_depth_bias[stage]);
+                ins.push(pool[idx]);
+            }
+            let out = b.gate(cell, &ins)?;
+            pool.push(out);
+        }
+        // Next register bank captures the deepest `width` nets of the cloud.
+        let next: Vec<NetId> = pool
+            .iter()
+            .rev()
+            .take(spec.width)
+            .enumerate()
+            .map(|(i, &net)| b.flop(&format!("r{}_{i}", stage + 1), net))
+            .collect();
+        bank = next;
+    }
+    for (i, &q) in bank.iter().enumerate() {
+        b.output(&format!("out{i}"), q);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+
+    #[test]
+    fn rca_adds_correctly() {
+        let lib = CellLibrary::standard();
+        let nl = ripple_carry_adder(&lib, 4).unwrap();
+        let mut ev = Evaluator::new(&nl);
+        // Drive a=0b1011 (11), b=0b0110 (6), cin=1 -> 18 = 0b10010.
+        let pis = nl.primary_inputs().to_vec();
+        // Inputs are interleaved a0,b0,a1,b1,...,cin.
+        let a_val = 0b1011u32;
+        let b_val = 0b0110u32;
+        for i in 0..4 {
+            ev.set_input(pis[2 * i], (a_val >> i) & 1 == 1);
+            ev.set_input(pis[2 * i + 1], (b_val >> i) & 1 == 1);
+        }
+        ev.set_input(pis[8], true);
+        ev.settle();
+        ev.clock(); // registers capture inputs
+        ev.clock(); // output registers capture sum
+        let out = ev.outputs();
+        let mut result = 0u32;
+        for (i, &bit) in out.iter().enumerate() {
+            if bit {
+                result |= 1 << i;
+            }
+        }
+        assert_eq!(result, 11 + 6 + 1);
+    }
+
+    #[test]
+    fn rca_is_deterministic_in_structure() {
+        let lib = CellLibrary::standard();
+        let n1 = ripple_carry_adder(&lib, 8).unwrap();
+        let n2 = ripple_carry_adder(&lib, 8).unwrap();
+        assert_eq!(n1.instance_count(), n2.instance_count());
+        assert_eq!(n1.flop_count(), n2.flop_count());
+        // 8 FA cells x 2 gates.
+        assert_eq!(n1.instance_count(), 16);
+        // 8a + 8b + cin + 8 sum + cout registers.
+        assert_eq!(n1.flop_count(), 26);
+    }
+
+    #[test]
+    fn random_dag_is_seed_deterministic() {
+        let lib = CellLibrary::standard();
+        let spec = RandomDagSpec {
+            gates: 50,
+            ..RandomDagSpec::default()
+        };
+        let a = random_dag(&lib, &spec).unwrap();
+        let b = random_dag(&lib, &spec).unwrap();
+        assert_eq!(a.instance_count(), b.instance_count());
+        let cells_a: Vec<_> = a.instance_ids().map(|i| a.instance(i).cell()).collect();
+        let cells_b: Vec<_> = b.instance_ids().map(|i| b.instance(i).cell()).collect();
+        assert_eq!(cells_a, cells_b);
+    }
+
+    #[test]
+    fn random_dag_seed_changes_structure() {
+        let lib = CellLibrary::standard();
+        let s1 = RandomDagSpec {
+            seed: 1,
+            ..RandomDagSpec::default()
+        };
+        let s2 = RandomDagSpec {
+            seed: 2,
+            ..RandomDagSpec::default()
+        };
+        let a = random_dag(&lib, &s1).unwrap();
+        let b = random_dag(&lib, &s2).unwrap();
+        let cells_a: Vec<_> = a.instance_ids().map(|i| a.instance(i).cell()).collect();
+        let cells_b: Vec<_> = b.instance_ids().map(|i| b.instance(i).cell()).collect();
+        assert_ne!(cells_a, cells_b);
+    }
+
+    #[test]
+    fn datapath_has_expected_register_banks() {
+        let lib = CellLibrary::standard();
+        let spec = DatapathSpec::uniform(3, 8, 60, 0.6, 7);
+        let nl = pipelined_datapath(&lib, &spec).unwrap();
+        // 4 banks x 8 bits.
+        assert_eq!(nl.flop_count(), 32);
+        assert_eq!(nl.instance_count(), 180);
+        assert_eq!(nl.primary_outputs().len(), 8);
+    }
+
+    #[test]
+    fn datapath_depth_bias_monotonically_deepens() {
+        let lib = CellLibrary::standard();
+        let shallow = pipelined_datapath(&lib, &DatapathSpec::uniform(1, 8, 150, 0.1, 3)).unwrap();
+        let deep = pipelined_datapath(&lib, &DatapathSpec::uniform(1, 8, 150, 0.9, 3)).unwrap();
+        let max_level = |nl: &Netlist| {
+            crate::graph::levelize(nl)
+                .unwrap()
+                .into_iter()
+                .max()
+                .unwrap_or(0)
+        };
+        assert!(
+            max_level(&deep) > max_level(&shallow),
+            "higher bias must produce deeper logic ({} vs {})",
+            max_level(&deep),
+            max_level(&shallow)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one gate count per stage")]
+    fn datapath_spec_validated() {
+        let lib = CellLibrary::standard();
+        let spec = DatapathSpec {
+            stages: 2,
+            width: 4,
+            stage_gates: vec![10],
+            stage_depth_bias: vec![0.5, 0.5],
+            seed: 0,
+        };
+        let _ = pipelined_datapath(&lib, &spec);
+    }
+}

@@ -1,0 +1,253 @@
+//! Graph utilities over a [`Netlist`]: topological ordering, levelization
+//! and cone extraction.
+//!
+//! Sequential elements (flip-flops) cut the graph: a flop's Q output is a
+//! timing *startpoint* and its D input a timing *endpoint*, so traversals
+//! here never cross a flop. This matches how the paper reasons about
+//! per-stage critical paths and multi-stage error propagation.
+
+use std::collections::VecDeque;
+
+use crate::error::NetlistError;
+use crate::netlist::{Driver, FlopId, InstId, NetId, Netlist, Sink};
+
+/// Returns combinational instances in topological order (fanin before
+/// fanout).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalLoop`] if the combinational logic
+/// contains a cycle.
+pub fn topo_order(netlist: &Netlist) -> Result<Vec<InstId>, NetlistError> {
+    let n = netlist.instance_count();
+    // In-degree counts only edges coming from other combinational
+    // instances; primary inputs and flop Q pins are sources.
+    let mut indegree = vec![0usize; n];
+    for inst_id in netlist.instance_ids() {
+        for &input in netlist.instance(inst_id).inputs() {
+            if let Some(Driver::Instance(_)) = netlist.net(input).driver() {
+                indegree[inst_id.0 as usize] += 1;
+            }
+        }
+    }
+    let mut queue: VecDeque<InstId> = (0..n as u32)
+        .map(InstId)
+        .filter(|i| indegree[i.0 as usize] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(inst) = queue.pop_front() {
+        order.push(inst);
+        for sink in netlist.net(netlist.instance(inst).output()).fanout() {
+            if let Sink::InstancePin(succ, _) = *sink {
+                let d = &mut indegree[succ.0 as usize];
+                *d -= 1;
+                if *d == 0 {
+                    queue.push_back(succ);
+                }
+            }
+        }
+    }
+    if order.len() != n {
+        // Find a net on the cycle for the error message.
+        let on_cycle = (0..n)
+            .find(|&i| indegree[i] > 0)
+            .map(|i| {
+                netlist
+                    .net(netlist.instance(InstId(i as u32)).output())
+                    .name()
+                    .to_owned()
+            })
+            .unwrap_or_default();
+        return Err(NetlistError::CombinationalLoop(on_cycle));
+    }
+    Ok(order)
+}
+
+/// Assigns each combinational instance a logic level: sources (fed only
+/// by primary inputs / flop outputs) are level 0; otherwise
+/// `1 + max(level of combinational fanins)`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalLoop`] if the logic is cyclic.
+pub fn levelize(netlist: &Netlist) -> Result<Vec<usize>, NetlistError> {
+    let order = topo_order(netlist)?;
+    let mut level = vec![0usize; netlist.instance_count()];
+    for inst in order {
+        let mut max_in = None;
+        for &input in netlist.instance(inst).inputs() {
+            if let Some(Driver::Instance(pred)) = netlist.net(input).driver() {
+                max_in = Some(max_in.unwrap_or(0).max(level[pred.0 as usize] + 1));
+            }
+        }
+        level[inst.0 as usize] = max_in.unwrap_or(0);
+    }
+    Ok(level)
+}
+
+/// The set of flip-flops in the combinational fanin cone of flop `end`'s
+/// D input, i.e. the flops whose Q can reach `end.d` without crossing
+/// another flop.
+///
+/// This is exactly the set of TIMBER flip-flops whose error-relay select
+/// outputs must be consolidated at `end` (paper §5.1, Fig. 4).
+pub fn fanin_cone(netlist: &Netlist, end: FlopId) -> Vec<FlopId> {
+    let mut seen_net = vec![false; netlist.net_count()];
+    let mut result = Vec::new();
+    let mut stack = vec![netlist.flop(end).d()];
+    while let Some(net) = stack.pop() {
+        if std::mem::replace(&mut seen_net[net.0 as usize], true) {
+            continue;
+        }
+        match netlist.net(net).driver() {
+            Some(Driver::FlopQ(flop)) => result.push(flop),
+            Some(Driver::Instance(inst)) => {
+                stack.extend(netlist.instance(inst).inputs().iter().copied());
+            }
+            Some(Driver::PrimaryInput) | None => {}
+        }
+    }
+    result.sort();
+    result.dedup();
+    result
+}
+
+/// The set of flip-flops in the combinational fanout cone of flop
+/// `start`'s Q output: flops whose D is reachable from `start.q` without
+/// crossing another flop.
+pub fn fanout_cone(netlist: &Netlist, start: FlopId) -> Vec<FlopId> {
+    let mut seen_net = vec![false; netlist.net_count()];
+    let mut result = Vec::new();
+    let mut stack = vec![netlist.flop(start).q()];
+    while let Some(net) = stack.pop() {
+        if std::mem::replace(&mut seen_net[net.0 as usize], true) {
+            continue;
+        }
+        for sink in netlist.net(net).fanout() {
+            match *sink {
+                Sink::FlopD(flop) => result.push(flop),
+                Sink::InstancePin(inst, _) => {
+                    stack.push(netlist.instance(inst).output());
+                }
+                Sink::PrimaryOutput => {}
+            }
+        }
+    }
+    result.sort();
+    result.dedup();
+    result
+}
+
+/// Transitive combinational fanin of a net, returned as `(instances,
+/// nets)` reachable backwards from `from` without crossing flops.
+pub fn transitive_fanin(netlist: &Netlist, from: NetId) -> (Vec<InstId>, Vec<NetId>) {
+    let mut seen_net = vec![false; netlist.net_count()];
+    let mut insts = Vec::new();
+    let mut nets = Vec::new();
+    let mut stack = vec![from];
+    while let Some(net) = stack.pop() {
+        if std::mem::replace(&mut seen_net[net.0 as usize], true) {
+            continue;
+        }
+        nets.push(net);
+        if let Some(Driver::Instance(inst)) = netlist.net(net).driver() {
+            insts.push(inst);
+            stack.extend(netlist.instance(inst).inputs().iter().copied());
+        }
+    }
+    insts.sort();
+    insts.dedup();
+    nets.sort();
+    nets.dedup();
+    (insts, nets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellLibrary;
+    use crate::netlist::NetlistBuilder;
+
+    /// Two-stage pipeline:
+    ///   a -> inv -> f0 -> inv -> f1 -> out
+    ///   b ----------^ (via nand with inv output)
+    fn two_stage() -> Netlist {
+        let lib = CellLibrary::standard();
+        let mut b = NetlistBuilder::new("two_stage", &lib);
+        let a = b.input("a");
+        let bb = b.input("b");
+        let x = b.gate("inv", &[a]).unwrap();
+        let y = b.gate("nand2", &[x, bb]).unwrap();
+        let q0 = b.flop("f0", y);
+        let z = b.gate("inv", &[q0]).unwrap();
+        let q1 = b.flop("f1", z);
+        b.output("out", q1);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let nl = two_stage();
+        let order = topo_order(&nl).unwrap();
+        assert_eq!(order.len(), nl.instance_count());
+        let pos: Vec<usize> = {
+            let mut p = vec![0; order.len()];
+            for (i, inst) in order.iter().enumerate() {
+                p[inst.0 as usize] = i;
+            }
+            p
+        };
+        // inv(u0) feeds nand2(u1): u0 must come first.
+        assert!(pos[0] < pos[1]);
+    }
+
+    #[test]
+    fn levelize_assigns_increasing_levels() {
+        let nl = two_stage();
+        let levels = levelize(&nl).unwrap();
+        assert_eq!(levels[0], 0); // inv fed by PI
+        assert_eq!(levels[1], 1); // nand fed by inv
+        assert_eq!(levels[2], 0); // stage-2 inv fed by flop Q
+    }
+
+    #[test]
+    fn fanin_cone_stops_at_flops() {
+        let nl = two_stage();
+        // f1's D comes from inv(q0): cone = {f0}.
+        assert_eq!(fanin_cone(&nl, FlopId(1)), vec![FlopId(0)]);
+        // f0's D comes only from primary inputs: empty cone.
+        assert!(fanin_cone(&nl, FlopId(0)).is_empty());
+    }
+
+    #[test]
+    fn fanout_cone_stops_at_flops() {
+        let nl = two_stage();
+        assert_eq!(fanout_cone(&nl, FlopId(0)), vec![FlopId(1)]);
+        assert!(fanout_cone(&nl, FlopId(1)).is_empty());
+    }
+
+    #[test]
+    fn transitive_fanin_collects_logic() {
+        let nl = two_stage();
+        let d0 = nl.flop(FlopId(0)).d();
+        let (insts, nets) = transitive_fanin(&nl, d0);
+        assert_eq!(insts.len(), 2); // inv + nand2
+        assert!(nets.len() >= 3);
+    }
+
+    #[test]
+    fn diamond_reconvergence_counted_once() {
+        let lib = CellLibrary::standard();
+        let mut b = NetlistBuilder::new("diamond", &lib);
+        let a = b.input("a");
+        let q0 = b.flop("src", a);
+        let l = b.gate("inv", &[q0]).unwrap();
+        let r = b.gate("buf", &[q0]).unwrap();
+        let m = b.gate("nand2", &[l, r]).unwrap();
+        let q1 = b.flop("dst", m);
+        b.output("o", q1);
+        let nl = b.finish().unwrap();
+        assert_eq!(fanin_cone(&nl, FlopId(1)), vec![FlopId(0)]);
+        assert_eq!(fanout_cone(&nl, FlopId(0)), vec![FlopId(1)]);
+    }
+}

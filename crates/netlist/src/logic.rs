@@ -1,0 +1,298 @@
+//! Boolean functions of up to six inputs, represented as truth tables.
+//!
+//! A [`LogicFn`] packs the output column of a truth table into a `u64`:
+//! bit `i` holds the output for the input assignment whose binary encoding
+//! is `i` (input 0 is the least significant bit). Six inputs suffice for
+//! every cell in the standard library; wider functions are built
+//! structurally from gates.
+
+use std::fmt;
+
+/// Maximum number of inputs a [`LogicFn`] can describe.
+pub const MAX_INPUTS: usize = 6;
+
+/// A boolean function of `arity` inputs stored as a truth table.
+///
+/// # Example
+///
+/// ```
+/// use timber_netlist::LogicFn;
+///
+/// let nand = LogicFn::nand(2);
+/// assert!(nand.eval(&[false, false]));
+/// assert!(nand.eval(&[true, false]));
+/// assert!(!nand.eval(&[true, true]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LogicFn {
+    arity: u8,
+    table: u64,
+}
+
+impl LogicFn {
+    /// Builds a function from an explicit truth table.
+    ///
+    /// Bit `i` of `table` is the output for input assignment `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity > 6` or if `table` has bits set beyond the
+    /// `2^arity` meaningful positions.
+    pub fn from_table(arity: usize, table: u64) -> LogicFn {
+        assert!(arity <= MAX_INPUTS, "LogicFn supports at most 6 inputs");
+        let rows = 1u64 << arity;
+        if rows < 64 {
+            assert_eq!(table >> rows, 0, "truth table has bits beyond 2^arity rows");
+        }
+        LogicFn {
+            arity: arity as u8,
+            table,
+        }
+    }
+
+    /// Builds a function by evaluating a closure on every input row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity > 6`.
+    pub fn from_fn(arity: usize, f: impl Fn(&[bool]) -> bool) -> LogicFn {
+        assert!(arity <= MAX_INPUTS, "LogicFn supports at most 6 inputs");
+        let mut table = 0u64;
+        let mut row_inputs = [false; MAX_INPUTS];
+        for row in 0..(1u64 << arity) {
+            for (bit, slot) in row_inputs.iter_mut().enumerate().take(arity) {
+                *slot = (row >> bit) & 1 == 1;
+            }
+            if f(&row_inputs[..arity]) {
+                table |= 1 << row;
+            }
+        }
+        LogicFn {
+            arity: arity as u8,
+            table,
+        }
+    }
+
+    /// The constant-0 function of the given arity.
+    pub fn constant(arity: usize, value: bool) -> LogicFn {
+        LogicFn::from_fn(arity, |_| value)
+    }
+
+    /// Identity buffer (1 input).
+    pub fn buffer() -> LogicFn {
+        LogicFn::from_table(1, 0b10)
+    }
+
+    /// Inverter (1 input).
+    pub fn inverter() -> LogicFn {
+        LogicFn::from_table(1, 0b01)
+    }
+
+    /// N-input AND.
+    pub fn and(arity: usize) -> LogicFn {
+        LogicFn::from_fn(arity, |v| v.iter().all(|&b| b))
+    }
+
+    /// N-input OR.
+    pub fn or(arity: usize) -> LogicFn {
+        LogicFn::from_fn(arity, |v| v.iter().any(|&b| b))
+    }
+
+    /// N-input NAND.
+    pub fn nand(arity: usize) -> LogicFn {
+        LogicFn::from_fn(arity, |v| !v.iter().all(|&b| b))
+    }
+
+    /// N-input NOR.
+    pub fn nor(arity: usize) -> LogicFn {
+        LogicFn::from_fn(arity, |v| !v.iter().any(|&b| b))
+    }
+
+    /// N-input XOR (odd parity).
+    pub fn xor(arity: usize) -> LogicFn {
+        LogicFn::from_fn(arity, |v| v.iter().filter(|&&b| b).count() % 2 == 1)
+    }
+
+    /// N-input XNOR (even parity).
+    pub fn xnor(arity: usize) -> LogicFn {
+        LogicFn::from_fn(arity, |v| v.iter().filter(|&&b| b).count() % 2 == 0)
+    }
+
+    /// 2:1 multiplexer; inputs are `[a, b, sel]`, output is `a` when
+    /// `sel` is false and `b` when `sel` is true.
+    pub fn mux2() -> LogicFn {
+        LogicFn::from_fn(3, |v| if v[2] { v[1] } else { v[0] })
+    }
+
+    /// AND-OR-INVERT 2-1: `!((a & b) | c)` with inputs `[a, b, c]`.
+    pub fn aoi21() -> LogicFn {
+        LogicFn::from_fn(3, |v| !((v[0] && v[1]) || v[2]))
+    }
+
+    /// OR-AND-INVERT 2-1: `!((a | b) & c)` with inputs `[a, b, c]`.
+    pub fn oai21() -> LogicFn {
+        LogicFn::from_fn(3, |v| !((v[0] || v[1]) && v[2]))
+    }
+
+    /// Full-adder sum: `a ^ b ^ cin` with inputs `[a, b, cin]`.
+    pub fn fa_sum() -> LogicFn {
+        LogicFn::xor(3)
+    }
+
+    /// Full-adder carry: majority of `[a, b, cin]`.
+    pub fn fa_carry() -> LogicFn {
+        LogicFn::from_fn(3, |v| (v[0] as u8 + v[1] as u8 + v[2] as u8) >= 2)
+    }
+
+    /// Number of inputs.
+    pub fn arity(&self) -> usize {
+        self.arity as usize
+    }
+
+    /// Raw truth table (bit `i` = output for input row `i`).
+    pub fn table(&self) -> u64 {
+        self.table
+    }
+
+    /// Evaluates the function on a slice of input values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()`.
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        assert_eq!(
+            inputs.len(),
+            self.arity(),
+            "input count must match function arity"
+        );
+        let mut row = 0u64;
+        for (bit, &value) in inputs.iter().enumerate() {
+            if value {
+                row |= 1 << bit;
+            }
+        }
+        (self.table >> row) & 1 == 1
+    }
+
+    /// True when flipping input `index` can change the output for at
+    /// least one assignment of the other inputs (the input is not a
+    /// don't-care).
+    pub fn depends_on(&self, index: usize) -> bool {
+        assert!(index < self.arity(), "input index out of range");
+        let rows = 1u64 << self.arity;
+        for row in 0..rows {
+            let sibling = row ^ (1 << index);
+            if (self.table >> row) & 1 != (self.table >> sibling) & 1 {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for LogicFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn/{}:{:#x}", self.arity, self.table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_gates_match_expectations() {
+        let and2 = LogicFn::and(2);
+        assert!(!and2.eval(&[false, false]));
+        assert!(!and2.eval(&[true, false]));
+        assert!(and2.eval(&[true, true]));
+
+        let nor2 = LogicFn::nor(2);
+        assert!(nor2.eval(&[false, false]));
+        assert!(!nor2.eval(&[true, false]));
+
+        let xor3 = LogicFn::xor(3);
+        assert!(xor3.eval(&[true, false, false]));
+        assert!(!xor3.eval(&[true, true, false]));
+        assert!(xor3.eval(&[true, true, true]));
+    }
+
+    #[test]
+    fn mux2_selects_correct_input() {
+        let m = LogicFn::mux2();
+        assert!(m.eval(&[true, false, false])); // sel=0 -> a
+        assert!(!m.eval(&[true, false, true])); // sel=1 -> b
+        assert!(m.eval(&[false, true, true]));
+    }
+
+    #[test]
+    fn aoi_oai_match_formula() {
+        let aoi = LogicFn::aoi21();
+        let oai = LogicFn::oai21();
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    assert_eq!(aoi.eval(&[a, b, c]), !((a && b) || c));
+                    assert_eq!(oai.eval(&[a, b, c]), !((a || b) && c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let s = LogicFn::fa_sum();
+        let c = LogicFn::fa_carry();
+        for a in [false, true] {
+            for b in [false, true] {
+                for cin in [false, true] {
+                    let total = a as u8 + b as u8 + cin as u8;
+                    assert_eq!(s.eval(&[a, b, cin]), total % 2 == 1);
+                    assert_eq!(c.eval(&[a, b, cin]), total >= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depends_on_detects_dont_cares() {
+        // f(a, b) = a: output ignores b.
+        let f = LogicFn::from_fn(2, |v| v[0]);
+        assert!(f.depends_on(0));
+        assert!(!f.depends_on(1));
+        let k = LogicFn::constant(2, true);
+        assert!(!k.depends_on(0));
+        assert!(!k.depends_on(1));
+    }
+
+    #[test]
+    fn inverter_and_buffer() {
+        assert!(LogicFn::inverter().eval(&[false]));
+        assert!(!LogicFn::inverter().eval(&[true]));
+        assert!(LogicFn::buffer().eval(&[true]));
+        assert!(!LogicFn::buffer().eval(&[false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 6 inputs")]
+    fn arity_limit_enforced() {
+        let _ = LogicFn::and(7);
+    }
+
+    #[test]
+    #[should_panic(expected = "input count must match")]
+    fn eval_checks_input_count() {
+        LogicFn::and(2).eval(&[true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits beyond")]
+    fn from_table_rejects_excess_bits() {
+        let _ = LogicFn::from_table(1, 0b100);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!LogicFn::and(2).to_string().is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! Design statistics: cell-type census, area/power totals and depth
+//! summaries used by reports and the overhead model.
+
+use std::collections::BTreeMap;
+
+use crate::netlist::Netlist;
+use crate::units::Area;
+
+/// A summary of one netlist's composition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Instance count per cell type, sorted by cell name.
+    pub cell_census: BTreeMap<String, usize>,
+    /// Combinational instances.
+    pub instances: usize,
+    /// Flip-flops.
+    pub flops: usize,
+    /// Nets.
+    pub nets: usize,
+    /// Total combinational area.
+    pub combinational_area: Area,
+    /// Total static leakage of combinational cells (relative units).
+    pub leakage: f64,
+    /// Maximum logic depth (levels).
+    pub max_depth: usize,
+    /// Mean fanout of instance-driven nets.
+    pub mean_fanout: f64,
+}
+
+impl NetlistStats {
+    /// Measures a netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains a combinational loop (validated
+    /// netlists never do).
+    pub fn measure(netlist: &Netlist) -> NetlistStats {
+        let mut census: BTreeMap<String, usize> = BTreeMap::new();
+        let mut leakage = 0.0;
+        let mut fanout_total = 0usize;
+        for inst_id in netlist.instance_ids() {
+            let inst = netlist.instance(inst_id);
+            let cell = netlist.library().cell(inst.cell());
+            *census.entry(cell.name().to_owned()).or_insert(0) += 1;
+            leakage += cell.leakage();
+            fanout_total += netlist.net(inst.output()).fanout().len();
+        }
+        let max_depth = crate::graph::levelize(netlist)
+            .expect("validated netlist is acyclic")
+            .into_iter()
+            .max()
+            .map(|d| d + 1)
+            .unwrap_or(0);
+        let instances = netlist.instance_count();
+        NetlistStats {
+            cell_census: census,
+            instances,
+            flops: netlist.flop_count(),
+            nets: netlist.net_count(),
+            combinational_area: netlist.combinational_area(),
+            leakage,
+            max_depth,
+            mean_fanout: if instances == 0 {
+                0.0
+            } else {
+                fanout_total as f64 / instances as f64
+            },
+        }
+    }
+
+    /// Renders a one-design summary block.
+    pub fn render(&self, name: &str) -> String {
+        let mut out = format!(
+            "{name}: {} gates, {} flops, {} nets, area {}, depth {}, mean fanout {:.2}\n",
+            self.instances,
+            self.flops,
+            self.nets,
+            self.combinational_area,
+            self.max_depth,
+            self.mean_fanout
+        );
+        for (cell, count) in &self.cell_census {
+            out.push_str(&format!("  {cell:<10} x{count}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellLibrary;
+    use crate::gen::ripple_carry_adder;
+    use crate::netlist::NetlistBuilder;
+
+    #[test]
+    fn census_counts_every_instance() {
+        let lib = CellLibrary::standard();
+        let nl = ripple_carry_adder(&lib, 4).unwrap();
+        let stats = NetlistStats::measure(&nl);
+        assert_eq!(stats.cell_census["fa_sum"], 4);
+        assert_eq!(stats.cell_census["fa_carry"], 4);
+        assert_eq!(stats.instances, 8);
+        assert_eq!(stats.cell_census.values().sum::<usize>(), stats.instances);
+        assert_eq!(stats.flops, nl.flop_count());
+        assert!(stats.leakage > 0.0);
+        assert!(stats.combinational_area.0 > 0.0);
+    }
+
+    #[test]
+    fn depth_counts_levels_inclusively() {
+        let lib = CellLibrary::standard();
+        let mut b = NetlistBuilder::new("chain3", &lib);
+        let a = b.input("a");
+        let x = b.gate("inv", &[a]).unwrap();
+        let y = b.gate("inv", &[x]).unwrap();
+        let z = b.gate("inv", &[y]).unwrap();
+        b.output("z", z);
+        let nl = b.finish().unwrap();
+        let stats = NetlistStats::measure(&nl);
+        assert_eq!(stats.max_depth, 3);
+    }
+
+    #[test]
+    fn mean_fanout_counts_sinks() {
+        let lib = CellLibrary::standard();
+        let mut b = NetlistBuilder::new("fan", &lib);
+        let a = b.input("a");
+        let x = b.gate("inv", &[a]).unwrap();
+        // x fans out to 3 sinks.
+        let p = b.gate("buf", &[x]).unwrap();
+        let q = b.gate("inv", &[x]).unwrap();
+        b.output("x", x);
+        b.output("p", p);
+        b.output("q", q);
+        let nl = b.finish().unwrap();
+        let stats = NetlistStats::measure(&nl);
+        // inv(x): 3 sinks; buf(p): 1 sink (PO); inv(q): 1 sink (PO).
+        assert!((stats.mean_fanout - 5.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_lists_cells() {
+        let lib = CellLibrary::standard();
+        let nl = ripple_carry_adder(&lib, 2).unwrap();
+        let text = NetlistStats::measure(&nl).render("rca2");
+        assert!(text.contains("rca2:"));
+        assert!(text.contains("fa_sum"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Structural Verilog export.
+//!
+//! Writes a gate-level netlist as a single synthesizable Verilog
+//! module: one instance per combinational cell (named after the library
+//! cell), one `timber_dff` instance per flip-flop, with sanitised net
+//! names. This lets generated designs flow into external tools (or a
+//! real synthesis run) for independent cross-checking.
+
+use std::fmt::Write as _;
+
+use crate::netlist::{Driver, Netlist};
+
+/// Sanitises a net/instance name into a Verilog identifier.
+fn ident(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    if out
+        .chars()
+        .next()
+        .map(|c| c.is_ascii_digit())
+        .unwrap_or(true)
+    {
+        out.insert(0, 'n');
+    }
+    out
+}
+
+/// Serialises a netlist as structural Verilog.
+///
+/// The module is named after the design; cells are instantiated by
+/// their library name with positional ports `(out, in0, in1, …)`;
+/// flip-flops instantiate `timber_dff(q, d, clk)`.
+///
+/// # Example
+///
+/// ```
+/// use timber_netlist::{ripple_carry_adder, verilog, CellLibrary};
+///
+/// # fn main() -> Result<(), timber_netlist::NetlistError> {
+/// let lib = CellLibrary::standard();
+/// let nl = ripple_carry_adder(&lib, 2)?;
+/// let v = verilog::to_verilog(&nl);
+/// assert!(v.contains("module rca2"));
+/// assert!(v.contains("timber_dff"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_verilog(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let module = ident(netlist.name());
+
+    // Port list: primary inputs, primary outputs, clock.
+    let inputs: Vec<String> = netlist
+        .primary_inputs()
+        .iter()
+        .map(|&n| ident(netlist.net(n).name()))
+        .collect();
+    let outputs: Vec<String> = netlist
+        .primary_outputs()
+        .iter()
+        .map(|(name, _)| ident(name))
+        .collect();
+    let mut ports = vec!["clk".to_owned()];
+    ports.extend(inputs.iter().cloned());
+    ports.extend(outputs.iter().cloned());
+    let _ = writeln!(out, "module {module} ({});", ports.join(", "));
+    let _ = writeln!(out, "  input clk;");
+    for i in &inputs {
+        let _ = writeln!(out, "  input {i};");
+    }
+    for o in &outputs {
+        let _ = writeln!(out, "  output {o};");
+    }
+
+    // Wire declarations for all internal nets.
+    for net_id in netlist.net_ids() {
+        let name = ident(netlist.net(net_id).name());
+        if !inputs.contains(&name) {
+            let _ = writeln!(out, "  wire {name};");
+        }
+    }
+
+    // Combinational instances.
+    for inst_id in netlist.instance_ids() {
+        let inst = netlist.instance(inst_id);
+        let cell = netlist.library().cell(inst.cell());
+        let mut pins = vec![ident(netlist.net(inst.output()).name())];
+        pins.extend(
+            inst.inputs()
+                .iter()
+                .map(|&n| ident(netlist.net(n).name())),
+        );
+        let _ = writeln!(
+            out,
+            "  {} {} ({});",
+            cell.name(),
+            ident(inst.name()),
+            pins.join(", ")
+        );
+    }
+
+    // Sequential elements.
+    for flop_id in netlist.flop_ids() {
+        let flop = netlist.flop(flop_id);
+        let _ = writeln!(
+            out,
+            "  timber_dff {} ({}, {}, clk);",
+            ident(flop.name()),
+            ident(netlist.net(flop.q()).name()),
+            ident(netlist.net(flop.d()).name()),
+        );
+    }
+
+    // Output assigns.
+    for (name, net) in netlist.primary_outputs() {
+        let port = ident(name);
+        let src = ident(netlist.net(*net).name());
+        if port != src {
+            let _ = writeln!(out, "  assign {port} = {src};");
+        }
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+/// Returns true when the net is a primary input (used by the writer to
+/// skip re-declaring ports as wires).
+#[allow(dead_code)]
+fn is_primary_input(netlist: &Netlist, net: crate::netlist::NetId) -> bool {
+    matches!(netlist.net(net).driver(), Some(Driver::PrimaryInput))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellLibrary;
+    use crate::gen::ripple_carry_adder;
+    use crate::netlist::NetlistBuilder;
+
+    #[test]
+    fn ident_sanitises_names() {
+        assert_eq!(ident("a"), "a");
+        assert_eq!(ident("nand2_3$1"), "nand2_3_1");
+        assert_eq!(ident("0bad"), "n0bad");
+        assert_eq!(ident(""), "n");
+    }
+
+    #[test]
+    fn module_structure_is_complete() {
+        let lib = CellLibrary::standard();
+        let nl = ripple_carry_adder(&lib, 4).unwrap();
+        let v = to_verilog(&nl);
+        assert!(v.starts_with("module rca4 (clk, "));
+        assert!(v.trim_end().ends_with("endmodule"));
+        // One instantiation line per gate and flop.
+        assert_eq!(v.matches("fa_sum ").count(), 4);
+        assert_eq!(v.matches("fa_carry ").count(), 4);
+        assert_eq!(v.matches("timber_dff ").count(), nl.flop_count());
+        // Ports declared.
+        assert!(v.contains("  input a0;"));
+        assert!(v.contains("  output s3;"));
+        assert!(v.contains("  input clk;"));
+    }
+
+    #[test]
+    fn output_assigns_connect_ports() {
+        let lib = CellLibrary::standard();
+        let mut b = NetlistBuilder::new("t", &lib);
+        let a = b.input("a");
+        let y = b.gate("inv", &[a]).unwrap();
+        b.output("yout", y);
+        let nl = b.finish().unwrap();
+        let v = to_verilog(&nl);
+        assert!(v.contains("assign yout = "), "{v}");
+        assert!(v.contains("inv u0 ("));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let lib = CellLibrary::standard();
+        let a = to_verilog(&ripple_carry_adder(&lib, 3).unwrap());
+        let b = to_verilog(&ripple_carry_adder(&lib, 3).unwrap());
+        assert_eq!(a, b);
+    }
+}

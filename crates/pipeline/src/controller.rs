@@ -1,0 +1,158 @@
+//! Central error control unit: error consolidation and temporary
+//! frequency reduction.
+//!
+//! In TIMBER (paper §4), flagged error signals from all sequential
+//! elements are consolidated through an OR-tree; the error is latched on
+//! the *falling* clock edge, buying half a cycle, and with `k_ed` ED
+//! intervals the consolidation may take up to `k_ed - 1 + 0.5` cycles
+//! before the controller must have reduced the clock frequency. The
+//! controller here models that latency and applies a bounded, temporary
+//! slowdown.
+
+use timber_netlist::Picos;
+
+/// Frequency-reduction controller.
+#[derive(Debug, Clone)]
+pub struct FrequencyController {
+    nominal_period: Picos,
+    /// Extra period applied while slowed (e.g. 0.10 = 10% slower clock).
+    slowdown_factor: f64,
+    /// How long a slowdown episode lasts, in cycles.
+    slowdown_window: u64,
+    /// Consolidation latency in cycles from flag to actuation.
+    latency_cycles: u64,
+    /// Cycle at which the pending flag actuates (if any).
+    pending_until: Option<u64>,
+    /// Cycle at which the current slowdown episode ends (if any).
+    slow_until: Option<u64>,
+    /// Number of slowdown episodes started.
+    episodes: u64,
+}
+
+impl FrequencyController {
+    /// Creates a controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slowdown_factor` is negative or `slowdown_window` is
+    /// zero.
+    pub fn new(
+        nominal_period: Picos,
+        slowdown_factor: f64,
+        slowdown_window: u64,
+        latency_cycles: u64,
+    ) -> FrequencyController {
+        assert!(
+            slowdown_factor >= 0.0,
+            "slowdown factor must be non-negative"
+        );
+        assert!(slowdown_window > 0, "slowdown window must be positive");
+        FrequencyController {
+            nominal_period,
+            slowdown_factor,
+            slowdown_window,
+            latency_cycles,
+            pending_until: None,
+            slow_until: None,
+            episodes: 0,
+        }
+    }
+
+    /// Records a flagged error at `cycle`; actuation happens after the
+    /// consolidation latency.
+    pub fn flag_error(&mut self, cycle: u64) {
+        let actuate = cycle + self.latency_cycles;
+        match self.pending_until {
+            Some(existing) if existing <= actuate => {}
+            _ => self.pending_until = Some(actuate),
+        }
+    }
+
+    /// Advances to `cycle` and returns the clock period in force.
+    pub fn period_at(&mut self, cycle: u64) -> Picos {
+        if let Some(actuate) = self.pending_until {
+            if cycle >= actuate {
+                self.pending_until = None;
+                self.slow_until = Some(cycle + self.slowdown_window);
+                self.episodes += 1;
+            }
+        }
+        if let Some(until) = self.slow_until {
+            if cycle < until {
+                return self.nominal_period.scale(1.0 + self.slowdown_factor);
+            }
+            self.slow_until = None;
+        }
+        self.nominal_period
+    }
+
+    /// True while the clock is currently slowed.
+    pub fn is_slowed(&self) -> bool {
+        self.slow_until.is_some()
+    }
+
+    /// Number of slowdown episodes started so far.
+    pub fn episodes(&self) -> u64 {
+        self.episodes
+    }
+
+    /// Clears all pending state.
+    pub fn reset(&mut self) {
+        self.pending_until = None;
+        self.slow_until = None;
+        self.episodes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_until_flagged() {
+        let mut c = FrequencyController::new(Picos(1000), 0.1, 100, 2);
+        assert_eq!(c.period_at(0), Picos(1000));
+        c.flag_error(10);
+        // Latency of 2 cycles: still nominal at 11.
+        assert_eq!(c.period_at(11), Picos(1000));
+        assert_eq!(c.period_at(12), Picos(1100));
+        assert!(c.is_slowed());
+        assert_eq!(c.episodes(), 1);
+    }
+
+    #[test]
+    fn slowdown_expires() {
+        let mut c = FrequencyController::new(Picos(1000), 0.1, 50, 0);
+        c.flag_error(0);
+        assert_eq!(c.period_at(0), Picos(1100));
+        assert_eq!(c.period_at(49), Picos(1100));
+        assert_eq!(c.period_at(50), Picos(1000));
+        assert!(!c.is_slowed());
+    }
+
+    #[test]
+    fn repeated_flags_do_not_stack() {
+        let mut c = FrequencyController::new(Picos(1000), 0.2, 10, 1);
+        c.flag_error(0);
+        c.flag_error(0);
+        c.flag_error(1);
+        assert_eq!(c.period_at(1), Picos(1200));
+        assert_eq!(c.episodes(), 1);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = FrequencyController::new(Picos(1000), 0.1, 10, 0);
+        c.flag_error(5);
+        let _ = c.period_at(5);
+        c.reset();
+        assert_eq!(c.period_at(6), Picos(1000));
+        assert_eq!(c.episodes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown window must be positive")]
+    fn window_validated() {
+        let _ = FrequencyController::new(Picos(1000), 0.1, 0, 0);
+    }
+}

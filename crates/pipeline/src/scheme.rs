@@ -1,0 +1,148 @@
+//! The resilience-scheme abstraction every sequential element implements.
+
+use timber_netlist::Picos;
+
+/// Per-cycle context handed to a scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleContext {
+    /// Current cycle number.
+    pub cycle: u64,
+    /// Current clock period (may be temporarily increased by the
+    /// central controller).
+    pub period: Picos,
+    /// Nominal (design) clock period.
+    pub nominal_period: Picos,
+}
+
+/// Recovery action demanded by a detection-based scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recovery {
+    /// Local instruction replay (Razor-style): the errant instruction
+    /// re-executes, costing `penalty_cycles` bubbles.
+    Replay {
+        /// Pipeline bubbles injected.
+        penalty_cycles: u32,
+    },
+    /// Architectural rollback to a checkpoint (multiple-issue recovery).
+    Rollback {
+        /// Pipeline bubbles injected.
+        penalty_cycles: u32,
+    },
+    /// Global one-cycle clock stall (TDTB-style error masking at the
+    /// system level).
+    Stall {
+        /// Pipeline bubbles injected.
+        penalty_cycles: u32,
+    },
+}
+
+impl Recovery {
+    /// Bubbles this recovery injects.
+    pub fn penalty_cycles(&self) -> u32 {
+        match *self {
+            Recovery::Replay { penalty_cycles }
+            | Recovery::Rollback { penalty_cycles }
+            | Recovery::Stall { penalty_cycles } => penalty_cycles,
+        }
+    }
+}
+
+/// Outcome of one stage-boundary evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageOutcome {
+    /// Data arrived before the capturing edge: nothing happened.
+    Ok,
+    /// A timing violation occurred and was masked by time borrowing.
+    /// The system state remains correct.
+    Masked {
+        /// Time borrowed from the next stage: the next stage's data
+        /// launches this much late on the following cycle.
+        borrowed: Picos,
+        /// Whether the error was also flagged to the central error
+        /// control unit (TIMBER defers flagging while only TB intervals
+        /// are used).
+        flagged: bool,
+    },
+    /// A timing error was detected *after* the state was corrupted;
+    /// `recovery` restores correctness at a throughput cost.
+    Detected {
+        /// How the scheme recovers.
+        recovery: Recovery,
+    },
+    /// An imminent timing error was predicted *before* the clock edge
+    /// (canary-style); state is still correct but the system must slow
+    /// down.
+    Predicted,
+    /// The violation escaped the scheme entirely: silent data
+    /// corruption.
+    Corrupted,
+}
+
+impl StageOutcome {
+    /// True when the architectural state stayed correct this cycle.
+    pub fn state_correct(&self) -> bool {
+        !matches!(self, StageOutcome::Corrupted)
+    }
+}
+
+/// A sequential-element resilience scheme at every stage boundary of the
+/// simulated pipeline.
+///
+/// The simulator calls [`evaluate`](SequentialScheme::evaluate) once per
+/// stage per cycle, in stage order, which lets stateful schemes (like
+/// the TIMBER flip-flop with its error-relay select inputs) maintain
+/// per-stage state across calls.
+pub trait SequentialScheme {
+    /// Scheme name for reports.
+    fn name(&self) -> &str;
+
+    /// Evaluates the data arrival at stage boundary `stage`.
+    ///
+    /// * `arrival` — when the data stabilises at the boundary, measured
+    ///   from the launching clock edge, *including* `incoming_borrow`;
+    ///   `arrival <= ctx.period` means the data met the edge.
+    /// * `incoming_borrow` — time already borrowed into this stage by
+    ///   the previous boundary (zero for schemes without borrowing).
+    fn evaluate(
+        &mut self,
+        stage: usize,
+        arrival: Picos,
+        incoming_borrow: Picos,
+        ctx: &CycleContext,
+    ) -> StageOutcome;
+
+    /// Clears all per-run state.
+    fn reset(&mut self);
+
+    /// Static guard band the scheme reserves before the clock edge
+    /// (canary-style prediction): usable period = `period -
+    /// guard_band`. Defaults to zero.
+    fn guard_band(&self, nominal_period: Picos) -> Picos {
+        let _ = nominal_period;
+        Picos::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovery_penalties_accessible() {
+        assert_eq!(Recovery::Replay { penalty_cycles: 1 }.penalty_cycles(), 1);
+        assert_eq!(Recovery::Rollback { penalty_cycles: 5 }.penalty_cycles(), 5);
+        assert_eq!(Recovery::Stall { penalty_cycles: 1 }.penalty_cycles(), 1);
+    }
+
+    #[test]
+    fn corruption_breaks_state_correctness() {
+        assert!(StageOutcome::Ok.state_correct());
+        assert!(StageOutcome::Masked {
+            borrowed: Picos(40),
+            flagged: false
+        }
+        .state_correct());
+        assert!(StageOutcome::Predicted.state_correct());
+        assert!(!StageOutcome::Corrupted.state_correct());
+    }
+}

@@ -1,0 +1,173 @@
+//! Run statistics collected by the pipeline simulator.
+
+use timber_netlist::Picos;
+
+/// Aggregated statistics of one pipeline simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunStats {
+    /// Clock cycles simulated.
+    pub cycles: u64,
+    /// Instructions completed (one per cycle minus recovery bubbles).
+    pub instructions: u64,
+    /// Violations masked by time borrowing (state stayed correct).
+    pub masked: u64,
+    /// Masked violations that were also flagged to the controller.
+    pub flagged: u64,
+    /// Errors detected after corruption and recovered.
+    pub detected: u64,
+    /// Errors predicted before the edge.
+    pub predicted: u64,
+    /// Silent data corruptions (escapes).
+    pub corrupted: u64,
+    /// Bubbles injected by recovery actions.
+    pub penalty_cycles: u64,
+    /// Cycles executed at a reduced clock frequency.
+    pub slow_cycles: u64,
+    /// Frequency-reduction episodes.
+    pub slowdown_episodes: u64,
+    /// Total wall-clock time of the run.
+    pub wall_time: Picos,
+    /// Histogram of borrow-chain lengths: `chain_histogram[k]` counts
+    /// maximal chains of exactly `k+1` consecutive-stage masked
+    /// violations (index 0 = single-stage events). This is the
+    /// single- vs multi-stage error statistic of the paper's §3.
+    pub chain_histogram: Vec<u64>,
+    /// Total energy consumed (relative units; see
+    /// `PipelineConfig::energy_per_cycle`).
+    pub energy: f64,
+}
+
+impl RunStats {
+    /// Instructions per cycle (bubbles reduce it below 1.0).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Instructions per nanosecond of wall-clock time.
+    pub fn throughput_per_ns(&self) -> f64 {
+        if self.wall_time == Picos::ZERO {
+            0.0
+        } else {
+            self.instructions as f64 / self.wall_time.as_ns()
+        }
+    }
+
+    /// Throughput loss relative to an ideal run of the same cycle count
+    /// at `nominal_period` (0.0 = no loss, 0.1 = 10% slower).
+    pub fn throughput_loss(&self, nominal_period: Picos) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let ideal = self.cycles as f64 / (nominal_period.as_ns() * self.cycles as f64);
+        let actual = self.throughput_per_ns();
+        ((ideal - actual) / ideal).max(0.0)
+    }
+
+    /// Total timing violations that reached a sequential element
+    /// (masked + detected + corrupted).
+    pub fn violations(&self) -> u64 {
+        self.masked + self.detected + self.corrupted
+    }
+
+    /// Fraction of violation events that were part of a multi-stage
+    /// (length ≥ 2) chain.
+    pub fn multi_stage_fraction(&self) -> f64 {
+        let single = self.chain_histogram.first().copied().unwrap_or(0);
+        let multi: u64 = self.chain_histogram.iter().skip(1).sum();
+        if single + multi == 0 {
+            0.0
+        } else {
+            multi as f64 / (single + multi) as f64
+        }
+    }
+
+    /// Energy per completed instruction (∞-free: 0.0 when no
+    /// instructions completed).
+    pub fn energy_per_instruction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.energy / self.instructions as f64
+        }
+    }
+
+    /// Records a chain of `len` consecutive-stage masked violations.
+    pub(crate) fn record_chain(&mut self, len: usize) {
+        if len == 0 {
+            return;
+        }
+        if self.chain_histogram.len() < len {
+            self.chain_histogram.resize(len, 0);
+        }
+        self.chain_histogram[len - 1] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_counts_bubbles() {
+        let s = RunStats {
+            cycles: 100,
+            instructions: 90,
+            ..RunStats::default()
+        };
+        assert!((s.ipc() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipc_of_empty_run_is_zero() {
+        assert_eq!(RunStats::default().ipc(), 0.0);
+        assert_eq!(RunStats::default().throughput_per_ns(), 0.0);
+    }
+
+    #[test]
+    fn chain_recording_extends_histogram() {
+        let mut s = RunStats::default();
+        s.record_chain(1);
+        s.record_chain(1);
+        s.record_chain(3);
+        assert_eq!(s.chain_histogram, vec![2, 0, 1]);
+        assert!((s.multi_stage_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_loss_zero_for_nominal_run() {
+        let s = RunStats {
+            cycles: 1000,
+            instructions: 1000,
+            wall_time: Picos(1000) * 1000,
+            ..RunStats::default()
+        };
+        assert!(s.throughput_loss(Picos(1000)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_loss_positive_when_slowed() {
+        let s = RunStats {
+            cycles: 1000,
+            instructions: 950,
+            wall_time: Picos(1050) * 1000,
+            ..RunStats::default()
+        };
+        let loss = s.throughput_loss(Picos(1000));
+        assert!(loss > 0.0 && loss < 0.2, "loss {loss}");
+    }
+
+    #[test]
+    fn violations_sum() {
+        let s = RunStats {
+            masked: 5,
+            detected: 3,
+            corrupted: 2,
+            ..RunStats::default()
+        };
+        assert_eq!(s.violations(), 10);
+    }
+}

@@ -1,0 +1,151 @@
+//! The complete Fig. 8 dataset: one point per (performance point,
+//! checking period), with both flagging configurations.
+
+use timber_netlist::Picos;
+use timber_proc::{PerfPoint, ProcessorModel};
+
+use crate::params::PowerParams;
+use crate::processor::ProcessorOverheads;
+
+/// One (performance point, checking period) cell of Fig. 8.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig8Point {
+    /// Performance point.
+    pub perf: PerfPoint,
+    /// Checking period, % of the clock period.
+    pub c_pct: f64,
+    /// Fig. 8 i-a: error-relay area overhead, % of design area.
+    pub relay_area_pct: f64,
+    /// Fig. 8 i-b: error-relay timing slack, % of half the clock
+    /// period.
+    pub relay_slack_pct: f64,
+    /// Fig. 8 ii-a: TIMBER FF power overhead, % — plotted against
+    /// [`Fig8Point::margin_without_tb_pct`].
+    pub ff_power_overhead_pct: f64,
+    /// Fig. 8 ii-b: TIMBER FF power overhead with the TB interval, % —
+    /// plotted against [`Fig8Point::margin_with_tb_pct`].
+    pub ff_power_overhead_with_tb_pct: f64,
+    /// Fig. 8 iii-a: TIMBER latch power overhead, %.
+    pub latch_power_overhead_pct: f64,
+    /// Fig. 8 iii-b: TIMBER latch power overhead with the TB interval,
+    /// %.
+    pub latch_power_overhead_with_tb_pct: f64,
+    /// Margin recovered without the TB interval: `c/2` %.
+    pub margin_without_tb_pct: f64,
+    /// Margin recovered with the TB interval: `c/3` %.
+    pub margin_with_tb_pct: f64,
+}
+
+impl Fig8Point {
+    /// Computes the point for one processor model.
+    pub fn compute(proc: &ProcessorModel, c_pct: f64, params: &PowerParams) -> Fig8Point {
+        // Without TB interval: 2 intervals (k = 2); with: 3 (k = 3).
+        let without = ProcessorOverheads::compute(proc, c_pct, 2, params);
+        let with = ProcessorOverheads::compute(proc, c_pct, 3, params);
+        Fig8Point {
+            perf: proc.perf(),
+            c_pct,
+            relay_area_pct: with.relay_area_overhead_pct(),
+            relay_slack_pct: with.relay_slack_pct,
+            ff_power_overhead_pct: without.ff_power_overhead_pct(),
+            ff_power_overhead_with_tb_pct: with.ff_power_overhead_pct(),
+            latch_power_overhead_pct: without.latch_power_overhead_pct(),
+            latch_power_overhead_with_tb_pct: with.latch_power_overhead_pct(),
+            margin_without_tb_pct: c_pct / 2.0,
+            margin_with_tb_pct: c_pct / 3.0,
+        }
+    }
+}
+
+/// Generates the full Fig. 8 table: 3 performance points × 4 checking
+/// periods ({10, 20, 30, 40}% of the clock).
+pub fn fig8_table(
+    n_flops: usize,
+    period: Picos,
+    seed: u64,
+    params: &PowerParams,
+) -> Vec<Fig8Point> {
+    let mut rows = Vec::with_capacity(12);
+    for perf in PerfPoint::ALL {
+        let proc = ProcessorModel::generate(perf, n_flops, period, seed);
+        for c in [10.0, 20.0, 30.0, 40.0] {
+            rows.push(Fig8Point::compute(&proc, c, params));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Vec<Fig8Point> {
+        fig8_table(10_000, Picos(1000), 7, &PowerParams::default())
+    }
+
+    #[test]
+    fn table_has_all_twelve_points() {
+        let t = table();
+        assert_eq!(t.len(), 12);
+        for perf in PerfPoint::ALL {
+            for c in [10.0, 20.0, 30.0, 40.0] {
+                assert!(t.iter().any(|p| p.perf == perf && p.c_pct == c));
+            }
+        }
+    }
+
+    #[test]
+    fn margins_follow_c_over_2_and_c_over_3() {
+        for p in table() {
+            assert!((p.margin_without_tb_pct - p.c_pct / 2.0).abs() < 1e-12);
+            assert!((p.margin_with_tb_pct - p.c_pct / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn higher_performance_costs_more_power() {
+        let t = table();
+        for c in [10.0, 20.0, 30.0, 40.0] {
+            let at = |perf| {
+                t.iter()
+                    .find(|p| p.perf == perf && p.c_pct == c)
+                    .unwrap()
+                    .ff_power_overhead_pct
+            };
+            assert!(at(PerfPoint::Low) < at(PerfPoint::Medium));
+            assert!(at(PerfPoint::Medium) < at(PerfPoint::High));
+        }
+    }
+
+    #[test]
+    fn with_tb_costs_slightly_more_power_for_less_margin() {
+        for p in table() {
+            // Hardware power: 3 taps ≥ 2 taps.
+            assert!(p.ff_power_overhead_with_tb_pct >= p.ff_power_overhead_pct);
+            // Latch hardware is identical across configs.
+            assert_eq!(
+                p.latch_power_overhead_with_tb_pct,
+                p.latch_power_overhead_pct
+            );
+            // But the margin recovered is smaller.
+            assert!(p.margin_with_tb_pct < p.margin_without_tb_pct);
+        }
+    }
+
+    #[test]
+    fn relay_slack_stays_comfortable_everywhere() {
+        for p in table() {
+            assert!(p.relay_slack_pct > 40.0, "{:?}", p);
+        }
+    }
+
+    #[test]
+    fn overheads_have_paper_consistent_magnitudes() {
+        for p in table() {
+            assert!(p.relay_area_pct < 13.0);
+            assert!(p.ff_power_overhead_pct < 25.0);
+            assert!(p.latch_power_overhead_pct < 15.0);
+            assert!(p.latch_power_overhead_pct < p.ff_power_overhead_pct);
+        }
+    }
+}

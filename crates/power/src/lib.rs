@@ -1,0 +1,45 @@
+//! # timber-power
+//!
+//! Area/power overhead modelling for the TIMBER (DATE 2010)
+//! reproduction — the machinery behind the paper's Fig. 8.
+//!
+//! The paper reports every overhead *relative to the base design*, and
+//! anchors two absolute ratios: a TIMBER flip-flop consumes ≈2× the
+//! power of a conventional master-slave flip-flop, a TIMBER latch
+//! ≈1.5× (§6). Overheads then follow from how many flops are replaced
+//! (the top-c% endpoint fraction from `timber-proc`), the error-relay
+//! logic sized from fanin-cone statistics (`timber::RelayEstimate`),
+//! the short-path padding buffers, and the consolidation OR-tree.
+//!
+//! The "without TB interval" and "with TB interval" configurations
+//! share almost identical hardware; what changes is the *margin
+//! recovered* for the same checking period (`c/2` vs `c/3`), which is
+//! exactly how the paper plots Fig. 8 ii/iii — the same overheads land
+//! on different x-axis positions, making deferred flagging look more
+//! expensive per recovered percent.
+//!
+//! # Example
+//!
+//! ```
+//! use timber_netlist::Picos;
+//! use timber_power::{Fig8Point, PowerParams};
+//! use timber_proc::{PerfPoint, ProcessorModel};
+//!
+//! let proc = ProcessorModel::generate(PerfPoint::Medium, 10_000, Picos(1000), 7);
+//! let p = Fig8Point::compute(&proc, 20.0, &PowerParams::default());
+//! assert!(p.ff_power_overhead_pct > 0.0);
+//! assert!(p.latch_power_overhead_pct < p.ff_power_overhead_pct);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fig8;
+pub mod params;
+pub mod processor;
+
+pub use fig8::{fig8_table, Fig8Point};
+pub use params::PowerParams;
+pub use processor::ProcessorOverheads;
+
+#[cfg(test)]
+mod props;

@@ -1,0 +1,101 @@
+//! Power/area model parameters.
+
+/// Parameters of the overhead model. All power values are relative to
+/// one conventional master-slave flip-flop (= 1.0).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerParams {
+    /// Power of one conventional master-slave flip-flop.
+    pub ff_power: f64,
+    /// TIMBER-FF-to-FF power ratio (paper §6: "about two times").
+    pub timber_ff_ratio: f64,
+    /// TIMBER-latch-to-FF power ratio (paper §6: "about 1.5 times").
+    pub timber_latch_ratio: f64,
+    /// Extra power per checking-period interval for the delayed-clock
+    /// tap/selection network of one TIMBER FF.
+    pub delay_tap_power: f64,
+    /// Fraction of total design power consumed by flops + clocking
+    /// (sets the base-design power the overheads are normalised by).
+    pub ff_power_fraction: f64,
+    /// Fraction of total design area occupied by flops.
+    pub ff_area_fraction: f64,
+    /// Area of one flop in inverter-equivalents.
+    pub ff_area: f64,
+    /// Static power of one relay/OR-tree gate (relative to a flop).
+    /// Relay inputs are all-zero in normal operation, so the relay
+    /// contributes static power only (paper §6).
+    pub gate_static_power: f64,
+    /// Power of one hold-padding delay buffer.
+    pub padding_buffer_power: f64,
+    /// Expected padding buffers per replaced flop, per percent of
+    /// checking period (short-path pressure grows with the checking
+    /// period).
+    pub padding_buffers_per_flop_per_pct: f64,
+}
+
+impl Default for PowerParams {
+    fn default() -> PowerParams {
+        PowerParams {
+            ff_power: 1.0,
+            timber_ff_ratio: 2.0,
+            timber_latch_ratio: 1.5,
+            delay_tap_power: 0.03,
+            ff_power_fraction: 0.20,
+            ff_area_fraction: 0.10,
+            ff_area: 8.0,
+            gate_static_power: 0.01,
+            padding_buffer_power: 0.04,
+            padding_buffers_per_flop_per_pct: 0.05,
+        }
+    }
+}
+
+impl PowerParams {
+    /// Validates that all parameters are physically sensible.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive powers/areas, ratios below 1, or
+    /// fractions outside `(0, 1]`.
+    pub fn validate(&self) {
+        assert!(self.ff_power > 0.0);
+        assert!(
+            self.timber_ff_ratio >= 1.0,
+            "TIMBER FF cannot be cheaper than a FF"
+        );
+        assert!(self.timber_latch_ratio >= 1.0);
+        assert!(self.delay_tap_power >= 0.0);
+        assert!((0.0..=1.0).contains(&self.ff_power_fraction) && self.ff_power_fraction > 0.0);
+        assert!((0.0..=1.0).contains(&self.ff_area_fraction) && self.ff_area_fraction > 0.0);
+        assert!(self.ff_area > 0.0);
+        assert!(self.gate_static_power >= 0.0);
+        assert!(self.padding_buffer_power >= 0.0);
+        assert!(self.padding_buffers_per_flop_per_pct >= 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        PowerParams::default().validate();
+    }
+
+    #[test]
+    fn default_ratios_match_paper_anchors() {
+        let p = PowerParams::default();
+        assert_eq!(p.timber_ff_ratio, 2.0);
+        assert_eq!(p.timber_latch_ratio, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be cheaper")]
+    fn ratio_below_one_rejected() {
+        let p = PowerParams {
+            timber_ff_ratio: 0.9,
+            ..PowerParams::default()
+        };
+        p.validate();
+    }
+}

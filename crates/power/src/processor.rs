@@ -1,0 +1,190 @@
+//! Processor-level overhead accounting.
+
+use timber::RelayEstimate;
+use timber_proc::ProcessorModel;
+
+use crate::params::PowerParams;
+
+/// Overheads of applying TIMBER to a processor model at one checking
+/// period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessorOverheads {
+    /// Flops replaced.
+    pub replaced: usize,
+    /// Total flops.
+    pub total_flops: usize,
+    /// Base design power (relative units).
+    pub design_power: f64,
+    /// Base design area (inverter equivalents).
+    pub design_area: f64,
+    /// Extra power from TIMBER FF cells (vs conventional flops),
+    /// including the delayed-clock taps.
+    pub ff_cell_power: f64,
+    /// Extra power from TIMBER latch cells.
+    pub latch_cell_power: f64,
+    /// Static power of the relay logic (TIMBER FF only).
+    pub relay_power: f64,
+    /// Relay logic area (TIMBER FF only).
+    pub relay_area: f64,
+    /// Power of the short-path padding buffers.
+    pub padding_power: f64,
+    /// Worst relay timing slack, % of half the clock period.
+    pub relay_slack_pct: f64,
+}
+
+impl ProcessorOverheads {
+    /// Computes overheads for a checking period of `c_pct`% with `k`
+    /// intervals (`k` sets the number of delayed-clock taps in each
+    /// TIMBER FF).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters fail validation or `k` is zero.
+    pub fn compute(
+        proc: &ProcessorModel,
+        c_pct: f64,
+        k: u8,
+        params: &PowerParams,
+    ) -> ProcessorOverheads {
+        params.validate();
+        assert!(k > 0, "need at least one interval");
+        let total_flops = proc.flop_count();
+        let replaced_set = proc.replacement_set(c_pct);
+        let replaced = replaced_set.len();
+        let relay_sources = proc.relay_sources(c_pct);
+
+        let design_power = total_flops as f64 * params.ff_power / params.ff_power_fraction;
+        let design_area = total_flops as f64 * params.ff_area / params.ff_area_fraction;
+
+        let ff_cell_power = replaced as f64
+            * ((params.timber_ff_ratio - 1.0) * params.ff_power
+                + params.delay_tap_power * f64::from(k));
+        let latch_cell_power =
+            replaced as f64 * (params.timber_latch_ratio - 1.0) * params.ff_power;
+
+        // Relay structure (TIMBER FF only): each *start-and-end* flop
+        // carries one select-output generator (~3 gates); each endpoint
+        // consolidates its `s` sources with a 2-bit max tree of `s − 1`
+        // cells (~3 gates each; zero for s ≤ 1, where the select output
+        // is just wired through).
+        let generator_gates = 3 * proc.start_and_end_count(c_pct);
+        let max_tree_gates: usize = relay_sources.iter().map(|&s| 3 * s.saturating_sub(1)).sum();
+        let relay_gates = generator_gates + max_tree_gates;
+        let relay_power = relay_gates as f64 * params.gate_static_power;
+        let relay_area = relay_gates as f64 * 2.0; // 2 inv-equivalents per gate
+
+        let padding_buffers = replaced as f64 * params.padding_buffers_per_flop_per_pct * c_pct;
+        let padding_power = padding_buffers * params.padding_buffer_power;
+
+        let max_sources = relay_sources.iter().copied().max().unwrap_or(0);
+        let relay_slack_pct = RelayEstimate::new(max_sources).slack_pct(proc.period());
+
+        ProcessorOverheads {
+            replaced,
+            total_flops,
+            design_power,
+            design_area,
+            ff_cell_power,
+            latch_cell_power,
+            relay_power,
+            relay_area,
+            padding_power,
+            relay_slack_pct,
+        }
+    }
+
+    /// Total power overhead of the TIMBER-FF architecture, % of the
+    /// base design (Fig. 8 ii).
+    pub fn ff_power_overhead_pct(&self) -> f64 {
+        100.0 * (self.ff_cell_power + self.relay_power + self.padding_power) / self.design_power
+    }
+
+    /// Total power overhead of the TIMBER-latch architecture, % of the
+    /// base design (Fig. 8 iii; no relay logic).
+    pub fn latch_power_overhead_pct(&self) -> f64 {
+        100.0 * (self.latch_cell_power + self.padding_power) / self.design_power
+    }
+
+    /// Relay-logic area overhead, % of the design area (Fig. 8 i-a).
+    pub fn relay_area_overhead_pct(&self) -> f64 {
+        100.0 * self.relay_area / self.design_area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timber_netlist::Picos;
+    use timber_proc::{PerfPoint, ProcessorModel};
+
+    fn proc() -> ProcessorModel {
+        ProcessorModel::generate(PerfPoint::Medium, 10_000, Picos(1000), 7)
+    }
+
+    #[test]
+    fn latch_cheaper_than_ff_per_design() {
+        let o = ProcessorOverheads::compute(&proc(), 20.0, 3, &PowerParams::default());
+        assert!(o.latch_power_overhead_pct() < o.ff_power_overhead_pct());
+        assert!(o.latch_power_overhead_pct() > 0.0);
+    }
+
+    #[test]
+    fn overheads_grow_with_checking_period() {
+        let p = proc();
+        let params = PowerParams::default();
+        let mut prev = 0.0;
+        for c in [10.0, 20.0, 30.0, 40.0] {
+            let o = ProcessorOverheads::compute(&p, c, 3, &params);
+            let pct = o.ff_power_overhead_pct();
+            assert!(pct > prev, "c={c}: {pct} vs {prev}");
+            prev = pct;
+        }
+    }
+
+    #[test]
+    fn overheads_are_single_digit_percent_at_small_c() {
+        // The paper's conclusion: "significant margin for very low
+        // overhead" — at c=10% the total power overhead stays small.
+        let o = ProcessorOverheads::compute(&proc(), 10.0, 3, &PowerParams::default());
+        assert!(
+            o.ff_power_overhead_pct() < 10.0,
+            "{}",
+            o.ff_power_overhead_pct()
+        );
+        assert!(o.latch_power_overhead_pct() < 6.0);
+    }
+
+    #[test]
+    fn relay_area_overhead_is_small() {
+        let o = ProcessorOverheads::compute(&proc(), 40.0, 3, &PowerParams::default());
+        let pct = o.relay_area_overhead_pct();
+        assert!(pct > 0.0 && pct < 9.0, "relay area {pct}%");
+        // And much smaller at the smallest checking period.
+        let small = ProcessorOverheads::compute(&proc(), 10.0, 3, &PowerParams::default());
+        assert!(small.relay_area_overhead_pct() < 2.0);
+    }
+
+    #[test]
+    fn relay_slack_is_large() {
+        let o = ProcessorOverheads::compute(&proc(), 20.0, 3, &PowerParams::default());
+        assert!(o.relay_slack_pct > 50.0, "slack {}%", o.relay_slack_pct);
+    }
+
+    #[test]
+    fn replaced_fraction_tracks_calibration() {
+        let o = ProcessorOverheads::compute(&proc(), 20.0, 3, &PowerParams::default());
+        let frac = o.replaced as f64 / o.total_flops as f64;
+        assert!((frac - 0.50).abs() < 0.02);
+    }
+
+    #[test]
+    fn more_taps_cost_slightly_more() {
+        let p = proc();
+        let params = PowerParams::default();
+        let k2 = ProcessorOverheads::compute(&p, 20.0, 2, &params);
+        let k3 = ProcessorOverheads::compute(&p, 20.0, 3, &params);
+        assert!(k3.ff_power_overhead_pct() > k2.ff_power_overhead_pct());
+        // But the latch architecture is unaffected by k.
+        assert_eq!(k2.latch_power_overhead_pct(), k3.latch_power_overhead_pct());
+    }
+}

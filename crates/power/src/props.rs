@@ -1,0 +1,75 @@
+//! Property-based tests (proptest) for the overhead model.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use timber_netlist::Picos;
+use timber_proc::{PerfPoint, ProcessorModel};
+
+use crate::params::PowerParams;
+use crate::processor::ProcessorOverheads;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Overheads are non-negative and monotone in the checking period,
+    /// for any reasonable parameter set.
+    #[test]
+    fn overheads_monotone_in_checking_period(
+        seed in 0u64..20,
+        ff_ratio in 1.2f64..3.0,
+        latch_ratio in 1.1f64..2.0,
+        ff_power_fraction in 0.1f64..0.4,
+    ) {
+        let params = PowerParams {
+            timber_ff_ratio: ff_ratio,
+            timber_latch_ratio: latch_ratio.min(ff_ratio),
+            ff_power_fraction,
+            ..PowerParams::default()
+        };
+        let proc = ProcessorModel::generate(PerfPoint::Medium, 4_000, Picos(1000), seed);
+        let mut prev_ff = 0.0f64;
+        let mut prev_latch = 0.0f64;
+        for c in [10.0, 20.0, 30.0, 40.0] {
+            let o = ProcessorOverheads::compute(&proc, c, 3, &params);
+            let ff = o.ff_power_overhead_pct();
+            let latch = o.latch_power_overhead_pct();
+            prop_assert!(ff >= prev_ff, "c={c}: {ff} < {prev_ff}");
+            prop_assert!(latch >= prev_latch);
+            prop_assert!(ff >= 0.0 && latch >= 0.0);
+            prop_assert!(o.relay_area_overhead_pct() >= 0.0);
+            prev_ff = ff;
+            prev_latch = latch;
+        }
+    }
+
+    /// With equal cell ratios and k-independent taps, the latch
+    /// architecture is never more expensive than the flip-flop one
+    /// (it has no relay logic).
+    #[test]
+    fn latch_never_dearer_when_ratios_equal(
+        seed in 0u64..20,
+        ratio in 1.2f64..2.5,
+        c in 10.0f64..40.0,
+    ) {
+        let params = PowerParams {
+            timber_ff_ratio: ratio,
+            timber_latch_ratio: ratio,
+            delay_tap_power: 0.0,
+            ..PowerParams::default()
+        };
+        let proc = ProcessorModel::generate(PerfPoint::High, 4_000, Picos(1000), seed);
+        let o = ProcessorOverheads::compute(&proc, c, 3, &params);
+        prop_assert!(o.latch_power_overhead_pct() <= o.ff_power_overhead_pct() + 1e-12);
+    }
+
+    /// Relay slack is always positive at realistic cone sizes and
+    /// clock periods: the half-cycle budget is never violated.
+    #[test]
+    fn relay_slack_positive(seed in 0u64..20, c in 10.0f64..40.0) {
+        let proc = ProcessorModel::generate(PerfPoint::High, 4_000, Picos(1000), seed);
+        let o = ProcessorOverheads::compute(&proc, c, 3, &PowerParams::default());
+        prop_assert!(o.relay_slack_pct > 0.0, "slack {}", o.relay_slack_pct);
+    }
+}

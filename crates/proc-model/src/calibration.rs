@@ -1,0 +1,138 @@
+//! Calibration tables for the paper's Fig. 1.
+//!
+//! The published figure is a bar chart (values not tabulated). The
+//! tables below are calibrated to its one quoted numeric anchor — "for
+//! the top 20% paths in the medium performance processor, nearly 50% of
+//! the flip-flops have critical paths terminating at them \[and\] 70% of
+//! these flip-flops do not have any top 20% critical path originating
+//! from them" (§3), i.e. `frac_ending(20%) ≈ 0.50` and
+//! `frac_start_and_end(20%) ≈ 0.15` at the medium point — with the
+//! other points filled in monotonically in the visual proportions of
+//! the figure. The substitution is recorded in `DESIGN.md`.
+
+use std::fmt;
+
+/// Processor performance point (how aggressively the design is
+/// clocked; higher performance compresses slack and makes more paths
+/// near-critical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PerfPoint {
+    /// Relaxed clocking: few near-critical paths.
+    Low,
+    /// The paper's quoted anchor point.
+    Medium,
+    /// Aggressive clocking: slack distribution is a "timing wall".
+    High,
+}
+
+impl PerfPoint {
+    /// All three points, in the paper's presentation order.
+    pub const ALL: [PerfPoint; 3] = [PerfPoint::Low, PerfPoint::Medium, PerfPoint::High];
+
+    /// Nominal critical-path delay as a fraction of the clock period
+    /// (used to derive per-stage delay profiles for the pipeline
+    /// simulator).
+    pub fn critical_fraction(self) -> f64 {
+        match self {
+            PerfPoint::Low => 0.85,
+            PerfPoint::Medium => 0.92,
+            PerfPoint::High => 0.97,
+        }
+    }
+}
+
+impl fmt::Display for PerfPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerfPoint::Low => write!(f, "low"),
+            PerfPoint::Medium => write!(f, "medium"),
+            PerfPoint::High => write!(f, "high"),
+        }
+    }
+}
+
+/// One calibration row: target fractions at one top-c% threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationRow {
+    /// Threshold, percent of the clock period (a path is top-c% when
+    /// its delay ≥ (1 − c/100) × T).
+    pub c_pct: f64,
+    /// Fraction of flip-flops at which a top-c% path terminates.
+    pub frac_ending: f64,
+    /// Fraction of flip-flops at which top-c% paths both start and
+    /// terminate.
+    pub frac_start_and_end: f64,
+}
+
+/// The Fig. 1 calibration table for a performance point, at thresholds
+/// c ∈ {10, 20, 30, 40}.
+pub fn calibration(perf: PerfPoint) -> [CalibrationRow; 4] {
+    let (ending, both) = match perf {
+        PerfPoint::Low => ([0.18, 0.32, 0.45, 0.55], [0.03, 0.08, 0.15, 0.22]),
+        PerfPoint::Medium => ([0.30, 0.50, 0.62, 0.72], [0.07, 0.15, 0.25, 0.34]),
+        PerfPoint::High => ([0.42, 0.62, 0.75, 0.83], [0.12, 0.22, 0.33, 0.45]),
+    };
+    let cs = [10.0, 20.0, 30.0, 40.0];
+    [0, 1, 2, 3].map(|i| CalibrationRow {
+        c_pct: cs[i],
+        frac_ending: ending[i],
+        frac_start_and_end: both[i],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_matches_quoted_fact() {
+        let medium = calibration(PerfPoint::Medium);
+        assert!((medium[1].frac_ending - 0.50).abs() < 1e-12);
+        assert!((medium[1].frac_start_and_end - 0.15).abs() < 1e-12);
+        // 70% of the enders do NOT start a top-20% path.
+        let not_starting = 1.0 - medium[1].frac_start_and_end / medium[1].frac_ending;
+        assert!((not_starting - 0.70).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tables_are_monotone_in_threshold() {
+        for perf in PerfPoint::ALL {
+            let rows = calibration(perf);
+            for w in rows.windows(2) {
+                assert!(w[1].frac_ending > w[0].frac_ending);
+                assert!(w[1].frac_start_and_end > w[0].frac_start_and_end);
+            }
+            for r in rows {
+                assert!(r.frac_start_and_end < r.frac_ending);
+                assert!(r.frac_ending < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn tables_are_monotone_in_performance() {
+        for i in 0..4 {
+            let low = calibration(PerfPoint::Low)[i];
+            let med = calibration(PerfPoint::Medium)[i];
+            let high = calibration(PerfPoint::High)[i];
+            assert!(low.frac_ending < med.frac_ending);
+            assert!(med.frac_ending < high.frac_ending);
+            assert!(low.frac_start_and_end < med.frac_start_and_end);
+            assert!(med.frac_start_and_end < high.frac_start_and_end);
+        }
+    }
+
+    #[test]
+    fn critical_fraction_increases_with_performance() {
+        assert!(PerfPoint::Low.critical_fraction() < PerfPoint::Medium.critical_fraction());
+        assert!(PerfPoint::Medium.critical_fraction() < PerfPoint::High.critical_fraction());
+        assert!(PerfPoint::High.critical_fraction() < 1.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PerfPoint::Low.to_string(), "low");
+        assert_eq!(PerfPoint::Medium.to_string(), "medium");
+        assert_eq!(PerfPoint::High.to_string(), "high");
+    }
+}

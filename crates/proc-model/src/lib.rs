@@ -1,0 +1,50 @@
+//! # timber-proc
+//!
+//! A synthetic stand-in for the industrial processor the TIMBER paper
+//! evaluates on.
+//!
+//! The paper's evaluation consumes three things from its (proprietary)
+//! processor: the critical-path distribution between flip-flops at
+//! three performance points (its Fig. 1), the error-relay fanin-cone
+//! statistics derived from it (Fig. 8 i), and per-stage path-delay
+//! populations for error-rate reasoning (§3). This crate provides all
+//! three:
+//!
+//! * [`PerfPoint`] + [`calibration()`](fn@calibration) — published-figure calibration
+//!   tables (anchored to the quoted fact that at the medium point,
+//!   ~50% of flops terminate a top-20% path and 70% of those do not
+//!   originate one);
+//! * [`ProcessorModel`] — a seeded generator producing per-flop
+//!   in/out path delays and fanin cones whose marginal statistics match
+//!   the calibration exactly (quota sampling, not rejection), plus the
+//!   TIMBER replacement set and relay-source counts at any checking
+//!   period;
+//! * [`structural`] — smaller *real* netlists (via `timber-netlist`
+//!   generators + `timber-sta`) whose measured distributions
+//!   cross-validate the statistical model bottom-up.
+//!
+//! # Example
+//!
+//! ```
+//! use timber_proc::{PerfPoint, ProcessorModel};
+//! use timber_netlist::Picos;
+//!
+//! let proc = ProcessorModel::generate(PerfPoint::Medium, 10_000, Picos(1000), 7);
+//! let rows = proc.distribution(&[10.0, 20.0, 30.0, 40.0]);
+//! // The paper's anchor: ~50% of flops end a top-20% path...
+//! assert!((rows[1].frac_ending - 0.50).abs() < 0.02);
+//! // ...and ~30% of those also start one.
+//! assert!((rows[1].frac_start_and_end - 0.15).abs() < 0.02);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod model;
+pub mod structural;
+
+pub use calibration::{calibration, CalibrationRow, PerfPoint};
+pub use model::{DistributionRow, FlopTiming, ProcessorModel};
+
+#[cfg(test)]
+mod props;

@@ -1,0 +1,360 @@
+//! The statistical processor model: per-flop path delays and fanin
+//! cones matching the Fig. 1 calibration exactly.
+//!
+//! Generation uses quota sampling: flops are shuffled and assigned to
+//! criticality *tiers* (top-10%, top-20%, …, non-critical) in the exact
+//! counts the calibration demands, so the measured distribution matches
+//! the target up to rounding — no stochastic calibration error. Joint
+//! (start ∧ end) quotas are filled threshold-by-threshold among
+//! eligible enders, mirroring how multi-stage-error-prone flops cluster
+//! on chained critical stages.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use timber_netlist::Picos;
+use timber_variability::StagePathProfile;
+
+use crate::calibration::{calibration, PerfPoint};
+
+/// Delay-fraction ranges per criticality tier (fractions of the clock
+/// period). Tier `i < 4` means "in the top-{(i+1)·10}% band"; tier 4 is
+/// non-critical.
+const TIER_RANGES: [(f64, f64); 5] = [
+    (0.90, 0.98),
+    (0.80, 0.90),
+    (0.70, 0.80),
+    (0.60, 0.70),
+    (0.30, 0.60),
+];
+
+/// Timing summary of one modelled flip-flop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlopTiming {
+    /// Max incoming path delay, as a fraction of the clock period.
+    pub in_frac: f64,
+    /// Max outgoing path delay (clk-to-q + logic), as a fraction of the
+    /// clock period.
+    pub out_frac: f64,
+    /// Indices of the flops in this flop's combinational fanin cone.
+    pub fanin: Vec<u32>,
+}
+
+/// One measured distribution row (same shape as the STA-side
+/// `timber_sta::endpoints::DistributionRow`, duplicated here so the
+/// statistical model does not depend on the STA crate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributionRow {
+    /// Threshold as a percentage of the clock period.
+    pub c_pct: f64,
+    /// Fraction of flops ending a top-c% path.
+    pub frac_ending: f64,
+    /// Fraction of flops both starting and ending top-c% paths.
+    pub frac_start_and_end: f64,
+}
+
+/// The generated processor model.
+#[derive(Debug, Clone)]
+pub struct ProcessorModel {
+    perf: PerfPoint,
+    period: Picos,
+    flops: Vec<FlopTiming>,
+}
+
+impl ProcessorModel {
+    /// Generates a model with `n_flops` flip-flops whose Fig. 1
+    /// statistics match [`calibration`] exactly (up to rounding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_flops` is zero or `period` is not positive.
+    pub fn generate(perf: PerfPoint, n_flops: usize, period: Picos, seed: u64) -> ProcessorModel {
+        assert!(n_flops > 0, "processor needs flops");
+        assert!(period > Picos::ZERO, "period must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cal = calibration(perf);
+
+        // --- end tiers by exact quota ---------------------------------
+        let mut order: Vec<usize> = (0..n_flops).collect();
+        order.shuffle(&mut rng);
+        let mut end_tier = vec![4u8; n_flops];
+        let mut cursor = 0usize;
+        for (tier, row) in cal.iter().enumerate() {
+            let cum = (row.frac_ending * n_flops as f64).round() as usize;
+            while cursor < cum.min(n_flops) {
+                end_tier[order[cursor]] = tier as u8;
+                cursor += 1;
+            }
+        }
+
+        // --- start tiers: joint quotas among enders, then symmetric
+        //     top-up among non-enders ----------------------------------
+        let mut start_tier = vec![5u8; n_flops]; // 5 = unassigned
+        for (tier, row) in cal.iter().enumerate() {
+            let target_both = (row.frac_start_and_end * n_flops as f64).round() as usize;
+            let current_both = (0..n_flops)
+                .filter(|&f| end_tier[f] <= tier as u8 && start_tier[f] <= tier as u8)
+                .count();
+            let mut need = target_both.saturating_sub(current_both);
+            if need == 0 {
+                continue;
+            }
+            // Eligible: enders at ≤ tier with unassigned start.
+            let mut eligible: Vec<usize> = (0..n_flops)
+                .filter(|&f| end_tier[f] <= tier as u8 && start_tier[f] == 5)
+                .collect();
+            eligible.shuffle(&mut rng);
+            for f in eligible {
+                if need == 0 {
+                    break;
+                }
+                start_tier[f] = tier as u8;
+                need -= 1;
+            }
+        }
+        // Symmetry assumption: overall starter fractions track the
+        // ender fractions; top up with non-enders so paths that end at
+        // critical flops also start somewhere.
+        for (tier, row) in cal.iter().enumerate() {
+            let target_start = (row.frac_ending * n_flops as f64).round() as usize;
+            let current_start = (0..n_flops)
+                .filter(|&f| start_tier[f] <= tier as u8)
+                .count();
+            let mut need = target_start.saturating_sub(current_start);
+            if need == 0 {
+                continue;
+            }
+            let mut eligible: Vec<usize> = (0..n_flops)
+                .filter(|&f| end_tier[f] == 4 && start_tier[f] == 5)
+                .collect();
+            eligible.shuffle(&mut rng);
+            for f in eligible {
+                if need == 0 {
+                    break;
+                }
+                start_tier[f] = tier as u8;
+                need -= 1;
+            }
+        }
+        for t in &mut start_tier {
+            if *t == 5 {
+                *t = 4;
+            }
+        }
+
+        // --- concrete delays and fanin cones --------------------------
+        let sample = |rng: &mut StdRng, tier: u8| {
+            let (lo, hi) = TIER_RANGES[tier as usize];
+            rng.gen_range(lo..hi)
+        };
+        let flops: Vec<FlopTiming> = (0..n_flops)
+            .map(|f| {
+                let in_frac = sample(&mut rng, end_tier[f]);
+                let out_frac = sample(&mut rng, start_tier[f]);
+                let m = rng.gen_range(2..=8usize).min(n_flops);
+                let fanin = (0..m).map(|_| rng.gen_range(0..n_flops) as u32).collect();
+                FlopTiming {
+                    in_frac,
+                    out_frac,
+                    fanin,
+                }
+            })
+            .collect();
+
+        ProcessorModel {
+            perf,
+            period,
+            flops,
+        }
+    }
+
+    /// Performance point.
+    pub fn perf(&self) -> PerfPoint {
+        self.perf
+    }
+
+    /// Clock period.
+    pub fn period(&self) -> Picos {
+        self.period
+    }
+
+    /// Number of flip-flops.
+    pub fn flop_count(&self) -> usize {
+        self.flops.len()
+    }
+
+    /// Per-flop timing data.
+    pub fn flops(&self) -> &[FlopTiming] {
+        &self.flops
+    }
+
+    fn ends_at(&self, f: usize, c_pct: f64) -> bool {
+        self.flops[f].in_frac >= 1.0 - c_pct / 100.0
+    }
+
+    fn starts_at(&self, f: usize, c_pct: f64) -> bool {
+        self.flops[f].out_frac >= 1.0 - c_pct / 100.0
+    }
+
+    /// Measures the Fig. 1 distribution at the given thresholds.
+    pub fn distribution(&self, thresholds_pct: &[f64]) -> Vec<DistributionRow> {
+        let n = self.flops.len() as f64;
+        thresholds_pct
+            .iter()
+            .map(|&c| {
+                let ending = (0..self.flops.len())
+                    .filter(|&f| self.ends_at(f, c))
+                    .count();
+                let both = (0..self.flops.len())
+                    .filter(|&f| self.ends_at(f, c) && self.starts_at(f, c))
+                    .count();
+                DistributionRow {
+                    c_pct: c,
+                    frac_ending: ending as f64 / n,
+                    frac_start_and_end: both as f64 / n,
+                }
+            })
+            .collect()
+    }
+
+    /// Flops replaced by TIMBER elements for a checking period of
+    /// `c_pct`% of the clock (endpoints of top-c% paths).
+    pub fn replacement_set(&self, c_pct: f64) -> Vec<usize> {
+        (0..self.flops.len())
+            .filter(|&f| self.ends_at(f, c_pct))
+            .collect()
+    }
+
+    /// Number of flops that both start and end top-c% paths — the
+    /// flops that need a select-output generator in the TIMBER FF
+    /// architecture.
+    pub fn start_and_end_count(&self, c_pct: f64) -> usize {
+        (0..self.flops.len())
+            .filter(|&f| self.ends_at(f, c_pct) && self.starts_at(f, c_pct))
+            .count()
+    }
+
+    /// For each replaced flop, the number of error-relay sources in its
+    /// fanin cone: upstream *replaced* flops that both start and end
+    /// top-c% paths.
+    pub fn relay_sources(&self, c_pct: f64) -> Vec<usize> {
+        self.replacement_set(c_pct)
+            .into_iter()
+            .map(|f| {
+                self.flops[f]
+                    .fanin
+                    .iter()
+                    .filter(|&&g| {
+                        let g = g as usize;
+                        self.ends_at(g, c_pct) && self.starts_at(g, c_pct)
+                    })
+                    .count()
+            })
+            .collect()
+    }
+
+    /// Per-stage path profiles for the pipeline simulator: every stage
+    /// gets the performance point's critical delay, with the default
+    /// sensitization probabilities.
+    pub fn stage_profiles(&self, stages: usize) -> Vec<StagePathProfile> {
+        let crit = self.period.scale(self.perf.critical_fraction());
+        vec![StagePathProfile::from_critical(crit); stages]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const THRESHOLDS: [f64; 4] = [10.0, 20.0, 30.0, 40.0];
+
+    #[test]
+    fn distribution_matches_calibration_exactly() {
+        for perf in PerfPoint::ALL {
+            let m = ProcessorModel::generate(perf, 20_000, Picos(1000), 3);
+            let rows = m.distribution(&THRESHOLDS);
+            let cal = calibration(perf);
+            for (row, target) in rows.iter().zip(cal.iter()) {
+                assert!(
+                    (row.frac_ending - target.frac_ending).abs() < 0.01,
+                    "{perf}: ending {} vs {}",
+                    row.frac_ending,
+                    target.frac_ending
+                );
+                assert!(
+                    (row.frac_start_and_end - target.frac_start_and_end).abs() < 0.01,
+                    "{perf}: both {} vs {}",
+                    row.frac_start_and_end,
+                    target.frac_start_and_end
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a = ProcessorModel::generate(PerfPoint::Medium, 1000, Picos(1000), 11);
+        let b = ProcessorModel::generate(PerfPoint::Medium, 1000, Picos(1000), 11);
+        assert_eq!(a.flops(), b.flops());
+        let c = ProcessorModel::generate(PerfPoint::Medium, 1000, Picos(1000), 12);
+        assert_ne!(a.flops(), c.flops());
+    }
+
+    #[test]
+    fn replacement_set_size_tracks_calibration() {
+        let m = ProcessorModel::generate(PerfPoint::Medium, 10_000, Picos(1000), 5);
+        let set = m.replacement_set(20.0);
+        assert!((set.len() as f64 / 10_000.0 - 0.50).abs() < 0.01);
+        // Monotone in c.
+        assert!(m.replacement_set(40.0).len() > set.len());
+        assert!(m.replacement_set(10.0).len() < set.len());
+    }
+
+    #[test]
+    fn relay_sources_are_small() {
+        // The paper's observation behind Fig. 8 i-b: relay has to occur
+        // only from the small start-and-end subset, so cones are small.
+        let m = ProcessorModel::generate(PerfPoint::Medium, 10_000, Picos(1000), 5);
+        let sources = m.relay_sources(20.0);
+        assert_eq!(sources.len(), m.replacement_set(20.0).len());
+        let mean = sources.iter().sum::<usize>() as f64 / sources.len() as f64;
+        // Fanin cones have ≤ 8 flop sources; only ~15% are start+end.
+        assert!(mean < 2.0, "mean relay sources {mean}");
+        assert!(sources.iter().all(|&s| s <= 8));
+    }
+
+    #[test]
+    fn relay_sources_grow_with_checking_period() {
+        let m = ProcessorModel::generate(PerfPoint::High, 10_000, Picos(1000), 5);
+        let mean = |v: Vec<usize>| v.iter().sum::<usize>() as f64 / v.len().max(1) as f64;
+        let s10 = mean(m.relay_sources(10.0));
+        let s40 = mean(m.relay_sources(40.0));
+        assert!(s40 > s10, "{s40} vs {s10}");
+    }
+
+    #[test]
+    fn stage_profiles_use_perf_critical_fraction() {
+        let m = ProcessorModel::generate(PerfPoint::High, 100, Picos(1000), 1);
+        let profiles = m.stage_profiles(5);
+        assert_eq!(profiles.len(), 5);
+        assert_eq!(profiles[0].critical, Picos(970));
+        let m = ProcessorModel::generate(PerfPoint::Low, 100, Picos(1000), 1);
+        assert_eq!(m.stage_profiles(1)[0].critical, Picos(850));
+    }
+
+    #[test]
+    fn delays_lie_in_tier_ranges() {
+        let m = ProcessorModel::generate(PerfPoint::Medium, 5000, Picos(1000), 9);
+        for f in m.flops() {
+            assert!(f.in_frac >= 0.30 && f.in_frac < 0.98);
+            assert!(f.out_frac >= 0.30 && f.out_frac < 0.98);
+            assert!(!f.fanin.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "processor needs flops")]
+    fn zero_flops_rejected() {
+        let _ = ProcessorModel::generate(PerfPoint::Low, 0, Picos(1000), 1);
+    }
+}

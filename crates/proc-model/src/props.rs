@@ -1,0 +1,72 @@
+//! Property-based tests (proptest) for the processor model.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use timber_netlist::Picos;
+
+use crate::calibration::{calibration, PerfPoint};
+use crate::model::ProcessorModel;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Quota generation matches the calibration for any seed and any
+    /// (reasonable) population size, up to rounding error bounded by
+    /// a handful of flops.
+    #[test]
+    fn calibration_matched_for_any_seed(seed in 0u64..200, n in 500usize..5000) {
+        for perf in PerfPoint::ALL {
+            let m = ProcessorModel::generate(perf, n, Picos(1000), seed);
+            let rows = m.distribution(&[10.0, 20.0, 30.0, 40.0]);
+            let cal = calibration(perf);
+            let tol = 3.0 / n as f64 + 0.002;
+            for (row, target) in rows.iter().zip(cal.iter()) {
+                prop_assert!((row.frac_ending - target.frac_ending).abs() < tol,
+                    "{perf} n={n} seed={seed}: {} vs {}", row.frac_ending, target.frac_ending);
+                prop_assert!(
+                    (row.frac_start_and_end - target.frac_start_and_end).abs() < tol,
+                    "{perf} n={n} seed={seed}: {} vs {}",
+                    row.frac_start_and_end, target.frac_start_and_end);
+            }
+        }
+    }
+
+    /// Replacement sets nest: the top-c set is a subset of every wider
+    /// top-c' set (c' > c).
+    #[test]
+    fn replacement_sets_nest(seed in 0u64..50) {
+        let m = ProcessorModel::generate(PerfPoint::Medium, 2000, Picos(1000), seed);
+        let narrow: std::collections::HashSet<usize> =
+            m.replacement_set(10.0).into_iter().collect();
+        let wide: std::collections::HashSet<usize> =
+            m.replacement_set(40.0).into_iter().collect();
+        prop_assert!(narrow.is_subset(&wide));
+    }
+
+    /// Relay sources are bounded by the fanin size and by the
+    /// start-and-end population.
+    #[test]
+    fn relay_sources_bounded(seed in 0u64..50, c in 10.0f64..40.0) {
+        let m = ProcessorModel::generate(PerfPoint::High, 2000, Picos(1000), seed);
+        let both = m.start_and_end_count(c);
+        for (i, &s) in m.relay_sources(c).iter().enumerate() {
+            let f = m.replacement_set(c)[i];
+            prop_assert!(s <= m.flops()[f].fanin.len());
+            prop_assert!(s <= both);
+        }
+    }
+
+    /// Stage profiles are always valid and scale with the period.
+    #[test]
+    fn stage_profiles_valid(period in 500i64..5000, stages in 1usize..10) {
+        let m = ProcessorModel::generate(PerfPoint::Medium, 200, Picos(period), 1);
+        let profiles = m.stage_profiles(stages);
+        prop_assert_eq!(profiles.len(), stages);
+        for p in profiles {
+            p.validate();
+            prop_assert_eq!(p.critical, Picos(period).scale(0.92));
+        }
+    }
+}

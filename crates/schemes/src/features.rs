@@ -1,0 +1,340 @@
+//! The qualitative feature matrix of online timing-error-resilience
+//! techniques — the reproduction of the paper's Table 1.
+//!
+//! Each column of the paper's table is represented by a
+//! [`TechniqueFeatures`] record derived from the corresponding
+//! implemented scheme's behaviour; [`feature_matrix`] returns them in
+//! the paper's column order.
+
+use std::fmt;
+
+/// Technique category (the paper's three classes, with masking split
+/// into its logical and temporal flavours).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Monitor for transitions after the clock edge; recover by replay
+    /// or rollback.
+    ErrorDetection,
+    /// Monitor a guard band before the clock edge; never corrupt, never
+    /// recover margin.
+    ErrorPrediction,
+    /// Mask errors with redundant logic.
+    LogicalMasking,
+    /// Mask errors by time borrowing (TIMBER's class).
+    TemporalMasking,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Category::ErrorDetection => write!(f, "Error detection"),
+            Category::ErrorPrediction => write!(f, "Error prediction"),
+            Category::LogicalMasking => write!(f, "Error masking (logical)"),
+            Category::TemporalMasking => write!(f, "Error masking (temporal)"),
+        }
+    }
+}
+
+/// When the technique observes the error relative to the clock edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WhenDetected {
+    /// After the capturing edge (the state is already corrupt).
+    AfterEdge,
+    /// Before the capturing edge (the state is still correct).
+    BeforeEdge,
+    /// Never (pure masking).
+    NotObserved,
+}
+
+impl fmt::Display for WhenDetected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WhenDetected::AfterEdge => write!(f, "after"),
+            WhenDetected::BeforeEdge => write!(f, "before"),
+            WhenDetected::NotObserved => write!(f, "n/a"),
+        }
+    }
+}
+
+/// Coarse overhead classes used by the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Overhead {
+    /// No overhead.
+    None,
+    /// Small overhead.
+    Small,
+    /// Moderate overhead.
+    Moderate,
+    /// Large overhead.
+    Large,
+}
+
+impl fmt::Display for Overhead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Overhead::None => write!(f, "none"),
+            Overhead::Small => write!(f, "small"),
+            Overhead::Moderate => write!(f, "moderate"),
+            Overhead::Large => write!(f, "large"),
+        }
+    }
+}
+
+/// How much of the dynamic-variability timing margin the technique
+/// recovers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MarginRecovery {
+    /// Full recovery.
+    Full,
+    /// Partial recovery (a guard band remains reserved).
+    Partial,
+}
+
+impl fmt::Display for MarginRecovery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarginRecovery::Full => write!(f, "full"),
+            MarginRecovery::Partial => write!(f, "partial"),
+        }
+    }
+}
+
+/// One column of the Table 1 reproduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TechniqueFeatures {
+    /// Technique name (representative implementations in parentheses).
+    pub name: &'static str,
+    /// Category.
+    pub category: Category,
+    /// Error-detection mechanism.
+    pub detection_mechanism: &'static str,
+    /// When the error is observed relative to the clock edge.
+    pub when: WhenDetected,
+    /// Error-recovery mechanism.
+    pub recovery: &'static str,
+    /// Whether extra sequential elements load the clock tree.
+    pub clock_tree_loading: bool,
+    /// Whether short paths must be padded.
+    pub short_path_padding: bool,
+    /// Sequential-element overhead class.
+    pub sequential_overhead: Overhead,
+    /// Combinational-logic overhead class.
+    pub combinational_overhead: Overhead,
+    /// Timing-margin recovery.
+    pub margin_recovery: MarginRecovery,
+    /// Variability sources the technique can target.
+    pub variability_targeted: &'static str,
+    /// Representative published techniques.
+    pub representatives: &'static str,
+}
+
+/// Returns the four columns of the paper's Table 1, in order: error
+/// detection, error prediction, logical masking, temporal masking
+/// (TIMBER).
+pub fn feature_matrix() -> Vec<TechniqueFeatures> {
+    vec![
+        TechniqueFeatures {
+            name: "Error detection",
+            category: Category::ErrorDetection,
+            detection_mechanism: "duplicate latch/FFs, transition detectors",
+            when: WhenDetected::AfterEdge,
+            recovery: "rollback or instruction replay",
+            clock_tree_loading: true,
+            short_path_padding: true,
+            sequential_overhead: Overhead::Large,
+            combinational_overhead: Overhead::Small,
+            margin_recovery: MarginRecovery::Full,
+            variability_targeted: "all dynamic",
+            representatives: "Razor, TDTB/EDS",
+        },
+        TechniqueFeatures {
+            name: "Error prediction",
+            category: Category::ErrorPrediction,
+            detection_mechanism: "duplicate latch/FFs, sensors",
+            when: WhenDetected::BeforeEdge,
+            recovery: "no error",
+            clock_tree_loading: true,
+            short_path_padding: true,
+            sequential_overhead: Overhead::Large,
+            combinational_overhead: Overhead::None,
+            margin_recovery: MarginRecovery::Partial,
+            variability_targeted: "gradual dynamic",
+            representatives: "Canary FFs, aging sensors, CFP",
+        },
+        TechniqueFeatures {
+            name: "Logical error masking",
+            category: Category::LogicalMasking,
+            detection_mechanism: "redundant logic",
+            when: WhenDetected::NotObserved,
+            recovery: "no error",
+            clock_tree_loading: false,
+            short_path_padding: false,
+            sequential_overhead: Overhead::None,
+            combinational_overhead: Overhead::Moderate,
+            margin_recovery: MarginRecovery::Full,
+            variability_targeted: "all dynamic",
+            representatives: "approximate circuits (DATE'09)",
+        },
+        TechniqueFeatures {
+            name: "Temporal error masking (TIMBER)",
+            category: Category::TemporalMasking,
+            detection_mechanism: "duplicate masters / pulse-gated latches",
+            when: WhenDetected::AfterEdge,
+            recovery: "no error",
+            clock_tree_loading: true,
+            short_path_padding: true,
+            sequential_overhead: Overhead::Large,
+            combinational_overhead: Overhead::Small,
+            margin_recovery: MarginRecovery::Full,
+            variability_targeted: "all dynamic",
+            representatives: "TIMBER FF, TIMBER latch, DCFF, PCFF",
+        },
+    ]
+}
+
+/// A Table 1 row: label plus a per-column value extractor.
+type Table1Row = (&'static str, Box<dyn Fn(&TechniqueFeatures) -> String>);
+
+/// Renders the matrix as an aligned text table (used by the `repro`
+/// binary for the Table 1 reproduction).
+pub fn render_table1() -> String {
+    let cols = feature_matrix();
+    let rows: Vec<Table1Row> = vec![
+        (
+            "Feature",
+            Box::new(|c: &TechniqueFeatures| c.name.to_owned()),
+        ),
+        (
+            "Detection mechanism",
+            Box::new(|c: &TechniqueFeatures| c.detection_mechanism.to_owned()),
+        ),
+        (
+            "When? (vs clock edge)",
+            Box::new(|c: &TechniqueFeatures| c.when.to_string()),
+        ),
+        (
+            "Recovery mechanism",
+            Box::new(|c: &TechniqueFeatures| c.recovery.to_owned()),
+        ),
+        (
+            "Clock-tree loading",
+            Box::new(|c: &TechniqueFeatures| yesno(c.clock_tree_loading)),
+        ),
+        (
+            "Short-path padding",
+            Box::new(|c: &TechniqueFeatures| yesno(c.short_path_padding)),
+        ),
+        (
+            "Sequential overhead",
+            Box::new(|c: &TechniqueFeatures| c.sequential_overhead.to_string()),
+        ),
+        (
+            "Combinational overhead",
+            Box::new(|c: &TechniqueFeatures| c.combinational_overhead.to_string()),
+        ),
+        (
+            "Timing margin recovery",
+            Box::new(|c: &TechniqueFeatures| c.margin_recovery.to_string()),
+        ),
+        (
+            "Variability targeted",
+            Box::new(|c: &TechniqueFeatures| c.variability_targeted.to_owned()),
+        ),
+        (
+            "Techniques",
+            Box::new(|c: &TechniqueFeatures| c.representatives.to_owned()),
+        ),
+    ];
+    let mut out = String::new();
+    for (label, get) in rows {
+        out.push_str(&format!("{label:<24}"));
+        for c in &cols {
+            out.push_str(&format!("| {:<38}", get(c)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn yesno(b: bool) -> String {
+    if b { "yes" } else { "no" }.to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_has_four_columns_in_paper_order() {
+        let m = feature_matrix();
+        assert_eq!(m.len(), 4);
+        assert_eq!(m[0].category, Category::ErrorDetection);
+        assert_eq!(m[1].category, Category::ErrorPrediction);
+        assert_eq!(m[2].category, Category::LogicalMasking);
+        assert_eq!(m[3].category, Category::TemporalMasking);
+    }
+
+    #[test]
+    fn timber_column_matches_paper_claims() {
+        let timber = &feature_matrix()[3];
+        // TIMBER detects after the edge but needs no recovery...
+        assert_eq!(timber.when, WhenDetected::AfterEdge);
+        assert_eq!(timber.recovery, "no error");
+        // ...recovers the full margin, targets all dynamic sources...
+        assert_eq!(timber.margin_recovery, MarginRecovery::Full);
+        assert_eq!(timber.variability_targeted, "all dynamic");
+        // ...at the cost of short-path padding and sequential overhead.
+        assert!(timber.short_path_padding);
+        assert_eq!(timber.sequential_overhead, Overhead::Large);
+    }
+
+    #[test]
+    fn prediction_recovers_only_partial_margin() {
+        let pred = &feature_matrix()[1];
+        assert_eq!(pred.margin_recovery, MarginRecovery::Partial);
+        assert_eq!(pred.when, WhenDetected::BeforeEdge);
+        assert_eq!(pred.variability_targeted, "gradual dynamic");
+    }
+
+    #[test]
+    fn only_detection_needs_rollback() {
+        let m = feature_matrix();
+        let needs_rollback: Vec<_> = m
+            .iter()
+            .filter(|c| c.recovery.contains("rollback"))
+            .collect();
+        assert_eq!(needs_rollback.len(), 1);
+        assert_eq!(needs_rollback[0].category, Category::ErrorDetection);
+    }
+
+    #[test]
+    fn logical_masking_avoids_sequential_costs() {
+        let lm = &feature_matrix()[2];
+        assert!(!lm.clock_tree_loading);
+        assert!(!lm.short_path_padding);
+        assert_eq!(lm.sequential_overhead, Overhead::None);
+        assert_eq!(lm.combinational_overhead, Overhead::Moderate);
+    }
+
+    #[test]
+    fn rendered_table_contains_all_rows() {
+        let t = render_table1();
+        for label in [
+            "Detection mechanism",
+            "Recovery mechanism",
+            "Clock-tree loading",
+            "Short-path padding",
+            "Timing margin recovery",
+        ] {
+            assert!(t.contains(label), "missing row {label}");
+        }
+        assert!(t.contains("TIMBER"));
+    }
+
+    #[test]
+    fn overhead_ordering_is_meaningful() {
+        assert!(Overhead::None < Overhead::Small);
+        assert!(Overhead::Small < Overhead::Moderate);
+        assert!(Overhead::Moderate < Overhead::Large);
+    }
+}

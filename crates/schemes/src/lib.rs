@@ -1,0 +1,38 @@
+//! # timber-schemes
+//!
+//! The baseline online timing-error-resilience techniques the TIMBER
+//! paper compares against (its §2 and Table 1), implemented behind the
+//! same `timber_pipeline::SequentialScheme` interface as TIMBER itself:
+//!
+//! * [`RazorFf`] — error *detection* with duplicate sampling after the
+//!   clock edge and instruction replay (Razor, MICRO 2003);
+//! * [`TransitionDetectorFf`] — error detection with a transition
+//!   detector and a one-cycle global stall (TDTB-style, Bowman 2008);
+//! * [`CanaryFf`] — error *prediction* with a delayed canary sample
+//!   before the edge (Sato 2007): no corruption, but a guard band that
+//!   forfeits margin recovery;
+//! * [`SoftEdgeFf`] — design-time soft-edge flip-flop: a fixed small
+//!   transparency window masks tiny violations but detects nothing;
+//! * [`LogicalMasking`] — logical error masking with redundant logic
+//!   (Choudhury DATE 2009): covered critical paths produce the correct
+//!   value early, uncovered ones escape;
+//! * `MarginedFlop` (re-exported from `timber-pipeline`) — the
+//!   conventional design point.
+//!
+//! [`feature_matrix`] reproduces the paper's Table 1 from the
+//! implemented techniques' properties.
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod features;
+
+pub use baselines::{CanaryFf, LogicalMasking, RazorFf, SoftEdgeFf, TransitionDetectorFf};
+pub use features::{
+    feature_matrix, render_table1, Category, MarginRecovery, Overhead, TechniqueFeatures,
+    WhenDetected,
+};
+pub use timber_pipeline::reference::MarginedFlop;
+
+#[cfg(test)]
+mod props;

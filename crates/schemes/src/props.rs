@@ -1,0 +1,105 @@
+//! Property-based tests (proptest) for the baseline schemes.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use timber_netlist::Picos;
+use timber_pipeline::{CycleContext, SequentialScheme, StageOutcome};
+
+use crate::baselines::{CanaryFf, RazorFf, SoftEdgeFf, TransitionDetectorFf};
+
+fn ctx(period: i64) -> CycleContext {
+    CycleContext {
+        cycle: 0,
+        period: Picos(period),
+        nominal_period: Picos(period),
+    }
+}
+
+proptest! {
+    /// Razor's outcome partition: Ok before the edge, Detected inside
+    /// the speculation window, Corrupted beyond — with the
+    /// metastability aperture carving Detected out of the region around
+    /// the edge.
+    #[test]
+    fn razor_outcome_partition(
+        period in 500i64..2000,
+        window in 50i64..300,
+        meta in 0i64..40,
+        arrival_off in -600i64..900,
+    ) {
+        let mut r = RazorFf::new(Picos(window)).with_metastability(Picos(meta), 3);
+        let arrival = Picos(period + arrival_off);
+        let out = r.evaluate(0, arrival, Picos::ZERO, &ctx(period));
+        let half = meta / 2;
+        if meta > 0 && arrival_off > -half && arrival_off <= half {
+            prop_assert!(matches!(out, StageOutcome::Detected { .. }), "expected Detected");
+        } else if arrival_off <= 0 {
+            prop_assert_eq!(out, StageOutcome::Ok);
+        } else if arrival_off <= window {
+            prop_assert!(matches!(out, StageOutcome::Detected { .. }), "expected Detected");
+        } else {
+            prop_assert_eq!(out, StageOutcome::Corrupted);
+        }
+    }
+
+    /// Canary never corrupts inside the region its guard band covers,
+    /// and never signals when arrivals are clear of the band.
+    #[test]
+    fn canary_guard_band_semantics(
+        period in 500i64..2000,
+        guard in 20i64..200,
+        arrival_off in -600i64..300,
+    ) {
+        let mut c = CanaryFf::new(Picos(guard));
+        let arrival = Picos(period + arrival_off);
+        let out = c.evaluate(0, arrival, Picos::ZERO, &ctx(period));
+        if arrival_off + guard <= 0 {
+            prop_assert_eq!(out, StageOutcome::Ok);
+        } else if arrival_off <= 0 {
+            prop_assert_eq!(out, StageOutcome::Predicted);
+        } else {
+            prop_assert_eq!(out, StageOutcome::Corrupted);
+        }
+        prop_assert_eq!(c.guard_band(Picos(period)), Picos(guard));
+    }
+
+    /// Soft-edge masking is continuous: the borrowed time equals the
+    /// violation exactly, never more than the window.
+    #[test]
+    fn soft_edge_borrow_exact(
+        period in 500i64..2000,
+        window in 10i64..200,
+        overshoot in 1i64..400,
+    ) {
+        let mut s = SoftEdgeFf::new(Picos(window));
+        let out = s.evaluate(0, Picos(period + overshoot), Picos::ZERO, &ctx(period));
+        if overshoot <= window {
+            prop_assert_eq!(out, StageOutcome::Masked {
+                borrowed: Picos(overshoot),
+                flagged: false,
+            });
+        } else {
+            prop_assert_eq!(out, StageOutcome::Corrupted);
+        }
+    }
+
+    /// The transition detector and ideal Razor agree on *what* they
+    /// catch; they differ only in the recovery mechanism.
+    #[test]
+    fn tdtb_and_razor_catch_the_same_errors(
+        period in 500i64..2000,
+        window in 50i64..300,
+        arrival_off in -300i64..600,
+    ) {
+        let mut razor = RazorFf::new(Picos(window));
+        let mut tdtb = TransitionDetectorFf::new(Picos(window));
+        let arrival = Picos(period + arrival_off);
+        let r = razor.evaluate(0, arrival, Picos::ZERO, &ctx(period));
+        let t = tdtb.evaluate(0, arrival, Picos::ZERO, &ctx(period));
+        let caught = |o: &StageOutcome| matches!(o, StageOutcome::Detected { .. });
+        prop_assert_eq!(caught(&r), caught(&t));
+        prop_assert_eq!(r.state_correct(), t.state_correct());
+    }
+}

@@ -1,0 +1,353 @@
+//! Max-delay (setup) arrival-time propagation and slack computation.
+
+use timber_netlist::{Driver, InstId, NetId, Netlist, Picos, Sink};
+
+/// Clock constraint applied to a design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockConstraint {
+    /// Clock period.
+    pub period: Picos,
+    /// Flip-flop setup time.
+    pub setup: Picos,
+    /// Flip-flop hold time.
+    pub hold: Picos,
+    /// Flip-flop clock-to-Q delay.
+    pub clk_to_q: Picos,
+}
+
+impl ClockConstraint {
+    /// A constraint with the given period and default cell timing
+    /// (setup 30 ps, hold 20 ps, clk-to-Q 40 ps), representative of the
+    /// standard library's flip-flop.
+    pub fn with_period(period: Picos) -> ClockConstraint {
+        ClockConstraint {
+            period,
+            setup: Picos(30),
+            hold: Picos(20),
+            clk_to_q: Picos(40),
+        }
+    }
+
+    /// The latest permissible data arrival at a flop D pin.
+    pub fn required_arrival(&self) -> Picos {
+        self.period - self.setup
+    }
+}
+
+/// Supplies per-arc delays to the analysis.
+///
+/// The default implementation, [`LibraryDelays`], reads worst-case arc
+/// delays straight from the cell library; variability experiments derate
+/// through a custom implementation.
+pub trait DelayCalculator {
+    /// Max-delay for the arc from `pin` of `inst` to its output.
+    fn max_arc_delay(&self, netlist: &Netlist, inst: InstId, pin: usize) -> Picos;
+
+    /// Min-delay for the same arc (used by hold analysis). Defaults to
+    /// the max delay, which is conservative for setup and optimistic for
+    /// hold; [`LibraryDelays`] overrides with the best arc.
+    fn min_arc_delay(&self, netlist: &Netlist, inst: InstId, pin: usize) -> Picos {
+        self.max_arc_delay(netlist, inst, pin)
+    }
+}
+
+/// Delay calculator that uses library arc delays unmodified.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LibraryDelays;
+
+impl DelayCalculator for LibraryDelays {
+    fn max_arc_delay(&self, netlist: &Netlist, inst: InstId, pin: usize) -> Picos {
+        let cell = netlist.library().cell(netlist.instance(inst).cell());
+        cell.arc(pin).worst()
+    }
+
+    fn min_arc_delay(&self, netlist: &Netlist, inst: InstId, pin: usize) -> Picos {
+        let cell = netlist.library().cell(netlist.instance(inst).cell());
+        cell.arc(pin).best()
+    }
+}
+
+/// Result of a max-delay timing analysis.
+///
+/// Arrival times are measured from the capturing clock edge at time 0:
+/// primary inputs arrive at 0, flop Q pins at `clk_to_q`.
+#[derive(Debug, Clone)]
+pub struct TimingAnalysis<'nl> {
+    netlist: &'nl Netlist,
+    constraint: ClockConstraint,
+    /// Max-delay for every instance arc, indexed by instance then pin.
+    /// Cached so path enumeration sees exactly the delays the arrival
+    /// times were computed with, even for stochastic calculators.
+    arc_delays: Vec<Vec<Picos>>,
+    /// Max arrival time at each net.
+    arrival: Vec<Picos>,
+    /// Max remaining delay from each net to any timing endpoint.
+    downstream: Vec<Picos>,
+    /// For each net driven by an instance, the input pin realising the
+    /// max arrival (for path backtracking).
+    critical_pin: Vec<Option<usize>>,
+    topo: Vec<InstId>,
+}
+
+impl<'nl> TimingAnalysis<'nl> {
+    /// Runs analysis with library delays.
+    pub fn run(netlist: &'nl Netlist, constraint: &ClockConstraint) -> TimingAnalysis<'nl> {
+        TimingAnalysis::run_with(netlist, constraint, &LibraryDelays)
+    }
+
+    /// Runs analysis with a caller-supplied delay calculator.
+    pub fn run_with(
+        netlist: &'nl Netlist,
+        constraint: &ClockConstraint,
+        delays: &dyn DelayCalculator,
+    ) -> TimingAnalysis<'nl> {
+        let topo = timber_netlist::topo_order(netlist).expect("validated netlist must be acyclic");
+        let n = netlist.net_count();
+        let mut arrival = vec![Picos::ZERO; n];
+        let mut critical_pin = vec![None; n];
+
+        // Snapshot arc delays once.
+        let arc_delays: Vec<Vec<Picos>> = netlist
+            .instance_ids()
+            .map(|inst_id| {
+                (0..netlist.instance(inst_id).inputs().len())
+                    .map(|pin| delays.max_arc_delay(netlist, inst_id, pin))
+                    .collect()
+            })
+            .collect();
+
+        // Startpoint arrivals.
+        for net_id in netlist.net_ids() {
+            arrival[net_id.0 as usize] = match netlist.net(net_id).driver() {
+                Some(Driver::PrimaryInput) => Picos::ZERO,
+                Some(Driver::FlopQ(_)) => constraint.clk_to_q,
+                _ => Picos::MIN,
+            };
+        }
+
+        // Forward propagation.
+        for &inst_id in &topo {
+            let inst = netlist.instance(inst_id);
+            let mut best = Picos::MIN;
+            let mut best_pin = None;
+            for (pin, &input) in inst.inputs().iter().enumerate() {
+                let in_arr = arrival[input.0 as usize];
+                if in_arr == Picos::MIN {
+                    continue;
+                }
+                let t = in_arr + arc_delays[inst_id.0 as usize][pin];
+                if t > best {
+                    best = t;
+                    best_pin = Some(pin);
+                }
+            }
+            let out = inst.output().0 as usize;
+            arrival[out] = best;
+            critical_pin[out] = best_pin;
+        }
+
+        // Backward propagation of max downstream delay to any endpoint
+        // (flop D pin or primary output).
+        let mut downstream = vec![Picos::MIN; n];
+        for net_id in netlist.net_ids() {
+            let is_endpoint = netlist
+                .net(net_id)
+                .fanout()
+                .iter()
+                .any(|s| matches!(s, Sink::FlopD(_) | Sink::PrimaryOutput));
+            if is_endpoint {
+                downstream[net_id.0 as usize] = Picos::ZERO;
+            }
+        }
+        for &inst_id in topo.iter().rev() {
+            let inst = netlist.instance(inst_id);
+            let out_down = downstream[inst.output().0 as usize];
+            if out_down == Picos::MIN {
+                continue;
+            }
+            for (pin, &input) in inst.inputs().iter().enumerate() {
+                let through = out_down + arc_delays[inst_id.0 as usize][pin];
+                let slot = &mut downstream[input.0 as usize];
+                if through > *slot {
+                    *slot = through;
+                }
+            }
+        }
+
+        TimingAnalysis {
+            netlist,
+            constraint: *constraint,
+            arc_delays,
+            arrival,
+            downstream,
+            critical_pin,
+            topo,
+        }
+    }
+
+    /// The design under analysis.
+    pub fn netlist(&self) -> &'nl Netlist {
+        self.netlist
+    }
+
+    /// Cached max-delay of an instance arc as used by this analysis.
+    pub fn arc_delay(&self, inst: InstId, pin: usize) -> Picos {
+        self.arc_delays[inst.0 as usize][pin]
+    }
+
+    /// The constraint the analysis was run against.
+    pub fn constraint(&self) -> &ClockConstraint {
+        &self.constraint
+    }
+
+    /// Max arrival time at a net. `Picos::MIN` for unreachable nets.
+    pub fn arrival(&self, net: NetId) -> Picos {
+        self.arrival[net.0 as usize]
+    }
+
+    /// Max delay from `net` to any timing endpoint (flop D or primary
+    /// output). `Picos::MIN` if no endpoint is reachable.
+    pub fn downstream(&self, net: NetId) -> Picos {
+        self.downstream[net.0 as usize]
+    }
+
+    /// Input pin realising the max arrival at an instance-driven net.
+    pub fn critical_pin(&self, net: NetId) -> Option<usize> {
+        self.critical_pin[net.0 as usize]
+    }
+
+    /// Slack of a flop D endpoint: `required_arrival - (arrival + setup
+    /// margin already folded into required)`.
+    pub fn endpoint_slack(&self, arrival: Picos) -> Picos {
+        self.constraint.required_arrival() - arrival
+    }
+
+    /// Largest arrival over all nets (the design's critical delay,
+    /// excluding setup).
+    pub fn worst_arrival(&self) -> Picos {
+        self.arrival
+            .iter()
+            .copied()
+            .filter(|&a| a != Picos::MIN)
+            .fold(Picos::ZERO, Picos::max)
+    }
+
+    /// Worst (smallest) endpoint slack in the design.
+    pub fn worst_slack(&self) -> Picos {
+        self.endpoint_slack(self.worst_arrival())
+    }
+
+    /// Topological instance order computed during analysis (exposed for
+    /// reuse by incremental passes; C-INTERMEDIATE).
+    pub fn topo(&self) -> &[InstId] {
+        &self.topo
+    }
+
+    /// The single worst path in the design (see [`crate::paths`]).
+    pub fn worst_path(&self) -> crate::paths::TimingPath {
+        crate::paths::worst_path(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timber_netlist::{CellLibrary, NetlistBuilder};
+
+    fn chain(n: usize) -> (Netlist, Vec<NetId>) {
+        let lib = CellLibrary::standard();
+        let mut b = NetlistBuilder::new("chain", &lib);
+        let a = b.input("a");
+        let mut q = b.flop("f_in", a);
+        let mut nets = vec![q];
+        for _ in 0..n {
+            q = b.gate("buf", &[q]).unwrap();
+            nets.push(q);
+        }
+        let out = b.flop("f_out", q);
+        b.output("o", out);
+        (b.finish().unwrap(), nets)
+    }
+
+    #[test]
+    fn arrival_accumulates_along_chain() {
+        let (nl, nets) = chain(3);
+        let clk = ClockConstraint::with_period(Picos(1000));
+        let sta = TimingAnalysis::run(&nl, &clk);
+        // buf delay is 28ps; flop Q starts at clk_to_q = 40.
+        assert_eq!(sta.arrival(nets[0]), Picos(40));
+        assert_eq!(sta.arrival(nets[1]), Picos(68));
+        assert_eq!(sta.arrival(nets[2]), Picos(96));
+        assert_eq!(sta.arrival(nets[3]), Picos(124));
+        assert_eq!(sta.worst_arrival(), Picos(124));
+    }
+
+    #[test]
+    fn downstream_mirrors_arrival() {
+        let (nl, nets) = chain(3);
+        let clk = ClockConstraint::with_period(Picos(1000));
+        let sta = TimingAnalysis::run(&nl, &clk);
+        // From flop Q, three buffers remain to the endpoint.
+        assert_eq!(sta.downstream(nets[0]), Picos(84));
+        assert_eq!(sta.downstream(nets[3]), Picos(0));
+    }
+
+    #[test]
+    fn slack_uses_setup() {
+        let (nl, _) = chain(1);
+        let clk = ClockConstraint::with_period(Picos(200));
+        let sta = TimingAnalysis::run(&nl, &clk);
+        // arrival = 40 + 28 = 68; required = 200 - 30 = 170.
+        assert_eq!(sta.worst_slack(), Picos(102));
+    }
+
+    #[test]
+    fn negative_slack_detected() {
+        let (nl, _) = chain(10);
+        let clk = ClockConstraint::with_period(Picos(100));
+        let sta = TimingAnalysis::run(&nl, &clk);
+        assert!(sta.worst_slack().is_negative());
+    }
+
+    #[test]
+    fn critical_pin_tracks_slower_input() {
+        let lib = CellLibrary::standard();
+        let mut b = NetlistBuilder::new("t", &lib);
+        let a = b.input("a");
+        let q = b.flop("f", a); // arrives at 40
+        let slow = b.gate("buf", &[q]).unwrap(); // 68
+        let y = b.gate("nand2", &[q, slow]).unwrap();
+        let o = b.flop("fo", y);
+        b.output("o", o);
+        let nl = b.finish().unwrap();
+        let sta = TimingAnalysis::run(&nl, &ClockConstraint::with_period(Picos(1000)));
+        // Pin 1 (slow) dominates: 68 + 24 = 92 vs 40 + 24 = 64.
+        assert_eq!(sta.critical_pin(y), Some(1));
+        assert_eq!(sta.arrival(y), Picos(92));
+    }
+
+    #[test]
+    fn custom_delay_calculator_derates() {
+        struct Doubled;
+        impl DelayCalculator for Doubled {
+            fn max_arc_delay(&self, nl: &Netlist, inst: InstId, pin: usize) -> Picos {
+                LibraryDelays.max_arc_delay(nl, inst, pin) * 2
+            }
+        }
+        let (nl, nets) = chain(2);
+        let clk = ClockConstraint::with_period(Picos(1000));
+        let base = TimingAnalysis::run(&nl, &clk);
+        let slow = TimingAnalysis::run_with(&nl, &clk, &Doubled);
+        let last = *nets.last().unwrap();
+        assert_eq!(
+            slow.arrival(last) - Picos(40),
+            (base.arrival(last) - Picos(40)) * 2
+        );
+    }
+
+    #[test]
+    fn required_arrival_subtracts_setup() {
+        let c = ClockConstraint::with_period(Picos(500));
+        assert_eq!(c.required_arrival(), Picos(470));
+    }
+}

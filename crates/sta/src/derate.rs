@@ -1,0 +1,206 @@
+//! What-if derating: re-running timing with per-instance delay scale
+//! factors.
+//!
+//! Dynamic-variability studies need "what does the timing look like
+//! when region X slows by 6%?" answers. [`DeratedDelays`] wraps any
+//! base [`DelayCalculator`] with a global factor plus per-instance
+//! overrides, and [`derate_sweep`] measures how the worst slack
+//! degrades as a global derating factor grows — the static-timing view
+//! of a droop event.
+
+use std::collections::HashMap;
+
+use timber_netlist::{InstId, Netlist, Picos};
+
+use crate::analysis::{ClockConstraint, DelayCalculator, LibraryDelays, TimingAnalysis};
+
+/// A [`DelayCalculator`] applying a global derating factor and optional
+/// per-instance overrides on top of a base calculator.
+#[derive(Debug, Clone)]
+pub struct DeratedDelays<B = LibraryDelays> {
+    base: B,
+    global: f64,
+    overrides: HashMap<InstId, f64>,
+}
+
+impl DeratedDelays<LibraryDelays> {
+    /// A derating over the plain library delays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global` is not positive.
+    pub fn new(global: f64) -> DeratedDelays<LibraryDelays> {
+        DeratedDelays::over(LibraryDelays, global)
+    }
+}
+
+impl<B: DelayCalculator> DeratedDelays<B> {
+    /// Wraps an arbitrary base calculator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global` is not positive.
+    pub fn over(base: B, global: f64) -> DeratedDelays<B> {
+        assert!(global > 0.0, "derating factor must be positive");
+        DeratedDelays {
+            base,
+            global,
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Sets a per-instance factor (replacing, not stacking with, the
+    /// global factor for that instance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    pub fn set_instance(&mut self, inst: InstId, factor: f64) {
+        assert!(factor > 0.0, "derating factor must be positive");
+        self.overrides.insert(inst, factor);
+    }
+
+    fn factor_for(&self, inst: InstId) -> f64 {
+        self.overrides.get(&inst).copied().unwrap_or(self.global)
+    }
+}
+
+impl<B: DelayCalculator> DelayCalculator for DeratedDelays<B> {
+    fn max_arc_delay(&self, netlist: &Netlist, inst: InstId, pin: usize) -> Picos {
+        self.base
+            .max_arc_delay(netlist, inst, pin)
+            .scale(self.factor_for(inst))
+    }
+
+    fn min_arc_delay(&self, netlist: &Netlist, inst: InstId, pin: usize) -> Picos {
+        // Hold analysis must not benefit from slow-down assumptions:
+        // min delays keep the base value when derating ≥ 1.
+        let base = self.base.min_arc_delay(netlist, inst, pin);
+        let f = self.factor_for(inst);
+        if f >= 1.0 {
+            base
+        } else {
+            base.scale(f)
+        }
+    }
+}
+
+/// One point of a derating sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeratePoint {
+    /// Global derating factor applied.
+    pub factor: f64,
+    /// Worst endpoint slack at that factor.
+    pub worst_slack: Picos,
+    /// Number of failing (negative-slack) flop endpoints.
+    pub failing_endpoints: usize,
+}
+
+/// Sweeps a global derating factor and reports the slack degradation —
+/// the STA view of how much dynamic variability a design absorbs before
+/// violating, and hence how much margin TIMBER must recover.
+pub fn derate_sweep(
+    netlist: &Netlist,
+    constraint: &ClockConstraint,
+    factors: &[f64],
+) -> Vec<DeratePoint> {
+    factors
+        .iter()
+        .map(|&factor| {
+            let delays = DeratedDelays::new(factor);
+            let sta = TimingAnalysis::run_with(netlist, constraint, &delays);
+            let failing = netlist
+                .flop_ids()
+                .filter(|&f| {
+                    sta.endpoint_slack(sta.arrival(netlist.flop(f).d()))
+                        .is_negative()
+                })
+                .count();
+            DeratePoint {
+                factor,
+                worst_slack: sta.worst_slack(),
+                failing_endpoints: failing,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timber_netlist::{ripple_carry_adder, CellLibrary};
+
+    fn adder() -> Netlist {
+        ripple_carry_adder(&CellLibrary::standard(), 8).unwrap()
+    }
+
+    #[test]
+    fn global_derating_scales_arrivals() {
+        let nl = adder();
+        let clk = ClockConstraint::with_period(Picos(2000));
+        let base = TimingAnalysis::run(&nl, &clk);
+        let slow = TimingAnalysis::run_with(&nl, &clk, &DeratedDelays::new(1.10));
+        // All combinational delay scales by 1.10; clk_to_q does not.
+        let base_comb = base.worst_arrival() - clk.clk_to_q;
+        let slow_comb = slow.worst_arrival() - clk.clk_to_q;
+        let ratio = slow_comb.as_ps() as f64 / base_comb.as_ps() as f64;
+        assert!((ratio - 1.10).abs() < 0.005, "ratio {ratio}");
+    }
+
+    #[test]
+    fn per_instance_override_beats_global() {
+        let nl = adder();
+        let clk = ClockConstraint::with_period(Picos(2000));
+        let mut d = DeratedDelays::new(1.0);
+        // Slow one carry-chain gate massively (instance 1 is the bit-0
+        // fa_carry, which sits on the critical path).
+        d.set_instance(InstId(1), 3.0);
+        let sta = TimingAnalysis::run_with(&nl, &clk, &d);
+        let base = TimingAnalysis::run(&nl, &clk);
+        assert!(sta.worst_arrival() > base.worst_arrival());
+        // Other instances keep library delays.
+        assert_eq!(
+            d.max_arc_delay(&nl, InstId(2), 0),
+            LibraryDelays.max_arc_delay(&nl, InstId(2), 0)
+        );
+    }
+
+    #[test]
+    fn hold_delays_never_relaxed_by_slowdown() {
+        let nl = adder();
+        let d = DeratedDelays::new(1.2);
+        assert_eq!(
+            d.min_arc_delay(&nl, InstId(0), 0),
+            LibraryDelays.min_arc_delay(&nl, InstId(0), 0),
+            "slow-down must not be credited to hold"
+        );
+        let d = DeratedDelays::new(0.9);
+        assert!(
+            d.min_arc_delay(&nl, InstId(0), 0) < LibraryDelays.min_arc_delay(&nl, InstId(0), 0),
+            "speed-up must tighten hold"
+        );
+    }
+
+    #[test]
+    fn sweep_degrades_monotonically() {
+        let nl = adder();
+        // Clock with little margin (10%, just covering setup) so
+        // derating causes failures.
+        let probe = TimingAnalysis::run(&nl, &ClockConstraint::with_period(Picos(100_000)));
+        let period = probe.worst_arrival().scale(1.10);
+        let clk = ClockConstraint::with_period(period);
+        let points = derate_sweep(&nl, &clk, &[1.0, 1.05, 1.10, 1.15, 1.20]);
+        for w in points.windows(2) {
+            assert!(w[1].worst_slack <= w[0].worst_slack);
+            assert!(w[1].failing_endpoints >= w[0].failing_endpoints);
+        }
+        assert_eq!(points[0].failing_endpoints, 0);
+        assert!(points.last().unwrap().failing_endpoints > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "derating factor must be positive")]
+    fn factor_validated() {
+        let _ = DeratedDelays::new(0.0);
+    }
+}

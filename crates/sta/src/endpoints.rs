@@ -1,0 +1,222 @@
+//! Flip-flop endpoint/startpoint classification — the analysis behind
+//! the paper's Fig. 1 and TIMBER's motivating observation.
+//!
+//! The paper observes that only a small fraction of flip-flops both
+//! *terminate* and *originate* critical paths; flops that only terminate
+//! them are susceptible to single-stage timing errors only, which TIMBER
+//! masks by borrowing one time unit from the (slack-rich) next stage.
+
+use timber_netlist::{FlopId, Netlist, Picos};
+
+use crate::analysis::TimingAnalysis;
+
+/// Timing role of one flip-flop at a given criticality threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlopTimingClass {
+    /// A path with delay ≥ threshold terminates at this flop's D pin.
+    pub ends_critical: bool,
+    /// A path with delay ≥ threshold originates at this flop's Q pin.
+    pub starts_critical: bool,
+}
+
+impl FlopTimingClass {
+    /// True when the flop both starts and ends critical paths — the
+    /// multi-stage-error-susceptible case.
+    pub fn starts_and_ends(&self) -> bool {
+        self.ends_critical && self.starts_critical
+    }
+}
+
+/// Classifies every flip-flop against a path-delay threshold.
+///
+/// * `ends_critical`: max arrival at the flop's D net ≥ `threshold`.
+/// * `starts_critical`: `clk_to_q + max downstream delay from Q` ≥
+///   `threshold`.
+pub fn classify_flops(sta: &TimingAnalysis<'_>, threshold: Picos) -> Vec<FlopTimingClass> {
+    let netlist = sta.netlist();
+    let clk_to_q = sta.constraint().clk_to_q;
+    netlist
+        .flop_ids()
+        .map(|f| {
+            let flop = netlist.flop(f);
+            let ends_critical = sta.arrival(flop.d()) >= threshold;
+            let down = sta.downstream(flop.q());
+            let starts_critical = down != Picos::MIN && clk_to_q + down >= threshold;
+            FlopTimingClass {
+                ends_critical,
+                starts_critical,
+            }
+        })
+        .collect()
+}
+
+/// One row of the Fig. 1 reproduction: statistics at a single top-c%
+/// threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributionRow {
+    /// Threshold as a percentage of the clock period (a path is top-c%
+    /// when its delay ≥ (1 - c/100) × period).
+    pub threshold_pct: f64,
+    /// Fraction of flip-flops at which a top-c% path terminates.
+    pub frac_ending: f64,
+    /// Fraction of flip-flops at which top-c% paths both start and end.
+    pub frac_start_and_end: f64,
+}
+
+/// Critical-path distribution between flip-flops at several thresholds
+/// (the paper's Fig. 1 for one performance point).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathDistribution {
+    /// Rows, one per threshold, in the order supplied.
+    pub rows: Vec<DistributionRow>,
+    /// Number of flip-flops in the design.
+    pub flop_count: usize,
+}
+
+impl PathDistribution {
+    /// Measures the distribution on an analysed design.
+    ///
+    /// `thresholds_pct` are the c values (e.g. `[10.0, 20.0, 30.0,
+    /// 40.0]`); a path is top-c% when its delay ≥ `(1 - c/100) ×
+    /// period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design has no flip-flops.
+    pub fn measure(sta: &TimingAnalysis<'_>, thresholds_pct: &[f64]) -> PathDistribution {
+        let netlist = sta.netlist();
+        let n = netlist.flop_count();
+        assert!(n > 0, "path distribution needs at least one flip-flop");
+        let period = sta.constraint().period;
+        let rows = thresholds_pct
+            .iter()
+            .map(|&c| {
+                let threshold = period.scale(1.0 - c / 100.0);
+                let classes = classify_flops(sta, threshold);
+                let ending = classes.iter().filter(|k| k.ends_critical).count();
+                let both = classes.iter().filter(|k| k.starts_and_ends()).count();
+                DistributionRow {
+                    threshold_pct: c,
+                    frac_ending: ending as f64 / n as f64,
+                    frac_start_and_end: both as f64 / n as f64,
+                }
+            })
+            .collect();
+        PathDistribution {
+            rows,
+            flop_count: n,
+        }
+    }
+
+    /// Flip-flops that end a top-c% path, i.e. the flops TIMBER replaces
+    /// for a checking period of c% of the clock.
+    pub fn replacement_set(sta: &TimingAnalysis<'_>, netlist: &Netlist, c_pct: f64) -> Vec<FlopId> {
+        let threshold = sta.constraint().period.scale(1.0 - c_pct / 100.0);
+        let classes = classify_flops(sta, threshold);
+        netlist
+            .flop_ids()
+            .zip(classes)
+            .filter(|(_, k)| k.ends_critical)
+            .map(|(f, _)| f)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::ClockConstraint;
+    use timber_netlist::{CellLibrary, NetlistBuilder};
+
+    /// Three-stage design:
+    ///   f0 -(deep logic)-> f1 -(shallow)-> f2
+    /// f1 ends a critical path but does not start one.
+    fn asym() -> Netlist {
+        let lib = CellLibrary::standard();
+        let mut b = NetlistBuilder::new("asym", &lib);
+        let a = b.input("a");
+        let mut x = b.flop("f0", a);
+        let f0_q = x;
+        for _ in 0..10 {
+            x = b.gate("buf", &[x]).unwrap();
+        }
+        let q1 = b.flop("f1", x);
+        let y = b.gate("inv", &[q1]).unwrap();
+        let q2 = b.flop("f2", y);
+        b.output("o", q2);
+        let _ = f0_q;
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn classification_distinguishes_roles() {
+        let nl = asym();
+        // Deep stage: 40 + 10*28 = 320ps. Use period 400, threshold 300.
+        let sta = TimingAnalysis::run(&nl, &ClockConstraint::with_period(Picos(400)));
+        let classes = classify_flops(&sta, Picos(300));
+        // f0 starts the deep path but nothing critical ends at it.
+        assert!(!classes[0].ends_critical);
+        assert!(classes[0].starts_critical);
+        // f1 ends the deep path; its outgoing logic is shallow (56ps).
+        assert!(classes[1].ends_critical);
+        assert!(!classes[1].starts_critical);
+        assert!(!classes[1].starts_and_ends());
+        // f2 ends only a shallow path.
+        assert!(!classes[2].ends_critical);
+        assert!(!classes[2].starts_critical);
+    }
+
+    #[test]
+    fn start_and_end_detected_on_chained_critical_stages() {
+        let lib = CellLibrary::standard();
+        let mut b = NetlistBuilder::new("chain2", &lib);
+        let a = b.input("a");
+        let mut x = b.flop("f0", a);
+        for _ in 0..10 {
+            x = b.gate("buf", &[x]).unwrap();
+        }
+        let q1 = b.flop("f1", x);
+        let mut y = q1;
+        for _ in 0..10 {
+            y = b.gate("buf", &[y]).unwrap();
+        }
+        let q2 = b.flop("f2", y);
+        b.output("o", q2);
+        let nl = b.finish().unwrap();
+        let sta = TimingAnalysis::run(&nl, &ClockConstraint::with_period(Picos(400)));
+        let classes = classify_flops(&sta, Picos(300));
+        assert!(classes[1].starts_and_ends());
+    }
+
+    #[test]
+    fn distribution_fractions_are_monotone_in_threshold() {
+        let lib = CellLibrary::standard();
+        let nl = timber_netlist::pipelined_datapath(
+            &lib,
+            &timber_netlist::DatapathSpec::uniform(4, 12, 120, 0.7, 11),
+        )
+        .unwrap();
+        let clk = ClockConstraint::with_period(Picos(900));
+        let sta = TimingAnalysis::run(&nl, &clk);
+        let dist = PathDistribution::measure(&sta, &[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(dist.rows.len(), 4);
+        for w in dist.rows.windows(2) {
+            // Larger c => lower threshold => more flops qualify.
+            assert!(w[1].frac_ending >= w[0].frac_ending);
+            assert!(w[1].frac_start_and_end >= w[0].frac_start_and_end);
+        }
+        for row in &dist.rows {
+            assert!(row.frac_start_and_end <= row.frac_ending + 1e-12);
+            assert!((0.0..=1.0).contains(&row.frac_ending));
+        }
+    }
+
+    #[test]
+    fn replacement_set_contains_critical_enders_only() {
+        let nl = asym();
+        let sta = TimingAnalysis::run(&nl, &ClockConstraint::with_period(Picos(400)));
+        // threshold for c=25%: 300ps => only f1 qualifies.
+        let set = PathDistribution::replacement_set(&sta, &nl, 25.0);
+        assert_eq!(set, vec![FlopId(1)]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Slack histograms: the "timing wall" view of a design.
+//!
+//! Performance points differ in how endpoint slack is distributed — a
+//! relaxed design has a long slack tail, an aggressive one piles
+//! endpoints against zero slack (the wall). The histogram quantifies
+//! that and feeds the per-performance-point narratives in the Fig. 1
+//! reproduction.
+
+use timber_netlist::{Netlist, Picos};
+
+use crate::analysis::TimingAnalysis;
+
+/// A histogram of endpoint slack, in fixed-width bins over the clock
+/// period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlackHistogram {
+    /// Bin width.
+    pub bin_width: Picos,
+    /// `bins[i]` counts flop endpoints with slack in
+    /// `[i·bin_width, (i+1)·bin_width)`.
+    pub bins: Vec<usize>,
+    /// Endpoints with negative slack (failing).
+    pub failing: usize,
+    /// Total flop endpoints counted.
+    pub total: usize,
+}
+
+impl SlackHistogram {
+    /// Builds the histogram of flop-endpoint slacks with `bins` equal
+    /// bins across `[0, period)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero.
+    pub fn measure(sta: &TimingAnalysis<'_>, netlist: &Netlist, bins: usize) -> SlackHistogram {
+        assert!(bins > 0, "need at least one bin");
+        let period = sta.constraint().period;
+        let bin_width = period / bins as i64;
+        let mut histogram = vec![0usize; bins];
+        let mut failing = 0usize;
+        let mut total = 0usize;
+        for f in netlist.flop_ids() {
+            let arrival = sta.arrival(netlist.flop(f).d());
+            if arrival == Picos::MIN {
+                continue;
+            }
+            total += 1;
+            let slack = sta.endpoint_slack(arrival);
+            if slack.is_negative() {
+                failing += 1;
+            } else {
+                let idx = ((slack.as_ps() / bin_width.as_ps().max(1)) as usize).min(bins - 1);
+                histogram[idx] += 1;
+            }
+        }
+        SlackHistogram {
+            bin_width,
+            bins: histogram,
+            failing,
+            total,
+        }
+    }
+
+    /// Fraction of endpoints with slack below `threshold` (the
+    /// near-critical population).
+    pub fn fraction_below(&self, threshold: Picos) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let full_bins = (threshold.as_ps() / self.bin_width.as_ps().max(1)) as usize;
+        let below: usize = self.bins.iter().take(full_bins).sum::<usize>() + self.failing;
+        below as f64 / self.total as f64
+    }
+
+    /// Renders as an ASCII bar chart (one row per bin).
+    pub fn render(&self) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        if self.failing > 0 {
+            out.push_str(&format!("  <0         | {:>5}  (failing)\n", self.failing));
+        }
+        for (i, &count) in self.bins.iter().enumerate() {
+            let lo = self.bin_width * i as i64;
+            let bar = "#".repeat(count * 40 / max);
+            out.push_str(&format!(
+                "  {:>5}..{:<5}| {count:>5}  {bar}\n",
+                lo.as_ps(),
+                (lo + self.bin_width).as_ps()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::ClockConstraint;
+    use timber_netlist::{pipelined_datapath, CellLibrary, DatapathSpec};
+
+    fn measured(period_scale: f64) -> SlackHistogram {
+        let lib = CellLibrary::standard();
+        let nl = pipelined_datapath(&lib, &DatapathSpec::uniform(4, 12, 150, 0.7, 3)).unwrap();
+        let probe = TimingAnalysis::run(&nl, &ClockConstraint::with_period(Picos(100_000)));
+        let period = probe.worst_arrival().scale(period_scale);
+        let clk = ClockConstraint::with_period(period);
+        let sta = TimingAnalysis::run(&nl, &clk);
+        SlackHistogram::measure(&sta, &nl, 10)
+    }
+
+    #[test]
+    fn bins_cover_all_endpoints() {
+        let h = measured(1.1);
+        let counted: usize = h.bins.iter().sum::<usize>() + h.failing;
+        assert_eq!(counted, h.total);
+        assert!(h.total > 0);
+        assert_eq!(h.failing, 0, "relaxed clock must meet timing");
+    }
+
+    #[test]
+    fn tighter_clock_shifts_mass_toward_the_wall() {
+        let relaxed = measured(1.4);
+        let tight = measured(1.02);
+        let near = |h: &SlackHistogram| h.fraction_below(h.bin_width * 2);
+        assert!(
+            near(&tight) > near(&relaxed),
+            "tight {} vs relaxed {}",
+            near(&tight),
+            near(&relaxed)
+        );
+    }
+
+    #[test]
+    fn failing_endpoints_counted_when_overclocked() {
+        let h = measured(0.8);
+        assert!(h.failing > 0);
+        assert!(h.fraction_below(Picos(0)) > 0.0);
+    }
+
+    #[test]
+    fn render_is_nonempty_and_mentions_failing() {
+        let h = measured(0.8);
+        let text = h.render();
+        assert!(text.contains("failing"));
+        assert!(text.lines().count() >= 10);
+    }
+}

@@ -1,0 +1,377 @@
+//! Exact critical-path enumeration in decreasing delay order.
+//!
+//! Paths are enumerated by a best-first backward search from timing
+//! endpoints. A search state is a partial path suffix; its priority is an
+//! exact bound `arrival(current net) + suffix delay`, so states pop in
+//! true path-delay order and enumeration can stop as soon as the next
+//! path falls below a threshold — no post-sorting, no wasted expansion.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use timber_netlist::{Driver, FlopId, NetId, Picos, Sink};
+
+use crate::analysis::TimingAnalysis;
+
+/// Where a timing path launches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathStart {
+    /// Launched from a primary input.
+    PrimaryInput(NetId),
+    /// Launched from a flip-flop Q output.
+    FlopQ(FlopId),
+}
+
+/// Where a timing path is captured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathEndpoint {
+    /// Captured at a flip-flop D input.
+    FlopD(FlopId),
+    /// Captured at a primary output.
+    PrimaryOutput(NetId),
+}
+
+/// A complete register-to-register (or I/O) timing path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingPath {
+    /// Launch point.
+    pub start: PathStart,
+    /// Capture point.
+    pub end: PathEndpoint,
+    /// Nets along the path, from the start net to the endpoint net.
+    pub nets: Vec<NetId>,
+    /// Total path delay including clock-to-Q at the launching flop.
+    pub delay: Picos,
+}
+
+impl TimingPath {
+    /// Slack of this path against the analysis constraint.
+    pub fn slack(&self, sta: &TimingAnalysis<'_>) -> Picos {
+        sta.constraint().required_arrival() - self.delay
+    }
+
+    /// Number of combinational stages (nets minus one).
+    pub fn length(&self) -> usize {
+        self.nets.len().saturating_sub(1)
+    }
+}
+
+/// Query parameters for [`enumerate_paths`].
+#[derive(Debug, Clone, Copy)]
+pub struct PathQuery {
+    /// Maximum number of paths to return.
+    pub max_paths: usize,
+    /// Only return paths with delay at least this value.
+    pub min_delay: Picos,
+}
+
+impl Default for PathQuery {
+    fn default() -> PathQuery {
+        PathQuery {
+            max_paths: 100,
+            min_delay: Picos::MIN,
+        }
+    }
+}
+
+struct State {
+    bound: Picos,
+    current: NetId,
+    suffix: Picos,
+    end: PathEndpoint,
+    /// Nets from `current` to the endpoint, reversed during search.
+    trail: Vec<NetId>,
+}
+
+impl PartialEq for State {
+    fn eq(&self, other: &State) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for State {}
+impl PartialOrd for State {
+    fn partial_cmp(&self, other: &State) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for State {
+    fn cmp(&self, other: &State) -> Ordering {
+        self.bound.cmp(&other.bound)
+    }
+}
+
+/// Enumerates timing paths in strictly non-increasing delay order.
+///
+/// Returns at most `query.max_paths` paths, all with delay ≥
+/// `query.min_delay`.
+pub fn enumerate_paths(sta: &TimingAnalysis<'_>, query: &PathQuery) -> Vec<TimingPath> {
+    let netlist = sta.netlist();
+    let mut heap: BinaryHeap<State> = BinaryHeap::new();
+
+    for net_id in netlist.net_ids() {
+        let arr = sta.arrival(net_id);
+        if arr == Picos::MIN || arr < query.min_delay {
+            continue;
+        }
+        for sink in netlist.net(net_id).fanout() {
+            let end = match *sink {
+                Sink::FlopD(f) => PathEndpoint::FlopD(f),
+                Sink::PrimaryOutput => PathEndpoint::PrimaryOutput(net_id),
+                Sink::InstancePin(..) => continue,
+            };
+            heap.push(State {
+                bound: arr,
+                current: net_id,
+                suffix: Picos::ZERO,
+                end,
+                trail: vec![net_id],
+            });
+        }
+    }
+
+    let mut paths = Vec::new();
+    while let Some(state) = heap.pop() {
+        if paths.len() >= query.max_paths {
+            break;
+        }
+        if state.bound < query.min_delay {
+            break; // All remaining states are no better.
+        }
+        let current = state.current;
+        match netlist.net(current).driver() {
+            Some(Driver::PrimaryInput) => {
+                paths.push(finish(state, PathStart::PrimaryInput(current)));
+            }
+            Some(Driver::FlopQ(f)) => {
+                paths.push(finish(state, PathStart::FlopQ(f)));
+            }
+            Some(Driver::Instance(inst_id)) => {
+                let inst = netlist.instance(inst_id);
+                for (pin, &input) in inst.inputs().iter().enumerate() {
+                    let in_arr = sta.arrival(input);
+                    if in_arr == Picos::MIN {
+                        continue;
+                    }
+                    let suffix = state.suffix + sta.arc_delay(inst_id, pin);
+                    let bound = in_arr + suffix;
+                    if bound < query.min_delay {
+                        continue;
+                    }
+                    let mut trail = state.trail.clone();
+                    trail.push(input);
+                    heap.push(State {
+                        bound,
+                        current: input,
+                        suffix,
+                        end: state.end,
+                        trail,
+                    });
+                }
+            }
+            None => {}
+        }
+    }
+    paths
+}
+
+fn finish(state: State, start: PathStart) -> TimingPath {
+    let mut nets = state.trail;
+    nets.reverse();
+    TimingPath {
+        start,
+        end: state.end,
+        nets,
+        delay: state.bound,
+    }
+}
+
+/// All paths with delay at least `threshold`, up to `cap` paths, in
+/// non-increasing delay order. The boolean is true when the cap was hit
+/// before enumeration reached the threshold (C-INTERMEDIATE: callers can
+/// detect truncation rather than silently treating the list as complete).
+pub fn paths_above(
+    sta: &TimingAnalysis<'_>,
+    threshold: Picos,
+    cap: usize,
+) -> (Vec<TimingPath>, bool) {
+    let paths = enumerate_paths(
+        sta,
+        &PathQuery {
+            max_paths: cap,
+            min_delay: threshold,
+        },
+    );
+    let truncated = paths.len() == cap;
+    (paths, truncated)
+}
+
+/// The single worst path, reconstructed by following the critical-pin
+/// annotations of the analysis (O(depth), no heap).
+pub fn worst_path(sta: &TimingAnalysis<'_>) -> TimingPath {
+    let netlist = sta.netlist();
+    // Find the worst endpoint net.
+    let mut worst_net = None;
+    let mut worst_arr = Picos::MIN;
+    let mut worst_end = None;
+    for net_id in netlist.net_ids() {
+        for sink in netlist.net(net_id).fanout() {
+            let end = match *sink {
+                Sink::FlopD(f) => PathEndpoint::FlopD(f),
+                Sink::PrimaryOutput => PathEndpoint::PrimaryOutput(net_id),
+                Sink::InstancePin(..) => continue,
+            };
+            let arr = sta.arrival(net_id);
+            if arr != Picos::MIN && arr > worst_arr {
+                worst_arr = arr;
+                worst_net = Some(net_id);
+                worst_end = Some(end);
+            }
+        }
+    }
+    let endpoint_net = worst_net.expect("design has at least one timing endpoint");
+    let mut nets = vec![endpoint_net];
+    let mut current = endpoint_net;
+    let start = loop {
+        match netlist.net(current).driver() {
+            Some(Driver::PrimaryInput) => break PathStart::PrimaryInput(current),
+            Some(Driver::FlopQ(f)) => break PathStart::FlopQ(f),
+            Some(Driver::Instance(inst_id)) => {
+                let pin = sta
+                    .critical_pin(current)
+                    .expect("instance-driven net has a critical pin");
+                current = netlist.instance(inst_id).inputs()[pin];
+                nets.push(current);
+            }
+            None => unreachable!("validated netlist has no undriven nets"),
+        }
+    };
+    nets.reverse();
+    TimingPath {
+        start,
+        end: worst_end.expect("endpoint exists"),
+        nets,
+        delay: worst_arr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::ClockConstraint;
+    use timber_netlist::{ripple_carry_adder, CellLibrary, NetlistBuilder};
+
+    #[test]
+    fn worst_path_matches_enumeration_head() {
+        let lib = CellLibrary::standard();
+        let nl = ripple_carry_adder(&lib, 6).unwrap();
+        let sta = TimingAnalysis::run(&nl, &ClockConstraint::with_period(Picos(2000)));
+        let wp = worst_path(&sta);
+        let listed = enumerate_paths(&sta, &PathQuery::default());
+        assert_eq!(listed[0].delay, wp.delay);
+        assert_eq!(wp.delay, sta.worst_arrival());
+    }
+
+    #[test]
+    fn enumeration_is_non_increasing() {
+        let lib = CellLibrary::standard();
+        let nl = ripple_carry_adder(&lib, 6).unwrap();
+        let sta = TimingAnalysis::run(&nl, &ClockConstraint::with_period(Picos(2000)));
+        let paths = enumerate_paths(
+            &sta,
+            &PathQuery {
+                max_paths: 50,
+                min_delay: Picos::MIN,
+            },
+        );
+        assert!(paths.len() > 5);
+        for w in paths.windows(2) {
+            assert!(w[0].delay >= w[1].delay, "paths must be sorted by delay");
+        }
+    }
+
+    #[test]
+    fn rca_critical_path_is_carry_chain() {
+        let lib = CellLibrary::standard();
+        let nl = ripple_carry_adder(&lib, 8).unwrap();
+        let sta = TimingAnalysis::run(&nl, &ClockConstraint::with_period(Picos(2000)));
+        let wp = worst_path(&sta);
+        // clk_to_q + 7 carries + final sum-or-carry; depth ~ 9 nets min.
+        assert!(
+            wp.length() >= 8,
+            "carry chain should be deep: {}",
+            wp.length()
+        );
+        assert!(matches!(wp.start, PathStart::FlopQ(_)));
+        assert!(matches!(wp.end, PathEndpoint::FlopD(_)));
+    }
+
+    #[test]
+    fn min_delay_threshold_filters() {
+        let lib = CellLibrary::standard();
+        let nl = ripple_carry_adder(&lib, 6).unwrap();
+        let sta = TimingAnalysis::run(&nl, &ClockConstraint::with_period(Picos(2000)));
+        let worst = sta.worst_arrival();
+        let threshold = worst - Picos(50);
+        let (paths, truncated) = paths_above(&sta, threshold, 10_000);
+        assert!(!truncated);
+        assert!(!paths.is_empty());
+        for p in &paths {
+            assert!(p.delay >= threshold);
+        }
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let lib = CellLibrary::standard();
+        let nl = ripple_carry_adder(&lib, 8).unwrap();
+        let sta = TimingAnalysis::run(&nl, &ClockConstraint::with_period(Picos(2000)));
+        let (paths, truncated) = paths_above(&sta, Picos::MIN, 3);
+        assert_eq!(paths.len(), 3);
+        assert!(truncated);
+    }
+
+    #[test]
+    fn path_slack_and_length() {
+        let lib = CellLibrary::standard();
+        let mut b = NetlistBuilder::new("t", &lib);
+        let a = b.input("a");
+        let q = b.flop("f", a);
+        let x = b.gate("buf", &[q]).unwrap();
+        let o = b.flop("fo", x);
+        b.output("o", o);
+        let nl = b.finish().unwrap();
+        let sta = TimingAnalysis::run(&nl, &ClockConstraint::with_period(Picos(500)));
+        let wp = worst_path(&sta);
+        // 40 (clk_to_q) + 28 (buf) = 68; required = 470.
+        assert_eq!(wp.delay, Picos(68));
+        assert_eq!(wp.slack(&sta), Picos(402));
+        assert_eq!(wp.length(), 1);
+        assert_eq!(wp.nets.len(), 2);
+    }
+
+    #[test]
+    fn reconvergent_paths_both_enumerated() {
+        let lib = CellLibrary::standard();
+        let mut b = NetlistBuilder::new("diamond", &lib);
+        let a = b.input("a");
+        let q = b.flop("f", a);
+        let slow = b.gate("xor2", &[q, q]).unwrap(); // 44 worst
+        let fast = b.gate("inv", &[q]).unwrap(); // 16 worst
+        let m = b.gate("nand2", &[slow, fast]).unwrap();
+        let o = b.flop("fo", m);
+        b.output("o", o);
+        let nl = b.finish().unwrap();
+        let sta = TimingAnalysis::run(&nl, &ClockConstraint::with_period(Picos(500)));
+        let paths = enumerate_paths(
+            &sta,
+            &PathQuery {
+                max_paths: 10,
+                min_delay: Picos::MIN,
+            },
+        );
+        // Through-xor (two pins), through-inv: at least 3 distinct paths
+        // end at the flop.
+        assert!(paths.len() >= 3, "got {}", paths.len());
+        assert!(paths[0].delay > paths[paths.len() - 1].delay);
+    }
+}

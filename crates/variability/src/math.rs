@@ -1,0 +1,101 @@
+//! Small sampling helpers on top of `rand`'s uniform generator.
+//!
+//! The approved offline dependency set contains `rand` but not
+//! `rand_distr`, so the handful of distributions the variability models
+//! need are implemented here directly.
+
+use rand::Rng;
+
+/// Draws a standard-normal sample via the Box–Muller transform.
+pub fn box_muller<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard against ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws an exponential sample with the given rate (events per unit
+/// time).
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Draws a Poisson-distributed count with the given mean, by counting
+/// exponential inter-arrivals (adequate for the small means used here).
+///
+/// # Panics
+///
+/// Panics if `mean` is negative or not finite.
+pub fn poisson_count<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u32 {
+    assert!(
+        mean >= 0.0 && mean.is_finite(),
+        "poisson mean must be finite and non-negative"
+    );
+    if mean == 0.0 {
+        return 0;
+    }
+    let limit = (-mean).exp();
+    let mut product: f64 = rng.gen();
+    let mut count = 0u32;
+    while product > limit {
+        product *= rng.gen::<f64>();
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn box_muller_has_roughly_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| box_muller(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn exponential_has_right_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mean = (0..n).map(|_| exponential(&mut rng, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_has_right_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mean = (0..n)
+            .map(|_| poisson_count(&mut rng, 3.0) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(poisson_count(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_validates_rate() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = exponential(&mut rng, 0.0);
+    }
+}

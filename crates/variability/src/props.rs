@@ -1,0 +1,89 @@
+//! Property-based tests (proptest) for the variability models.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use timber_netlist::Picos;
+
+use crate::model::{Aging, DelaySource, LocalJitter, TemperatureDrift, VariabilityBuilder};
+use crate::sensitization::{SensitizationModel, StagePathProfile};
+
+proptest! {
+    /// Every composed environment yields positive, bounded factors.
+    #[test]
+    fn composite_factors_bounded(
+        seed in 0u64..100,
+        droop in 0.0f64..0.15,
+        jitter in 0.0f64..0.03,
+        cycle in 0u64..100_000,
+        stage in 0usize..8,
+    ) {
+        let mut var = VariabilityBuilder::new(seed)
+            .process(8, 0.03)
+            .voltage_droop(droop.max(0.001), 500, 1000.0)
+            .temperature(0.02, 1_000_000)
+            .aging(0.002)
+            .local_jitter(jitter)
+            .build();
+        let f = var.factor(cycle, stage);
+        prop_assert!(f > 0.3, "factor {f} too small");
+        prop_assert!(f < 2.5, "factor {f} too large");
+    }
+
+    /// Aging is monotone non-decreasing in time for any slope.
+    #[test]
+    fn aging_monotone(slope in 0.0f64..0.05, c1 in 0u64..1_000_000, c2 in 0u64..1_000_000) {
+        let mut a = Aging::new(slope);
+        let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        prop_assert!(a.factor(lo, 0) <= a.factor(hi, 0) + 1e-12);
+    }
+
+    /// Temperature drift never speeds the circuit up and never exceeds
+    /// its amplitude.
+    #[test]
+    fn temperature_bounded(
+        amp in 0.0f64..0.1,
+        period in 1_000u64..10_000_000,
+        seed in 0u64..50,
+        cycle in 0u64..50_000_000,
+    ) {
+        let mut t = TemperatureDrift::new(amp, period, seed);
+        let f = t.factor(cycle, 0);
+        prop_assert!(f >= 1.0 - 1e-12);
+        prop_assert!(f <= 1.0 + amp + 1e-12);
+    }
+
+    /// Local jitter is a pure function of (seed, cycle, stage).
+    #[test]
+    fn jitter_pure(
+        sigma in 0.0f64..0.05,
+        seed in 0u64..100,
+        cycle in 0u64..1_000_000,
+        stage in 0usize..16,
+    ) {
+        let mut j1 = LocalJitter::new(sigma, seed);
+        let mut j2 = LocalJitter::new(sigma, seed);
+        prop_assert_eq!(j1.factor(cycle, stage), j2.factor(cycle, stage));
+    }
+
+    /// Sensitized delays never exceed the critical delay and are always
+    /// positive, for any valid profile.
+    #[test]
+    fn sensitization_bounded(
+        crit in 100i64..5000,
+        p_crit in 0.0f64..0.5,
+        p_near in 0.0f64..0.5,
+        seed in 0u64..50,
+    ) {
+        let mut profile = StagePathProfile::from_critical(Picos(crit));
+        profile.p_critical = p_crit;
+        profile.p_near = p_near.min(1.0 - p_crit);
+        let mut m = SensitizationModel::new(vec![profile], seed);
+        for _ in 0..200 {
+            let (d, _) = m.sample(0);
+            prop_assert!(d > Picos::ZERO);
+            prop_assert!(d <= Picos(crit));
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Circuit construction API.
+
+use timber_netlist::Picos;
+
+use crate::element::{EdgeDff, Element, Gate, GateFn, Latch, NegEdgeDff, TransmissionGate};
+use crate::signal::{Logic, SigId};
+use crate::sim::Simulator;
+
+/// Builder for a wave-level circuit: declare signals, wire elements,
+/// attach stimuli, then convert into a [`Simulator`].
+///
+/// # Example
+///
+/// ```
+/// use timber_netlist::Picos;
+/// use timber_wavesim::{Circuit, Logic};
+///
+/// let mut c = Circuit::new();
+/// let clk = c.signal("clk");
+/// let d = c.signal("d");
+/// let q = c.signal("q");
+/// c.dff(d, clk, q, Picos(5));
+/// c.clock(clk, Picos(100), Picos(400));
+/// c.stimulus(d, &[(Picos(0), Logic::One)]);
+/// let mut sim = c.into_simulator();
+/// sim.run_until(Picos(150));
+/// assert_eq!(sim.value(q), Logic::One);
+/// ```
+#[derive(Debug, Default)]
+pub struct Circuit {
+    names: Vec<String>,
+    elements: Vec<Box<dyn Element>>,
+    initial: Vec<(Picos, SigId, Logic)>,
+    watched: Vec<SigId>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    pub fn new() -> Circuit {
+        Circuit::default()
+    }
+
+    /// Declares a named signal.
+    pub fn signal(&mut self, name: &str) -> SigId {
+        let id = SigId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        id
+    }
+
+    /// Adds a custom element.
+    pub fn add_element(&mut self, elem: Box<dyn Element>) {
+        self.elements.push(elem);
+    }
+
+    /// Marks a signal for waveform capture.
+    pub fn watch(&mut self, sig: SigId) {
+        self.watched.push(sig);
+    }
+
+    /// Schedules explicit transitions on a signal.
+    pub fn stimulus(&mut self, sig: SigId, transitions: &[(Picos, Logic)]) {
+        for &(t, v) in transitions {
+            self.initial.push((t, sig, v));
+        }
+    }
+
+    /// Schedules a 50%-duty clock: rising edges at `0, period, 2·period,
+    /// …` and falling edges mid-period, until `t_end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive.
+    pub fn clock(&mut self, sig: SigId, period: Picos, t_end: Picos) {
+        assert!(period > Picos::ZERO, "clock period must be positive");
+        let mut t = Picos::ZERO;
+        while t <= t_end {
+            self.initial.push((t, sig, Logic::One));
+            let fall = t + period / 2;
+            if fall <= t_end {
+                self.initial.push((fall, sig, Logic::Zero));
+            }
+            t += period;
+        }
+    }
+
+    /// Schedules a clock whose rising edges start at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive or `offset` is negative.
+    pub fn clock_with_offset(&mut self, sig: SigId, period: Picos, offset: Picos, t_end: Picos) {
+        assert!(period > Picos::ZERO, "clock period must be positive");
+        assert!(
+            offset.is_non_negative(),
+            "clock offset must be non-negative"
+        );
+        if offset > Picos::ZERO {
+            self.initial.push((Picos::ZERO, sig, Logic::Zero));
+        }
+        let mut t = offset;
+        while t <= t_end {
+            self.initial.push((t, sig, Logic::One));
+            let fall = t + period / 2;
+            if fall <= t_end {
+                self.initial.push((fall, sig, Logic::Zero));
+            }
+            t += period;
+        }
+    }
+
+    // --- gate helpers -----------------------------------------------------
+
+    /// Buffer (delay line): `y = a` after `delay`.
+    pub fn buffer(&mut self, a: SigId, y: SigId, delay: Picos) {
+        self.elements
+            .push(Box::new(Gate::new(GateFn::Buf, vec![a], y, delay)));
+    }
+
+    /// Inverter: `y = !a`.
+    pub fn inverter(&mut self, a: SigId, y: SigId, delay: Picos) {
+        self.elements
+            .push(Box::new(Gate::new(GateFn::Not, vec![a], y, delay)));
+    }
+
+    /// 2-input AND.
+    pub fn and2(&mut self, a: SigId, b: SigId, y: SigId, delay: Picos) {
+        self.elements
+            .push(Box::new(Gate::new(GateFn::And, vec![a, b], y, delay)));
+    }
+
+    /// 2-input OR.
+    pub fn or2(&mut self, a: SigId, b: SigId, y: SigId, delay: Picos) {
+        self.elements
+            .push(Box::new(Gate::new(GateFn::Or, vec![a, b], y, delay)));
+    }
+
+    /// 2-input NAND.
+    pub fn nand2(&mut self, a: SigId, b: SigId, y: SigId, delay: Picos) {
+        self.elements
+            .push(Box::new(Gate::new(GateFn::Nand, vec![a, b], y, delay)));
+    }
+
+    /// 2-input NOR.
+    pub fn nor2(&mut self, a: SigId, b: SigId, y: SigId, delay: Picos) {
+        self.elements
+            .push(Box::new(Gate::new(GateFn::Nor, vec![a, b], y, delay)));
+    }
+
+    /// 2-input XOR (the error comparator in both TIMBER cells).
+    pub fn xor2(&mut self, a: SigId, b: SigId, y: SigId, delay: Picos) {
+        self.elements
+            .push(Box::new(Gate::new(GateFn::Xor, vec![a, b], y, delay)));
+    }
+
+    /// 2:1 mux: `y = sel ? b : a`.
+    pub fn mux2(&mut self, a: SigId, b: SigId, sel: SigId, y: SigId, delay: Picos) {
+        self.elements
+            .push(Box::new(Gate::new(GateFn::Mux2, vec![a, b, sel], y, delay)));
+    }
+
+    /// Transmission gate conducting while `ctrl` is high.
+    pub fn tgate(&mut self, input: SigId, ctrl: SigId, output: SigId, delay: Picos) {
+        self.elements
+            .push(Box::new(TransmissionGate::new(input, ctrl, output, delay)));
+    }
+
+    /// Level-sensitive latch, transparent while `en` is high.
+    pub fn latch(&mut self, d: SigId, en: SigId, q: SigId, delay: Picos) {
+        self.elements.push(Box::new(Latch::new(d, en, q, delay)));
+    }
+
+    /// Positive-edge D flip-flop.
+    pub fn dff(&mut self, d: SigId, clk: SigId, q: SigId, delay: Picos) {
+        self.elements.push(Box::new(EdgeDff::new(d, clk, q, delay)));
+    }
+
+    /// Negative-edge D flip-flop (error-flag capture in TIMBER cells).
+    pub fn neg_dff(&mut self, d: SigId, clk: SigId, q: SigId, delay: Picos) {
+        self.elements
+            .push(Box::new(NegEdgeDff::new(d, clk, q, delay)));
+    }
+
+    /// Number of declared signals.
+    pub fn signal_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Finalises the circuit into a simulator.
+    pub fn into_simulator(self) -> Simulator {
+        Simulator::new(self.names, self.elements, self.initial, self.watched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_ids_are_sequential() {
+        let mut c = Circuit::new();
+        assert_eq!(c.signal("a"), SigId(0));
+        assert_eq!(c.signal("b"), SigId(1));
+        assert_eq!(c.signal_count(), 2);
+    }
+
+    #[test]
+    fn mux_selects_dynamically() {
+        let mut c = Circuit::new();
+        let a = c.signal("a");
+        let b = c.signal("b");
+        let sel = c.signal("sel");
+        let y = c.signal("y");
+        c.mux2(a, b, sel, y, Picos(5));
+        c.stimulus(a, &[(Picos(0), Logic::One)]);
+        c.stimulus(b, &[(Picos(0), Logic::Zero)]);
+        c.stimulus(sel, &[(Picos(0), Logic::Zero), (Picos(100), Logic::One)]);
+        let mut sim = c.into_simulator();
+        sim.run_until(Picos(50));
+        assert_eq!(sim.value(y), Logic::One);
+        sim.run_until(Picos(150));
+        assert_eq!(sim.value(y), Logic::Zero);
+    }
+
+    #[test]
+    fn latch_holds_value_through_opaque_phase() {
+        let mut c = Circuit::new();
+        let d = c.signal("d");
+        let en = c.signal("en");
+        let q = c.signal("q");
+        c.latch(d, en, q, Picos(2));
+        c.stimulus(d, &[(Picos(0), Logic::One), (Picos(60), Logic::Zero)]);
+        c.stimulus(en, &[(Picos(0), Logic::One), (Picos(50), Logic::Zero)]);
+        let mut sim = c.into_simulator();
+        sim.run_until(Picos(200));
+        // d dropped after en closed: q keeps the latched 1.
+        assert_eq!(sim.value(q), Logic::One);
+    }
+
+    #[test]
+    fn clock_with_offset_starts_low() {
+        let mut c = Circuit::new();
+        let clk = c.signal("clk");
+        c.clock_with_offset(clk, Picos(100), Picos(30), Picos(300));
+        c.watch(clk);
+        let mut sim = c.into_simulator();
+        sim.run_until(Picos(300));
+        let w = sim.waves().trace(clk).unwrap();
+        assert_eq!(w.value_at(Picos(10)), Logic::Zero);
+        assert_eq!(w.value_at(Picos(40)), Logic::One);
+    }
+
+    #[test]
+    fn xor_detects_mismatch() {
+        let mut c = Circuit::new();
+        let a = c.signal("a");
+        let b = c.signal("b");
+        let y = c.signal("y");
+        c.xor2(a, b, y, Picos(3));
+        c.stimulus(a, &[(Picos(0), Logic::One)]);
+        c.stimulus(b, &[(Picos(0), Logic::One), (Picos(50), Logic::Zero)]);
+        let mut sim = c.into_simulator();
+        sim.run_until(Picos(40));
+        assert_eq!(sim.value(y), Logic::Zero);
+        sim.run_until(Picos(60));
+        assert_eq!(sim.value(y), Logic::One);
+    }
+}

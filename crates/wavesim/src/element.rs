@@ -1,0 +1,536 @@
+//! Circuit primitives: gates, transmission gates, latches, flip-flops.
+
+use timber_netlist::Picos;
+
+use crate::signal::{Logic, SigId};
+
+/// An output update an element wants applied after a delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scheduled {
+    /// Target signal.
+    pub sig: SigId,
+    /// New value.
+    pub value: Logic,
+    /// Delay from now until the value appears.
+    pub delay: Picos,
+}
+
+/// A circuit element evaluated whenever one of its sensitivity signals
+/// changes.
+pub trait Element: std::fmt::Debug + Send {
+    /// Signals whose changes trigger [`eval`](Element::eval).
+    fn sensitivity(&self) -> Vec<SigId>;
+
+    /// Reacts to the current signal state; `read` returns the present
+    /// value of any signal. Returns output updates to schedule.
+    fn eval(&mut self, now: Picos, read: &dyn Fn(SigId) -> Logic) -> Vec<Scheduled>;
+}
+
+/// Combinational functions available to [`Gate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateFn {
+    /// Single-input buffer (also used as a delay line).
+    Buf,
+    /// Single-input inverter.
+    Not,
+    /// N-input AND.
+    And,
+    /// N-input OR.
+    Or,
+    /// N-input NAND.
+    Nand,
+    /// N-input NOR.
+    Nor,
+    /// 2-input XOR.
+    Xor,
+    /// 2-input XNOR.
+    Xnor,
+    /// 2:1 mux with inputs `[a, b, sel]`: `a` when sel=0, `b` when sel=1.
+    Mux2,
+}
+
+impl GateFn {
+    /// Kleene evaluation over three-valued inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count does not suit the function.
+    pub fn eval(self, inputs: &[Logic]) -> Logic {
+        match self {
+            GateFn::Buf => {
+                assert_eq!(inputs.len(), 1);
+                inputs[0]
+            }
+            GateFn::Not => {
+                assert_eq!(inputs.len(), 1);
+                inputs[0].not()
+            }
+            GateFn::And => inputs.iter().copied().fold(Logic::One, Logic::and),
+            GateFn::Or => inputs.iter().copied().fold(Logic::Zero, Logic::or),
+            GateFn::Nand => GateFn::And.eval(inputs).not(),
+            GateFn::Nor => GateFn::Or.eval(inputs).not(),
+            GateFn::Xor => {
+                assert_eq!(inputs.len(), 2);
+                inputs[0].xor(inputs[1])
+            }
+            GateFn::Xnor => {
+                assert_eq!(inputs.len(), 2);
+                inputs[0].xor(inputs[1]).not()
+            }
+            GateFn::Mux2 => {
+                assert_eq!(inputs.len(), 3);
+                match inputs[2] {
+                    Logic::Zero => inputs[0],
+                    Logic::One => inputs[1],
+                    Logic::X => {
+                        if inputs[0] == inputs[1] {
+                            inputs[0]
+                        } else {
+                            Logic::X
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A combinational gate with a single propagation delay.
+#[derive(Debug)]
+pub struct Gate {
+    func: GateFn,
+    inputs: Vec<SigId>,
+    output: SigId,
+    delay: Picos,
+}
+
+impl Gate {
+    /// Creates a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative.
+    pub fn new(func: GateFn, inputs: Vec<SigId>, output: SigId, delay: Picos) -> Gate {
+        assert!(delay.is_non_negative(), "gate delay must be non-negative");
+        Gate {
+            func,
+            inputs,
+            output,
+            delay,
+        }
+    }
+}
+
+impl Element for Gate {
+    fn sensitivity(&self) -> Vec<SigId> {
+        self.inputs.clone()
+    }
+
+    fn eval(&mut self, _now: Picos, read: &dyn Fn(SigId) -> Logic) -> Vec<Scheduled> {
+        let ins: Vec<Logic> = self.inputs.iter().map(|&s| read(s)).collect();
+        vec![Scheduled {
+            sig: self.output,
+            value: self.func.eval(&ins),
+            delay: self.delay,
+        }]
+    }
+}
+
+/// A combinational gate evaluating an arbitrary
+/// [`timber_netlist::LogicFn`] truth table with pessimistic X
+/// semantics: if the unknown inputs can change the output, the output
+/// is X.
+///
+/// This is the element netlist compilation maps library cells onto
+/// (the fixed [`GateFn`] menu only covers the hand-built circuits).
+#[derive(Debug)]
+pub struct TableGate {
+    func: timber_netlist::LogicFn,
+    inputs: Vec<SigId>,
+    output: SigId,
+    delay: Picos,
+}
+
+impl TableGate {
+    /// Creates a table-driven gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count does not match the function arity or
+    /// the delay is negative.
+    pub fn new(
+        func: timber_netlist::LogicFn,
+        inputs: Vec<SigId>,
+        output: SigId,
+        delay: Picos,
+    ) -> TableGate {
+        assert_eq!(
+            inputs.len(),
+            func.arity(),
+            "one input signal per function input"
+        );
+        assert!(delay.is_non_negative(), "gate delay must be non-negative");
+        TableGate {
+            func,
+            inputs,
+            output,
+            delay,
+        }
+    }
+
+    fn eval_kleene(&self, values: &[Logic]) -> Logic {
+        let unknown: Vec<usize> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v == Logic::X)
+            .map(|(i, _)| i)
+            .collect();
+        let mut bools: Vec<bool> = values.iter().map(|v| v.to_bool().unwrap_or(false)).collect();
+        if unknown.is_empty() {
+            return Logic::from_bool(self.func.eval(&bools));
+        }
+        // Enumerate all assignments of the unknown inputs (≤ 2^6).
+        let mut result: Option<bool> = None;
+        for combo in 0..(1u32 << unknown.len()) {
+            for (bit, &idx) in unknown.iter().enumerate() {
+                bools[idx] = (combo >> bit) & 1 == 1;
+            }
+            let out = self.func.eval(&bools);
+            match result {
+                None => result = Some(out),
+                Some(prev) if prev != out => return Logic::X,
+                Some(_) => {}
+            }
+        }
+        Logic::from_bool(result.expect("at least one combo"))
+    }
+}
+
+impl Element for TableGate {
+    fn sensitivity(&self) -> Vec<SigId> {
+        self.inputs.clone()
+    }
+
+    fn eval(&mut self, _now: Picos, read: &dyn Fn(SigId) -> Logic) -> Vec<Scheduled> {
+        let values: Vec<Logic> = self.inputs.iter().map(|&s| read(s)).collect();
+        vec![Scheduled {
+            sig: self.output,
+            value: self.eval_kleene(&values),
+            delay: self.delay,
+        }]
+    }
+}
+
+/// A transmission gate: when `ctrl` is high the output follows the
+/// input; when low the output node *holds its last value* (the storage
+/// behaviour the TIMBER flip-flop's P0/P1 gates rely on); when `ctrl` is
+/// unknown the output is driven `X`.
+#[derive(Debug)]
+pub struct TransmissionGate {
+    input: SigId,
+    ctrl: SigId,
+    output: SigId,
+    delay: Picos,
+}
+
+impl TransmissionGate {
+    /// Creates a transmission gate with the given conduction delay.
+    pub fn new(input: SigId, ctrl: SigId, output: SigId, delay: Picos) -> TransmissionGate {
+        assert!(delay.is_non_negative(), "delay must be non-negative");
+        TransmissionGate {
+            input,
+            ctrl,
+            output,
+            delay,
+        }
+    }
+}
+
+impl Element for TransmissionGate {
+    fn sensitivity(&self) -> Vec<SigId> {
+        vec![self.input, self.ctrl]
+    }
+
+    fn eval(&mut self, _now: Picos, read: &dyn Fn(SigId) -> Logic) -> Vec<Scheduled> {
+        match read(self.ctrl) {
+            Logic::One => vec![Scheduled {
+                sig: self.output,
+                value: read(self.input),
+                delay: self.delay,
+            }],
+            Logic::Zero => Vec::new(), // output node holds
+            Logic::X => vec![Scheduled {
+                sig: self.output,
+                value: Logic::X,
+                delay: self.delay,
+            }],
+        }
+    }
+}
+
+/// A level-sensitive latch: `q` follows `d` while `en` is high, holds
+/// while `en` is low.
+#[derive(Debug)]
+pub struct Latch {
+    d: SigId,
+    en: SigId,
+    q: SigId,
+    delay: Picos,
+}
+
+impl Latch {
+    /// Creates a latch with the given D-to-Q delay.
+    pub fn new(d: SigId, en: SigId, q: SigId, delay: Picos) -> Latch {
+        assert!(delay.is_non_negative(), "delay must be non-negative");
+        Latch { d, en, q, delay }
+    }
+}
+
+impl Element for Latch {
+    fn sensitivity(&self) -> Vec<SigId> {
+        vec![self.d, self.en]
+    }
+
+    fn eval(&mut self, _now: Picos, read: &dyn Fn(SigId) -> Logic) -> Vec<Scheduled> {
+        match read(self.en) {
+            Logic::One => vec![Scheduled {
+                sig: self.q,
+                value: read(self.d),
+                delay: self.delay,
+            }],
+            Logic::Zero => Vec::new(),
+            Logic::X => vec![Scheduled {
+                sig: self.q,
+                value: Logic::X,
+                delay: self.delay,
+            }],
+        }
+    }
+}
+
+/// A conventional positive-edge-triggered D flip-flop (used for the
+/// baseline elements and test harness registers).
+#[derive(Debug)]
+pub struct EdgeDff {
+    d: SigId,
+    clk: SigId,
+    q: SigId,
+    delay: Picos,
+    last_clk: Logic,
+}
+
+impl EdgeDff {
+    /// Creates a flip-flop with the given clock-to-Q delay.
+    pub fn new(d: SigId, clk: SigId, q: SigId, delay: Picos) -> EdgeDff {
+        assert!(delay.is_non_negative(), "delay must be non-negative");
+        EdgeDff {
+            d,
+            clk,
+            q,
+            delay,
+            last_clk: Logic::X,
+        }
+    }
+}
+
+impl Element for EdgeDff {
+    fn sensitivity(&self) -> Vec<SigId> {
+        vec![self.clk]
+    }
+
+    fn eval(&mut self, _now: Picos, read: &dyn Fn(SigId) -> Logic) -> Vec<Scheduled> {
+        let clk = read(self.clk);
+        let rising = self.last_clk == Logic::Zero && clk == Logic::One;
+        self.last_clk = clk;
+        if rising {
+            vec![Scheduled {
+                sig: self.q,
+                value: read(self.d),
+                delay: self.delay,
+            }]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// A negative-edge-triggered D flip-flop. The TIMBER error flag is
+/// latched "on the falling edge of the clock" (paper §4), which this
+/// element implements directly.
+#[derive(Debug)]
+pub struct NegEdgeDff {
+    d: SigId,
+    clk: SigId,
+    q: SigId,
+    delay: Picos,
+    last_clk: Logic,
+}
+
+impl NegEdgeDff {
+    /// Creates a falling-edge flip-flop with the given clock-to-Q delay.
+    pub fn new(d: SigId, clk: SigId, q: SigId, delay: Picos) -> NegEdgeDff {
+        assert!(delay.is_non_negative(), "delay must be non-negative");
+        NegEdgeDff {
+            d,
+            clk,
+            q,
+            delay,
+            last_clk: Logic::X,
+        }
+    }
+}
+
+impl Element for NegEdgeDff {
+    fn sensitivity(&self) -> Vec<SigId> {
+        vec![self.clk]
+    }
+
+    fn eval(&mut self, _now: Picos, read: &dyn Fn(SigId) -> Logic) -> Vec<Scheduled> {
+        let clk = read(self.clk);
+        let falling = self.last_clk == Logic::One && clk == Logic::Zero;
+        self.last_clk = clk;
+        if falling {
+            vec![Scheduled {
+                sig: self.q,
+                value: read(self.d),
+                delay: self.delay,
+            }]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic::*;
+
+    #[test]
+    fn gatefn_kleene_semantics() {
+        assert_eq!(GateFn::And.eval(&[One, X]), X);
+        assert_eq!(GateFn::And.eval(&[Zero, X]), Zero);
+        assert_eq!(GateFn::Or.eval(&[One, X]), One);
+        assert_eq!(GateFn::Nand.eval(&[One, One]), Zero);
+        assert_eq!(GateFn::Nor.eval(&[Zero, Zero]), One);
+        assert_eq!(GateFn::Xor.eval(&[One, Zero]), One);
+        assert_eq!(GateFn::Xnor.eval(&[One, One]), One);
+        assert_eq!(GateFn::Not.eval(&[X]), X);
+        assert_eq!(GateFn::Buf.eval(&[One]), One);
+    }
+
+    #[test]
+    fn mux_with_unknown_select() {
+        assert_eq!(GateFn::Mux2.eval(&[One, One, X]), One);
+        assert_eq!(GateFn::Mux2.eval(&[One, Zero, X]), X);
+        assert_eq!(GateFn::Mux2.eval(&[One, Zero, Zero]), One);
+        assert_eq!(GateFn::Mux2.eval(&[One, Zero, One]), Zero);
+    }
+
+    fn read_fixed(vals: Vec<(SigId, Logic)>) -> impl Fn(SigId) -> Logic {
+        move |s| {
+            vals.iter()
+                .find(|(id, _)| *id == s)
+                .map(|(_, v)| *v)
+                .unwrap_or(Logic::X)
+        }
+    }
+
+    #[test]
+    fn table_gate_matches_logicfn_on_known_inputs() {
+        use timber_netlist::LogicFn;
+        let mut g = TableGate::new(
+            LogicFn::fa_carry(),
+            vec![SigId(0), SigId(1), SigId(2)],
+            SigId(3),
+            Picos(5),
+        );
+        let read = read_fixed(vec![(SigId(0), One), (SigId(1), One), (SigId(2), Zero)]);
+        let out = g.eval(Picos(0), &read);
+        assert_eq!(out[0].value, One);
+        assert_eq!(out[0].delay, Picos(5));
+    }
+
+    #[test]
+    fn table_gate_x_semantics_are_pessimistic_but_exact() {
+        use timber_netlist::LogicFn;
+        // AND with one X input: 0&X = 0 (determined), 1&X = X.
+        let mut g = TableGate::new(
+            LogicFn::and(2),
+            vec![SigId(0), SigId(1)],
+            SigId(2),
+            Picos(1),
+        );
+        let read = read_fixed(vec![(SigId(0), Zero), (SigId(1), X)]);
+        assert_eq!(g.eval(Picos(0), &read)[0].value, Zero);
+        let read = read_fixed(vec![(SigId(0), One), (SigId(1), X)]);
+        assert_eq!(g.eval(Picos(0), &read)[0].value, X);
+    }
+
+    #[test]
+    #[should_panic(expected = "one input signal per function input")]
+    fn table_gate_validates_arity() {
+        use timber_netlist::LogicFn;
+        let _ = TableGate::new(LogicFn::and(2), vec![SigId(0)], SigId(1), Picos(1));
+    }
+
+    #[test]
+    fn tgate_holds_when_off() {
+        let mut tg = TransmissionGate::new(SigId(0), SigId(1), SigId(2), Picos(2));
+        let off = read_fixed(vec![(SigId(0), One), (SigId(1), Zero)]);
+        assert!(tg.eval(Picos(0), &off).is_empty());
+        let on = read_fixed(vec![(SigId(0), One), (SigId(1), One)]);
+        let out = tg.eval(Picos(0), &on);
+        assert_eq!(
+            out,
+            vec![Scheduled {
+                sig: SigId(2),
+                value: One,
+                delay: Picos(2)
+            }]
+        );
+    }
+
+    #[test]
+    fn latch_transparent_only_when_enabled() {
+        let mut l = Latch::new(SigId(0), SigId(1), SigId(2), Picos(3));
+        let transparent = read_fixed(vec![(SigId(0), Zero), (SigId(1), One)]);
+        assert_eq!(l.eval(Picos(0), &transparent)[0].value, Zero);
+        let opaque = read_fixed(vec![(SigId(0), One), (SigId(1), Zero)]);
+        assert!(l.eval(Picos(0), &opaque).is_empty());
+    }
+
+    #[test]
+    fn edge_dff_captures_only_on_rising_edge() {
+        let mut ff = EdgeDff::new(SigId(0), SigId(1), SigId(2), Picos(4));
+        let low = read_fixed(vec![(SigId(0), One), (SigId(1), Zero)]);
+        assert!(ff.eval(Picos(0), &low).is_empty());
+        let high = read_fixed(vec![(SigId(0), One), (SigId(1), One)]);
+        let out = ff.eval(Picos(10), &high);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value, One);
+        // Still high: no new capture.
+        assert!(ff.eval(Picos(20), &high).is_empty());
+    }
+
+    #[test]
+    fn neg_edge_dff_captures_on_falling_edge() {
+        let mut ff = NegEdgeDff::new(SigId(0), SigId(1), SigId(2), Picos(4));
+        let high = read_fixed(vec![(SigId(0), One), (SigId(1), One)]);
+        assert!(ff.eval(Picos(0), &high).is_empty());
+        let low = read_fixed(vec![(SigId(0), One), (SigId(1), Zero)]);
+        let out = ff.eval(Picos(10), &low);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value, One);
+    }
+
+    #[test]
+    fn x_clock_does_not_trigger_edges() {
+        let mut ff = EdgeDff::new(SigId(0), SigId(1), SigId(2), Picos(4));
+        let xclk = read_fixed(vec![(SigId(0), One), (SigId(1), X)]);
+        assert!(ff.eval(Picos(0), &xclk).is_empty());
+        let high = read_fixed(vec![(SigId(0), One), (SigId(1), One)]);
+        // X -> 1 is not a clean rising edge.
+        assert!(ff.eval(Picos(5), &high).is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests (proptest) for the waveform simulator.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use timber_netlist::Picos;
+
+use crate::circuit::Circuit;
+use crate::element::GateFn;
+use crate::signal::Logic;
+
+fn all_logic() -> [Logic; 3] {
+    [Logic::Zero, Logic::One, Logic::X]
+}
+
+#[test]
+fn kleene_algebra_laws_hold_exhaustively() {
+    for a in all_logic() {
+        // Involution.
+        assert_eq!(a.not().not(), a);
+        for b in all_logic() {
+            // Commutativity.
+            assert_eq!(a.and(b), b.and(a));
+            assert_eq!(a.or(b), b.or(a));
+            assert_eq!(a.xor(b), b.xor(a));
+            // De Morgan.
+            assert_eq!(a.and(b).not(), a.not().or(b.not()));
+            assert_eq!(a.or(b).not(), a.not().and(b.not()));
+            for c in all_logic() {
+                // Associativity.
+                assert_eq!(a.and(b).and(c), a.and(b.and(c)));
+                assert_eq!(a.or(b).or(c), a.or(b.or(c)));
+            }
+        }
+    }
+}
+
+#[test]
+fn gatefn_consistent_with_kleene_ops() {
+    for a in all_logic() {
+        for b in all_logic() {
+            assert_eq!(GateFn::And.eval(&[a, b]), a.and(b));
+            assert_eq!(GateFn::Or.eval(&[a, b]), a.or(b));
+            assert_eq!(GateFn::Nand.eval(&[a, b]), a.and(b).not());
+            assert_eq!(GateFn::Nor.eval(&[a, b]), a.or(b).not());
+            assert_eq!(GateFn::Xor.eval(&[a, b]), a.xor(b));
+            assert_eq!(GateFn::Xnor.eval(&[a, b]), a.xor(b).not());
+        }
+    }
+}
+
+proptest! {
+    /// Buffer chains compose delays additively: a transition at `t`
+    /// emerges at `t + d1 + d2`.
+    #[test]
+    fn buffer_delays_are_additive(
+        d1 in 1i64..200,
+        d2 in 1i64..200,
+        t in 1i64..500,
+    ) {
+        let mut c = Circuit::new();
+        let a = c.signal("a");
+        let m = c.signal("m");
+        let y = c.signal("y");
+        c.buffer(a, m, Picos(d1));
+        c.buffer(m, y, Picos(d2));
+        c.stimulus(a, &[(Picos(0), Logic::Zero), (Picos(t), Logic::One)]);
+        c.watch(y);
+        let mut sim = c.into_simulator();
+        sim.run_until(Picos(t + d1 + d2 + 10));
+        let w = sim.waves().trace(y).unwrap();
+        let rises = w.rising_edges();
+        prop_assert_eq!(rises.len(), 1);
+        prop_assert_eq!(rises[0], Picos(t + d1 + d2));
+    }
+
+    /// A disabled latch never changes its output, whatever the data
+    /// does.
+    #[test]
+    fn opaque_latch_holds(transitions in proptest::collection::vec(10i64..990, 1..8)) {
+        let mut c = Circuit::new();
+        let d = c.signal("d");
+        let en = c.signal("en");
+        let q = c.signal("q");
+        c.latch(d, en, q, Picos(2));
+        // Enable once to seat a known value, then go opaque.
+        c.stimulus(en, &[(Picos(0), Logic::One), (Picos(5), Logic::Zero)]);
+        c.stimulus(d, &[(Picos(0), Logic::Zero)]);
+        let mut stim: Vec<(Picos, Logic)> = Vec::new();
+        let mut level = false;
+        let mut times = transitions.clone();
+        times.sort_unstable();
+        for t in times {
+            level = !level;
+            stim.push((Picos(1000 + t), Logic::from_bool(level)));
+        }
+        c.stimulus(d, &stim);
+        c.watch(q);
+        let mut sim = c.into_simulator();
+        sim.run_until(Picos(2500));
+        let w = sim.waves().trace(q).unwrap();
+        // One initial transition (X -> 0) at most; nothing after the
+        // enable closed at t=5 (+latch delay).
+        prop_assert_eq!(w.transitions_in(Picos(10), Picos(2500)), 0,
+            "opaque latch must hold: {:?}", w.samples());
+    }
+
+    /// An inverter chain of length n inverts iff n is odd, after the
+    /// summed delay.
+    #[test]
+    fn inverter_chain_parity(n in 1usize..8, delay in 1i64..50) {
+        let mut c = Circuit::new();
+        let mut prev = c.signal("in");
+        let input = prev;
+        for i in 0..n {
+            let next = c.signal(&format!("n{i}"));
+            c.inverter(prev, next, Picos(delay));
+            prev = next;
+        }
+        c.stimulus(input, &[(Picos(0), Logic::One)]);
+        c.watch(prev);
+        let mut sim = c.into_simulator();
+        sim.run_until(Picos(delay * n as i64 + 10));
+        let expect = if n % 2 == 1 { Logic::Zero } else { Logic::One };
+        prop_assert_eq!(sim.value(prev), expect);
+    }
+
+    /// Event delivery is order-independent for independent signals: two
+    /// stimuli schedules produce the same final state regardless of
+    /// insertion order.
+    #[test]
+    fn stimulus_insertion_order_irrelevant(ta in 1i64..100, tb in 1i64..100) {
+        let build = |swap: bool| {
+            let mut c = Circuit::new();
+            let a = c.signal("a");
+            let b = c.signal("b");
+            let y = c.signal("y");
+            c.xor2(a, b, y, Picos(3));
+            let sa = [(Picos(0), Logic::Zero), (Picos(ta), Logic::One)];
+            let sb = [(Picos(0), Logic::Zero), (Picos(tb), Logic::One)];
+            if swap {
+                c.stimulus(b, &sb);
+                c.stimulus(a, &sa);
+            } else {
+                c.stimulus(a, &sa);
+                c.stimulus(b, &sb);
+            }
+            c.watch(y);
+            let mut sim = c.into_simulator();
+            sim.run_until(Picos(300));
+            sim.waves().trace(y).unwrap().samples().to_vec()
+        };
+        prop_assert_eq!(build(false), build(true));
+    }
+}

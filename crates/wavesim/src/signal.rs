@@ -1,0 +1,160 @@
+//! Three-valued logic and signal identifiers.
+
+use std::fmt;
+
+/// A signal value: `0`, `1`, or unknown (`X`).
+///
+/// Unknown values model un-initialised storage nodes and metastable
+/// samples; they propagate through gates with Kleene semantics (an `X`
+/// input yields `X` unless the other inputs force the output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Logic {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown / un-initialised / metastable.
+    #[default]
+    X,
+}
+
+impl Logic {
+    /// Converts a bool.
+    pub fn from_bool(b: bool) -> Logic {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// `Some(bool)` for a known value, `None` for `X`.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X => None,
+        }
+    }
+
+    /// True when the value is known (not `X`).
+    pub fn is_known(self) -> bool {
+        self != Logic::X
+    }
+
+    /// Kleene NOT.
+    #[allow(clippy::should_implement_trait)] // `!x` on a 3-valued type would hide the Kleene semantics
+    pub fn not(self) -> Logic {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            Logic::X => Logic::X,
+        }
+    }
+
+    /// Kleene AND.
+    pub fn and(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Kleene OR.
+    pub fn or(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Kleene XOR.
+    pub fn xor(self, other: Logic) -> Logic {
+        match (self.to_bool(), other.to_bool()) {
+            (Some(a), Some(b)) => Logic::from_bool(a != b),
+            _ => Logic::X,
+        }
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Logic {
+        Logic::from_bool(b)
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'X',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// Identifier of a signal (wire) in a [`crate::Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SigId(pub u32);
+
+impl fmt::Display for SigId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sig#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kleene_and_truth_table() {
+        use Logic::*;
+        assert_eq!(Zero.and(X), Zero);
+        assert_eq!(X.and(Zero), Zero);
+        assert_eq!(One.and(One), One);
+        assert_eq!(One.and(X), X);
+        assert_eq!(X.and(X), X);
+    }
+
+    #[test]
+    fn kleene_or_truth_table() {
+        use Logic::*;
+        assert_eq!(One.or(X), One);
+        assert_eq!(X.or(One), One);
+        assert_eq!(Zero.or(Zero), Zero);
+        assert_eq!(Zero.or(X), X);
+    }
+
+    #[test]
+    fn kleene_not_and_xor() {
+        use Logic::*;
+        assert_eq!(Zero.not(), One);
+        assert_eq!(One.not(), Zero);
+        assert_eq!(X.not(), X);
+        assert_eq!(One.xor(Zero), One);
+        assert_eq!(One.xor(One), Zero);
+        assert_eq!(One.xor(X), X);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Logic::from_bool(true), Logic::One);
+        assert_eq!(Logic::from(false), Logic::Zero);
+        assert_eq!(Logic::One.to_bool(), Some(true));
+        assert_eq!(Logic::X.to_bool(), None);
+        assert!(Logic::Zero.is_known());
+        assert!(!Logic::X.is_known());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Logic::Zero.to_string(), "0");
+        assert_eq!(Logic::One.to_string(), "1");
+        assert_eq!(Logic::X.to_string(), "X");
+        assert_eq!(SigId(4).to_string(), "sig#4");
+    }
+}

@@ -1,0 +1,165 @@
+//! VCD (Value Change Dump) export of captured waveforms.
+//!
+//! Writes IEEE-1364-style VCD text so captured TIMBER waveforms can be
+//! inspected in standard viewers (GTKWave etc.). Only the subset of the
+//! format needed for scalar wires is emitted.
+
+use std::fmt::Write as _;
+
+use timber_netlist::Picos;
+
+use crate::signal::{Logic, SigId};
+use crate::wave::WaveformSet;
+
+fn ident(index: usize) -> String {
+    // Printable-ASCII identifier code, base-94 starting at '!'.
+    let mut n = index;
+    let mut s = String::new();
+    loop {
+        s.push((b'!' + (n % 94) as u8) as char);
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+    }
+    s
+}
+
+fn logic_char(v: Logic) -> char {
+    match v {
+        Logic::Zero => '0',
+        Logic::One => '1',
+        Logic::X => 'x',
+    }
+}
+
+/// Serialises the given signals of a [`WaveformSet`] as VCD text.
+///
+/// `signals` pairs a display name with a watched signal; signals that
+/// were not watched produce no value changes (they stay `x`).
+///
+/// # Example
+///
+/// ```
+/// use timber_netlist::Picos;
+/// use timber_wavesim::{vcd, Circuit, Logic};
+///
+/// let mut c = Circuit::new();
+/// let a = c.signal("a");
+/// c.stimulus(a, &[(Picos(0), Logic::Zero), (Picos(5), Logic::One)]);
+/// c.watch(a);
+/// let mut sim = c.into_simulator();
+/// sim.run_until(Picos(10));
+/// let text = vcd::to_vcd(sim.waves(), &[("a", a)], Picos(10));
+/// assert!(text.contains("$var wire 1"));
+/// assert!(text.contains("$enddefinitions"));
+/// ```
+pub fn to_vcd(waves: &WaveformSet, signals: &[(&str, SigId)], t_end: Picos) -> String {
+    let mut out = String::new();
+    out.push_str("$comment timber-wavesim dump $end\n");
+    out.push_str("$timescale 1ps $end\n");
+    out.push_str("$scope module timber $end\n");
+    for (i, (name, _)) in signals.iter().enumerate() {
+        let _ = writeln!(out, "$var wire 1 {} {} $end", ident(i), name);
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+
+    // Initial values.
+    out.push_str("#0\n$dumpvars\n");
+    for (i, &(_, sig)) in signals.iter().enumerate() {
+        let v = waves
+            .trace(sig)
+            .map(|w| w.value_at(Picos::ZERO))
+            .unwrap_or(Logic::X);
+        let _ = writeln!(out, "{}{}", logic_char(v), ident(i));
+    }
+    out.push_str("$end\n");
+
+    // Merge all transitions in time order.
+    let mut events: Vec<(Picos, usize, Logic)> = Vec::new();
+    for (i, &(_, sig)) in signals.iter().enumerate() {
+        if let Some(w) = waves.trace(sig) {
+            for &(t, v) in w.samples() {
+                if t > Picos::ZERO && t <= t_end {
+                    events.push((t, i, v));
+                }
+            }
+        }
+    }
+    events.sort_by_key(|&(t, i, _)| (t, i));
+    let mut last_time = None;
+    for (t, i, v) in events {
+        if last_time != Some(t) {
+            let _ = writeln!(out, "#{}", t.as_ps());
+            last_time = Some(t);
+        }
+        let _ = writeln!(out, "{}{}", logic_char(v), ident(i));
+    }
+    let _ = writeln!(out, "#{}", t_end.as_ps());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    #[test]
+    fn ident_is_unique_and_printable() {
+        let ids: Vec<String> = (0..200).map(ident).collect();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+        for id in &ids {
+            assert!(id.chars().all(|c| ('!'..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn vcd_contains_header_and_transitions() {
+        let mut c = Circuit::new();
+        let a = c.signal("a");
+        let y = c.signal("y");
+        c.inverter(a, y, Picos(5));
+        c.stimulus(a, &[(Picos(0), Logic::Zero), (Picos(20), Logic::One)]);
+        c.watch(a);
+        c.watch(y);
+        let mut sim = c.into_simulator();
+        sim.run_until(Picos(50));
+        let text = to_vcd(sim.waves(), &[("a", a), ("y", y)], Picos(50));
+        assert!(text.contains("$timescale 1ps $end"));
+        assert!(text.contains("$var wire 1 ! a $end"));
+        assert!(text.contains("$var wire 1 \" y $end"));
+        assert!(text.contains("#20\n1!"), "a rises at 20:\n{text}");
+        assert!(text.contains("#25\n0\""), "y falls at 25:\n{text}");
+        assert!(text.ends_with("#50\n"));
+    }
+
+    #[test]
+    fn unwatched_signals_stay_x() {
+        let mut c = Circuit::new();
+        let a = c.signal("a");
+        c.stimulus(a, &[(Picos(0), Logic::One)]);
+        // not watched
+        let mut sim = c.into_simulator();
+        sim.run_until(Picos(10));
+        let text = to_vcd(sim.waves(), &[("a", a)], Picos(10));
+        assert!(text.contains("x!"), "{text}");
+    }
+
+    #[test]
+    fn simultaneous_changes_share_one_timestamp() {
+        let mut c = Circuit::new();
+        let a = c.signal("a");
+        let b = c.signal("b");
+        c.stimulus(a, &[(Picos(0), Logic::Zero), (Picos(10), Logic::One)]);
+        c.stimulus(b, &[(Picos(0), Logic::Zero), (Picos(10), Logic::One)]);
+        c.watch(a);
+        c.watch(b);
+        let mut sim = c.into_simulator();
+        sim.run_until(Picos(20));
+        let text = to_vcd(sim.waves(), &[("a", a), ("b", b)], Picos(20));
+        assert_eq!(text.matches("#10\n").count(), 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Waveform capture and ASCII rendering.
+//!
+//! The `repro fig5` / `repro fig7` binaries print these renderings as
+//! the reproduction of the paper's SPICE waveform figures.
+
+use std::collections::HashMap;
+
+use timber_netlist::Picos;
+
+use crate::signal::{Logic, SigId};
+
+/// The transition history of one signal.
+#[derive(Debug, Clone, Default)]
+pub struct Waveform {
+    samples: Vec<(Picos, Logic)>,
+}
+
+impl Waveform {
+    /// Recorded transitions as `(time, new value)` pairs, in time order.
+    pub fn samples(&self) -> &[(Picos, Logic)] {
+        &self.samples
+    }
+
+    /// Value at a time (the last transition at or before `t`; `X` before
+    /// the first transition).
+    pub fn value_at(&self, t: Picos) -> Logic {
+        match self.samples.partition_point(|&(st, _)| st <= t) {
+            0 => Logic::X,
+            idx => self.samples[idx - 1].1,
+        }
+    }
+
+    /// Times at which the signal rose (changed to 1).
+    pub fn rising_edges(&self) -> Vec<Picos> {
+        self.samples
+            .iter()
+            .filter(|(_, v)| *v == Logic::One)
+            .map(|(t, _)| *t)
+            .collect()
+    }
+
+    /// Number of transitions in a half-open window `[from, to)` — used
+    /// to count glitches in the checking period.
+    pub fn transitions_in(&self, from: Picos, to: Picos) -> usize {
+        self.samples
+            .iter()
+            .filter(|(t, _)| *t >= from && *t < to)
+            .count()
+    }
+}
+
+/// Waveforms of all watched signals in a simulation.
+#[derive(Debug, Clone, Default)]
+pub struct WaveformSet {
+    traces: HashMap<SigId, Waveform>,
+}
+
+impl WaveformSet {
+    pub(crate) fn new(watched: Vec<SigId>) -> WaveformSet {
+        WaveformSet {
+            traces: watched
+                .into_iter()
+                .map(|s| (s, Waveform::default()))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn record(&mut self, sig: SigId, t: Picos, v: Logic) {
+        if let Some(w) = self.traces.get_mut(&sig) {
+            w.samples.push((t, v));
+        }
+    }
+
+    /// The trace of a watched signal, if it was watched.
+    pub fn trace(&self, sig: SigId) -> Option<&Waveform> {
+        self.traces.get(&sig)
+    }
+}
+
+/// Renders labelled waveforms as ASCII rows over `[t0, t1)` with one
+/// character per `step` of time: `‾` high, `_` low, `x` unknown, `|` on
+/// the sample after a transition.
+///
+/// # Panics
+///
+/// Panics if `step` is not positive or `t1 <= t0`.
+pub fn render_waves(
+    set: &WaveformSet,
+    rows: &[(&str, SigId)],
+    t0: Picos,
+    t1: Picos,
+    step: Picos,
+) -> String {
+    assert!(step > Picos::ZERO, "step must be positive");
+    assert!(t1 > t0, "window must be non-empty");
+    let label_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0).max(4);
+    let mut out = String::new();
+    // Time ruler.
+    out.push_str(&format!("{:label_w$} ", "t/ps"));
+    let cols = ((t1 - t0).as_ps() / step.as_ps()) as usize;
+    let mut c = 0;
+    while c < cols {
+        let t = t0 + step * (c as i64);
+        let mark = format!("{}", t.as_ps());
+        if c % 10 == 0 && c + mark.len() <= cols {
+            out.push_str(&mark);
+            c += mark.len();
+        } else {
+            out.push(' ');
+            c += 1;
+        }
+    }
+    out.push('\n');
+    for &(name, sig) in rows {
+        out.push_str(&format!("{name:label_w$} "));
+        let trace = set.trace(sig);
+        let mut prev: Option<Logic> = None;
+        for col in 0..cols {
+            let t = t0 + step * (col as i64);
+            let v = trace.map(|w| w.value_at(t)).unwrap_or(Logic::X);
+            let ch = match (prev, v) {
+                (Some(p), _) if p != v => '|',
+                (_, Logic::One) => '\u{203E}', // overline
+                (_, Logic::Zero) => '_',
+                (_, Logic::X) => 'x',
+            };
+            out.push(ch);
+            prev = Some(v);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(samples: &[(i64, Logic)]) -> Waveform {
+        Waveform {
+            samples: samples.iter().map(|&(t, v)| (Picos(t), v)).collect(),
+        }
+    }
+
+    #[test]
+    fn value_at_returns_latest_transition() {
+        let w = wave(&[(10, Logic::One), (20, Logic::Zero)]);
+        assert_eq!(w.value_at(Picos(5)), Logic::X);
+        assert_eq!(w.value_at(Picos(10)), Logic::One);
+        assert_eq!(w.value_at(Picos(15)), Logic::One);
+        assert_eq!(w.value_at(Picos(20)), Logic::Zero);
+        assert_eq!(w.value_at(Picos(100)), Logic::Zero);
+    }
+
+    #[test]
+    fn rising_edges_listed() {
+        let w = wave(&[(10, Logic::One), (20, Logic::Zero), (30, Logic::One)]);
+        assert_eq!(w.rising_edges(), vec![Picos(10), Picos(30)]);
+    }
+
+    #[test]
+    fn transitions_in_window() {
+        let w = wave(&[(10, Logic::One), (20, Logic::Zero), (30, Logic::One)]);
+        assert_eq!(w.transitions_in(Picos(10), Picos(30)), 2);
+        assert_eq!(w.transitions_in(Picos(0), Picos(100)), 3);
+        assert_eq!(w.transitions_in(Picos(11), Picos(20)), 0);
+    }
+
+    #[test]
+    fn render_produces_one_row_per_signal() {
+        let mut set = WaveformSet::new(vec![SigId(0)]);
+        set.record(SigId(0), Picos(0), Logic::Zero);
+        set.record(SigId(0), Picos(50), Logic::One);
+        let s = render_waves(&set, &[("d", SigId(0))], Picos(0), Picos(100), Picos(10));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].starts_with("d"));
+        assert!(lines[1].contains('_'));
+        assert!(lines[1].contains('|'));
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn render_validates_step() {
+        let set = WaveformSet::new(vec![]);
+        let _ = render_waves(&set, &[], Picos(0), Picos(10), Picos(0));
+    }
+}

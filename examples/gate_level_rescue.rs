@@ -1,0 +1,56 @@
+//! Gate-level rescue: the whole stack, end to end, on one netlist.
+//!
+//! A ripple-carry adder is compiled gate-for-gate into the event-driven
+//! waveform simulator twice — once with conventional flip-flops, once
+//! with TIMBER flip-flops (including the §4 short-path padding the
+//! compiler inserts automatically) — then both are clocked with random
+//! vectors while a global derating factor models a voltage-droop event,
+//! and every captured flop state is checked against the zero-delay
+//! functional reference.
+//!
+//! Run with: `cargo run --release --example gate_level_rescue`
+
+use timber_repro::core::gate_level::{lockstep_compare, SeqStyle};
+use timber_repro::core::CheckingPeriod;
+use timber_repro::netlist::{ripple_carry_adder, CellLibrary, FlopId, Picos};
+use timber_repro::sta::{ClockConstraint, TimingAnalysis};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = CellLibrary::standard();
+    let nl = ripple_carry_adder(&lib, 4)?;
+    let crit = TimingAnalysis::run(&nl, &ClockConstraint::with_period(Picos(1_000_000)))
+        .worst_arrival();
+    let period = crit.scale(1.15);
+    println!(
+        "design {:?}: {} gates, {} flops, critical {crit}, clock {period} (15% margin)\n",
+        nl.name(),
+        nl.instance_count(),
+        nl.flop_count()
+    );
+
+    let schedule = CheckingPeriod::new(period, 30.0, 1, 2)?;
+    let replaced: Vec<FlopId> = nl.flop_ids().collect();
+    let timber = SeqStyle::TimberFf {
+        schedule,
+        replaced,
+    };
+
+    println!("derate   conventional mismatches   TIMBER mismatches   (100 cycles each)");
+    for derate in [1.0, 1.1, 1.2, 1.3] {
+        let conv = lockstep_compare(&nl, period, &SeqStyle::Conventional, derate, 100, 7);
+        let timb = lockstep_compare(&nl, period, &timber, derate, 100, 7);
+        println!(
+            "x{derate:<7.2} {:<27} {:<19}",
+            conv.mismatched_flops, timb.mismatched_flops
+        );
+    }
+    println!(
+        "\nAt x1.0 both match the functional reference exactly. Past the 15%\n\
+         margin the conventional flops capture stale carry bits; the TIMBER\n\
+         cells' delayed M1 sample corrects every one of them. The compiler\n\
+         inserted the short-path padding automatically — remove it and the\n\
+         next vector races into the extended sampling window, which is\n\
+         precisely the hold constraint §4 of the paper warns about."
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Timing what-if analysis: the static-timing view of dynamic
+//! variability.
+//!
+//! Builds the arithmetic suite (Kogge–Stone adder, array multiplier,
+//! ALU), clocks each block with a small margin, then sweeps a global
+//! derating factor — the STA equivalent of a voltage-droop event — and
+//! prints how the worst slack collapses and endpoints start failing.
+//! The slack histogram shows the "timing wall" that makes aggressive
+//! performance points so sensitive (the shape behind the paper's
+//! Fig. 1 performance-point axis).
+//!
+//! Run with: `cargo run --release --example timing_what_if`
+
+use timber_repro::netlist::{
+    alu, array_multiplier, kogge_stone_adder, CellLibrary, Netlist, Picos,
+};
+use timber_repro::sta::{derate_sweep, ClockConstraint, SlackHistogram, TimingAnalysis};
+
+fn analyse(name: &str, nl: &Netlist) {
+    // Clock with 8% margin over the nominal critical path.
+    let probe = TimingAnalysis::run(nl, &ClockConstraint::with_period(Picos(1_000_000)));
+    let period = probe.worst_arrival().scale(1.08) + Picos(30);
+    let clk = ClockConstraint::with_period(period);
+    let sta = TimingAnalysis::run(nl, &clk);
+
+    println!(
+        "== {name}: {} gates, {} flops, clock {period}, worst slack {} ==",
+        nl.instance_count(),
+        nl.flop_count(),
+        sta.worst_slack()
+    );
+
+    let hist = SlackHistogram::measure(&sta, nl, 8);
+    println!("endpoint slack histogram ({} endpoints):", hist.total);
+    print!("{}", hist.render());
+
+    println!("derating sweep (global slow-down, as in a droop event):");
+    for p in derate_sweep(nl, &clk, &[1.0, 1.04, 1.08, 1.12, 1.16]) {
+        println!(
+            "  x{:.2}: worst slack {:>7}, failing endpoints {}",
+            p.factor,
+            p.worst_slack.to_string(),
+            p.failing_endpoints
+        );
+    }
+    println!();
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = CellLibrary::standard();
+    analyse("kogge-stone adder (16b)", &kogge_stone_adder(&lib, 16)?);
+    analyse("array multiplier (8x8)", &array_multiplier(&lib, 8)?);
+    analyse("ALU (16b)", &alu(&lib, 16)?);
+    println!(
+        "The derating factor at which endpoints start failing is exactly the\n\
+         dynamic-variability margin a conventional design must reserve — and\n\
+         the margin TIMBER recovers by masking instead of margining."
+    );
+    Ok(())
+}

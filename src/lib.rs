@@ -1,0 +1,32 @@
+//! # timber-repro
+//!
+//! Umbrella crate for the reproduction of *TIMBER: Time borrowing and
+//! error relaying for online timing error resilience* (Choudhury, Chandra,
+//! Mohanram, Aitken — DATE 2010).
+//!
+//! This crate re-exports every subsystem so examples and integration
+//! tests can use one dependency. See the repository `README.md` for the
+//! architecture overview, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! # Example
+//!
+//! ```
+//! use timber_repro::netlist::CellLibrary;
+//!
+//! let lib = CellLibrary::standard();
+//! assert!(lib.find("nand2").is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use timber_netlist as netlist;
+pub use timber_proc as proc_model;
+pub use timber_sta as sta;
+
+pub use timber as core;
+pub use timber_pipeline as pipeline;
+pub use timber_power as power;
+pub use timber_schemes as schemes;
+pub use timber_variability as variability;
+pub use timber_wavesim as wavesim;

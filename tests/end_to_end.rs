@@ -1,0 +1,112 @@
+//! End-to-end integration: netlist generation → STA → TIMBER design
+//! planning → overhead accounting, all through the public APIs.
+
+use timber_repro::core::design::{ElementStyle, TimberDesign};
+use timber_repro::core::{CheckingPeriod, ConsolidationTree};
+use timber_repro::netlist::{pipelined_datapath, CellLibrary, DatapathSpec, Picos};
+use timber_repro::proc_model::structural;
+use timber_repro::proc_model::PerfPoint;
+use timber_repro::sta::{ClockConstraint, HoldAnalysis, PathDistribution, TimingAnalysis};
+
+fn testbench_netlist(seed: u64) -> timber_repro::netlist::Netlist {
+    let lib = CellLibrary::standard();
+    pipelined_datapath(&lib, &DatapathSpec::uniform(5, 16, 200, 0.7, seed)).expect("generator")
+}
+
+fn fitting_period(nl: &timber_repro::netlist::Netlist, frac: f64) -> Picos {
+    let sta = TimingAnalysis::run(nl, &ClockConstraint::with_period(Picos(1_000_000)));
+    sta.worst_arrival().scale(1.0 / frac)
+}
+
+#[test]
+fn full_flow_produces_consistent_design_report() {
+    let nl = testbench_netlist(404);
+    let period = fitting_period(&nl, 0.95);
+    let clk = ClockConstraint::with_period(period);
+
+    for c in [10.0, 20.0, 30.0, 40.0] {
+        let schedule = CheckingPeriod::deferred_flagging(period, c).expect("valid schedule");
+        let report = TimberDesign::new(schedule, ElementStyle::FlipFlop, c).plan(&nl, &clk);
+
+        // Replacement set equals the STA endpoint classification.
+        let sta = TimingAnalysis::run(&nl, &clk);
+        let expected = PathDistribution::replacement_set(&sta, &nl, c);
+        assert_eq!(report.replaced, expected);
+
+        // One relay estimate per replaced flop, all with bounded cones.
+        assert_eq!(report.relay_estimates.len(), report.replaced.len());
+        for e in &report.relay_estimates {
+            assert!(e.sources <= nl.flop_count());
+        }
+
+        // Padding must cover at least the worst short path.
+        let hold = HoldAnalysis::run(&nl, &clk);
+        let plan = hold.padding_plan(&nl, schedule.checking());
+        assert_eq!(report.padding_total, plan.total_padding);
+
+        // The consolidation tree always meets the 1.5-cycle budget at
+        // these design sizes.
+        assert!(report.consolidation_ok());
+    }
+}
+
+#[test]
+fn checking_period_covers_exactly_the_vulnerable_paths() {
+    // A path is "covered" by TIMBER when its delay can grow by the
+    // recovered margin without corrupting. Verify the replacement rule
+    // picks exactly the endpoints whose paths could need that.
+    let nl = testbench_netlist(17);
+    let period = fitting_period(&nl, 0.95);
+    let clk = ClockConstraint::with_period(period);
+    let sta = TimingAnalysis::run(&nl, &clk);
+
+    let c = 20.0;
+    let threshold = period.scale(1.0 - c / 100.0);
+    let replaced = PathDistribution::replacement_set(&sta, &nl, c);
+    for f in nl.flop_ids() {
+        let arrival = sta.arrival(nl.flop(f).d());
+        assert_eq!(
+            replaced.contains(&f),
+            arrival >= threshold,
+            "flop {f} arrival {arrival} vs threshold {threshold}"
+        );
+    }
+}
+
+#[test]
+fn consolidation_scales_to_processor_sized_designs() {
+    // 50k error sources still consolidate within 1.5 cycles at 1 GHz.
+    let schedule = CheckingPeriod::deferred_flagging(Picos(1000), 12.0).expect("valid");
+    let tree = ConsolidationTree::new(50_000);
+    assert!(tree.meets_budget(&schedule), "latency {}", tree.latency());
+}
+
+#[test]
+fn structural_proxy_flows_through_sta_and_design_planning() {
+    let nl = structural::proxy_netlist(2024);
+    let period = structural::proxy_period(&nl, PerfPoint::High);
+    let clk = ClockConstraint::with_period(period);
+    let schedule = CheckingPeriod::deferred_flagging(period, 30.0).expect("valid");
+    let report = TimberDesign::new(schedule, ElementStyle::FlipFlop, 30.0).plan(&nl, &clk);
+    assert!(!report.replaced.is_empty());
+    // Relay slack must respect the half-cycle budget everywhere.
+    if let Some(slack) = report.worst_relay_slack_pct() {
+        assert!(
+            slack > 0.0,
+            "relay must settle within half a cycle: {slack}"
+        );
+    }
+}
+
+#[test]
+fn latch_and_ff_styles_replace_the_same_flops() {
+    let nl = testbench_netlist(88);
+    let period = fitting_period(&nl, 0.95);
+    let clk = ClockConstraint::with_period(period);
+    let schedule = CheckingPeriod::deferred_flagging(period, 25.0).expect("valid");
+    let ff = TimberDesign::new(schedule, ElementStyle::FlipFlop, 25.0).plan(&nl, &clk);
+    let latch = TimberDesign::new(schedule, ElementStyle::Latch, 25.0).plan(&nl, &clk);
+    assert_eq!(ff.replaced, latch.replaced);
+    assert!(latch.relay_estimates.is_empty());
+    assert!(!ff.relay_estimates.is_empty() || ff.replaced.is_empty());
+}
