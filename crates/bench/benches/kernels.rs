@@ -76,9 +76,27 @@ fn pipeline_sim_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// The claims-workload hot loop: the exact environment `claims` runs
+/// (stressed sensitization + droop/temperature/jitter variability), so
+/// cycles/sec here tracks what the Monte-Carlo sweeps actually pay.
+fn pipeline_hot_loop(c: &mut Criterion) {
+    const CYCLES: u64 = 100_000;
+    c.bench_function("pipeline_hot_loop", |b| {
+        b.iter(|| {
+            let sched = CheckingPeriod::deferred_flagging(Picos(1000), 24.0).expect("valid");
+            let mut scheme = TimberFfScheme::new(sched, 5);
+            let mut sens = timber_bench::experiments::stress_sensitization(5, 2010);
+            let mut var = timber_bench::experiments::stress_variability(2010);
+            let cfg = PipelineConfig::new(5, Picos(1000));
+            black_box(PipelineSim::new(cfg, &mut scheme, &mut sens, &mut var).run(CYCLES))
+        })
+    });
+}
+
 criterion_group!(
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = sta_full_analysis, sta_path_enumeration, wavesim_timber_ff, pipeline_sim_throughput
+    targets = sta_full_analysis, sta_path_enumeration, wavesim_timber_ff, pipeline_sim_throughput,
+        pipeline_hot_loop
 );
 criterion_main!(kernels);

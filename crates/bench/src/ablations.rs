@@ -5,35 +5,29 @@
 
 use timber::{validate_flipflop, validate_latch, CheckingPeriod, TimberFfScheme};
 use timber_netlist::Picos;
-use timber_pipeline::{PipelineConfig, PipelineSim, RunStats, SequentialScheme};
+use timber_pipeline::{Environment, PipelineConfig, RunStats, SequentialScheme, SweepSpec};
 use timber_schemes::{MarginedFlop, RazorFf};
 use timber_variability::{SensitizationModel, VariabilityBuilder};
 
-use crate::experiments::{PERIOD, SEED};
+use crate::experiments::{PERIOD, SEED, TRIALS};
 
 const STAGES: usize = 5;
 
-fn environment(
-    droop_depth: f64,
-    seed: u64,
-) -> (SensitizationModel, timber_variability::CompositeVariability) {
+fn per_trial(cycles: u64) -> u64 {
+    (cycles / TRIALS as u64).max(1)
+}
+
+fn environment(droop_depth: f64, seed: u64) -> Environment {
     let sens = SensitizationModel::uniform(STAGES, Picos(970), seed ^ 0x5EED);
     let var = VariabilityBuilder::new(seed)
         .voltage_droop(droop_depth, 500, 2000.0)
         .local_jitter(0.005)
         .build();
-    (sens, var)
-}
-
-fn run(scheme: &mut dyn SequentialScheme, droop_depth: f64, cycles: u64) -> RunStats {
-    let (mut sens, mut var) = environment(droop_depth, SEED);
-    PipelineSim::new(
-        PipelineConfig::new(STAGES, PERIOD),
-        scheme,
-        &mut sens,
-        &mut var,
-    )
-    .run(cycles)
+    Environment {
+        config: PipelineConfig::new(STAGES, PERIOD),
+        sensitization: sens,
+        variability: Box::new(var),
+    }
 }
 
 // --- schedule-shape ablation -------------------------------------------------
@@ -58,22 +52,39 @@ pub struct ScheduleAblationRow {
 /// flagging (fewer slowdowns) but shrink the per-stage margin for the
 /// same checking period.
 pub fn ablation_schedule(cycles: u64) -> Vec<ScheduleAblationRow> {
-    let mut rows = Vec::new();
+    ablation_schedule_threaded(cycles, 0)
+}
+
+/// [`ablation_schedule`] with an explicit worker-thread count (`0` =
+/// all available cores). Every (c, TB, ED) combination is one entry on
+/// the sweep's scheme axis, all sharing identical environments.
+pub fn ablation_schedule_threaded(cycles: u64, threads: usize) -> Vec<ScheduleAblationRow> {
+    let mut grid = Vec::new();
     for c in [12.0, 24.0, 36.0] {
         for (k_tb, k_ed) in [(0u8, 2u8), (1, 1), (1, 2), (2, 1), (2, 2)] {
             let sched = CheckingPeriod::new(PERIOD, c, k_tb, k_ed).expect("valid schedule");
-            let mut scheme = TimberFfScheme::new(sched, STAGES);
-            let stats = run(&mut scheme, 0.05, cycles);
-            rows.push(ScheduleAblationRow {
-                k_tb,
-                k_ed,
-                c_pct: c,
-                margin_pct: sched.recovered_margin_pct(),
-                stats,
-            });
+            grid.push((c, k_tb, k_ed, sched));
         }
     }
-    rows
+    let mut spec = SweepSpec::new(SEED, per_trial(cycles), TRIALS)
+        .env("droop-5pct", |p| environment(0.05, p.seed))
+        .threads(threads);
+    for &(c, k_tb, k_ed, sched) in &grid {
+        spec = spec.scheme(&format!("c{c}-tb{k_tb}-ed{k_ed}"), move |_| {
+            Box::new(TimberFfScheme::new(sched, STAGES))
+        });
+    }
+    let result = spec.run();
+    grid.iter()
+        .enumerate()
+        .map(|(i, &(c, k_tb, k_ed, sched))| ScheduleAblationRow {
+            k_tb,
+            k_ed,
+            c_pct: c,
+            margin_pct: sched.recovered_margin_pct(),
+            stats: result.cell(i, 0).clone(),
+        })
+        .collect()
 }
 
 /// Renders the schedule ablation.
@@ -114,17 +125,34 @@ pub struct DroopAblationRow {
 /// climbs with depth, while TIMBER keeps masking until the violations
 /// outgrow the checking period.
 pub fn ablation_droop(cycles: u64) -> Vec<DroopAblationRow> {
+    ablation_droop_threaded(cycles, 0)
+}
+
+/// [`ablation_droop`] with an explicit worker-thread count (`0` = all
+/// available cores). The droop depths form the sweep's environment
+/// axis; both schemes see the same environments at every depth.
+pub fn ablation_droop_threaded(cycles: u64, threads: usize) -> Vec<DroopAblationRow> {
+    const DEPTHS: [f64; 5] = [0.02, 0.04, 0.06, 0.08, 0.10];
     let sched = CheckingPeriod::deferred_flagging(PERIOD, 24.0).expect("valid");
-    [0.02, 0.04, 0.06, 0.08, 0.10]
-        .into_iter()
-        .map(|depth| {
-            let mut timber = TimberFfScheme::new(sched, STAGES);
-            let mut conventional = MarginedFlop::new();
-            DroopAblationRow {
-                depth,
-                timber: run(&mut timber, depth, cycles),
-                conventional: run(&mut conventional, depth, cycles),
-            }
+    let mut spec = SweepSpec::new(SEED, per_trial(cycles), TRIALS)
+        .scheme("timber-ff", move |_| {
+            Box::new(TimberFfScheme::new(sched, STAGES))
+        })
+        .scheme("conventional-ff", |_| Box::new(MarginedFlop::new()))
+        .threads(threads);
+    for depth in DEPTHS {
+        spec = spec.env(&format!("droop-{depth}"), move |p| {
+            environment(depth, p.seed)
+        });
+    }
+    let result = spec.run();
+    DEPTHS
+        .iter()
+        .enumerate()
+        .map(|(e, &depth)| DroopAblationRow {
+            depth,
+            timber: result.cell(0, e).clone(),
+            conventional: result.cell(1, e).clone(),
         })
         .collect()
 }
@@ -165,15 +193,29 @@ pub struct MetastabilityResult {
 /// against TIMBER under the same stress (paper §5.1: "TIMBER flip-flop
 /// does not suffer from data-path metastability issues").
 pub fn ablation_metastability(cycles: u64) -> MetastabilityResult {
+    ablation_metastability_threaded(cycles, 0)
+}
+
+/// [`ablation_metastability`] with an explicit worker-thread count
+/// (`0` = all available cores).
+pub fn ablation_metastability_threaded(cycles: u64, threads: usize) -> MetastabilityResult {
     let sched = CheckingPeriod::deferred_flagging(PERIOD, 24.0).expect("valid");
     let window = sched.checking();
-    let mut razor_ideal = RazorFf::new(window);
-    let mut razor_meta = RazorFf::new(window).with_metastability(Picos(20), 4);
-    let mut timber = TimberFfScheme::new(sched, STAGES);
+    let result = SweepSpec::new(SEED, per_trial(cycles), TRIALS)
+        .scheme("razor-ideal", move |_| Box::new(RazorFf::new(window)))
+        .scheme("razor-meta", move |_| {
+            Box::new(RazorFf::new(window).with_metastability(Picos(20), 4))
+        })
+        .scheme("timber-ff", move |_| {
+            Box::new(TimberFfScheme::new(sched, STAGES))
+        })
+        .env("droop-5pct", |p| environment(0.05, p.seed))
+        .threads(threads)
+        .run();
     MetastabilityResult {
-        razor_ideal: run(&mut razor_ideal, 0.05, cycles),
-        razor_meta: run(&mut razor_meta, 0.05, cycles),
-        timber: run(&mut timber, 0.05, cycles),
+        razor_ideal: result.cell(0, 0).clone(),
+        razor_meta: result.cell(1, 0).clone(),
+        timber: result.cell(2, 0).clone(),
     }
 }
 
@@ -222,8 +264,15 @@ pub fn ablation_dag(cycles: u64) -> DagResult {
     let sched = CheckingPeriod::deferred_flagging(PERIOD, 24.0).expect("valid");
 
     let run = |scheme: &mut dyn SequentialScheme| {
-        let (mut sens, mut var) = environment(0.05, SEED);
-        TopologySim::new(Topology::diamond(), PERIOD, scheme, &mut sens, &mut var).run(cycles)
+        let mut env = environment(0.05, SEED);
+        TopologySim::new(
+            Topology::diamond(),
+            PERIOD,
+            scheme,
+            &mut env.sensitization,
+            env.variability.as_mut(),
+        )
+        .run(cycles)
     };
     let mut dag_scheme = TimberDagScheme::new(sched, preds);
     let mut conventional = MarginedFlop::new();

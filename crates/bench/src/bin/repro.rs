@@ -2,21 +2,76 @@
 //!
 //! ```text
 //! repro [table1|fig1|fig2|fig5|fig7|fig8|claims|compare|margin|\
-//!        ablation-schedule|ablation-droop|metastability|validate|all] [--json]
+//!        ablation-schedule|ablation-droop|metastability|validate|\
+//!        bench|all] [--json] [--threads N]
 //! ```
+//!
+//! `--threads N` sets the Monte-Carlo sweep worker count (default: all
+//! cores). The thread count never changes any number, only wall-clock
+//! time. `bench` times the sweep engine and writes the
+//! `BENCH_pipeline.json` baseline.
 
 use std::env;
 
-use timber_bench::{ablations, experiments, margin, report};
+use timber_bench::{ablations, experiments, margin, perf, report};
 
 fn main() {
-    let args: Vec<String> = env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
-    let what = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
+    let raw: Vec<String> = env::args().skip(1).collect();
+    let mut json = false;
+    let mut threads: usize = 0;
+    let mut what: Option<String> = None;
+    let mut i = 0;
+    while i < raw.len() {
+        let arg = &raw[i];
+        if arg == "--json" {
+            json = true;
+        } else if arg == "--threads" {
+            i += 1;
+            threads = raw
+                .get(i)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die("--threads needs a number"));
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            threads = v
+                .parse()
+                .unwrap_or_else(|_| die("--threads needs a number"));
+        } else if let Some(flag) = arg.strip_prefix("--") {
+            die(&format!("unknown flag --{flag}"));
+        } else if what.is_none() {
+            what = Some(arg.clone());
+        } else {
+            die(&format!("unexpected argument {arg}"));
+        }
+        i += 1;
+    }
+    let what = what.unwrap_or_else(|| "all".to_owned());
+
+    const KNOWN: &[&str] = &[
+        "all",
+        "table1",
+        "fig1",
+        "fig2",
+        "fig5",
+        "fig7",
+        "fig8",
+        "claims",
+        "claims-netlist",
+        "margin",
+        "validate",
+        "ablation-schedule",
+        "ablation-droop",
+        "dag",
+        "glitch",
+        "metastability",
+        "compare",
+        "bench",
+    ];
+    if !KNOWN.contains(&what.as_str()) {
+        die(&format!(
+            "unknown experiment {what:?} (expected one of: {})",
+            KNOWN.join(", ")
+        ));
+    }
 
     let run = |name: &str| what == "all" || what == name;
 
@@ -68,7 +123,7 @@ fn main() {
     }
     if run("claims") {
         println!("== §3/§4 claims: error rates, flagging policies, performance loss ==");
-        let r = experiments::claims(1_000_000);
+        let r = experiments::claims_threaded(1_000_000, threads);
         if json {
             println!("{}", report::claims_json(&r));
         } else {
@@ -77,7 +132,7 @@ fn main() {
     }
     if run("claims-netlist") {
         println!("== §3/§4 claims on netlist-derived stage profiles ==");
-        let r = experiments::claims_netlist_backed(1_000_000);
+        let r = experiments::claims_netlist_backed_threaded(1_000_000, threads);
         if json {
             println!("{}", report::claims_json(&r));
         } else {
@@ -86,7 +141,7 @@ fn main() {
     }
     if run("margin") {
         println!("== Margin recovery: minimum safe operating period per scheme ==");
-        let rows = margin::margin_recovery(300_000);
+        let rows = margin::margin_recovery_threaded(300_000, threads);
         println!("{}", margin::render_margin(&rows));
     }
     if run("validate") {
@@ -95,12 +150,12 @@ fn main() {
     }
     if run("ablation-schedule") {
         println!("== Ablation: TB/ED interval split vs flagging policy ==");
-        let rows = ablations::ablation_schedule(500_000);
+        let rows = ablations::ablation_schedule_threaded(500_000, threads);
         println!("{}", ablations::render_ablation_schedule(&rows));
     }
     if run("ablation-droop") {
         println!("== Ablation: droop depth vs masking coverage ==");
-        let rows = ablations::ablation_droop(500_000);
+        let rows = ablations::ablation_droop_threaded(500_000, threads);
         println!("{}", ablations::render_ablation_droop(&rows));
     }
     if run("dag") {
@@ -115,12 +170,12 @@ fn main() {
     }
     if run("metastability") {
         println!("== Ablation: Razor metastability exposure vs TIMBER immunity ==");
-        let r = ablations::ablation_metastability(500_000);
+        let r = ablations::ablation_metastability_threaded(500_000, threads);
         println!("{}", ablations::render_metastability(&r));
     }
     if run("compare") {
         println!("== Cross-scheme comparison under the identical stress environment ==");
-        let rows = experiments::compare(1_000_000);
+        let rows = experiments::compare_threaded(1_000_000, threads);
         if json {
             println!("{}", report::compare_json(&rows, experiments::PERIOD));
         } else {
@@ -130,4 +185,24 @@ fn main() {
             );
         }
     }
+    // The engine baseline is opt-in (not part of `all`): it times the
+    // sweep engine rather than reproducing a paper figure.
+    if what == "bench" {
+        println!("== Sweep-engine baseline (writes BENCH_pipeline.json) ==");
+        let r = perf::pipeline_baseline(2_000_000);
+        let doc = perf::bench_json(&r);
+        std::fs::write("BENCH_pipeline.json", format!("{doc}\n"))
+            .expect("write BENCH_pipeline.json");
+        if json {
+            println!("{doc}");
+        } else {
+            println!("{}", perf::render_bench(&r));
+        }
+        assert!(r.identical, "thread count changed sweep results");
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
 }

@@ -25,6 +25,7 @@
 pub mod ablations;
 pub mod experiments;
 pub mod margin;
+pub mod perf;
 pub mod report;
 
 pub use ablations::{
@@ -33,7 +34,8 @@ pub use ablations::{
     ValidationSummary,
 };
 pub use experiments::{
-    claims, compare, fig1, fig2, fig5, fig7, fig8, table1, ClaimsResult, CompareRow, Fig1Result,
-    WaveResult,
+    claims, claims_threaded, compare, compare_threaded, fig1, fig2, fig5, fig7, fig8, table1,
+    ClaimsResult, CompareRow, Fig1Result, WaveResult,
 };
 pub use margin::{margin_recovery, render_margin, MarginRow};
+pub use perf::{pipeline_baseline, BenchResult, BenchRun};

@@ -11,11 +11,11 @@
 
 use timber::{CheckingPeriod, TimberFfScheme, TimberLatchScheme};
 use timber_netlist::Picos;
-use timber_pipeline::{PipelineConfig, PipelineSim, RunStats, SequentialScheme};
+use timber_pipeline::{Environment, PipelineConfig, RunStats, SequentialScheme, SweepSpec};
 use timber_schemes::{CanaryFf, MarginedFlop, RazorFf};
 use timber_variability::{SensitizationModel, VariabilityBuilder};
 
-use crate::experiments::SEED;
+use crate::experiments::{SEED, TRIALS};
 
 const STAGES: usize = 5;
 /// Nominal (base-design) clock period against which recovered margin is
@@ -42,15 +42,24 @@ fn make_scheme(name: &str, period: Picos) -> Box<dyn SequentialScheme> {
     }
 }
 
-fn run_at(name: &str, period: Picos, cycles: u64) -> RunStats {
-    let mut scheme = make_scheme(name, period);
-    let mut sens = SensitizationModel::uniform(STAGES, Picos(970), SEED ^ 0x5EED);
-    let mut var = VariabilityBuilder::new(SEED)
-        .voltage_droop(0.05, 500, 2000.0)
-        .local_jitter(0.005)
-        .build();
-    let config = PipelineConfig::new(STAGES, period);
-    PipelineSim::new(config, scheme.as_mut(), &mut sens, &mut var).run(cycles)
+fn run_at(name: &str, period: Picos, cycles: u64, threads: usize) -> RunStats {
+    let per_trial = (cycles / TRIALS as u64).max(1);
+    SweepSpec::new(SEED, per_trial, TRIALS)
+        .scheme(name, move |_| make_scheme(name, period))
+        .env("margin-stress", move |p| Environment {
+            config: PipelineConfig::new(STAGES, period),
+            sensitization: SensitizationModel::uniform(STAGES, Picos(970), p.seed ^ 0x5EED),
+            variability: Box::new(
+                VariabilityBuilder::new(p.seed)
+                    .voltage_droop(0.05, 500, 2000.0)
+                    .local_jitter(0.005)
+                    .build(),
+            ),
+        })
+        .threads(threads)
+        .run()
+        .cell(0, 0)
+        .clone()
 }
 
 /// One scheme's operating-point result.
@@ -71,6 +80,14 @@ pub struct MarginRow {
 /// reports the margin each recovers relative to the conventional
 /// design's requirement.
 pub fn margin_recovery(cycles: u64) -> Vec<MarginRow> {
+    margin_recovery_threaded(cycles, 0)
+}
+
+/// [`margin_recovery`] with an explicit worker-thread count (`0` = all
+/// available cores). Each binary-search probe is a sweep whose trials
+/// run in parallel; the search path itself is deterministic because the
+/// sweep results are thread-count invariant.
+pub fn margin_recovery_threaded(cycles: u64, threads: usize) -> Vec<MarginRow> {
     let schemes = [
         "conventional-ff",
         "canary-ff",
@@ -83,10 +100,10 @@ pub fn margin_recovery(cycles: u64) -> Vec<MarginRow> {
         .map(|&name| {
             // Binary search the smallest period with zero corruption.
             let (mut lo, mut hi) = (Picos(850), NOMINAL);
-            debug_assert!(run_at(name, hi, cycles).corrupted == 0);
+            debug_assert!(run_at(name, hi, cycles, threads).corrupted == 0);
             while hi - lo > Picos(2) {
                 let mid = (lo + hi) / 2;
-                if run_at(name, mid, cycles).corrupted == 0 {
+                if run_at(name, mid, cycles, threads).corrupted == 0 {
                     hi = mid;
                 } else {
                     lo = mid;
@@ -96,7 +113,7 @@ pub fn margin_recovery(cycles: u64) -> Vec<MarginRow> {
                 name: name.to_owned(),
                 min_safe_period: hi,
                 margin_vs_conventional_pct: 0.0, // filled below
-                stats: run_at(name, hi, cycles),
+                stats: run_at(name, hi, cycles, threads),
             }
         })
         .collect();

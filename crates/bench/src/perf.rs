@@ -1,0 +1,138 @@
+//! Engine-throughput baseline: measures the Monte-Carlo sweep engine
+//! on the claims workload at one and at all cores, checks the results
+//! are identical, and serialises the numbers as `BENCH_pipeline.json`
+//! so later changes can be compared against a committed baseline.
+
+use std::time::Instant;
+
+use serde_json::{json, Value};
+
+use crate::experiments::{self, ClaimsResult, TRIALS};
+
+/// One timed execution of the baseline workload.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchRun {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock time of the whole sweep.
+    pub wall_seconds: f64,
+    /// Simulated pipeline cycles per wall-clock second.
+    pub cycles_per_second: f64,
+}
+
+/// The full baseline: the claims sweep timed single- and multi-threaded.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Trials per sweep cell.
+    pub trials: usize,
+    /// Cycles per trial.
+    pub cycles_per_trial: u64,
+    /// Total simulated cycles per execution (all schemes, all trials).
+    pub total_cycles: u64,
+    /// Single-threaded run.
+    pub single: BenchRun,
+    /// Multi-threaded run (all available cores).
+    pub multi: BenchRun,
+    /// Multi- over single-thread wall-clock speedup.
+    pub speedup: f64,
+    /// Whether both runs produced bit-identical statistics (they must).
+    pub identical: bool,
+}
+
+fn timed(cycles: u64, threads: usize) -> (f64, ClaimsResult) {
+    let start = Instant::now();
+    let result = experiments::claims_threaded(cycles, threads);
+    (start.elapsed().as_secs_f64(), result)
+}
+
+/// Times the claims sweep (`cycles` total cycles per scheme) with one
+/// worker thread and with every available core, and cross-checks that
+/// the thread count did not change a single statistic.
+pub fn pipeline_baseline(cycles: u64) -> BenchResult {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let (wall_single, single) = timed(cycles, 1);
+    let (wall_multi, multi) = timed(cycles, cores);
+    let total_cycles = single.deferred.cycles + single.immediate.cycles;
+    let run = |threads: usize, wall: f64| BenchRun {
+        threads,
+        wall_seconds: wall,
+        cycles_per_second: total_cycles as f64 / wall,
+    };
+    BenchResult {
+        trials: TRIALS,
+        cycles_per_trial: (cycles / TRIALS as u64).max(1),
+        total_cycles,
+        single: run(1, wall_single),
+        multi: run(cores, wall_multi),
+        speedup: wall_single / wall_multi,
+        identical: single.deferred == multi.deferred && single.immediate == multi.immediate,
+    }
+}
+
+fn run_json(r: &BenchRun) -> Value {
+    json!({
+        "threads": r.threads,
+        "wall_seconds": r.wall_seconds,
+        "cycles_per_second": r.cycles_per_second,
+    })
+}
+
+/// Serialises a [`BenchResult`] as the `BENCH_pipeline.json` document.
+pub fn bench_json(r: &BenchResult) -> String {
+    serde_json::to_string_pretty(&json!({
+        "benchmark": "pipeline_sweep_claims",
+        "trials": r.trials,
+        "cycles_per_trial": r.cycles_per_trial,
+        "total_cycles": r.total_cycles,
+        "single_thread": json!(run_json(&r.single)),
+        "multi_thread": json!(run_json(&r.multi)),
+        "speedup": r.speedup,
+        "identical_across_threads": r.identical,
+    }))
+    .expect("serialise bench result")
+}
+
+/// Renders the baseline as text.
+pub fn render_bench(r: &BenchResult) -> String {
+    format!(
+        "claims sweep: {} trials x {} cycles, {} total simulated cycles\n\
+         single thread ({}): {:.3} s  ({:.0} cycles/s)\n\
+         multi  thread ({}): {:.3} s  ({:.0} cycles/s)\n\
+         speedup: {:.2}x   results identical across thread counts: {}\n",
+        r.trials,
+        r.cycles_per_trial,
+        r.total_cycles,
+        r.single.threads,
+        r.single.wall_seconds,
+        r.single.cycles_per_second,
+        r.multi.threads,
+        r.multi.wall_seconds,
+        r.multi.cycles_per_second,
+        r.speedup,
+        r.identical,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_thread_count_invariant_and_well_formed() {
+        let r = pipeline_baseline(40_000);
+        assert!(r.identical, "thread count must not change results");
+        assert_eq!(r.trials, TRIALS);
+        assert_eq!(r.total_cycles, 2 * TRIALS as u64 * r.cycles_per_trial);
+        assert!(r.single.cycles_per_second > 0.0);
+        assert!(r.multi.cycles_per_second > 0.0);
+
+        let js = bench_json(&r);
+        let back = serde_json::from_str(&js).expect("valid json");
+        assert_eq!(back["benchmark"], "pipeline_sweep_claims");
+        assert_eq!(back["identical_across_threads"], serde_json::json!(true));
+        assert!(back["single_thread"]["cycles_per_second"].as_f64().unwrap() > 0.0);
+        assert!(!render_bench(&r).is_empty());
+    }
+}

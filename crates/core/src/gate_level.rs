@@ -243,7 +243,8 @@ impl CompiledDesign {
         // Rising edges sit at T, 2T, …; vector n is applied in the low
         // phase after edge n (at n·T + 5T/8, past the previous sampling
         // point at n·T + T/2 − 1) and captured by the edge at (n+1)·T.
-        let t_apply = self.clk_period * (self.cycles_driven as i64) + self.clk_period / 2
+        let t_apply = self.clk_period * (self.cycles_driven as i64)
+            + self.clk_period / 2
             + self.clk_period / 8;
         for (&(_, sig), &bit) in self.pi_sigs.iter().zip(inputs) {
             self.sim.inject(t_apply, sig, Logic::from_bool(bit));
@@ -251,8 +252,7 @@ impl CompiledDesign {
         self.cycles_driven += 1;
         // Run to just before the next injection point: past the capture
         // edge, the whole checking period and any TIMBER handover.
-        let until = self.clk_period * (self.cycles_driven as i64) + self.clk_period / 2
-            - Picos(1);
+        let until = self.clk_period * (self.cycles_driven as i64) + self.clk_period / 2 - Picos(1);
         self.sim.run_until(until);
     }
 

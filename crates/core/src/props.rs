@@ -136,7 +136,7 @@ proptest! {
             let mut next_chain = vec![0usize; stages + 1];
             for s in 0..stages {
                 // Base delay at most one interval past the period.
-                let base = 1000 - rng.gen_range(0..200)
+                let base = 1000i64 - rng.gen_range(0i64..200)
                     + if rng.gen_bool(0.4) { rng.gen_range(0..=interval) } else { 0 };
                 let arrival = carry[s] + Picos(base);
                 let outcome = scheme.evaluate(s, arrival, carry[s], &ctx);

@@ -145,7 +145,10 @@ impl TimberDagScheme {
         assert!(!preds.is_empty(), "need at least one boundary");
         for (b, ps) in preds.iter().enumerate() {
             for &p in ps {
-                assert!(p < b, "predecessor {p} of boundary {b} violates topological order");
+                assert!(
+                    p < b,
+                    "predecessor {p} of boundary {b} violates topological order"
+                );
             }
         }
         let n = preds.len();

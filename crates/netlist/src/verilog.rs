@@ -91,11 +91,7 @@ pub fn to_verilog(netlist: &Netlist) -> String {
         let inst = netlist.instance(inst_id);
         let cell = netlist.library().cell(inst.cell());
         let mut pins = vec![ident(netlist.net(inst.output()).name())];
-        pins.extend(
-            inst.inputs()
-                .iter()
-                .map(|&n| ident(netlist.net(n).name())),
-        );
+        pins.extend(inst.inputs().iter().map(|&n| ident(netlist.net(n).name())));
         let _ = writeln!(
             out,
             "  {} {} ({});",

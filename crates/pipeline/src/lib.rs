@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod controller;
+pub mod montecarlo;
 pub mod reference;
 pub mod scheme;
 pub mod sim;
@@ -45,6 +46,7 @@ pub mod stats;
 pub mod topology;
 
 pub use controller::FrequencyController;
+pub use montecarlo::{Environment, SweepResult, SweepSpec, TrialPoint};
 pub use scheme::{CycleContext, Recovery, SequentialScheme, StageOutcome};
 pub use sim::{PipelineConfig, PipelineSim};
 pub use stats::RunStats;

@@ -1,0 +1,482 @@
+//! Parallel Monte-Carlo sweep engine.
+//!
+//! A [`SweepSpec`] is the cross product of a *scheme axis* (factories
+//! producing [`SequentialScheme`]s), an *environment axis* (factories
+//! producing an [`Environment`]: pipeline config, sensitization model
+//! and variability stack), and a *trial axis* (independent seeds). The
+//! engine fans the trials out over a pool of scoped OS threads
+//! (`std::thread::scope` — no dependencies beyond std) and reduces each
+//! cell's trials with [`RunStats::merge`].
+//!
+//! # Determinism
+//!
+//! Results are bit-identical regardless of thread count:
+//!
+//! * every trial's RNG seed is a pure function of the spec, derived as
+//!   `splitmix64(base_seed, env * trials + trial)` — note the index is
+//!   *scheme-independent*, so every scheme on the axis faces exactly
+//!   the same sequence of stress environments (required for fair
+//!   scheme-vs-scheme comparisons such as "deferred flagging flags no
+//!   more than immediate flagging");
+//! * trials are embarrassingly parallel (no shared mutable state);
+//! * worker results are scattered back to their flat trial index and
+//!   merged *sequentially in trial order*, so floating-point sums are
+//!   performed in one canonical order no matter which worker ran which
+//!   trial.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use timber_variability::{DelaySource, SensitizationModel};
+
+use crate::scheme::SequentialScheme;
+use crate::sim::{PipelineConfig, PipelineSim};
+use crate::stats::RunStats;
+
+/// SplitMix64: maps `(base, index)` to a well-mixed 64-bit seed.
+///
+/// This is the standard SplitMix64 finalizer applied to the `index`-th
+/// step of the stream starting at `base`. Nearby indices (0, 1, 2, …)
+/// produce statistically independent seeds, which is exactly what the
+/// per-trial seeding needs.
+pub fn splitmix64(base: u64, index: u64) -> u64 {
+    let mut z = base.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Coordinates of one trial in the sweep grid, handed to the scheme and
+/// environment factories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialPoint {
+    /// Index on the scheme axis.
+    pub scheme: usize,
+    /// Index on the environment axis.
+    pub env: usize,
+    /// Trial index within the (scheme, env) cell.
+    pub trial: usize,
+    /// Derived RNG seed for this trial. Scheme-independent: the same
+    /// `(env, trial)` pair yields the same seed on every scheme, so all
+    /// schemes are measured against identical environments.
+    pub seed: u64,
+}
+
+/// Everything a trial needs besides the scheme: the pipeline
+/// configuration, the workload (sensitization) model and the
+/// variability stack.
+pub struct Environment {
+    /// Pipeline configuration (stage count, period, controller knobs).
+    pub config: PipelineConfig,
+    /// Per-stage path sensitization model.
+    pub sensitization: SensitizationModel,
+    /// Delay-derating environment.
+    pub variability: Box<dyn DelaySource>,
+}
+
+type SchemeFactory<'a> = Box<dyn Fn(&TrialPoint) -> Box<dyn SequentialScheme> + Sync + 'a>;
+type EnvFactory<'a> = Box<dyn Fn(&TrialPoint) -> Environment + Sync + 'a>;
+
+/// A Monte-Carlo sweep: scheme axis × environment axis × trials.
+///
+/// Build with [`SweepSpec::new`], add axes with [`SweepSpec::scheme`]
+/// and [`SweepSpec::env`], then call [`SweepSpec::run`].
+///
+/// # Example
+///
+/// ```
+/// use timber_netlist::Picos;
+/// use timber_pipeline::montecarlo::{Environment, SweepSpec};
+/// use timber_pipeline::reference::MarginedFlop;
+/// use timber_pipeline::PipelineConfig;
+/// use timber_variability::{CompositeVariability, SensitizationModel};
+///
+/// let result = SweepSpec::new(42, 1_000, 4)
+///     .scheme("margined", |_p| Box::new(MarginedFlop::new()))
+///     .env("nominal", |p| Environment {
+///         config: PipelineConfig::new(3, Picos(1000)),
+///         sensitization: SensitizationModel::uniform(3, Picos(900), p.seed),
+///         variability: Box::new(CompositeVariability::nominal()),
+///     })
+///     .threads(2)
+///     .run();
+/// assert_eq!(result.cell(0, 0).cycles, 4 * 1_000);
+/// ```
+pub struct SweepSpec<'a> {
+    scheme_names: Vec<String>,
+    schemes: Vec<SchemeFactory<'a>>,
+    env_names: Vec<String>,
+    envs: Vec<EnvFactory<'a>>,
+    trials: usize,
+    cycles_per_trial: u64,
+    base_seed: u64,
+    threads: usize,
+}
+
+impl std::fmt::Debug for SweepSpec<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepSpec")
+            .field("schemes", &self.scheme_names)
+            .field("envs", &self.env_names)
+            .field("trials", &self.trials)
+            .field("cycles_per_trial", &self.cycles_per_trial)
+            .field("base_seed", &self.base_seed)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl<'a> SweepSpec<'a> {
+    /// Starts a sweep: `trials` independent runs of `cycles_per_trial`
+    /// cycles per (scheme, environment) cell, seeded from `base_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` or `cycles_per_trial` is zero.
+    pub fn new(base_seed: u64, cycles_per_trial: u64, trials: usize) -> SweepSpec<'a> {
+        assert!(trials > 0, "sweep needs at least one trial");
+        assert!(cycles_per_trial > 0, "trials must run at least one cycle");
+        SweepSpec {
+            scheme_names: Vec::new(),
+            schemes: Vec::new(),
+            env_names: Vec::new(),
+            envs: Vec::new(),
+            trials,
+            cycles_per_trial,
+            base_seed,
+            threads: 0,
+        }
+    }
+
+    /// Adds a scheme to the scheme axis. The factory is called once per
+    /// trial (on the worker thread) to build a fresh scheme instance.
+    pub fn scheme(
+        mut self,
+        name: &str,
+        factory: impl Fn(&TrialPoint) -> Box<dyn SequentialScheme> + Sync + 'a,
+    ) -> SweepSpec<'a> {
+        self.scheme_names.push(name.to_owned());
+        self.schemes.push(Box::new(factory));
+        self
+    }
+
+    /// Adds an environment to the environment axis. The factory is
+    /// called once per trial (on the worker thread); it should derive
+    /// all randomness from `point.seed` so the trial is reproducible.
+    pub fn env(
+        mut self,
+        name: &str,
+        factory: impl Fn(&TrialPoint) -> Environment + Sync + 'a,
+    ) -> SweepSpec<'a> {
+        self.env_names.push(name.to_owned());
+        self.envs.push(Box::new(factory));
+        self
+    }
+
+    /// Sets the worker-thread count. `0` (the default) uses
+    /// [`std::thread::available_parallelism`]. The thread count never
+    /// affects results, only wall-clock time.
+    pub fn threads(mut self, threads: usize) -> SweepSpec<'a> {
+        self.threads = threads;
+        self
+    }
+
+    fn point(&self, flat: usize) -> TrialPoint {
+        let per_scheme = self.envs.len() * self.trials;
+        let scheme = flat / per_scheme;
+        let rem = flat % per_scheme;
+        let env = rem / self.trials;
+        let trial = rem % self.trials;
+        TrialPoint {
+            scheme,
+            env,
+            trial,
+            seed: splitmix64(self.base_seed, (env * self.trials + trial) as u64),
+        }
+    }
+
+    fn run_trial(&self, flat: usize) -> RunStats {
+        let point = self.point(flat);
+        let mut scheme = (self.schemes[point.scheme])(&point);
+        let mut env = (self.envs[point.env])(&point);
+        PipelineSim::new(
+            env.config,
+            scheme.as_mut(),
+            &mut env.sensitization,
+            env.variability.as_mut(),
+        )
+        .run(self.cycles_per_trial)
+    }
+
+    /// Runs every trial and reduces the results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scheme or no environment was added, or if a worker
+    /// thread panics (the panic is propagated).
+    pub fn run(&self) -> SweepResult {
+        assert!(!self.schemes.is_empty(), "sweep needs at least one scheme");
+        assert!(
+            !self.envs.is_empty(),
+            "sweep needs at least one environment"
+        );
+        let total = self.schemes.len() * self.envs.len() * self.trials;
+        let threads = match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        }
+        .min(total);
+
+        let mut slots: Vec<Option<RunStats>> = vec![None; total];
+        if threads <= 1 {
+            for (flat, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(self.run_trial(flat));
+            }
+        } else {
+            // Workers pull flat trial indices from a shared counter and
+            // keep their results; after the join the results are
+            // scattered back to their index so the reduction below is
+            // independent of the work-stealing schedule.
+            let counter = AtomicUsize::new(0);
+            let worker_outs: Vec<Vec<(usize, RunStats)>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut out = Vec::new();
+                            loop {
+                                let flat = counter.fetch_add(1, Ordering::Relaxed);
+                                if flat >= total {
+                                    break;
+                                }
+                                out.push((flat, self.run_trial(flat)));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sweep worker panicked"))
+                    .collect()
+            });
+            for (flat, stats) in worker_outs.into_iter().flatten() {
+                slots[flat] = Some(stats);
+            }
+        }
+
+        // Reduce trials in flat order (canonical floating-point order).
+        let mut cells = vec![RunStats::default(); self.schemes.len() * self.envs.len()];
+        for (flat, slot) in slots.into_iter().enumerate() {
+            let stats = slot.expect("every trial ran");
+            cells[flat / self.trials].merge(&stats);
+        }
+        SweepResult {
+            scheme_names: self.scheme_names.clone(),
+            env_names: self.env_names.clone(),
+            trials: self.trials,
+            cycles_per_trial: self.cycles_per_trial,
+            cells,
+        }
+    }
+}
+
+/// Merged results of a sweep, one [`RunStats`] per (scheme,
+/// environment) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    scheme_names: Vec<String>,
+    env_names: Vec<String>,
+    trials: usize,
+    cycles_per_trial: u64,
+    cells: Vec<RunStats>,
+}
+
+impl SweepResult {
+    /// Merged statistics of one (scheme, environment) cell: all trials
+    /// folded together with [`RunStats::merge`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn cell(&self, scheme: usize, env: usize) -> &RunStats {
+        assert!(
+            scheme < self.scheme_names.len(),
+            "scheme index out of range"
+        );
+        assert!(env < self.env_names.len(), "environment index out of range");
+        &self.cells[scheme * self.env_names.len() + env]
+    }
+
+    /// Grand total across every cell.
+    pub fn total(&self) -> RunStats {
+        let mut total = RunStats::default();
+        for cell in &self.cells {
+            total.merge(cell);
+        }
+        total
+    }
+
+    /// Names on the scheme axis, in cell order.
+    pub fn scheme_names(&self) -> &[String] {
+        &self.scheme_names
+    }
+
+    /// Names on the environment axis, in cell order.
+    pub fn env_names(&self) -> &[String] {
+        &self.env_names
+    }
+
+    /// Trials per cell.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Cycles simulated per trial.
+    pub fn cycles_per_trial(&self) -> u64 {
+        self.cycles_per_trial
+    }
+
+    /// Total cycles simulated across the whole sweep.
+    pub fn total_cycles(&self) -> u64 {
+        self.cells.iter().map(|c| c.cycles).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::MarginedFlop;
+    use std::sync::Mutex;
+    use timber_netlist::Picos;
+    use timber_variability::{CompositeVariability, VariabilityBuilder};
+
+    fn nominal_env(stages: usize, seed: u64) -> Environment {
+        Environment {
+            config: PipelineConfig::new(stages, Picos(1000)),
+            sensitization: SensitizationModel::uniform(stages, Picos(900), seed),
+            variability: Box::new(CompositeVariability::nominal()),
+        }
+    }
+
+    fn stressed_env(stages: usize, seed: u64) -> Environment {
+        Environment {
+            config: PipelineConfig::new(stages, Picos(1000)),
+            sensitization: SensitizationModel::uniform(stages, Picos(970), seed),
+            variability: Box::new(
+                VariabilityBuilder::new(seed)
+                    .voltage_droop(0.06, 400, 1500.0)
+                    .local_jitter(0.01)
+                    .build(),
+            ),
+        }
+    }
+
+    #[test]
+    fn splitmix64_mixes_neighbouring_indices() {
+        let a = splitmix64(0, 0);
+        let b = splitmix64(0, 1);
+        let c = splitmix64(1, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        // Pure function.
+        assert_eq!(splitmix64(0, 0), a);
+    }
+
+    #[test]
+    fn sweep_runs_every_cell_for_all_trials() {
+        let r = SweepSpec::new(7, 500, 3)
+            .scheme("a", |_p| Box::new(MarginedFlop::new()))
+            .scheme("b", |_p| Box::new(MarginedFlop::new()))
+            .env("e0", |p| nominal_env(3, p.seed))
+            .env("e1", |p| nominal_env(4, p.seed))
+            .threads(1)
+            .run();
+        assert_eq!(r.scheme_names(), &["a".to_owned(), "b".to_owned()]);
+        assert_eq!(r.env_names(), &["e0".to_owned(), "e1".to_owned()]);
+        for s in 0..2 {
+            for e in 0..2 {
+                assert_eq!(r.cell(s, e).cycles, 3 * 500);
+            }
+        }
+        assert_eq!(r.total().cycles, 2 * 2 * 3 * 500);
+        assert_eq!(r.total_cycles(), 2 * 2 * 3 * 500);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let sweep = |threads: usize| {
+            SweepSpec::new(99, 2_000, 5)
+                .scheme("margined", |_p| Box::new(MarginedFlop::new()))
+                .env("stress", |p| stressed_env(4, p.seed))
+                .threads(threads)
+                .run()
+        };
+        let serial = sweep(1);
+        assert_eq!(serial, sweep(3));
+        assert_eq!(serial, sweep(8));
+        // The stress environment must actually produce events for this
+        // test to mean anything.
+        assert!(serial.cell(0, 0).violations() > 0);
+    }
+
+    #[test]
+    fn trial_seeds_are_scheme_independent() {
+        let seen: Mutex<Vec<(usize, usize, u64)>> = Mutex::new(Vec::new());
+        let record = |p: &TrialPoint| {
+            seen.lock().unwrap().push((p.scheme, p.trial, p.seed));
+            Box::new(MarginedFlop::new()) as Box<dyn SequentialScheme>
+        };
+        SweepSpec::new(5, 100, 4)
+            .scheme("a", record)
+            .scheme("b", record)
+            .env("e", |p| nominal_env(3, p.seed))
+            .threads(1)
+            .run();
+        let seen = seen.into_inner().unwrap();
+        for trial in 0..4 {
+            let seeds: Vec<u64> = seen
+                .iter()
+                .filter(|(_, t, _)| *t == trial)
+                .map(|&(_, _, s)| s)
+                .collect();
+            assert_eq!(seeds.len(), 2, "both schemes ran trial {trial}");
+            assert_eq!(seeds[0], seeds[1], "trial {trial} seeds must match");
+        }
+        // Different trials draw different seeds.
+        assert_ne!(seen[0].2, seen[1].2);
+    }
+
+    #[test]
+    fn merged_cell_equals_sequential_merge_of_trials() {
+        let r = SweepSpec::new(11, 1_000, 3)
+            .scheme("margined", |_p| Box::new(MarginedFlop::new()))
+            .env("stress", |p| stressed_env(3, p.seed))
+            .threads(2)
+            .run();
+        let mut manual = RunStats::default();
+        for trial in 0..3 {
+            let seed = splitmix64(11, trial);
+            let mut scheme = MarginedFlop::new();
+            let mut env = stressed_env(3, seed);
+            let stats = PipelineSim::new(
+                env.config,
+                &mut scheme,
+                &mut env.sensitization,
+                env.variability.as_mut(),
+            )
+            .run(1_000);
+            manual.merge(&stats);
+        }
+        assert_eq!(r.cell(0, 0), &manual);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one scheme")]
+    fn empty_scheme_axis_panics() {
+        let _ = SweepSpec::new(0, 10, 1)
+            .env("e", |p| nominal_env(3, p.seed))
+            .run();
+    }
+}

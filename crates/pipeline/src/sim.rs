@@ -70,6 +70,11 @@ pub struct PipelineSim<'a> {
     carry: Vec<Picos>,
     /// Length of the masked-violation chain feeding each boundary.
     chain: Vec<usize>,
+    /// Double buffer for `carry`: next cycle's borrows accumulate here,
+    /// then the buffers swap — the main loop never allocates.
+    next_carry: Vec<Picos>,
+    /// Double buffer for `chain`.
+    next_chain: Vec<usize>,
     cycle: u64,
     penalty_remaining: u64,
 }
@@ -117,6 +122,8 @@ impl<'a> PipelineSim<'a> {
             controller,
             carry: vec![Picos::ZERO; config.stages + 1],
             chain: vec![0; config.stages + 1],
+            next_carry: vec![Picos::ZERO; config.stages + 1],
+            next_chain: vec![0; config.stages + 1],
             cycle: 0,
             penalty_remaining: 0,
         }
@@ -134,6 +141,9 @@ impl<'a> PipelineSim<'a> {
     /// the raw arrival against the actual clock edge.
     pub fn run(&mut self, cycles: u64) -> RunStats {
         let mut stats = RunStats::default();
+        // Chains are at most `stages` long, so one reservation keeps
+        // `record_chain` allocation-free for the whole run.
+        stats.reserve_chains(self.config.stages + 1);
         for _ in 0..cycles {
             let t = self.cycle;
             self.cycle += 1;
@@ -160,8 +170,8 @@ impl<'a> PipelineSim<'a> {
                 period,
                 nominal_period: self.config.nominal_period,
             };
-            let mut next_carry = vec![Picos::ZERO; self.config.stages + 1];
-            let mut next_chain = vec![0usize; self.config.stages + 1];
+            self.next_carry.fill(Picos::ZERO);
+            self.next_chain.fill(0);
 
             for s in 0..self.config.stages {
                 let (base, _class) = self.sensitization.sample(s);
@@ -182,8 +192,8 @@ impl<'a> PipelineSim<'a> {
                             self.controller.flag_error(t);
                         }
                         if s + 1 < self.config.stages {
-                            next_carry[s + 1] = borrowed;
-                            next_chain[s + 1] = len;
+                            self.next_carry[s + 1] = borrowed;
+                            self.next_chain[s + 1] = len;
                         } else {
                             // Chain falls off the pipeline end.
                             stats.record_chain(len);
@@ -207,8 +217,8 @@ impl<'a> PipelineSim<'a> {
                     }
                 }
             }
-            self.carry = next_carry;
-            self.chain = next_chain;
+            std::mem::swap(&mut self.carry, &mut self.next_carry);
+            std::mem::swap(&mut self.chain, &mut self.next_chain);
             stats.instructions += 1;
         }
         // Flush chains still in flight.
@@ -216,6 +226,11 @@ impl<'a> PipelineSim<'a> {
             if len > 0 {
                 stats.record_chain(len);
             }
+        }
+        // Drop the unused tail of the pre-sized histogram so its length
+        // is the longest chain actually observed, as before.
+        while stats.chain_histogram.last() == Some(&0) {
+            stats.chain_histogram.pop();
         }
         stats.slowdown_episodes = self.controller.episodes();
         stats

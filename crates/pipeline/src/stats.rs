@@ -105,6 +105,49 @@ impl RunStats {
         }
         self.chain_histogram[len - 1] += 1;
     }
+
+    /// Pre-sizes the chain histogram so [`record_chain`] up to
+    /// `max_len` never reallocates (the simulator's hot loop relies on
+    /// this). Zero-pads; existing counts are kept.
+    ///
+    /// [`record_chain`]: RunStats::record_chain
+    pub(crate) fn reserve_chains(&mut self, max_len: usize) {
+        if self.chain_histogram.len() < max_len {
+            self.chain_histogram.resize(max_len, 0);
+        }
+    }
+
+    /// Folds another run's statistics into this one: counters,
+    /// wall-time and energy add; chain histograms add element-wise
+    /// (extending to the longer of the two).
+    ///
+    /// Merging is the reduction step of the Monte-Carlo sweep engine:
+    /// merging worker results in trial order gives bit-identical
+    /// aggregates regardless of how trials were scheduled onto threads.
+    /// Merging with `RunStats::default()` (an empty run) on either side
+    /// leaves the meaningful statistics unchanged — though note the
+    /// zero-padding of `chain_histogram` is observable via `Vec` length
+    /// comparison only, never via any derived metric.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.cycles += other.cycles;
+        self.instructions += other.instructions;
+        self.masked += other.masked;
+        self.flagged += other.flagged;
+        self.detected += other.detected;
+        self.predicted += other.predicted;
+        self.corrupted += other.corrupted;
+        self.penalty_cycles += other.penalty_cycles;
+        self.slow_cycles += other.slow_cycles;
+        self.slowdown_episodes += other.slowdown_episodes;
+        self.wall_time += other.wall_time;
+        self.energy += other.energy;
+        if self.chain_histogram.len() < other.chain_histogram.len() {
+            self.chain_histogram.resize(other.chain_histogram.len(), 0);
+        }
+        for (mine, theirs) in self.chain_histogram.iter_mut().zip(&other.chain_histogram) {
+            *mine += theirs;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +201,81 @@ mod tests {
         };
         let loss = s.throughput_loss(Picos(1000));
         assert!(loss > 0.0 && loss < 0.2, "loss {loss}");
+    }
+
+    fn sample_stats() -> RunStats {
+        RunStats {
+            cycles: 100,
+            instructions: 95,
+            masked: 7,
+            flagged: 2,
+            detected: 1,
+            predicted: 3,
+            corrupted: 0,
+            penalty_cycles: 5,
+            slow_cycles: 10,
+            slowdown_episodes: 1,
+            wall_time: Picos(123_456),
+            chain_histogram: vec![6, 1],
+            energy: 104.5,
+        }
+    }
+
+    #[test]
+    fn merge_concatenates_unequal_histograms() {
+        // Shorter into longer and longer into shorter both add
+        // element-wise and extend to the longer length.
+        let mut a = RunStats {
+            chain_histogram: vec![3, 1],
+            ..RunStats::default()
+        };
+        let b = RunStats {
+            chain_histogram: vec![2, 2, 5],
+            ..RunStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.chain_histogram, vec![5, 3, 5]);
+
+        let mut c = RunStats {
+            chain_histogram: vec![2, 2, 5],
+            ..RunStats::default()
+        };
+        c.merge(&RunStats {
+            chain_histogram: vec![3, 1],
+            ..RunStats::default()
+        });
+        assert_eq!(c.chain_histogram, vec![5, 3, 5]);
+    }
+
+    #[test]
+    fn merge_sums_wall_time_and_energy() {
+        let mut a = sample_stats();
+        let b = sample_stats();
+        a.merge(&b);
+        assert_eq!(a.wall_time, Picos(2 * 123_456));
+        assert!((a.energy - 209.0).abs() < 1e-12);
+        assert_eq!(a.cycles, 200);
+        assert_eq!(a.instructions, 190);
+        assert_eq!(a.masked, 14);
+        assert_eq!(a.flagged, 4);
+        assert_eq!(a.detected, 2);
+        assert_eq!(a.predicted, 6);
+        assert_eq!(a.penalty_cycles, 10);
+        assert_eq!(a.slow_cycles, 20);
+        assert_eq!(a.slowdown_episodes, 2);
+        assert_eq!(a.chain_histogram, vec![12, 2]);
+    }
+
+    #[test]
+    fn merge_with_default_is_identity() {
+        // Default on the right.
+        let mut a = sample_stats();
+        a.merge(&RunStats::default());
+        assert_eq!(a, sample_stats());
+        // Default on the left.
+        let mut b = RunStats::default();
+        b.merge(&sample_stats());
+        assert_eq!(b, sample_stats());
     }
 
     #[test]

@@ -55,7 +55,11 @@ impl Topology {
     /// Panics if `n` is zero.
     pub fn linear(n: usize) -> Topology {
         assert!(n > 0, "topology needs at least one boundary");
-        Topology::new((0..n).map(|b| if b == 0 { vec![] } else { vec![b - 1] }).collect())
+        Topology::new(
+            (0..n)
+                .map(|b| if b == 0 { vec![] } else { vec![b - 1] })
+                .collect(),
+        )
     }
 
     /// The canonical reconvergent shape: boundary 0 fans out to 1 and
@@ -184,7 +188,10 @@ impl<'a> TopologySim<'a> {
                             stats.record_chain(self.chain[b]);
                         }
                     }
-                    StageOutcome::Masked { borrowed: amt, flagged } => {
+                    StageOutcome::Masked {
+                        borrowed: amt,
+                        flagged,
+                    } => {
                         stats.masked += 1;
                         if flagged {
                             stats.flagged += 1;
@@ -347,11 +354,14 @@ mod tests {
         }
         let mut sens = SensitizationModel::new(profiles, 1);
         let mut var = CompositeVariability::nominal();
-        let stats = TopologySim::new(topo, Picos(1000), &mut scheme, &mut sens, &mut var)
-            .run(50);
+        let stats = TopologySim::new(topo, Picos(1000), &mut scheme, &mut sens, &mut var).run(50);
         assert_eq!(stats.masked, 4 * 50);
         // Multi-boundary chains must appear.
-        assert!(stats.chain_histogram.len() >= 3, "{:?}", stats.chain_histogram);
+        assert!(
+            stats.chain_histogram.len() >= 3,
+            "{:?}",
+            stats.chain_histogram
+        );
         assert_eq!(stats.corrupted, 0);
     }
 }

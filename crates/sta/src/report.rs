@@ -143,7 +143,9 @@ mod tests {
         assert!(!s.met());
         assert!(s.failing_endpoints > 0);
         assert!(s.tns.is_negative());
-        assert!(s.wns <= s.tns / s.failing_endpoints as i64 * 0 + s.wns); // wns is the min slack
+        // wns is the minimum slack, so it is at most the mean negative
+        // slack tns / failing.
+        assert!(s.wns <= s.tns / s.failing_endpoints as i64);
         assert!(s.wns.is_negative());
         // TNS is at least as negative as WNS.
         assert!(s.tns <= s.wns);

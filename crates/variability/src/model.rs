@@ -86,6 +86,12 @@ pub struct VoltageDroop {
     /// Cycle at which the most recent droop event started.
     last_event: Option<u64>,
     last_cycle_seen: u64,
+    /// Cycle the cached factor was computed for (`u64::MAX` = none).
+    /// The factor is stage-independent, and the simulator queries all
+    /// stages of a cycle back-to-back, so this avoids recomputing the
+    /// ripple sinusoid and recovery exponential per stage.
+    cached_cycle: u64,
+    cached_factor: f64,
 }
 
 impl VoltageDroop {
@@ -115,12 +121,17 @@ impl VoltageDroop {
             next_event: first,
             last_event: None,
             last_cycle_seen: 0,
+            cached_cycle: u64::MAX,
+            cached_factor: 1.0,
         }
     }
 }
 
 impl DelaySource for VoltageDroop {
     fn factor(&mut self, cycle: u64, _stage: usize) -> f64 {
+        if cycle == self.cached_cycle {
+            return self.cached_factor;
+        }
         // Advance event schedule up to `cycle`. Queries must be
         // monotone in cycle (the pipeline simulator guarantees this).
         debug_assert!(
@@ -145,7 +156,9 @@ impl DelaySource for VoltageDroop {
             }
             None => 0.0,
         };
-        1.0 + ripple + event
+        self.cached_cycle = cycle;
+        self.cached_factor = 1.0 + ripple + event;
+        self.cached_factor
     }
 
     fn name(&self) -> &str {
@@ -160,6 +173,11 @@ pub struct TemperatureDrift {
     amplitude: f64,
     period_cycles: u64,
     phase: f64,
+    /// Cycle the cached factor was computed for (`u64::MAX` = none).
+    /// Drift is a pure, stage-independent function of the cycle, so
+    /// per-stage queries within a cycle reuse one sinusoid evaluation.
+    cached_cycle: u64,
+    cached_factor: f64,
 }
 
 impl TemperatureDrift {
@@ -177,16 +195,23 @@ impl TemperatureDrift {
             amplitude,
             period_cycles,
             phase: rng.gen_range(0.0..std::f64::consts::TAU),
+            cached_cycle: u64::MAX,
+            cached_factor: 1.0,
         }
     }
 }
 
 impl DelaySource for TemperatureDrift {
     fn factor(&mut self, cycle: u64, _stage: usize) -> f64 {
+        if cycle == self.cached_cycle {
+            return self.cached_factor;
+        }
         let theta = std::f64::consts::TAU * (cycle % self.period_cycles) as f64
             / self.period_cycles as f64
             + self.phase;
-        1.0 + self.amplitude * theta.sin().max(0.0)
+        self.cached_cycle = cycle;
+        self.cached_factor = 1.0 + self.amplitude * theta.sin().max(0.0);
+        self.cached_factor
     }
 
     fn name(&self) -> &str {
@@ -230,6 +255,15 @@ impl DelaySource for Aging {
 pub struct LocalJitter {
     sigma: f64,
     seed: u64,
+    /// Counter-mode key of the cached Box–Muller pair
+    /// (`u64::MAX` = none).
+    cached_key: u64,
+    /// One Box–Muller transform yields two independent normals; stages
+    /// `2k` and `2k+1` of a cycle share a transform, so consecutive
+    /// per-stage queries pay the `ln`/`sqrt`/`sin_cos` only once per
+    /// pair. The two draws of a pair are exactly independent, so the
+    /// per-coordinate statistics are unchanged.
+    cached_pair: (f64, f64),
 }
 
 impl LocalJitter {
@@ -240,22 +274,56 @@ impl LocalJitter {
     /// Panics if `sigma` is negative.
     pub fn new(sigma: f64, seed: u64) -> LocalJitter {
         assert!(sigma >= 0.0, "sigma must be non-negative");
-        LocalJitter { sigma, seed }
+        LocalJitter {
+            sigma,
+            seed,
+            cached_key: u64::MAX,
+            cached_pair: (0.0, 0.0),
+        }
+    }
+
+    /// One SplitMix64 step (counter-mode uniform source).
+    #[inline]
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The Box–Muller pair for a (cycle, stage-pair) key.
+    #[inline]
+    fn pair_for(&mut self, key: u64) -> (f64, f64) {
+        if key == self.cached_key {
+            return self.cached_pair;
+        }
+        let mut state = key;
+        // Uniforms in (0, 1]: offset by one ulp step so ln never sees 0.
+        const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+        let u1 = (Self::splitmix(&mut state) >> 11) as f64 * SCALE + SCALE;
+        let u2 = (Self::splitmix(&mut state) >> 11) as f64 * SCALE;
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (sin, cos) = (std::f64::consts::TAU * u2).sin_cos();
+        self.cached_key = key;
+        self.cached_pair = (r * cos, r * sin);
+        self.cached_pair
     }
 }
 
 impl DelaySource for LocalJitter {
     fn factor(&mut self, cycle: u64, stage: usize) -> f64 {
-        // Counter-mode: hash (cycle, stage) into a one-shot RNG so the
-        // factor is deterministic per coordinate regardless of query
-        // order.
-        let mix = self
+        // Counter-mode: hash (cycle, stage pair) so the factor is a
+        // pure function of the coordinate regardless of query order.
+        let pair = (stage / 2) as u64;
+        let key = self
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(cycle.wrapping_mul(0xBF58_476D_1CE4_E5B9))
-            .wrapping_add((stage as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
-        let mut rng = StdRng::seed_from_u64(mix);
-        let z = box_muller(&mut rng).clamp(-4.0, 4.0);
+            .wrapping_add(pair.wrapping_mul(0x94D0_49BB_1331_11EB));
+        let (z0, z1) = self.pair_for(key);
+        let z = if stage.is_multiple_of(2) { z0 } else { z1 };
+        let z = z.clamp(-4.0, 4.0);
         (1.0 + self.sigma * z).max(0.5)
     }
 
@@ -421,11 +489,15 @@ mod tests {
 
     #[test]
     fn droop_events_decay() {
-        let mut d = VoltageDroop::new(0.10, 1_000_000, 50.0, 3);
+        // Events must be sparse relative to the 30-cycle observation
+        // window, otherwise a fresh event can land between the peak and
+        // the "later" sample and mask the recovery (with a 50-cycle
+        // mean interval that happens for most seeds).
+        let mut d = VoltageDroop::new(0.10, 1_000_000, 10_000.0, 3);
         // Find a cycle right at an event.
         let mut peak_cycle = None;
         let mut prev = 1.0;
-        for c in 0..10_000u64 {
+        for c in 0..100_000u64 {
             let f = d.factor(c, 0);
             if f > prev && f > 1.05 {
                 peak_cycle = Some(c);
@@ -433,8 +505,8 @@ mod tests {
             }
             prev = f;
         }
-        let c = peak_cycle.expect("a droop event should occur in 10k cycles");
-        let mut d2 = VoltageDroop::new(0.10, 1_000_000, 50.0, 3);
+        let c = peak_cycle.expect("a droop event should occur in 100k cycles");
+        let mut d2 = VoltageDroop::new(0.10, 1_000_000, 10_000.0, 3);
         let at_peak = d2.factor(c, 0);
         let later = d2.factor(c + 30, 0);
         assert!(at_peak > later, "droop must recover: {at_peak} -> {later}");

@@ -185,7 +185,10 @@ impl TableGate {
             .filter(|(_, v)| **v == Logic::X)
             .map(|(i, _)| i)
             .collect();
-        let mut bools: Vec<bool> = values.iter().map(|v| v.to_bool().unwrap_or(false)).collect();
+        let mut bools: Vec<bool> = values
+            .iter()
+            .map(|v| v.to_bool().unwrap_or(false))
+            .collect();
         if unknown.is_empty() {
             return Logic::from_bool(self.func.eval(&bools));
         }

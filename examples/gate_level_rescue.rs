@@ -18,8 +18,8 @@ use timber_repro::sta::{ClockConstraint, TimingAnalysis};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lib = CellLibrary::standard();
     let nl = ripple_carry_adder(&lib, 4)?;
-    let crit = TimingAnalysis::run(&nl, &ClockConstraint::with_period(Picos(1_000_000)))
-        .worst_arrival();
+    let crit =
+        TimingAnalysis::run(&nl, &ClockConstraint::with_period(Picos(1_000_000))).worst_arrival();
     let period = crit.scale(1.15);
     println!(
         "design {:?}: {} gates, {} flops, critical {crit}, clock {period} (15% margin)\n",
@@ -30,10 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let schedule = CheckingPeriod::new(period, 30.0, 1, 2)?;
     let replaced: Vec<FlopId> = nl.flop_ids().collect();
-    let timber = SeqStyle::TimberFf {
-        schedule,
-        replaced,
-    };
+    let timber = SeqStyle::TimberFf { schedule, replaced };
 
     println!("derate   conventional mismatches   TIMBER mismatches   (100 cycles each)");
     for derate in [1.0, 1.1, 1.2, 1.3] {

@@ -4,7 +4,7 @@
 use timber_repro::core::scheme::TimberFfScheme;
 use timber_repro::core::CheckingPeriod;
 use timber_repro::netlist::{random_dag, CellLibrary, Picos, RandomDagSpec};
-use timber_repro::pipeline::{PipelineConfig, PipelineSim};
+use timber_repro::pipeline::{Environment, PipelineConfig, PipelineSim, SweepSpec};
 use timber_repro::proc_model::{PerfPoint, ProcessorModel};
 use timber_repro::sta::{ClockConstraint, TimingAnalysis};
 use timber_repro::variability::{DelaySource, SensitizationModel, VariabilityBuilder};
@@ -28,6 +28,48 @@ fn pipeline_runs_are_reproducible() {
         .run(50_000)
     };
     assert_eq!(run(), run());
+}
+
+#[test]
+fn sweeps_are_thread_count_invariant() {
+    // The same SweepSpec must produce identical merged RunStats with
+    // 1, 2 and 8 worker threads: per-trial seeds are derived from the
+    // flat trial index (not the schedule), and worker results are
+    // merged in canonical trial order.
+    let sweep = |threads: usize| {
+        SweepSpec::new(2010, 5_000, 6)
+            .scheme("deferred", |_p| {
+                let sched = CheckingPeriod::deferred_flagging(Picos(1000), 24.0).expect("valid");
+                Box::new(TimberFfScheme::new(sched, 4))
+            })
+            .scheme("immediate", |_p| {
+                let sched = CheckingPeriod::immediate_flagging(Picos(1000), 24.0).expect("valid");
+                Box::new(TimberFfScheme::new(sched, 4))
+            })
+            .env("stress", |p| Environment {
+                config: PipelineConfig::new(4, Picos(1000)),
+                sensitization: SensitizationModel::uniform(4, Picos(970), p.seed),
+                variability: Box::new(
+                    VariabilityBuilder::new(p.seed)
+                        .voltage_droop(0.06, 400, 1500.0)
+                        .local_jitter(0.01)
+                        .build(),
+                ),
+            })
+            .threads(threads)
+            .run()
+    };
+    let one = sweep(1);
+    let two = sweep(2);
+    let eight = sweep(8);
+    for scheme in 0..2 {
+        assert_eq!(one.cell(scheme, 0), two.cell(scheme, 0));
+        assert_eq!(one.cell(scheme, 0), eight.cell(scheme, 0));
+    }
+    assert_eq!(one.total(), eight.total());
+    // The environment must actually produce events, or invariance is
+    // vacuous.
+    assert!(one.total().violations() > 0);
 }
 
 #[test]

@@ -1,0 +1,208 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no network access and no vendored
+//! registry, so the workspace ships this minimal property-testing
+//! harness covering the surface the test suite uses: the [`proptest!`]
+//! macro, `prop_assert*` macros, range / tuple / [`collection::vec`]
+//! strategies, [`strategy::Just`], `any::<T>()` and
+//! [`strategy::Strategy::prop_map`].
+//!
+//! Unlike the real crate there is **no shrinking** and no persisted
+//! failure file: each test runs `ProptestConfig::cases` deterministic
+//! cases seeded from the test's name, so failures reproduce exactly on
+//! re-run and CI behaviour is stable without network or disk state.
+
+use rand::rngs::StdRng;
+
+pub mod strategy;
+
+/// Per-test configuration accepted by
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases (the real crate defaults to 256; this keeps the
+    /// no-shrinking offline harness fast while still exercising each
+    /// property broadly).
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// FNV-1a hash of a test name, used as the deterministic seed root.
+#[doc(hidden)]
+pub fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Deterministic per-case generator: seeded from the test name and the
+/// case index, so re-runs and thread counts never change the inputs.
+#[doc(hidden)]
+pub fn rng_for_case(name: &str, case: u32) -> StdRng {
+    use rand::SeedableRng;
+    let seed = fnv1a(name) ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    StdRng::seed_from_u64(seed)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::{rngs::StdRng, Rng};
+
+    /// Strategy for `Vec`s with element strategy `S` and a uniformly
+    /// drawn length.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// `Vec` strategy: `vec(elem, 0..6)` yields vectors of 0 to 5
+    /// elements drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything tests conventionally import.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running `ProptestConfig::cases` deterministic
+/// cases (attributes written inside the block, including `#[test]`,
+/// are re-emitted verbatim).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let strategies = ($($strat,)+);
+            for case in 0..config.cases {
+                let mut rng = $crate::rng_for_case(stringify!($name), case);
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                $body
+            }
+        }
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// `assert!` under a property (no shrinking in this offline subset).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($args:tt)+) => { assert!($cond, $($args)+) };
+}
+
+/// `assert_eq!` under a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($args:tt)+) => { assert_eq!($a, $b, $($args)+) };
+}
+
+/// `assert_ne!` under a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($args:tt)+) => { assert_ne!($a, $b, $($args)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let strat = (0u64..1000, 0.0f64..1.0);
+        let a = strat.generate(&mut crate::rng_for_case("t", 3));
+        let b = strat.generate(&mut crate::rng_for_case("t", 3));
+        let c = strat.generate(&mut crate::rng_for_case("t", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn vec_strategy_respects_bounds() {
+        let strat = crate::collection::vec(0u8..4, 2..6);
+        for case in 0..200 {
+            let v = strat.generate(&mut crate::rng_for_case("v", case));
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let strat = (1i64..10, 1i64..10).prop_map(|(a, b)| a * b);
+        for case in 0..100 {
+            let v = strat.generate(&mut crate::rng_for_case("m", case));
+            assert!((1..100).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// The macro itself: ranges, inclusive ranges, any and Just.
+        #[test]
+        fn macro_generates_in_range(
+            a in 5usize..=9,
+            b in -3i64..3,
+            c in any::<u64>(),
+            d in Just(42u8),
+        ) {
+            prop_assert!((5..=9).contains(&a));
+            prop_assert!((-3..3).contains(&b), "b = {}", b);
+            let _ = c;
+            prop_assert_eq!(d, 42);
+        }
+    }
+}

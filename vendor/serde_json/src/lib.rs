@@ -1,0 +1,700 @@
+//! Offline, API-compatible subset of the `serde_json` crate.
+//!
+//! The build environment has no network access and no vendored
+//! registry, so the workspace ships this minimal implementation of the
+//! surface it actually uses: the [`Value`] tree, the [`json!`] macro,
+//! [`to_string`] / [`to_string_pretty`] and [`from_str`].
+//!
+//! Instead of the serde `Serialize`/`Deserialize` machinery, values are
+//! converted through the [`ToJson`] trait; objects preserve insertion
+//! order (the real crate's `preserve_order` behaviour), which keeps
+//! report output byte-stable.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (integer or float).
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object, preserving insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number.
+///
+/// Equality compares the two integer variants by value (`I64(1)` equals
+/// `U64(1)`) because the parser normalises non-negative integers to
+/// `U64` while the [`json!`] macro yields `I64` for signed literals.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (*self, *other) {
+            (Number::I64(a), Number::I64(b)) => a == b,
+            (Number::U64(a), Number::U64(b)) => a == b,
+            (Number::F64(a), Number::F64(b)) => a == b,
+            (Number::I64(a), Number::U64(b)) | (Number::U64(b), Number::I64(a)) => {
+                a >= 0 && a as u64 == b
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Error type for serialisation and parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+const NULL: Value = Value::Null;
+
+impl Value {
+    /// Returns the array elements when this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns the string contents when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the numeric value as `f64` when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::I64(v)) => Some(*v as f64),
+            Value::Number(Number::U64(v)) => Some(*v as f64),
+            Value::Number(Number::F64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the numeric value as `u64` when this is a non-negative
+    /// integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U64(v)) => Some(*v),
+            Value::Number(Number::I64(v)) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object key, returning `Null` when absent.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Number(Number::I64(v)) => out.push_str(&v.to_string()),
+            Value::Number(Number::U64(v)) => out.push_str(&v.to_string()),
+            Value::Number(Number::F64(v)) => {
+                if v.is_finite() {
+                    out.push_str(&format_f64(*v));
+                } else {
+                    // JSON cannot express NaN/inf; match serde_json's
+                    // arbitrary-precision fallback of null.
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent.map(|n| n + 1));
+                    item.write(out, indent.map(|n| n + 1));
+                }
+                if !items.is_empty() {
+                    newline_indent(out, indent);
+                }
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent.map(|n| n + 1));
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent.map(|n| n + 1));
+                }
+                if !pairs.is_empty() {
+                    newline_indent(out, indent);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>) {
+    if let Some(n) = indent {
+        out.push('\n');
+        for _ in 0..n {
+            out.push_str("  ");
+        }
+    }
+}
+
+/// Shortest `f64` rendering that still parses back exactly, with a
+/// trailing `.0` on integral values so the type survives a round trip.
+fn format_f64(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, if f.alternate() { Some(0) } else { None });
+        f.write_str(&out)
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+/// Conversion into a [`Value`], used by the [`json!`] macro.
+///
+/// Implemented by reference so `json!` never moves its operands
+/// (matching the real macro, which serialises through `&T: Serialize`).
+pub trait ToJson {
+    /// Converts `self` to a JSON value.
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::F64(f64::from(*self)))
+    }
+}
+
+macro_rules! to_json_signed {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::I64(*self as i64))
+            }
+        }
+    )*};
+}
+
+macro_rules! to_json_unsigned {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+    )*};
+}
+
+to_json_signed!(i8, i16, i32, i64, isize);
+to_json_unsigned!(u8, u16, u32, u64, usize);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+/// Builds a [`Value`] from JSON-ish syntax: `null`, `[..]` arrays,
+/// `{ "key": value }` objects and arbitrary Rust expressions.
+///
+/// Unlike the real crate's token-munching macro, container *values*
+/// must be Rust expressions — write `json!({"inner": json!([1, 2])})`
+/// and `Value::Null` rather than nesting bare `[..]`/`null` literals.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($key).to_string(), $crate::json!($val)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::ToJson::to_json(&$other) };
+}
+
+/// Serialises a value to compact JSON.
+///
+/// # Errors
+///
+/// Never fails for tree-shaped [`Value`]s; the `Result` mirrors the
+/// real crate's signature.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write(&mut out, None);
+    Ok(out)
+}
+
+/// Serialises a value to two-space-indented JSON.
+///
+/// # Errors
+///
+/// Never fails for tree-shaped [`Value`]s; the `Result` mirrors the
+/// real crate's signature.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write(&mut out, Some(0));
+    Ok(out)
+}
+
+/// Parses JSON text into a [`Value`].
+///
+/// # Errors
+///
+/// Returns an [`Error`] describing the first syntax error.
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> Error {
+        Error {
+            message: format!("{message} at byte {}", self.pos),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(_) => self.number(),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Value::Array(items));
+            }
+            self.expect(b',')?;
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Value::Object(pairs));
+            }
+            self.expect(b',')?;
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("invalid \\u escape"))?;
+                            // Surrogate pairs are not needed by the
+                            // report format; map them to the
+                            // replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.error("invalid utf-8"))?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let _ = self.eat(b'-');
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.eat(b'.') {
+            is_float = true;
+            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if !self.eat(b'+') {
+                let _ = self.eat(b'-');
+            }
+            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid utf-8"))?;
+        if text.is_empty() || text == "-" {
+            return Err(self.error("invalid number"));
+        }
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(if v >= 0 {
+                    Number::U64(v as u64)
+                } else {
+                    Number::I64(v)
+                }));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U64(v)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|v| Value::Number(Number::F64(v)))
+            .map_err(|_| self.error("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_trees() {
+        let list = vec![1u64, 2, 3];
+        let v = json!({
+            "name": "claims",
+            "ok": true,
+            "count": 3u64,
+            "ratio": 0.5,
+            "hist": list,
+            "nested": json!({"inner": json!([1, 2])}),
+            "nothing": Value::Null,
+        });
+        assert_eq!(v["name"], "claims");
+        assert_eq!(v["count"].as_u64(), Some(3));
+        assert_eq!(v["hist"].as_array().unwrap().len(), 3);
+        assert_eq!(v["nested"]["inner"][1].as_u64(), Some(2));
+        assert_eq!(v["nothing"], Value::Null);
+        assert_eq!(v["absent"], Value::Null);
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let v = json!({
+            "s": "a \"quoted\"\nline",
+            "i": -5,
+            "u": 18_000_000_000_000_000_000u64,
+            "f": 1.25,
+            "arr": json!([true, false, Value::Null]),
+            "obj": json!({"k": 1}),
+        });
+        let text = to_string(&v).unwrap();
+        let back = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        for f in [0.1, 1.0 / 3.0, 1e-12, 123456.789, -0.0625] {
+            let text = to_string(&json!(f)).unwrap();
+            let back = from_str(&text).unwrap();
+            assert_eq!(back.as_f64(), Some(f), "{text}");
+        }
+    }
+
+    #[test]
+    fn integral_floats_keep_their_type() {
+        let text = to_string(&json!(2.0f64)).unwrap();
+        assert_eq!(text, "2.0");
+        assert_eq!(from_str(&text).unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn display_matches_to_string() {
+        let v = json!({"a": [1, 2], "b": "x"});
+        assert_eq!(format!("{v}"), to_string(&v).unwrap());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str("{\"a\": }").is_err());
+        assert!(from_str("[1, 2").is_err());
+        assert!(from_str("12 34").is_err());
+        assert!(from_str("").is_err());
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parses_back() {
+        let v = json!({"a": [1, 2], "b": json!({"c": true})});
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\n  "));
+        assert_eq!(from_str(&text).unwrap(), v);
+    }
+}
