@@ -4,47 +4,105 @@
 //! repro [table1|fig1|fig2|fig5|fig7|fig8|claims|compare|margin|\
 //!        ablation-schedule|ablation-droop|metastability|validate|\
 //!        bench|all] [--json] [--threads N]
+//! repro trace <claims|claims-netlist> [--telemetry OUT.json] [--threads N]
+//! repro bench-check --baseline BASE.json --fresh FRESH.json [--tolerance 0.15]
 //! ```
 //!
 //! `--threads N` sets the Monte-Carlo sweep worker count (default: all
-//! cores). The thread count never changes any number, only wall-clock
-//! time. `bench` times the sweep engine and writes the
-//! `BENCH_pipeline.json` baseline.
+//! cores; `0` also means all cores). The thread count never changes
+//! any number, only wall-clock time. `bench` times the sweep engine
+//! and writes the `BENCH_pipeline.json` baseline; `bench-check` gates
+//! a fresh baseline against a committed one (CI regression gate).
+//! `trace` runs an experiment with telemetry attached and writes the
+//! JSON trace (plus a CSV sibling) to the `--telemetry` path.
 
 use std::env;
 
-use timber_bench::{ablations, experiments, margin, perf, report};
+use timber_bench::{ablations, experiments, margin, perf, report, trace};
 
 fn main() {
     let raw: Vec<String> = env::args().skip(1).collect();
     let mut json = false;
     let mut threads: usize = 0;
-    let mut what: Option<String> = None;
+    let mut telemetry: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut fresh: Option<String> = None;
+    let mut tolerance: f64 = 0.15;
+    let mut positionals: Vec<String> = Vec::new();
     let mut i = 0;
     while i < raw.len() {
         let arg = &raw[i];
+        let value_of = |name: &str, i: &mut usize| -> String {
+            *i += 1;
+            raw.get(*i)
+                .cloned()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
         if arg == "--json" {
             json = true;
         } else if arg == "--threads" {
-            i += 1;
-            threads = raw
-                .get(i)
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| die("--threads needs a number"));
+            threads = value_of("--threads", &mut i)
+                .parse()
+                .unwrap_or_else(|_| die("--threads needs a number"));
         } else if let Some(v) = arg.strip_prefix("--threads=") {
             threads = v
                 .parse()
                 .unwrap_or_else(|_| die("--threads needs a number"));
+        } else if arg == "--telemetry" {
+            telemetry = Some(value_of("--telemetry", &mut i));
+        } else if let Some(v) = arg.strip_prefix("--telemetry=") {
+            telemetry = Some(v.to_owned());
+        } else if arg == "--baseline" {
+            baseline = Some(value_of("--baseline", &mut i));
+        } else if let Some(v) = arg.strip_prefix("--baseline=") {
+            baseline = Some(v.to_owned());
+        } else if arg == "--fresh" {
+            fresh = Some(value_of("--fresh", &mut i));
+        } else if let Some(v) = arg.strip_prefix("--fresh=") {
+            fresh = Some(v.to_owned());
+        } else if arg == "--tolerance" {
+            tolerance = value_of("--tolerance", &mut i)
+                .parse()
+                .unwrap_or_else(|_| die("--tolerance needs a fraction, e.g. 0.15"));
+        } else if let Some(v) = arg.strip_prefix("--tolerance=") {
+            tolerance = v
+                .parse()
+                .unwrap_or_else(|_| die("--tolerance needs a fraction, e.g. 0.15"));
         } else if let Some(flag) = arg.strip_prefix("--") {
             die(&format!("unknown flag --{flag}"));
-        } else if what.is_none() {
-            what = Some(arg.clone());
         } else {
-            die(&format!("unexpected argument {arg}"));
+            positionals.push(arg.clone());
         }
         i += 1;
     }
-    let what = what.unwrap_or_else(|| "all".to_owned());
+    let what = positionals
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "all".to_owned());
+
+    if what == "trace" {
+        let experiment = positionals
+            .get(1)
+            .cloned()
+            .unwrap_or_else(|| die("trace needs an experiment, e.g. `repro trace claims`"));
+        if positionals.len() > 2 {
+            die(&format!("unexpected argument {}", positionals[2]));
+        }
+        run_trace(&experiment, threads, telemetry.as_deref());
+        return;
+    }
+    if what == "bench-check" {
+        if positionals.len() > 1 {
+            die(&format!("unexpected argument {}", positionals[1]));
+        }
+        let baseline = baseline.unwrap_or_else(|| die("bench-check needs --baseline FILE"));
+        let fresh = fresh.unwrap_or_else(|| die("bench-check needs --fresh FILE"));
+        run_bench_check(&baseline, &fresh, tolerance);
+        return;
+    }
+    if positionals.len() > 1 {
+        die(&format!("unexpected argument {}", positionals[1]));
+    }
 
     const KNOWN: &[&str] = &[
         "all",
@@ -188,8 +246,14 @@ fn main() {
     // The engine baseline is opt-in (not part of `all`): it times the
     // sweep engine rather than reproducing a paper figure.
     if what == "bench" {
-        println!("== Sweep-engine baseline (writes BENCH_pipeline.json) ==");
-        let r = perf::pipeline_baseline(2_000_000);
+        // With `--json` the banner goes to stderr so stdout stays a
+        // single machine-readable document (CI pipes it to a file).
+        if json {
+            eprintln!("== Sweep-engine baseline (writes BENCH_pipeline.json) ==");
+        } else {
+            println!("== Sweep-engine baseline (writes BENCH_pipeline.json) ==");
+        }
+        let r = perf::pipeline_baseline_threaded(2_000_000, threads);
         let doc = perf::bench_json(&r);
         std::fs::write("BENCH_pipeline.json", format!("{doc}\n"))
             .expect("write BENCH_pipeline.json");
@@ -199,6 +263,41 @@ fn main() {
             println!("{}", perf::render_bench(&r));
         }
         assert!(r.identical, "thread count changed sweep results");
+    }
+}
+
+/// `repro trace <experiment>`: runs the experiment with telemetry and
+/// exports the trace.
+fn run_trace(experiment: &str, threads: usize, telemetry: Option<&str>) {
+    println!("== Telemetry trace: {experiment} ==");
+    let t = trace::trace_experiment(experiment, 1_000_000, threads, trace::DEFAULT_RING_CAPACITY)
+        .unwrap_or_else(|e| die(&e));
+    print!("{}", t.render());
+    if let Some(path) = telemetry {
+        std::fs::write(path, t.json())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        let csv_path = match path.rsplit_once('.') {
+            Some((stem, _ext)) => format!("{stem}.csv"),
+            None => format!("{path}.csv"),
+        };
+        std::fs::write(&csv_path, t.csv())
+            .unwrap_or_else(|e| die(&format!("cannot write {csv_path}: {e}")));
+        println!("wrote {path} and {csv_path}");
+    }
+}
+
+/// `repro bench-check`: the CI regression gate over two
+/// `BENCH_pipeline.json` documents.
+fn run_bench_check(baseline: &str, fresh: &str, tolerance: f64) {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")))
+    };
+    match perf::bench_check(&read(baseline), &read(fresh), tolerance) {
+        Ok(report) => print!("{report}"),
+        Err(breaches) => {
+            eprintln!("repro bench-check FAILED:\n{breaches}");
+            std::process::exit(1);
+        }
     }
 }
 

@@ -326,9 +326,10 @@ pub fn claims_netlist_backed(cycles: u64) -> ClaimsResult {
     claims_netlist_backed_threaded(cycles, 0)
 }
 
-/// [`claims_netlist_backed`] with an explicit worker-thread count
-/// (`0` = all available cores; the count never changes the numbers).
-pub fn claims_netlist_backed_threaded(cycles: u64, threads: usize) -> ClaimsResult {
+/// The sweep specification behind [`claims_netlist_backed_threaded`]
+/// (also used by the telemetry trace path). The returned period is the
+/// netlist-derived one the spec runs at.
+pub fn claims_netlist_spec(cycles: u64, threads: usize) -> (SweepSpec<'static>, Picos) {
     let proxy = structural::proxy_netlist(SEED);
     let profiles = structural::stage_profiles_from_netlist(&proxy, PerfPoint::High);
     let stages = profiles.len();
@@ -339,7 +340,7 @@ pub fn claims_netlist_backed_threaded(cycles: u64, threads: usize) -> ClaimsResu
             Box::new(TimberFfScheme::new(sched, stages))
         }
     };
-    let result = SweepSpec::new(SEED, per_trial(cycles), TRIALS)
+    let spec = SweepSpec::new(SEED, per_trial(cycles), TRIALS)
         .scheme("deferred", scheme(1))
         .scheme("immediate", scheme(0))
         .env("netlist-backed", move |p| Environment {
@@ -352,8 +353,15 @@ pub fn claims_netlist_backed_threaded(cycles: u64, threads: usize) -> ClaimsResu
                     .build(),
             ),
         })
-        .threads(threads)
-        .run();
+        .threads(threads);
+    (spec, period)
+}
+
+/// [`claims_netlist_backed`] with an explicit worker-thread count
+/// (`0` = all available cores; the count never changes the numbers).
+pub fn claims_netlist_backed_threaded(cycles: u64, threads: usize) -> ClaimsResult {
+    let (spec, period) = claims_netlist_spec(cycles, threads);
+    let result = spec.run();
     ClaimsResult {
         deferred: result.cell(0, 0).clone(),
         immediate: result.cell(1, 0).clone(),
@@ -367,10 +375,11 @@ pub fn claims(cycles: u64) -> ClaimsResult {
     claims_threaded(cycles, 0)
 }
 
-/// [`claims`] with an explicit worker-thread count (`0` = all available
-/// cores; the count never changes the numbers).
-pub fn claims_threaded(cycles: u64, threads: usize) -> ClaimsResult {
-    let result = SweepSpec::new(SEED, per_trial(cycles), TRIALS)
+/// The sweep specification behind [`claims_threaded`] (also used by
+/// the telemetry trace path): deferred vs immediate flagging on the
+/// shared stress environment.
+pub fn claims_spec(cycles: u64, threads: usize) -> SweepSpec<'static> {
+    SweepSpec::new(SEED, per_trial(cycles), TRIALS)
         .scheme("deferred", |_p| {
             let sched = CheckingPeriod::deferred_flagging(PERIOD, 24.0).expect("valid schedule");
             Box::new(TimberFfScheme::new(sched, 5))
@@ -381,7 +390,12 @@ pub fn claims_threaded(cycles: u64, threads: usize) -> ClaimsResult {
         })
         .env("stress", |p| stress_environment(5, p.seed))
         .threads(threads)
-        .run();
+}
+
+/// [`claims`] with an explicit worker-thread count (`0` = all available
+/// cores; the count never changes the numbers).
+pub fn claims_threaded(cycles: u64, threads: usize) -> ClaimsResult {
+    let result = claims_spec(cycles, threads).run();
     ClaimsResult {
         deferred: result.cell(0, 0).clone(),
         immediate: result.cell(1, 0).clone(),

@@ -27,6 +27,7 @@ pub mod experiments;
 pub mod margin;
 pub mod perf;
 pub mod report;
+pub mod trace;
 
 pub use ablations::{
     ablation_dag, ablation_droop, ablation_glitch_activity, ablation_metastability,
@@ -38,4 +39,5 @@ pub use experiments::{
     ClaimsResult, CompareRow, Fig1Result, WaveResult,
 };
 pub use margin::{margin_recovery, render_margin, MarginRow};
-pub use perf::{pipeline_baseline, BenchResult, BenchRun};
+pub use perf::{bench_check, pipeline_baseline, pipeline_baseline_threaded, BenchResult, BenchRun};
+pub use trace::{trace_experiment, TraceResult, DEFAULT_RING_CAPACITY};

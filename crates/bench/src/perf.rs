@@ -49,9 +49,20 @@ fn timed(cycles: u64, threads: usize) -> (f64, ClaimsResult) {
 /// worker thread and with every available core, and cross-checks that
 /// the thread count did not change a single statistic.
 pub fn pipeline_baseline(cycles: u64) -> BenchResult {
-    let cores = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    pipeline_baseline_threaded(cycles, 0)
+}
+
+/// [`pipeline_baseline`] with an explicit worker-thread count for the
+/// multi-threaded run. `0` clamps to
+/// [`std::thread::available_parallelism`] (the single-threaded
+/// reference run always uses one worker).
+pub fn pipeline_baseline_threaded(cycles: u64, threads: usize) -> BenchResult {
+    let cores = match threads {
+        0 => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        n => n,
+    };
     let (wall_single, single) = timed(cycles, 1);
     let (wall_multi, multi) = timed(cycles, cores);
     let total_cycles = single.deferred.cycles + single.immediate.cycles;
@@ -115,6 +126,71 @@ pub fn render_bench(r: &BenchResult) -> String {
     )
 }
 
+/// Extracts `<section>.cycles_per_second` from a bench JSON document.
+fn throughput(doc: &Value, section: &str, label: &str) -> Result<f64, String> {
+    doc[section]["cycles_per_second"]
+        .as_f64()
+        .filter(|v| *v > 0.0)
+        .ok_or_else(|| format!("{label}: missing or non-positive {section}.cycles_per_second"))
+}
+
+/// Compares a fresh `BENCH_pipeline.json` document against a committed
+/// baseline: each `cycles_per_second` figure (single- and
+/// multi-threaded) must stay within `±tolerance` (e.g. `0.15` = ±15%)
+/// of the baseline. A figure far *above* the baseline also fails — it
+/// means the committed baseline is stale and should be regenerated
+/// with `repro bench`.
+///
+/// Returns the comparison report on success.
+///
+/// # Errors
+///
+/// Returns a message listing every out-of-tolerance metric (or the
+/// parse failure) — the CI gate prints it and exits non-zero.
+pub fn bench_check(
+    baseline_json: &str,
+    fresh_json: &str,
+    tolerance: f64,
+) -> Result<String, String> {
+    assert!(
+        tolerance > 0.0 && tolerance < 1.0,
+        "tolerance must be a fraction in (0, 1)"
+    );
+    let baseline: Value =
+        serde_json::from_str(baseline_json).map_err(|e| format!("baseline: invalid JSON: {e}"))?;
+    let fresh: Value =
+        serde_json::from_str(fresh_json).map_err(|e| format!("fresh: invalid JSON: {e}"))?;
+    if fresh["identical_across_threads"] != Value::Bool(true) {
+        return Err("fresh run was not identical across thread counts".to_owned());
+    }
+
+    let mut report = format!("bench-check: tolerance +-{:.0}%\n", 100.0 * tolerance);
+    let mut breaches = Vec::new();
+    for section in ["single_thread", "multi_thread"] {
+        let base = throughput(&baseline, section, "baseline")?;
+        let now = throughput(&fresh, section, "fresh")?;
+        let ratio = now / base;
+        let line = format!(
+            "{section}: baseline {base:.0} cycles/s, fresh {now:.0} cycles/s ({:+.1}%)",
+            100.0 * (ratio - 1.0)
+        );
+        report.push_str(&line);
+        report.push('\n');
+        if ratio < 1.0 - tolerance {
+            breaches.push(format!("{line} -- slower than tolerance allows"));
+        } else if ratio > 1.0 + tolerance {
+            breaches.push(format!(
+                "{line} -- baseline is stale; regenerate with `repro bench`"
+            ));
+        }
+    }
+    if breaches.is_empty() {
+        Ok(report)
+    } else {
+        Err(breaches.join("\n"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +210,60 @@ mod tests {
         assert_eq!(back["identical_across_threads"], serde_json::json!(true));
         assert!(back["single_thread"]["cycles_per_second"].as_f64().unwrap() > 0.0);
         assert!(!render_bench(&r).is_empty());
+    }
+
+    #[test]
+    fn explicit_thread_count_is_respected() {
+        let r = pipeline_baseline_threaded(40_000, 3);
+        assert_eq!(r.multi.threads, 3);
+        assert_eq!(r.single.threads, 1);
+        assert!(r.identical);
+    }
+
+    fn doc(single_cps: f64, multi_cps: f64) -> String {
+        serde_json::to_string_pretty(&json!({
+            "benchmark": "pipeline_sweep_claims",
+            "single_thread": json!({"threads": 1, "wall_seconds": 1.0, "cycles_per_second": single_cps}),
+            "multi_thread": json!({"threads": 4, "wall_seconds": 0.5, "cycles_per_second": multi_cps}),
+            "identical_across_threads": true,
+        }))
+        .unwrap()
+    }
+
+    #[test]
+    fn bench_check_passes_within_tolerance() {
+        let base = doc(4_000_000.0, 8_000_000.0);
+        let fresh = doc(3_800_000.0, 8_500_000.0);
+        let report = bench_check(&base, &fresh, 0.15).expect("within tolerance");
+        assert!(report.contains("single_thread"), "{report}");
+        assert!(report.contains("multi_thread"), "{report}");
+    }
+
+    #[test]
+    fn bench_check_fails_on_2x_slowdown() {
+        let base = doc(4_000_000.0, 8_000_000.0);
+        let slow = doc(2_000_000.0, 4_000_000.0);
+        let err = bench_check(&base, &slow, 0.15).expect_err("2x slowdown must fail");
+        assert!(err.contains("slower than tolerance allows"), "{err}");
+        assert!(err.contains("single_thread"), "{err}");
+        assert!(err.contains("multi_thread"), "{err}");
+    }
+
+    #[test]
+    fn bench_check_fails_on_stale_baseline() {
+        let base = doc(4_000_000.0, 8_000_000.0);
+        let fast = doc(8_000_000.0, 16_000_000.0);
+        let err = bench_check(&base, &fast, 0.15).expect_err("2x speedup flags stale baseline");
+        assert!(err.contains("stale"), "{err}");
+    }
+
+    #[test]
+    fn bench_check_rejects_malformed_documents() {
+        assert!(bench_check("not json", &doc(1.0, 1.0), 0.15).is_err());
+        assert!(bench_check(&doc(1.0, 1.0), "{}", 0.15).is_err());
+        // A fresh run that differed across thread counts is never ok.
+        let broken = doc(4.0, 8.0).replace("true", "false");
+        let err = bench_check(&doc(4.0, 8.0), &broken, 0.15).unwrap_err();
+        assert!(err.contains("identical"), "{err}");
     }
 }

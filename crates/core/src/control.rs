@@ -8,6 +8,7 @@
 //! reduce the clock frequency.
 
 use timber_netlist::{Area, Picos};
+use timber_telemetry::{EventKind, TelemetrySink};
 
 use crate::schedule::CheckingPeriod;
 
@@ -69,6 +70,33 @@ impl ConsolidationTree {
     /// budget.
     pub fn meets_budget(&self, schedule: &CheckingPeriod) -> bool {
         self.latency_cycles(schedule.period()) <= schedule.consolidation_budget_cycles()
+    }
+
+    /// Consolidates one cycle's flagged-error bits (one per source)
+    /// into the single frequency-throttle request the OR-tree feeds the
+    /// central error control unit. Returns whether the request fires.
+    ///
+    /// With a real (enabled) [`TelemetrySink`], every set bit emits an
+    /// [`EventKind::EdFlag`] and a firing request emits one
+    /// [`EventKind::ThrottleRequest`], all stamped with `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flags.len()` differs from the tree's source count.
+    pub fn consolidate<S: TelemetrySink>(&self, cycle: u64, flags: &[bool], sink: &mut S) -> bool {
+        assert_eq!(flags.len(), self.sources, "one flag bit per source");
+        let fired = flags.iter().any(|&f| f);
+        if S::ENABLED {
+            for (i, &flag) in flags.iter().enumerate() {
+                if flag {
+                    sink.event(cycle, EventKind::EdFlag { stage: i as u32 });
+                }
+            }
+            if fired {
+                sink.event(cycle, EventKind::ThrottleRequest);
+            }
+        }
+        fired
     }
 
     /// Number of OR gates in the tree.
@@ -141,5 +169,28 @@ mod tests {
     #[should_panic(expected = "at least one error source")]
     fn sources_validated() {
         let _ = ConsolidationTree::new(0);
+    }
+
+    #[test]
+    fn consolidate_ors_flags_and_records_telemetry() {
+        use timber_telemetry::{Counter, NoopSink, Recorder, RecorderConfig};
+        let t = ConsolidationTree::new(3);
+        assert!(!t.consolidate(0, &[false, false, false], &mut NoopSink));
+        assert!(t.consolidate(1, &[false, true, false], &mut NoopSink));
+
+        let mut rec = Recorder::new(RecorderConfig::new(3, Picos(1000)));
+        assert!(t.consolidate(7, &[true, false, true], &mut rec));
+        assert_eq!(rec.counter(Counter::ThrottleRequests), 1);
+        // Two ED flags and one consolidated request.
+        assert_eq!(rec.events().len(), 3);
+        assert!(rec.events().iter().all(|e| e.cycle == 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "one flag bit per source")]
+    fn consolidate_validates_width() {
+        use timber_telemetry::NoopSink;
+        let t = ConsolidationTree::new(2);
+        let _ = t.consolidate(0, &[true], &mut NoopSink);
     }
 }

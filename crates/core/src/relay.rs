@@ -13,6 +13,7 @@
 //! area from the fanin-cone statistics (the paper's Fig. 8 i-a/i-b).
 
 use timber_netlist::{Area, Picos};
+use timber_telemetry::{EventKind, NoopSink, TelemetrySink};
 
 use crate::schedule::CheckingPeriod;
 
@@ -61,6 +62,8 @@ pub struct NetlistRelay {
     /// sources.
     cones: Vec<Vec<usize>>,
     selects: Vec<u8>,
+    /// Clock cycles stepped so far; timestamps telemetry events.
+    cycle: u64,
 }
 
 impl NetlistRelay {
@@ -88,6 +91,7 @@ impl NetlistRelay {
             relay: ErrorRelay::new(schedule),
             cones,
             selects: vec![0; replaced.len()],
+            cycle: 0,
         }
     }
 
@@ -114,6 +118,18 @@ impl NetlistRelay {
     ///
     /// Panics if `errors.len()` differs from the network size.
     pub fn step(&mut self, errors: &[bool]) -> &[u8] {
+        self.step_telemetry(errors, &mut NoopSink)
+    }
+
+    /// [`NetlistRelay::step`] with telemetry: every flop whose select
+    /// input becomes non-zero (i.e. an upstream error was relayed to
+    /// it) emits a [`EventKind::Relay`] event stamped with the relay's
+    /// internal cycle counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `errors.len()` differs from the network size.
+    pub fn step_telemetry<S: TelemetrySink>(&mut self, errors: &[bool], sink: &mut S) -> &[u8] {
         assert_eq!(errors.len(), self.cones.len(), "one error bit per flop");
         let outputs: Vec<u8> = self
             .selects
@@ -129,12 +145,32 @@ impl NetlistRelay {
                 self.relay.consolidate(&outs)
             })
             .collect();
+        if S::ENABLED {
+            for (i, &sel) in self.selects.iter().enumerate() {
+                if sel > 0 {
+                    sink.event(
+                        self.cycle,
+                        EventKind::Relay {
+                            stage: i as u32,
+                            select: u32::from(sel),
+                        },
+                    );
+                }
+            }
+        }
+        self.cycle += 1;
         &self.selects
     }
 
-    /// Resets all selects to zero.
+    /// Clock cycles stepped since construction or [`NetlistRelay::reset`].
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Resets all selects to zero and the cycle counter.
     pub fn reset(&mut self) {
         self.selects.iter_mut().for_each(|s| *s = 0);
+        self.cycle = 0;
     }
 }
 
@@ -310,6 +346,36 @@ mod tests {
         let sched = CheckingPeriod::new(Picos(1000), 12.0, 1, 2).unwrap();
         let mut relay = NetlistRelay::from_netlist(&nl, &[FlopId(0)], &sched);
         relay.step(&[]);
+    }
+
+    #[test]
+    fn step_telemetry_records_relay_events() {
+        use timber_netlist::{CellLibrary, FlopId, NetlistBuilder};
+        use timber_telemetry::{Counter, Recorder, RecorderConfig};
+        let lib = CellLibrary::standard();
+        let mut b = NetlistBuilder::new("chain", &lib);
+        let a = b.input("a");
+        let q0 = b.flop("f0", a);
+        let x = b.gate("inv", &[q0]).unwrap();
+        let q1 = b.flop("f1", x);
+        b.output("o", q1);
+        let nl = b.finish().unwrap();
+
+        let sched = CheckingPeriod::new(Picos(1000), 12.0, 1, 2).unwrap();
+        let mut relay = NetlistRelay::from_netlist(&nl, &[FlopId(0), FlopId(1)], &sched);
+        let mut rec = Recorder::new(RecorderConfig::new(2, Picos(1000)));
+
+        relay.step_telemetry(&[true, false], &mut rec);
+        relay.step_telemetry(&[false, false], &mut rec);
+        assert_eq!(relay.cycles(), 2);
+        // Cycle 0: f1's select input went to 1 — exactly one relay.
+        assert_eq!(rec.counter(Counter::Relays), 1);
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].cycle, 0);
+
+        relay.reset();
+        assert_eq!(relay.cycles(), 0);
     }
 
     #[test]

@@ -221,6 +221,16 @@ impl CheckingPeriod {
         self.k_tb
     }
 
+    /// Splits a borrow of `units` intervals into `(tb_used, ed_used)` —
+    /// the paper's `k_tb`/`k_ed` accounting that telemetry summaries
+    /// report. Saturates at the schedule's capacity: a borrow deeper
+    /// than `k` still only uses `k_tb` TB and `k_ed` ED intervals.
+    pub fn units_used(&self, units: u8) -> (u8, u8) {
+        let tb = units.min(self.k_tb);
+        let ed = units.saturating_sub(self.k_tb).min(self.k_ed);
+        (tb, ed)
+    }
+
     /// Hold-time floor implied by the schedule: short paths must exceed
     /// `hold + checking` (paper §4).
     pub fn short_path_floor(&self, hold: Picos) -> Picos {
@@ -326,6 +336,19 @@ mod tests {
         let s = CheckingPeriod::immediate_flagging(Picos(1000), 20.0).unwrap();
         // k = 2, flag on first borrow, one more masked cycle + half.
         assert!((s.consolidation_budget_cycles() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn units_used_splits_tb_then_ed() {
+        let s = CheckingPeriod::new(Picos(1000), 12.0, 1, 2).unwrap();
+        assert_eq!(s.units_used(0), (0, 0));
+        assert_eq!(s.units_used(1), (1, 0));
+        assert_eq!(s.units_used(2), (1, 1));
+        assert_eq!(s.units_used(3), (1, 2));
+        // Saturates at the schedule's capacity.
+        assert_eq!(s.units_used(9), (1, 2));
+        let imm = CheckingPeriod::immediate_flagging(Picos(1000), 12.0).unwrap();
+        assert_eq!(imm.units_used(1), (0, 1));
     }
 
     #[test]

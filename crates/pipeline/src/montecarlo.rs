@@ -26,6 +26,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use timber_telemetry::{Recorder, RecorderConfig};
 use timber_variability::{DelaySource, SensitizationModel};
 
 use crate::scheme::SequentialScheme;
@@ -207,13 +208,26 @@ impl<'a> SweepSpec<'a> {
         .run(self.cycles_per_trial)
     }
 
-    /// Runs every trial and reduces the results.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no scheme or no environment was added, or if a worker
-    /// thread panics (the panic is propagated).
-    pub fn run(&self) -> SweepResult {
+    fn run_trial_with_telemetry(&self, flat: usize, ring_capacity: usize) -> (RunStats, Recorder) {
+        let point = self.point(flat);
+        let mut scheme = (self.schemes[point.scheme])(&point);
+        let mut env = (self.envs[point.env])(&point);
+        let mut recorder = Recorder::new(
+            RecorderConfig::new(env.config.stages, env.config.nominal_period)
+                .ring_capacity(ring_capacity),
+        );
+        let stats = PipelineSim::with_telemetry(
+            env.config,
+            scheme.as_mut(),
+            &mut env.sensitization,
+            env.variability.as_mut(),
+            &mut recorder,
+        )
+        .run(self.cycles_per_trial);
+        (stats, recorder)
+    }
+
+    fn validate(&self) -> (usize, usize) {
         assert!(!self.schemes.is_empty(), "sweep needs at least one scheme");
         assert!(
             !self.envs.is_empty(),
@@ -227,19 +241,30 @@ impl<'a> SweepSpec<'a> {
             n => n,
         }
         .min(total);
+        (total, threads)
+    }
 
-        let mut slots: Vec<Option<RunStats>> = vec![None; total];
+    /// Fans `total` trials out over `threads` workers and returns the
+    /// per-trial outputs in flat trial order, independent of which
+    /// worker ran which trial.
+    fn scatter<T: Send>(
+        &self,
+        total: usize,
+        threads: usize,
+        run_one: &(impl Fn(usize) -> T + Sync),
+    ) -> Vec<T> {
+        let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
         if threads <= 1 {
             for (flat, slot) in slots.iter_mut().enumerate() {
-                *slot = Some(self.run_trial(flat));
+                *slot = Some(run_one(flat));
             }
         } else {
             // Workers pull flat trial indices from a shared counter and
             // keep their results; after the join the results are
-            // scattered back to their index so the reduction below is
+            // scattered back to their index so the reduction is
             // independent of the work-stealing schedule.
             let counter = AtomicUsize::new(0);
-            let worker_outs: Vec<Vec<(usize, RunStats)>> = std::thread::scope(|s| {
+            let worker_outs: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
                 let handles: Vec<_> = (0..threads)
                     .map(|_| {
                         s.spawn(|| {
@@ -249,7 +274,7 @@ impl<'a> SweepSpec<'a> {
                                 if flat >= total {
                                     break;
                                 }
-                                out.push((flat, self.run_trial(flat)));
+                                out.push((flat, run_one(flat)));
                             }
                             out
                         })
@@ -260,15 +285,20 @@ impl<'a> SweepSpec<'a> {
                     .map(|h| h.join().expect("sweep worker panicked"))
                     .collect()
             });
-            for (flat, stats) in worker_outs.into_iter().flatten() {
-                slots[flat] = Some(stats);
+            for (flat, out) in worker_outs.into_iter().flatten() {
+                slots[flat] = Some(out);
             }
         }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every trial ran"))
+            .collect()
+    }
 
+    fn reduce(&self, per_trial: Vec<RunStats>) -> SweepResult {
         // Reduce trials in flat order (canonical floating-point order).
         let mut cells = vec![RunStats::default(); self.schemes.len() * self.envs.len()];
-        for (flat, slot) in slots.into_iter().enumerate() {
-            let stats = slot.expect("every trial ran");
+        for (flat, stats) in per_trial.into_iter().enumerate() {
             cells[flat / self.trials].merge(&stats);
         }
         SweepResult {
@@ -278,6 +308,57 @@ impl<'a> SweepSpec<'a> {
             cycles_per_trial: self.cycles_per_trial,
             cells,
         }
+    }
+
+    /// Runs every trial and reduces the results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scheme or no environment was added, or if a worker
+    /// thread panics (the panic is propagated).
+    pub fn run(&self) -> SweepResult {
+        let (total, threads) = self.validate();
+        let per_trial = self.scatter(total, threads, &|flat| self.run_trial(flat));
+        self.reduce(per_trial)
+    }
+
+    /// Runs every trial with a per-trial [`Recorder`] attached and
+    /// reduces both the statistics and the telemetry.
+    ///
+    /// Returns the usual [`SweepResult`] plus one merged [`Recorder`]
+    /// per (scheme, environment) cell, in the same cell order as
+    /// [`SweepResult::cell`] (`scheme * envs + env`). Each trial writes
+    /// into its own single-writer recorder on the worker thread;
+    /// recorders are then merged *sequentially in flat trial order*, so
+    /// — like the statistics — the telemetry is bit-identical
+    /// regardless of thread count.
+    ///
+    /// `ring_capacity` bounds the surviving event trace per cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`SweepSpec::run`] does.
+    pub fn run_with_telemetry(&self, ring_capacity: usize) -> (SweepResult, Vec<Recorder>) {
+        let (total, threads) = self.validate();
+        let per_trial = self.scatter(total, threads, &|flat| {
+            self.run_trial_with_telemetry(flat, ring_capacity)
+        });
+        let cell_count = self.schemes.len() * self.envs.len();
+        let mut stats = Vec::with_capacity(total);
+        let mut recorders: Vec<Option<Recorder>> = (0..cell_count).map(|_| None).collect();
+        for (flat, (trial_stats, recorder)) in per_trial.into_iter().enumerate() {
+            stats.push(trial_stats);
+            match &mut recorders[flat / self.trials] {
+                Some(acc) => acc.merge(&recorder),
+                slot => *slot = Some(recorder),
+            }
+        }
+        let result = self.reduce(stats);
+        let recorders = recorders
+            .into_iter()
+            .map(|r| r.expect("every cell ran at least one trial"))
+            .collect();
+        (result, recorders)
     }
 }
 
@@ -470,6 +551,69 @@ mod tests {
             manual.merge(&stats);
         }
         assert_eq!(r.cell(0, 0), &manual);
+    }
+
+    #[test]
+    fn telemetry_counters_match_merged_stats() {
+        use timber_telemetry::Counter;
+        let (result, recorders) = SweepSpec::new(99, 2_000, 3)
+            .scheme("margined", |_p| Box::new(MarginedFlop::new()))
+            .env("stress", |p| stressed_env(4, p.seed))
+            .threads(1)
+            .run_with_telemetry(128);
+        assert_eq!(recorders.len(), 1);
+        let cell = result.cell(0, 0);
+        let rec = &recorders[0];
+        assert_eq!(rec.counter(Counter::Cycles), cell.cycles);
+        assert_eq!(rec.counter(Counter::Masked), cell.masked);
+        assert_eq!(rec.counter(Counter::Flagged), cell.flagged);
+        assert_eq!(rec.counter(Counter::Detected), cell.detected);
+        assert_eq!(rec.counter(Counter::Predicted), cell.predicted);
+        assert_eq!(rec.counter(Counter::Corrupted), cell.corrupted);
+        assert_eq!(rec.counter(Counter::PenaltyCycles), cell.penalty_cycles);
+        assert_eq!(rec.counter(Counter::SlowCycles), cell.slow_cycles);
+        assert_eq!(
+            rec.counter(Counter::ThrottleEpisodes),
+            cell.slowdown_episodes
+        );
+        // The stressed margined pipeline must actually corrupt for the
+        // comparison to be meaningful.
+        assert!(cell.violations() > 0);
+    }
+
+    #[test]
+    fn telemetry_is_bit_identical_across_thread_counts() {
+        let sweep = |threads: usize| {
+            let (result, recorders) = SweepSpec::new(2010, 2_000, 5)
+                .scheme("margined", |_p| Box::new(MarginedFlop::new()))
+                .env("stress", |p| stressed_env(4, p.seed))
+                .threads(threads)
+                .run_with_telemetry(64);
+            let cells: Vec<(String, timber_telemetry::Recorder)> = recorders
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| (format!("cell{i}"), r))
+                .collect();
+            (result, timber_telemetry::trace_json("test", &cells))
+        };
+        let (serial_result, serial_trace) = sweep(1);
+        let (par_result, par_trace) = sweep(4);
+        assert_eq!(serial_result, par_result);
+        assert_eq!(serial_trace, par_trace);
+        assert!(serial_trace.contains("\"events\""));
+    }
+
+    #[test]
+    fn telemetry_and_plain_run_agree() {
+        let spec = || {
+            SweepSpec::new(17, 1_500, 3)
+                .scheme("margined", |_p| Box::new(MarginedFlop::new()))
+                .env("stress", |p| stressed_env(3, p.seed))
+                .threads(1)
+        };
+        let plain = spec().run();
+        let (instrumented, _) = spec().run_with_telemetry(32);
+        assert_eq!(plain, instrumented);
     }
 
     #[test]

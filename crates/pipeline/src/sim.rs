@@ -1,6 +1,7 @@
 //! The cycle-level pipeline simulator.
 
 use timber_netlist::Picos;
+use timber_telemetry::{Counter, EventKind, NoopSink, TelemetrySink};
 use timber_variability::{DelaySource, SensitizationModel};
 
 use crate::controller::FrequencyController;
@@ -60,7 +61,15 @@ impl PipelineConfig {
 /// to the arrival at boundary `s+1` in cycle `t+1`. Borrow falling off
 /// the last boundary is absorbed by write-back slack (the paper's
 /// pipelines end in a register file / memory stage with margin).
-pub struct PipelineSim<'a> {
+///
+/// The simulator is generic over a [`TelemetrySink`]; the default
+/// [`NoopSink`] compiles away (every instrumentation site is guarded by
+/// the sink's `ENABLED` constant), so [`PipelineSim::new`] keeps the
+/// un-instrumented hot-loop throughput. Use
+/// [`PipelineSim::with_telemetry`] to record borrow/relay/ED-flag/panic
+/// events, per-stage histograms and throttle activity into a
+/// `timber_telemetry::Recorder`.
+pub struct PipelineSim<'a, S: TelemetrySink = NoopSink> {
     config: PipelineConfig,
     scheme: &'a mut dyn SequentialScheme,
     sensitization: &'a mut SensitizationModel,
@@ -77,9 +86,10 @@ pub struct PipelineSim<'a> {
     next_chain: Vec<usize>,
     cycle: u64,
     penalty_remaining: u64,
+    sink: S,
 }
 
-impl std::fmt::Debug for PipelineSim<'_> {
+impl<S: TelemetrySink> std::fmt::Debug for PipelineSim<'_, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PipelineSim")
             .field("config", &self.config)
@@ -89,8 +99,8 @@ impl std::fmt::Debug for PipelineSim<'_> {
     }
 }
 
-impl<'a> PipelineSim<'a> {
-    /// Creates a simulator.
+impl<'a> PipelineSim<'a, NoopSink> {
+    /// Creates an un-instrumented simulator (telemetry compiled away).
     ///
     /// # Panics
     ///
@@ -101,7 +111,26 @@ impl<'a> PipelineSim<'a> {
         scheme: &'a mut dyn SequentialScheme,
         sensitization: &'a mut SensitizationModel,
         variability: &'a mut dyn DelaySource,
-    ) -> PipelineSim<'a> {
+    ) -> PipelineSim<'a, NoopSink> {
+        PipelineSim::with_telemetry(config, scheme, sensitization, variability, NoopSink)
+    }
+}
+
+impl<'a, S: TelemetrySink> PipelineSim<'a, S> {
+    /// Creates a simulator writing telemetry into `sink` (pass a
+    /// `&mut timber_telemetry::Recorder` to keep it afterwards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sensitization model has fewer stages than the
+    /// config.
+    pub fn with_telemetry(
+        config: PipelineConfig,
+        scheme: &'a mut dyn SequentialScheme,
+        sensitization: &'a mut SensitizationModel,
+        variability: &'a mut dyn DelaySource,
+        sink: S,
+    ) -> PipelineSim<'a, S> {
         assert!(
             sensitization.stage_count() >= config.stages,
             "sensitization model must cover all {} stages",
@@ -126,6 +155,7 @@ impl<'a> PipelineSim<'a> {
             next_chain: vec![0; config.stages + 1],
             cycle: 0,
             penalty_remaining: 0,
+            sink,
         }
     }
 
@@ -144,6 +174,7 @@ impl<'a> PipelineSim<'a> {
         // Chains are at most `stages` long, so one reservation keeps
         // `record_chain` allocation-free for the whole run.
         stats.reserve_chains(self.config.stages + 1);
+        let mut seen_episodes = self.controller.episodes();
         for _ in 0..cycles {
             let t = self.cycle;
             self.cycle += 1;
@@ -153,6 +184,16 @@ impl<'a> PipelineSim<'a> {
             if self.controller.is_slowed() {
                 stats.slow_cycles += 1;
             }
+            if S::ENABLED {
+                self.sink.add(Counter::Cycles, 1);
+                if self.controller.is_slowed() {
+                    self.sink.add(Counter::SlowCycles, 1);
+                }
+                if self.controller.episodes() != seen_episodes {
+                    seen_episodes = self.controller.episodes();
+                    self.sink.event(t, EventKind::Throttle { period });
+                }
+            }
 
             if self.penalty_remaining > 0 {
                 // Recovery bubble: no instruction completes, stage
@@ -161,6 +202,9 @@ impl<'a> PipelineSim<'a> {
                 self.penalty_remaining -= 1;
                 stats.penalty_cycles += 1;
                 stats.energy += self.config.energy_per_bubble;
+                if S::ENABLED {
+                    self.sink.add(Counter::PenaltyCycles, 1);
+                }
                 continue;
             }
             stats.energy += self.config.energy_per_cycle;
@@ -187,6 +231,32 @@ impl<'a> PipelineSim<'a> {
                     StageOutcome::Masked { borrowed, flagged } => {
                         stats.masked += 1;
                         let len = self.chain[s] + 1;
+                        if S::ENABLED {
+                            if self.chain[s] > 0 {
+                                // An inherited borrow means the upstream
+                                // boundary relayed its error state here.
+                                self.sink.event(
+                                    t,
+                                    EventKind::Relay {
+                                        stage: s as u32,
+                                        select: self.chain[s] as u32,
+                                    },
+                                );
+                            }
+                            self.sink.event(
+                                t,
+                                EventKind::Borrow {
+                                    stage: s as u32,
+                                    depth: len as u32,
+                                    slack: borrowed,
+                                    flagged,
+                                },
+                            );
+                            if flagged {
+                                self.sink.event(t, EventKind::EdFlag { stage: s as u32 });
+                                self.sink.event(t, EventKind::ThrottleRequest);
+                            }
+                        }
                         if flagged {
                             stats.flagged += 1;
                             self.controller.flag_error(t);
@@ -203,6 +273,15 @@ impl<'a> PipelineSim<'a> {
                         stats.detected += 1;
                         stats.record_chain(self.chain[s] + 1);
                         self.penalty_remaining += u64::from(recovery.penalty_cycles());
+                        if S::ENABLED {
+                            self.sink.event(
+                                t,
+                                EventKind::Detected {
+                                    stage: s as u32,
+                                    penalty: recovery.penalty_cycles(),
+                                },
+                            );
+                        }
                     }
                     StageOutcome::Predicted => {
                         stats.predicted += 1;
@@ -210,10 +289,17 @@ impl<'a> PipelineSim<'a> {
                             stats.record_chain(self.chain[s]);
                         }
                         self.controller.flag_error(t);
+                        if S::ENABLED {
+                            self.sink.event(t, EventKind::Predicted { stage: s as u32 });
+                            self.sink.event(t, EventKind::ThrottleRequest);
+                        }
                     }
                     StageOutcome::Corrupted => {
                         stats.corrupted += 1;
                         stats.record_chain(self.chain[s] + 1);
+                        if S::ENABLED {
+                            self.sink.event(t, EventKind::Panic { stage: s as u32 });
+                        }
                     }
                 }
             }

@@ -1,0 +1,178 @@
+//! The telemetry event taxonomy: what the TIMBER scheme's online
+//! signals look like as discrete, timestamped events.
+
+use std::fmt;
+
+use timber_netlist::Picos;
+
+/// What happened. Every variant mirrors one of the online signals the
+//  paper's error control unit consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A timing violation was masked by borrowing time from the next
+    /// stage (the paper's §4 masking path).
+    Borrow {
+        /// Stage boundary that borrowed.
+        stage: u32,
+        /// Depth of the masked-violation chain ending at this boundary
+        /// (1 = isolated single-stage event; ≥ 2 means the error was
+        /// relayed in from upstream).
+        depth: u32,
+        /// Slack consumed: the time handed to the next stage.
+        slack: Picos,
+        /// True when an ED interval was used, i.e. the error was also
+        /// flagged to the central error control unit.
+        flagged: bool,
+    },
+    /// An upstream masked violation was relayed into this boundary
+    /// (emitted alongside the depth ≥ 2 [`EventKind::Borrow`], and by
+    /// the netlist relay when a select input rises).
+    Relay {
+        /// Stage boundary the error was relayed into.
+        stage: u32,
+        /// Select value in force (how many units the boundary may
+        /// borrow).
+        select: u32,
+    },
+    /// An error flag reached the consolidation network (an ED interval
+    /// was used).
+    EdFlag {
+        /// Stage boundary that flagged.
+        stage: u32,
+    },
+    /// A violation was detected after corrupting state and a recovery
+    /// was issued (Razor-style baselines).
+    Detected {
+        /// Stage boundary that detected.
+        stage: u32,
+        /// Recovery bubbles injected.
+        penalty: u32,
+    },
+    /// An imminent violation was predicted before the edge
+    /// (canary-style baselines).
+    Predicted {
+        /// Stage boundary that predicted.
+        stage: u32,
+    },
+    /// A violation escaped every mechanism: silent data corruption.
+    Panic {
+        /// Stage boundary that corrupted.
+        stage: u32,
+    },
+    /// A flag was delivered to the frequency controller (a request to
+    /// throttle the clock).
+    ThrottleRequest,
+    /// The frequency controller actuated a slow-down episode.
+    Throttle {
+        /// Period in force while slowed.
+        period: Picos,
+    },
+}
+
+impl EventKind {
+    /// Short machine-readable label (stable; used by the CSV export).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::Borrow { .. } => "borrow",
+            EventKind::Relay { .. } => "relay",
+            EventKind::EdFlag { .. } => "ed-flag",
+            EventKind::Detected { .. } => "detected",
+            EventKind::Predicted { .. } => "predicted",
+            EventKind::Panic { .. } => "panic",
+            EventKind::ThrottleRequest => "throttle-request",
+            EventKind::Throttle { .. } => "throttle",
+        }
+    }
+
+    /// Stage the event is attached to, when it has one.
+    pub fn stage(&self) -> Option<u32> {
+        match *self {
+            EventKind::Borrow { stage, .. }
+            | EventKind::Relay { stage, .. }
+            | EventKind::EdFlag { stage }
+            | EventKind::Detected { stage, .. }
+            | EventKind::Predicted { stage }
+            | EventKind::Panic { stage } => Some(stage),
+            EventKind::ThrottleRequest | EventKind::Throttle { .. } => None,
+        }
+    }
+}
+
+/// One timestamped telemetry event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Simulator cycle (or wave-sim timestamp) at which it happened.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{} {}", self.cycle, self.kind.label())?;
+        if let Some(stage) = self.kind.stage() {
+            write!(f, " stage={stage}")?;
+        }
+        match self.kind {
+            EventKind::Borrow {
+                depth,
+                slack,
+                flagged,
+                ..
+            } => write!(f, " depth={depth} slack={slack} flagged={flagged}"),
+            EventKind::Relay { select, .. } => write!(f, " select={select}"),
+            EventKind::Detected { penalty, .. } => write!(f, " penalty={penalty}"),
+            EventKind::Throttle { period } => write!(f, " period={period}"),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            Event {
+                cycle: 3,
+                kind: EventKind::ThrottleRequest
+            }
+            .kind
+            .label(),
+            "throttle-request"
+        );
+        assert_eq!(EventKind::Panic { stage: 1 }.label(), "panic");
+    }
+
+    #[test]
+    fn stage_extraction() {
+        assert_eq!(EventKind::EdFlag { stage: 4 }.stage(), Some(4));
+        assert_eq!(EventKind::ThrottleRequest.stage(), None);
+        assert_eq!(
+            EventKind::Throttle {
+                period: Picos(1100)
+            }
+            .stage(),
+            None
+        );
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Event {
+            cycle: 42,
+            kind: EventKind::Borrow {
+                stage: 2,
+                depth: 1,
+                slack: Picos(40),
+                flagged: false,
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("@42"), "{s}");
+        assert!(s.contains("stage=2"), "{s}");
+        assert!(s.contains("depth=1"), "{s}");
+    }
+}

@@ -1,0 +1,309 @@
+//! JSON / CSV export and the human-readable summary table.
+//!
+//! Exports are pure functions of recorder contents, contain no
+//! wall-clock data, and serialise through the order-preserving
+//! `serde_json` subset — so two recorders that merged identically
+//! produce byte-identical documents (the `repro trace` determinism
+//! guarantee).
+
+use serde_json::{json, Value};
+
+use crate::event::{Event, EventKind};
+use crate::recorder::Recorder;
+use crate::sink::Counter;
+
+fn event_json(e: &Event) -> Value {
+    let mut obj = vec![
+        ("cycle".to_owned(), json!(e.cycle)),
+        ("kind".to_owned(), json!(e.kind.label())),
+    ];
+    if let Some(stage) = e.kind.stage() {
+        obj.push(("stage".to_owned(), json!(stage)));
+    }
+    match e.kind {
+        EventKind::Borrow {
+            depth,
+            slack,
+            flagged,
+            ..
+        } => {
+            obj.push(("depth".to_owned(), json!(depth)));
+            obj.push(("slack_ps".to_owned(), json!(slack.as_ps())));
+            obj.push(("flagged".to_owned(), json!(flagged)));
+        }
+        EventKind::Relay { select, .. } => obj.push(("select".to_owned(), json!(select))),
+        EventKind::Detected { penalty, .. } => obj.push(("penalty".to_owned(), json!(penalty))),
+        EventKind::Throttle { period } => {
+            obj.push(("period_ps".to_owned(), json!(period.as_ps())));
+        }
+        _ => {}
+    }
+    Value::Object(obj)
+}
+
+/// Serialises one recorder as a JSON value: counters, per-stage
+/// metrics, and the surviving event trace.
+pub fn recorder_json(r: &Recorder) -> Value {
+    let counters = Value::Object(
+        Counter::ALL
+            .iter()
+            .map(|c| (c.name().to_owned(), json!(r.counter(*c))))
+            .collect(),
+    );
+    let stages: Vec<Value> = r
+        .stages()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            json!({
+                "stage": i,
+                "borrows": s.borrows,
+                "flagged": s.flagged,
+                "relays": s.relays,
+                "detected": s.detected,
+                "predicted": s.predicted,
+                "corrupted": s.corrupted,
+                "slack_total_ps": s.slack_total.as_ps(),
+                "depth_hist": s.depth_hist.to_vec(),
+                "slack_hist": s.slack_hist.to_vec(),
+            })
+        })
+        .collect();
+    let events: Vec<Value> = r.events().iter().map(event_json).collect();
+    json!({
+        "nominal_period_ps": r.config().nominal_period.as_ps(),
+        "ring_capacity": r.config().ring_capacity,
+        "counters": counters,
+        "stages": stages,
+        "events_seen": r.events_seen(),
+        "events_dropped": r.events_dropped(),
+        "events": events,
+    })
+}
+
+/// Serialises a labelled set of recorders (one per sweep cell) as the
+/// `repro trace --telemetry` document.
+pub fn trace_json(experiment: &str, cells: &[(String, Recorder)]) -> String {
+    let body: Vec<Value> = cells
+        .iter()
+        .map(|(name, r)| {
+            json!({
+                "cell": name.as_str(),
+                "telemetry": recorder_json(r),
+            })
+        })
+        .collect();
+    let doc = json!({
+        "document": "timber-telemetry-trace",
+        "experiment": experiment,
+        "cells": body,
+    });
+    serde_json::to_string_pretty(&doc).expect("serialise telemetry trace")
+}
+
+/// Renders the surviving event trace as CSV
+/// (`cell,cycle,kind,stage,depth,select,slack_ps,flagged,penalty,period_ps`;
+/// fields that do not apply to an event kind are left empty).
+pub fn trace_csv(cells: &[(String, Recorder)]) -> String {
+    let mut out =
+        String::from("cell,cycle,kind,stage,depth,select,slack_ps,flagged,penalty,period_ps\n");
+    for (name, r) in cells {
+        for e in r.events() {
+            let stage = e.kind.stage().map(|s| s.to_string()).unwrap_or_default();
+            let (depth, select, slack, flagged, penalty, period) = match e.kind {
+                EventKind::Borrow {
+                    depth,
+                    slack,
+                    flagged,
+                    ..
+                } => (
+                    depth.to_string(),
+                    String::new(),
+                    slack.as_ps().to_string(),
+                    flagged.to_string(),
+                    String::new(),
+                    String::new(),
+                ),
+                EventKind::Relay { select, .. } => (
+                    String::new(),
+                    select.to_string(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ),
+                EventKind::Detected { penalty, .. } => (
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    penalty.to_string(),
+                    String::new(),
+                ),
+                EventKind::Throttle { period } => (
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    period.as_ps().to_string(),
+                ),
+                _ => Default::default(),
+            };
+            out.push_str(&format!(
+                "{name},{},{},{stage},{depth},{select},{slack},{flagged},{penalty},{period}\n",
+                e.cycle,
+                e.kind.label(),
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the per-cell summary table: the paper's `k_tb`/`k_ed`
+/// accounting as observable counters. `k_tb`/`k_ed` describe the
+/// schedule the cell ran under (interval `i` of a depth-`d` borrow is
+/// "used" when `d > i`).
+pub fn render_summary(name: &str, r: &Recorder, k_tb: u8, k_ed: u8) -> String {
+    let masked = r.counter(Counter::Masked);
+    let flagged = r.counter(Counter::Flagged);
+    let mut out = format!(
+        "cell {name}: {} cycles, {masked} borrows masked ({} TB-silent, {flagged} ED-flagged), \
+         {} relays, {} detected, {} predicted, {} corrupted\n\
+         throttle: {} requests -> {} episodes, {} slow cycles\n",
+        r.counter(Counter::Cycles),
+        masked - flagged,
+        r.counter(Counter::Relays),
+        r.counter(Counter::Detected),
+        r.counter(Counter::Predicted),
+        r.counter(Counter::Corrupted),
+        r.counter(Counter::ThrottleRequests),
+        r.counter(Counter::ThrottleEpisodes),
+        r.counter(Counter::SlowCycles),
+    );
+    // Interval usage from the global depth histogram: a depth-d borrow
+    // uses intervals 0..d, the first k_tb of which are TB.
+    let mut depth_hist = [0u64; crate::recorder::DEPTH_BINS];
+    for s in r.stages() {
+        for (acc, d) in depth_hist.iter_mut().zip(&s.depth_hist) {
+            *acc += d;
+        }
+    }
+    let k = (k_tb + k_ed) as usize;
+    let used_beyond = |i: usize| -> u64 { depth_hist.iter().skip(i).sum() };
+    out.push_str("interval usage:");
+    for i in 0..k.min(crate::recorder::DEPTH_BINS) {
+        let kind = if i < k_tb as usize { "TB" } else { "ED" };
+        out.push_str(&format!("  {kind}{i}={}", used_beyond(i)));
+    }
+    out.push('\n');
+    out.push_str("stage  borrows   flagged   relays    detected  predicted corrupted slack(ps)\n");
+    for (i, s) in r.stages().iter().enumerate() {
+        out.push_str(&format!(
+            "{i:<6} {:<9} {:<9} {:<9} {:<9} {:<9} {:<9} {}\n",
+            s.borrows,
+            s.flagged,
+            s.relays,
+            s.detected,
+            s.predicted,
+            s.corrupted,
+            s.slack_total.as_ps(),
+        ));
+    }
+    out.push_str(&format!(
+        "trace: {} events kept of {} seen ({} dropped)\n",
+        r.events().len(),
+        r.events_seen(),
+        r.events_dropped(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::RecorderConfig;
+    use crate::sink::TelemetrySink;
+    use timber_netlist::Picos;
+
+    fn sample() -> Recorder {
+        let mut r = Recorder::new(RecorderConfig::new(2, Picos(1000)).ring_capacity(8));
+        r.add(Counter::Cycles, 100);
+        r.event(
+            3,
+            EventKind::Borrow {
+                stage: 0,
+                depth: 1,
+                slack: Picos(40),
+                flagged: false,
+            },
+        );
+        r.event(
+            4,
+            EventKind::Relay {
+                stage: 1,
+                select: 1,
+            },
+        );
+        r.event(
+            4,
+            EventKind::Borrow {
+                stage: 1,
+                depth: 2,
+                slack: Picos(80),
+                flagged: true,
+            },
+        );
+        r.event(4, EventKind::EdFlag { stage: 1 });
+        r.event(4, EventKind::ThrottleRequest);
+        r.event(
+            6,
+            EventKind::Throttle {
+                period: Picos(1100),
+            },
+        );
+        r
+    }
+
+    #[test]
+    fn json_round_trips_and_has_counters() {
+        let doc = trace_json("claims", &[("deferred".to_owned(), sample())]);
+        let v = serde_json::from_str(&doc).expect("valid json");
+        assert_eq!(v["document"], "timber-telemetry-trace");
+        assert_eq!(v["experiment"], "claims");
+        let tel = &v["cells"][0]["telemetry"];
+        assert_eq!(tel["counters"]["masked"], json!(2u64));
+        assert_eq!(tel["counters"]["flagged"], json!(1u64));
+        assert_eq!(tel["counters"]["cycles"], json!(100u64));
+        assert_eq!(tel["events_seen"], json!(6u64));
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        let cells = vec![("c".to_owned(), sample())];
+        assert_eq!(trace_json("x", &cells), trace_json("x", &cells));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_event_plus_header() {
+        let csv = trace_csv(&[("c".to_owned(), sample())]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 6);
+        assert!(lines[0].starts_with("cell,cycle,kind"));
+        assert!(lines[1].contains("borrow"));
+        assert!(csv.contains("c,6,throttle,,,,,,,1100"));
+    }
+
+    #[test]
+    fn summary_reports_interval_accounting() {
+        let s = render_summary("deferred", &sample(), 1, 2);
+        // Two borrows: depth 1 and depth 2 → TB0 used twice, ED1 once.
+        assert!(s.contains("TB0=2"), "{s}");
+        assert!(s.contains("ED1=1"), "{s}");
+        assert!(
+            s.contains("2 borrows masked (1 TB-silent, 1 ED-flagged)"),
+            "{s}"
+        );
+        assert!(s.contains("1 requests -> 1 episodes"), "{s}");
+    }
+}

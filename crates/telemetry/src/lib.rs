@@ -1,0 +1,58 @@
+//! # timber-telemetry
+//!
+//! Lock-free, allocation-free-in-the-hot-loop telemetry for the TIMBER
+//! reproduction: the observability layer that turns the scheme's
+//! *online* resilience signals — masked borrows, relayed errors, ED
+//! flags, throttle requests — into counters, per-stage histograms and a
+//! bounded, timestamped event trace.
+//!
+//! ## Design
+//!
+//! * [`TelemetrySink`] is the write interface. Instrumented code is
+//!   generic over it and guards every recording site (including the
+//!   argument computation) behind the associated constant
+//!   [`TelemetrySink::ENABLED`], so the no-op sink compiles away and
+//!   the pipeline hot loop keeps its baseline throughput.
+//! * [`NoopSink`] is that no-op: zero-sized, `ENABLED = false`, empty
+//!   inline methods.
+//! * [`Recorder`] is the real sink: fixed counter array, preallocated
+//!   per-stage histograms of borrow depth and slack consumed, and a
+//!   fixed-capacity ring buffer keeping the most recent events. It
+//!   never allocates while recording and is single-writer — parallel
+//!   sweeps give every trial its own recorder and [`Recorder::merge`]
+//!   them in canonical trial order, which makes all output (including
+//!   the surviving ring contents) bit-identical across thread counts.
+//! * [`export`] serialises recorders as JSON / CSV and renders the
+//!   summary table with the paper's `k_tb`/`k_ed` interval accounting.
+//!
+//! ## Example
+//!
+//! ```
+//! use timber_netlist::Picos;
+//! use timber_telemetry::{Counter, EventKind, Recorder, RecorderConfig, TelemetrySink};
+//!
+//! let mut rec = Recorder::new(RecorderConfig::new(4, Picos(1000)));
+//! rec.event(17, EventKind::Borrow {
+//!     stage: 2,
+//!     depth: 1,
+//!     slack: Picos(40),
+//!     flagged: false,
+//! });
+//! assert_eq!(rec.counter(Counter::Masked), 1);
+//! assert_eq!(rec.stages()[2].borrows, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod recorder;
+pub mod sink;
+
+pub use event::{Event, EventKind};
+pub use export::{recorder_json, render_summary, trace_csv, trace_json};
+pub use recorder::{Recorder, RecorderConfig, StageMetrics, DEPTH_BINS, SLACK_BINS};
+pub use sink::{Counter, NoopSink, TelemetrySink};
+
+#[cfg(test)]
+mod props;

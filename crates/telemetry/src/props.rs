@@ -1,0 +1,102 @@
+//! Property tests for the merge path: merging recorders in canonical
+//! order must be reproducible and must conserve every counter.
+
+use proptest::prelude::*;
+use timber_netlist::Picos;
+
+use crate::event::EventKind;
+use crate::recorder::{Recorder, RecorderConfig};
+use crate::sink::{Counter, TelemetrySink};
+
+fn kind_of(tag: u8, stage: u32, depth: u32, slack: i64) -> EventKind {
+    match tag % 6 {
+        0 => EventKind::Borrow {
+            stage,
+            depth,
+            slack: Picos(slack),
+            flagged: depth > 1,
+        },
+        1 => EventKind::Relay {
+            stage,
+            select: depth,
+        },
+        2 => EventKind::Detected { stage, penalty: 1 },
+        3 => EventKind::Predicted { stage },
+        4 => EventKind::Panic { stage },
+        _ => EventKind::ThrottleRequest,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Counters of a merged recorder equal the sums of the parts, for
+    /// any event mix and any ring capacity (trace bounding never loses
+    /// counter increments).
+    #[test]
+    fn merge_conserves_counters(
+        events in proptest::collection::vec(
+            (0u8..6, 0u32..4, 1u32..5, 1i64..600), 0..40),
+        split in 0usize..40,
+        cap in 0usize..16,
+    ) {
+        let cfg = RecorderConfig::new(4, Picos(1000)).ring_capacity(cap);
+        let split = split.min(events.len());
+        let mut a = Recorder::new(cfg);
+        let mut b = Recorder::new(cfg);
+        for (i, &(tag, stage, depth, slack)) in events.iter().enumerate() {
+            let sink = if i < split { &mut a } else { &mut b };
+            sink.event(i as u64, kind_of(tag, stage, depth, slack));
+        }
+        let mut whole = Recorder::new(cfg);
+        for (i, &(tag, stage, depth, slack)) in events.iter().enumerate() {
+            whole.event(i as u64, kind_of(tag, stage, depth, slack));
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        for c in Counter::ALL {
+            prop_assert_eq!(merged.counter(c), whole.counter(c));
+        }
+        prop_assert_eq!(merged.events_seen(), whole.events_seen());
+        // Stage metrics are conserved too.
+        for (m, w) in merged.stages().iter().zip(whole.stages()) {
+            prop_assert_eq!(m.borrows, w.borrows);
+            prop_assert_eq!(m.relays, w.relays);
+            prop_assert_eq!(m.depth_hist, w.depth_hist);
+            prop_assert_eq!(m.slack_hist, w.slack_hist);
+        }
+        // Since a's events all precede b's in canonical order, the
+        // merged ring equals the single-writer ring exactly.
+        prop_assert_eq!(merged.events(), whole.events());
+    }
+
+    /// Merging the same parts in the same order always yields the same
+    /// recorder (the sweep-engine thread-count invariance in miniature).
+    #[test]
+    fn merge_is_reproducible(
+        n_a in 0u64..30,
+        n_b in 0u64..30,
+        cap in 1usize..8,
+    ) {
+        let cfg = RecorderConfig::new(2, Picos(1000)).ring_capacity(cap);
+        let mut a = Recorder::new(cfg);
+        for c in 0..n_a {
+            a.event(c, EventKind::Borrow {
+                stage: (c % 2) as u32,
+                depth: 1,
+                slack: Picos(40),
+                flagged: false,
+            });
+        }
+        let mut b = Recorder::new(cfg);
+        for c in 0..n_b {
+            b.event(c, EventKind::ThrottleRequest);
+        }
+        let mut m1 = a.clone();
+        m1.merge(&b);
+        let mut m2 = a.clone();
+        m2.merge(&b);
+        prop_assert_eq!(&m1, &m2);
+        prop_assert_eq!(m1.events_seen(), n_a + n_b);
+    }
+}

@@ -1,0 +1,459 @@
+//! The recording sink: counters, per-stage histograms and a bounded
+//! ring-buffer event trace.
+//!
+//! A [`Recorder`] preallocates everything at construction and never
+//! allocates while recording, so it can sit inside the pipeline
+//! simulator's hot loop. It is single-writer (one recorder per trial);
+//! parallel sweeps merge worker recorders **sequentially in canonical
+//! trial order** with [`Recorder::merge`], which makes every derived
+//! number — and the surviving ring-buffer contents — bit-identical
+//! regardless of thread count, exactly like `RunStats` reduction.
+
+use timber_netlist::Picos;
+
+use crate::event::{Event, EventKind};
+use crate::sink::{Counter, TelemetrySink};
+
+/// Number of borrow-depth histogram bins; depths beyond this saturate
+/// into the last bin.
+pub const DEPTH_BINS: usize = 8;
+
+/// Number of slack-consumed histogram bins: ten 5%-of-period bins
+/// covering (0, 50%] — the checking period can never exceed half the
+/// cycle — plus one overflow bin.
+pub const SLACK_BINS: usize = 11;
+
+/// Construction parameters of a [`Recorder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecorderConfig {
+    /// Stage-boundary count: per-stage metrics are preallocated for
+    /// this many boundaries.
+    pub stages: usize,
+    /// Ring-buffer capacity: the trace keeps the most recent this-many
+    /// events (in canonical order after merging).
+    pub ring_capacity: usize,
+    /// Nominal clock period; the slack-consumed histogram bins are
+    /// fractions of it.
+    pub nominal_period: Picos,
+}
+
+impl RecorderConfig {
+    /// A configuration with the default 4096-event trace.
+    pub fn new(stages: usize, nominal_period: Picos) -> RecorderConfig {
+        RecorderConfig {
+            stages,
+            ring_capacity: 4096,
+            nominal_period,
+        }
+    }
+
+    /// Overrides the ring-buffer capacity.
+    #[must_use]
+    pub fn ring_capacity(mut self, capacity: usize) -> RecorderConfig {
+        self.ring_capacity = capacity;
+        self
+    }
+}
+
+/// Per-stage-boundary metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageMetrics {
+    /// Violations masked by borrowing at this boundary.
+    pub borrows: u64,
+    /// Masked violations that were also flagged (ED interval used).
+    pub flagged: u64,
+    /// Errors relayed into this boundary from upstream.
+    pub relays: u64,
+    /// Detections (Razor-style baselines).
+    pub detected: u64,
+    /// Predictions (canary-style baselines).
+    pub predicted: u64,
+    /// Silent corruptions.
+    pub corrupted: u64,
+    /// Histogram of borrow-chain depth: `depth_hist[d]` counts borrows
+    /// whose chain depth was `d + 1` (saturating in the last bin).
+    pub depth_hist: [u64; DEPTH_BINS],
+    /// Histogram of slack consumed per borrow, in 5%-of-nominal-period
+    /// bins (last bin = overflow beyond 50%).
+    pub slack_hist: [u64; SLACK_BINS],
+    /// Total slack consumed at this boundary.
+    pub slack_total: Picos,
+}
+
+impl StageMetrics {
+    const ZERO: StageMetrics = StageMetrics {
+        borrows: 0,
+        flagged: 0,
+        relays: 0,
+        detected: 0,
+        predicted: 0,
+        corrupted: 0,
+        depth_hist: [0; DEPTH_BINS],
+        slack_hist: [0; SLACK_BINS],
+        slack_total: Picos::ZERO,
+    };
+
+    fn merge(&mut self, other: &StageMetrics) {
+        self.borrows += other.borrows;
+        self.flagged += other.flagged;
+        self.relays += other.relays;
+        self.detected += other.detected;
+        self.predicted += other.predicted;
+        self.corrupted += other.corrupted;
+        for (a, b) in self.depth_hist.iter_mut().zip(&other.depth_hist) {
+            *a += b;
+        }
+        for (a, b) in self.slack_hist.iter_mut().zip(&other.slack_hist) {
+            *a += b;
+        }
+        self.slack_total += other.slack_total;
+    }
+
+    /// All events observed at this boundary.
+    pub fn total_events(&self) -> u64 {
+        self.borrows + self.detected + self.predicted + self.corrupted
+    }
+}
+
+/// Fixed-capacity event trace keeping the most recent events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Ring {
+    capacity: usize,
+    /// Stored events; once `len == capacity`, `head` is the index of
+    /// the oldest event and pushes overwrite in place (no allocation).
+    events: Vec<Event>,
+    head: usize,
+    /// Events ever offered (kept + dropped).
+    seen: u64,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        Ring {
+            capacity,
+            events: Vec::with_capacity(capacity),
+            head: 0,
+            seen: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, event: Event) {
+        self.seen += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    fn in_order(&self) -> impl Iterator<Item = &Event> {
+        self.events[self.head..]
+            .iter()
+            .chain(self.events[..self.head].iter())
+    }
+
+    /// Replays `other`'s surviving events through this ring (oldest
+    /// first), then accounts for the events `other` had already
+    /// dropped. Merging A then B then C in a fixed order yields a fixed
+    /// result, which is all the sweep engine needs for thread-count
+    /// invariance.
+    fn absorb(&mut self, other: &Ring) {
+        let kept = other.events.len() as u64;
+        for e in other.in_order() {
+            self.push(*e);
+        }
+        self.seen += other.seen - kept;
+    }
+}
+
+/// The recording [`TelemetrySink`]: counters + per-stage histograms +
+/// bounded event trace. See the module docs for the threading model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recorder {
+    config: RecorderConfig,
+    counters: [u64; Counter::COUNT],
+    stages: Vec<StageMetrics>,
+    ring: Ring,
+}
+
+impl Recorder {
+    /// Creates a recorder, preallocating all storage.
+    pub fn new(config: RecorderConfig) -> Recorder {
+        Recorder {
+            config,
+            counters: [0; Counter::COUNT],
+            stages: vec![StageMetrics::ZERO; config.stages],
+            ring: Ring::new(config.ring_capacity),
+        }
+    }
+
+    /// The construction parameters.
+    pub fn config(&self) -> &RecorderConfig {
+        &self.config
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize]
+    }
+
+    /// Per-stage metrics, stage-boundary order.
+    pub fn stages(&self) -> &[StageMetrics] {
+        &self.stages
+    }
+
+    /// The surviving trace, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.ring.in_order().copied().collect()
+    }
+
+    /// Events ever offered to the trace (kept + dropped).
+    pub fn events_seen(&self) -> u64 {
+        self.ring.seen
+    }
+
+    /// Events that fell out of the bounded trace.
+    pub fn events_dropped(&self) -> u64 {
+        self.ring.seen - self.ring.events.len() as u64
+    }
+
+    /// Sum of slack consumed across all boundaries.
+    pub fn slack_total(&self) -> Picos {
+        self.stages
+            .iter()
+            .fold(Picos::ZERO, |acc, s| acc + s.slack_total)
+    }
+
+    #[inline]
+    fn stage_mut(&mut self, stage: u32) -> &mut StageMetrics {
+        let idx = stage as usize;
+        if idx >= self.stages.len() {
+            // Cold path: an instrumented subsystem saw more boundaries
+            // than the config promised. Grow rather than lose data.
+            self.stages.resize(idx + 1, StageMetrics::ZERO);
+        }
+        &mut self.stages[idx]
+    }
+
+    #[inline]
+    fn slack_bin(&self, slack: Picos) -> usize {
+        // Ten 5% bins over (0, 50%] of the nominal period + overflow.
+        let period = self.config.nominal_period.as_ps().max(1);
+        let pct20 = (slack.as_ps().max(0) * 20) / period; // 0..=19 → 5% steps
+        (pct20 as usize).min(SLACK_BINS - 1)
+    }
+
+    /// Folds `other` into `self`. Call in canonical trial order: the
+    /// sweep engine merges recorders exactly like `RunStats`, so the
+    /// result is bit-identical across thread counts.
+    pub fn merge(&mut self, other: &Recorder) {
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
+        }
+        if self.stages.len() < other.stages.len() {
+            self.stages.resize(other.stages.len(), StageMetrics::ZERO);
+        }
+        for (a, b) in self.stages.iter_mut().zip(&other.stages) {
+            a.merge(b);
+        }
+        self.ring.absorb(&other.ring);
+    }
+}
+
+impl TelemetrySink for Recorder {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn event(&mut self, cycle: u64, kind: EventKind) {
+        match kind {
+            EventKind::Borrow {
+                stage,
+                depth,
+                slack,
+                flagged,
+            } => {
+                self.counters[Counter::Masked as usize] += 1;
+                if flagged {
+                    self.counters[Counter::Flagged as usize] += 1;
+                }
+                let bin = self.slack_bin(slack);
+                let m = self.stage_mut(stage);
+                m.borrows += 1;
+                if flagged {
+                    m.flagged += 1;
+                }
+                m.depth_hist[(depth.max(1) as usize - 1).min(DEPTH_BINS - 1)] += 1;
+                m.slack_hist[bin] += 1;
+                m.slack_total += slack;
+            }
+            EventKind::Relay { stage, .. } => {
+                self.counters[Counter::Relays as usize] += 1;
+                self.stage_mut(stage).relays += 1;
+            }
+            EventKind::EdFlag { .. } => {
+                // Accounted by the flagged borrow; the event is kept in
+                // the trace for the ED-interval timeline.
+            }
+            EventKind::Detected { stage, .. } => {
+                self.counters[Counter::Detected as usize] += 1;
+                self.stage_mut(stage).detected += 1;
+            }
+            EventKind::Predicted { stage } => {
+                self.counters[Counter::Predicted as usize] += 1;
+                self.stage_mut(stage).predicted += 1;
+            }
+            EventKind::Panic { stage } => {
+                self.counters[Counter::Corrupted as usize] += 1;
+                self.stage_mut(stage).corrupted += 1;
+            }
+            EventKind::ThrottleRequest => {
+                self.counters[Counter::ThrottleRequests as usize] += 1;
+            }
+            EventKind::Throttle { .. } => {
+                self.counters[Counter::ThrottleEpisodes as usize] += 1;
+            }
+        }
+        self.ring.push(Event { cycle, kind });
+    }
+
+    #[inline]
+    fn add(&mut self, counter: Counter, n: u64) {
+        self.counters[counter as usize] += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RecorderConfig {
+        RecorderConfig::new(3, Picos(1000)).ring_capacity(4)
+    }
+
+    fn borrow(stage: u32, depth: u32, slack: i64, flagged: bool) -> EventKind {
+        EventKind::Borrow {
+            stage,
+            depth,
+            slack: Picos(slack),
+            flagged,
+        }
+    }
+
+    #[test]
+    fn borrow_events_update_counters_and_histograms() {
+        let mut r = Recorder::new(cfg());
+        r.event(1, borrow(0, 1, 40, false));
+        r.event(2, borrow(0, 2, 80, true));
+        r.event(3, borrow(2, 9, 600, true));
+        assert_eq!(r.counter(Counter::Masked), 3);
+        assert_eq!(r.counter(Counter::Flagged), 2);
+        assert_eq!(r.stages()[0].borrows, 2);
+        assert_eq!(r.stages()[0].flagged, 1);
+        // 40ps of 1000ps = 4% → bin 0; 80ps = 8% → bin 1.
+        assert_eq!(r.stages()[0].slack_hist[0], 1);
+        assert_eq!(r.stages()[0].slack_hist[1], 1);
+        // 600ps = 60% → overflow bin.
+        assert_eq!(r.stages()[2].slack_hist[SLACK_BINS - 1], 1);
+        // Depth 1 → bin 0, depth 2 → bin 1, depth 9 saturates.
+        assert_eq!(r.stages()[0].depth_hist[0], 1);
+        assert_eq!(r.stages()[0].depth_hist[1], 1);
+        assert_eq!(r.stages()[2].depth_hist[DEPTH_BINS - 1], 1);
+        assert_eq!(r.slack_total(), Picos(720));
+        assert_eq!(r.stages()[0].total_events(), 2);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_events() {
+        let mut r = Recorder::new(cfg());
+        for c in 0..7u64 {
+            r.event(c, EventKind::ThrottleRequest);
+        }
+        assert_eq!(r.events_seen(), 7);
+        assert_eq!(r.events_dropped(), 3);
+        let cycles: Vec<u64> = r.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn zero_capacity_ring_counts_but_keeps_nothing() {
+        let mut r = Recorder::new(cfg().ring_capacity(0));
+        r.event(0, EventKind::ThrottleRequest);
+        assert_eq!(r.events_seen(), 1);
+        assert!(r.events().is_empty());
+        assert_eq!(r.counter(Counter::ThrottleRequests), 1);
+    }
+
+    #[test]
+    fn merge_adds_and_preserves_canonical_trace_order() {
+        let mut a = Recorder::new(cfg());
+        a.event(0, borrow(0, 1, 40, false));
+        a.event(1, EventKind::ThrottleRequest);
+        let mut b = Recorder::new(cfg());
+        b.event(0, borrow(1, 2, 80, true));
+        b.event(
+            5,
+            EventKind::Throttle {
+                period: Picos(1100),
+            },
+        );
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.counter(Counter::Masked), 2);
+        assert_eq!(ab.counter(Counter::ThrottleRequests), 1);
+        assert_eq!(ab.counter(Counter::ThrottleEpisodes), 1);
+        assert_eq!(ab.events_seen(), 4);
+        // a's events precede b's, each internally ordered.
+        let labels: Vec<&str> = ab.events().iter().map(|e| e.kind.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["borrow", "throttle-request", "borrow", "throttle"]
+        );
+
+        // Merging in a fixed order is reproducible.
+        let mut ab2 = a.clone();
+        ab2.merge(&b);
+        assert_eq!(ab, ab2);
+    }
+
+    #[test]
+    fn merge_ring_overflow_keeps_most_recent_across_inputs() {
+        let mut a = Recorder::new(cfg());
+        for c in 0..3u64 {
+            a.event(c, EventKind::ThrottleRequest);
+        }
+        let mut b = Recorder::new(cfg());
+        for c in 10..13u64 {
+            b.event(c, EventKind::ThrottleRequest);
+        }
+        a.merge(&b);
+        // Capacity 4: the oldest two of a's three events fall out.
+        let cycles: Vec<u64> = a.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 10, 11, 12]);
+        assert_eq!(a.events_dropped(), 2);
+    }
+
+    #[test]
+    fn merge_grows_stage_vector() {
+        let mut a = Recorder::new(RecorderConfig::new(1, Picos(1000)));
+        let mut b = Recorder::new(RecorderConfig::new(4, Picos(1000)));
+        b.event(0, borrow(3, 1, 10, false));
+        a.merge(&b);
+        assert_eq!(a.stages().len(), 4);
+        assert_eq!(a.stages()[3].borrows, 1);
+    }
+
+    #[test]
+    fn out_of_range_stage_grows_metrics() {
+        let mut r = Recorder::new(RecorderConfig::new(1, Picos(1000)));
+        r.event(0, EventKind::Panic { stage: 5 });
+        assert_eq!(r.stages().len(), 6);
+        assert_eq!(r.stages()[5].corrupted, 1);
+        assert_eq!(r.counter(Counter::Corrupted), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! The zero-cost sink abstraction instrumented code writes into.
+
+use crate::event::EventKind;
+
+/// Monotonic counters the instrumented subsystems maintain.
+///
+/// The first block mirrors `timber_pipeline::stats::RunStats` one to
+/// one, so telemetry totals can be cross-checked against the aggregate
+/// statistics (the property tests do exactly that). The second block
+/// covers signals `RunStats` does not see: relays, throttle requests
+/// and the wave-kernel counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Clock cycles simulated.
+    Cycles,
+    /// Violations masked by time borrowing.
+    Masked,
+    /// Masked violations that were also flagged (an ED interval was
+    /// used).
+    Flagged,
+    /// Errors detected after corruption and recovered.
+    Detected,
+    /// Errors predicted before the edge.
+    Predicted,
+    /// Silent data corruptions.
+    Corrupted,
+    /// Recovery bubbles injected.
+    PenaltyCycles,
+    /// Cycles executed at a reduced clock frequency.
+    SlowCycles,
+    /// Slow-down episodes actuated by the frequency controller.
+    ThrottleEpisodes,
+    /// Masked violations relayed across a stage boundary (chain depth
+    /// ≥ 2) — the error-relay traffic the paper's §5.1 logic carries.
+    Relays,
+    /// Error flags delivered to the frequency controller.
+    ThrottleRequests,
+    /// Events processed by the event-driven waveform kernel.
+    WaveEvents,
+    /// Signal transitions recorded by the waveform kernel.
+    WaveTransitions,
+}
+
+impl Counter {
+    /// Number of counters (array-index bound).
+    pub const COUNT: usize = 13;
+
+    /// All counters, in index order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::Cycles,
+        Counter::Masked,
+        Counter::Flagged,
+        Counter::Detected,
+        Counter::Predicted,
+        Counter::Corrupted,
+        Counter::PenaltyCycles,
+        Counter::SlowCycles,
+        Counter::ThrottleEpisodes,
+        Counter::Relays,
+        Counter::ThrottleRequests,
+        Counter::WaveEvents,
+        Counter::WaveTransitions,
+    ];
+
+    /// Stable machine-readable name (used by the JSON export).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Counter::Cycles => "cycles",
+            Counter::Masked => "masked",
+            Counter::Flagged => "flagged",
+            Counter::Detected => "detected",
+            Counter::Predicted => "predicted",
+            Counter::Corrupted => "corrupted",
+            Counter::PenaltyCycles => "penalty_cycles",
+            Counter::SlowCycles => "slow_cycles",
+            Counter::ThrottleEpisodes => "throttle_episodes",
+            Counter::Relays => "relays",
+            Counter::ThrottleRequests => "throttle_requests",
+            Counter::WaveEvents => "wave_events",
+            Counter::WaveTransitions => "wave_transitions",
+        }
+    }
+}
+
+/// Where instrumented code reports events and counters.
+///
+/// The trait is designed to compile away: instrumentation sites are
+/// generic over `S: TelemetrySink` and guard every call (and, more
+/// importantly, every *argument computation*) behind `if S::ENABLED`.
+/// With [`NoopSink`] — whose `ENABLED` is `false` and whose methods are
+/// empty `#[inline(always)]` bodies — monomorphization deletes the
+/// whole branch, so un-instrumented runs keep their baseline speed.
+///
+/// Implementations are **single-writer**: one sink per simulation (one
+/// per Monte-Carlo trial). There are no locks and no atomics anywhere —
+/// cross-thread aggregation happens after the fact by merging sinks in
+/// canonical trial order (see [`crate::Recorder::merge`]).
+pub trait TelemetrySink {
+    /// Whether this sink actually records anything. Instrumentation
+    /// sites branch on this associated constant so the no-op case costs
+    /// literally nothing.
+    const ENABLED: bool;
+
+    /// Records a timestamped event.
+    fn event(&mut self, cycle: u64, kind: EventKind);
+
+    /// Adds `n` to a counter.
+    fn add(&mut self, counter: Counter, n: u64);
+}
+
+/// The do-nothing sink: zero-sized, `ENABLED = false`, every method an
+/// empty inline body. `PipelineSim::new` uses it by default.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl TelemetrySink for NoopSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn event(&mut self, _cycle: u64, _kind: EventKind) {}
+
+    #[inline(always)]
+    fn add(&mut self, _counter: Counter, _n: u64) {}
+}
+
+/// Forwarding impl so instrumented code can hold a sink by value *or*
+/// borrow one owned elsewhere (e.g. `PipelineSim::with_telemetry`
+/// borrows the caller's [`crate::Recorder`]).
+impl<S: TelemetrySink> TelemetrySink for &mut S {
+    const ENABLED: bool = S::ENABLED;
+
+    #[inline(always)]
+    fn event(&mut self, cycle: u64, kind: EventKind) {
+        (**self).event(cycle, kind);
+    }
+
+    #[inline(always)]
+    fn add(&mut self, counter: Counter, n: u64) {
+        (**self).add(counter, n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_names_unique_and_indexed() {
+        let mut seen = std::collections::HashSet::new();
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i, "index order");
+            assert!(seen.insert(c.name()), "duplicate name {}", c.name());
+        }
+        assert_eq!(Counter::ALL.len(), Counter::COUNT);
+    }
+
+    #[test]
+    fn noop_sink_is_zero_sized_and_disabled() {
+        assert_eq!(std::mem::size_of::<NoopSink>(), 0);
+        const { assert!(!NoopSink::ENABLED) };
+        const { assert!(!<&mut NoopSink as TelemetrySink>::ENABLED) };
+        // Calls are accepted and do nothing.
+        let mut s = NoopSink;
+        s.add(Counter::Cycles, 5);
+        s.event(0, EventKind::ThrottleRequest);
+    }
+}

@@ -4,6 +4,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use timber_netlist::Picos;
+use timber_telemetry::{Counter, NoopSink, TelemetrySink};
 
 use crate::element::Element;
 use crate::signal::{Logic, SigId};
@@ -110,11 +111,23 @@ impl Simulator {
     /// Panics if zero-delay feedback oscillates (more than `MAX_DELTAS`
     /// rounds at one timestamp).
     pub fn run_until(&mut self, t_end: Picos) {
+        self.run_until_telemetry(t_end, &mut NoopSink);
+    }
+
+    /// [`Simulator::run_until`] with telemetry: counts processed queue
+    /// events ([`Counter::WaveEvents`]) and actual signal transitions
+    /// ([`Counter::WaveTransitions`]) into `sink`. With [`NoopSink`]
+    /// this is exactly `run_until`.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Simulator::run_until`] does.
+    pub fn run_until_telemetry<S: TelemetrySink>(&mut self, t_end: Picos, sink: &mut S) {
         while let Some(Reverse((t, _, _, _))) = self.queue.peek().copied() {
             if t > t_end {
                 break;
             }
-            self.advance_one_timestep(t);
+            self.advance_one_timestep(t, sink);
         }
         if self.now < t_end {
             self.now = t_end;
@@ -123,17 +136,19 @@ impl Simulator {
 
     /// Processes every event at the earliest pending timestamp,
     /// including zero-delay follow-ups at the same time.
-    fn advance_one_timestep(&mut self, t: Picos) {
+    fn advance_one_timestep<S: TelemetrySink>(&mut self, t: Picos, sink: &mut S) {
         self.now = t;
         let mut deltas = 0usize;
         loop {
             // Collect all events at exactly time t.
             let mut changed: Vec<SigId> = Vec::new();
+            let mut popped = 0u64;
             while let Some(Reverse((et, _, _, _))) = self.queue.peek().copied() {
                 if et != t {
                     break;
                 }
                 let Reverse((_, _, sig_raw, value)) = self.queue.pop().expect("peeked");
+                popped += 1;
                 let sig = SigId(sig_raw);
                 let slot = &mut self.values[sig_raw as usize];
                 if *slot != value {
@@ -141,6 +156,10 @@ impl Simulator {
                     self.waves.record(sig, t, value);
                     changed.push(sig);
                 }
+            }
+            if S::ENABLED && popped > 0 {
+                sink.add(Counter::WaveEvents, popped);
+                sink.add(Counter::WaveTransitions, changed.len() as u64);
             }
             if changed.is_empty() {
                 break;
@@ -294,6 +313,34 @@ mod tests {
             "ring oscillator period: {:?}",
             w.samples()
         );
+    }
+
+    #[test]
+    fn telemetry_counts_events_and_transitions() {
+        use timber_telemetry::{Counter, Recorder, RecorderConfig};
+        let build = || {
+            let mut c = Circuit::new();
+            let a = c.signal("a");
+            let b = c.signal("b");
+            let y = c.signal("y");
+            c.inverter(a, b, Picos(10));
+            c.inverter(b, y, Picos(10));
+            c.stimulus(a, &[(Picos(0), Logic::Zero), (Picos(100), Logic::One)]);
+            c.into_simulator()
+        };
+        let mut rec = Recorder::new(RecorderConfig::new(1, Picos(1000)));
+        let mut sim = build();
+        sim.run_until_telemetry(Picos(200), &mut rec);
+        let events = rec.counter(Counter::WaveEvents);
+        let transitions = rec.counter(Counter::WaveTransitions);
+        assert!(events > 0);
+        assert!(transitions > 0);
+        assert!(transitions <= events, "a transition needs an event");
+
+        // The instrumented run must not change simulation results.
+        let mut plain = build();
+        plain.run_until(Picos(200));
+        assert_eq!(plain.now(), sim.now());
     }
 
     #[test]

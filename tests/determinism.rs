@@ -73,6 +73,56 @@ fn sweeps_are_thread_count_invariant() {
 }
 
 #[test]
+fn telemetry_traces_are_thread_count_invariant() {
+    // The full exported trace document — counters, per-stage
+    // histograms AND the surviving ring-buffer events — must be
+    // byte-identical across thread counts: per-trial recorders are
+    // merged in canonical flat trial order.
+    let sweep = |threads: usize| {
+        let (result, recorders) = SweepSpec::new(2010, 5_000, 6)
+            .scheme("deferred", |_p| {
+                let sched = CheckingPeriod::deferred_flagging(Picos(1000), 24.0).expect("valid");
+                Box::new(TimberFfScheme::new(sched, 4))
+            })
+            .scheme("immediate", |_p| {
+                let sched = CheckingPeriod::immediate_flagging(Picos(1000), 24.0).expect("valid");
+                Box::new(TimberFfScheme::new(sched, 4))
+            })
+            .env("stress", |p| Environment {
+                config: PipelineConfig::new(4, Picos(1000)),
+                sensitization: SensitizationModel::uniform(4, Picos(970), p.seed),
+                variability: Box::new(
+                    VariabilityBuilder::new(p.seed)
+                        .voltage_droop(0.06, 400, 1500.0)
+                        .local_jitter(0.01)
+                        .build(),
+                ),
+            })
+            .threads(threads)
+            .run_with_telemetry(128);
+        let cells: Vec<(String, timber_repro::telemetry::Recorder)> = result
+            .scheme_names()
+            .iter()
+            .cloned()
+            .zip(recorders)
+            .collect();
+        (
+            timber_repro::telemetry::trace_json("determinism", &cells),
+            timber_repro::telemetry::trace_csv(&cells),
+        )
+    };
+    let (json1, csv1) = sweep(1);
+    let (json2, csv2) = sweep(2);
+    let (json8, csv8) = sweep(8);
+    assert_eq!(json1, json2);
+    assert_eq!(json1, json8);
+    assert_eq!(csv1, csv8);
+    assert_eq!(csv1, csv2);
+    // The trace must contain real events, or invariance is vacuous.
+    assert!(csv1.lines().count() > 1, "trace is empty:\n{csv1}");
+}
+
+#[test]
 fn sta_results_are_stable_across_runs() {
     let lib = CellLibrary::standard();
     let nl = random_dag(
