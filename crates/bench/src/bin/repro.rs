@@ -4,17 +4,24 @@
 //! repro [table1|fig1|fig2|fig5|fig7|fig8|claims|compare|margin|\
 //!        ablation-schedule|ablation-droop|metastability|validate|\
 //!        bench|all] [--json] [--threads N]
+//! repro bench [--json] [--out BENCH.json]
 //! repro trace <claims|claims-netlist> [--telemetry OUT.json] [--threads N]
-//! repro bench-check --baseline BASE.json --fresh FRESH.json [--tolerance 0.15]
+//! repro bench-check --fresh FRESH.json [--baseline BASE.json]
+//!                   [--tolerance 0.15] [--max-overhead 0.5]
 //! ```
 //!
 //! `--threads N` sets the Monte-Carlo sweep worker count (default: all
 //! cores; `0` also means all cores). The thread count never changes
 //! any number, only wall-clock time. `bench` times the sweep engine
-//! and writes the `BENCH_pipeline.json` baseline; `bench-check` gates
-//! a fresh baseline against a committed one (CI regression gate).
-//! `trace` runs an experiment with telemetry attached and writes the
-//! JSON trace (plus a CSV sibling) to the `--telemetry` path.
+//! and writes the baseline to `--out` (default `BENCH_pipeline.json`;
+//! CI writes to a scratch path so the committed baseline is never
+//! clobbered). `bench-check` gates a fresh measurement: the within-run
+//! hardware-independent checks (thread-count invariance, telemetry
+//! overhead ratio vs `--max-overhead`) always run, and with
+//! `--baseline` the machine-dependent throughput comparison against a
+//! committed document runs too (`--tolerance`, two-sided). `trace`
+//! runs an experiment with telemetry attached and writes the JSON
+//! trace (plus a CSV sibling) to the `--telemetry` path.
 
 use std::env;
 
@@ -27,7 +34,9 @@ fn main() {
     let mut telemetry: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut fresh: Option<String> = None;
+    let mut out: Option<String> = None;
     let mut tolerance: f64 = 0.15;
+    let mut max_overhead: f64 = 0.5;
     let mut positionals: Vec<String> = Vec::new();
     let mut i = 0;
     while i < raw.len() {
@@ -60,6 +69,18 @@ fn main() {
             fresh = Some(value_of("--fresh", &mut i));
         } else if let Some(v) = arg.strip_prefix("--fresh=") {
             fresh = Some(v.to_owned());
+        } else if arg == "--out" {
+            out = Some(value_of("--out", &mut i));
+        } else if let Some(v) = arg.strip_prefix("--out=") {
+            out = Some(v.to_owned());
+        } else if arg == "--max-overhead" {
+            max_overhead = value_of("--max-overhead", &mut i)
+                .parse()
+                .unwrap_or_else(|_| die("--max-overhead needs a fraction, e.g. 0.5"));
+        } else if let Some(v) = arg.strip_prefix("--max-overhead=") {
+            max_overhead = v
+                .parse()
+                .unwrap_or_else(|_| die("--max-overhead needs a fraction, e.g. 0.5"));
         } else if arg == "--tolerance" {
             tolerance = value_of("--tolerance", &mut i)
                 .parse()
@@ -95,9 +116,8 @@ fn main() {
         if positionals.len() > 1 {
             die(&format!("unexpected argument {}", positionals[1]));
         }
-        let baseline = baseline.unwrap_or_else(|| die("bench-check needs --baseline FILE"));
         let fresh = fresh.unwrap_or_else(|| die("bench-check needs --fresh FILE"));
-        run_bench_check(&baseline, &fresh, tolerance);
+        run_bench_check(baseline.as_deref(), &fresh, tolerance, max_overhead);
         return;
     }
     if positionals.len() > 1 {
@@ -246,17 +266,20 @@ fn main() {
     // The engine baseline is opt-in (not part of `all`): it times the
     // sweep engine rather than reproducing a paper figure.
     if what == "bench" {
+        // `--out` keeps CI measurement runs from clobbering the
+        // committed baseline the gate compares against.
+        let out_path = out.as_deref().unwrap_or("BENCH_pipeline.json");
         // With `--json` the banner goes to stderr so stdout stays a
         // single machine-readable document (CI pipes it to a file).
         if json {
-            eprintln!("== Sweep-engine baseline (writes BENCH_pipeline.json) ==");
+            eprintln!("== Sweep-engine baseline (writes {out_path}) ==");
         } else {
-            println!("== Sweep-engine baseline (writes BENCH_pipeline.json) ==");
+            println!("== Sweep-engine baseline (writes {out_path}) ==");
         }
         let r = perf::pipeline_baseline_threaded(2_000_000, threads);
         let doc = perf::bench_json(&r);
-        std::fs::write("BENCH_pipeline.json", format!("{doc}\n"))
-            .expect("write BENCH_pipeline.json");
+        std::fs::write(out_path, format!("{doc}\n"))
+            .unwrap_or_else(|e| die(&format!("cannot write {out_path}: {e}")));
         if json {
             println!("{doc}");
         } else {
@@ -286,13 +309,20 @@ fn run_trace(experiment: &str, threads: usize, telemetry: Option<&str>) {
     }
 }
 
-/// `repro bench-check`: the CI regression gate over two
-/// `BENCH_pipeline.json` documents.
-fn run_bench_check(baseline: &str, fresh: &str, tolerance: f64) {
+/// `repro bench-check`: the CI regression gate over `BENCH_pipeline.json`
+/// documents. Within-run checks always run; the cross-run throughput
+/// comparison needs `--baseline`.
+fn run_bench_check(baseline: Option<&str>, fresh: &str, tolerance: f64, max_overhead: f64) {
     let read = |path: &str| {
         std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")))
     };
-    match perf::bench_check(&read(baseline), &read(fresh), tolerance) {
+    let baseline_doc = baseline.map(read);
+    match perf::bench_check(
+        baseline_doc.as_deref(),
+        &read(fresh),
+        tolerance,
+        max_overhead,
+    ) {
         Ok(report) => print!("{report}"),
         Err(breaches) => {
             eprintln!("repro bench-check FAILED:\n{breaches}");

@@ -20,7 +20,9 @@ pub const DEPTH_BINS: usize = 8;
 
 /// Number of slack-consumed histogram bins: ten 5%-of-period bins
 /// covering (0, 50%] — the checking period can never exceed half the
-/// cycle — plus one overflow bin.
+/// cycle — plus one overflow bin for borrows *beyond* 50%. Bins are
+/// left-exclusive, right-inclusive ((0,5%], (5%,10%], …, (45%,50%]); a
+/// degenerate zero-slack borrow clamps into the first bin.
 pub const SLACK_BINS: usize = 11;
 
 /// Construction parameters of a [`Recorder`].
@@ -243,9 +245,12 @@ impl Recorder {
     #[inline]
     fn slack_bin(&self, slack: Picos) -> usize {
         // Ten 5% bins over (0, 50%] of the nominal period + overflow.
+        // Bins are right-inclusive (exactly 50% is the last regular
+        // bin, not overflow), hence the -1 before dividing; it also
+        // maps a degenerate zero-slack borrow into the first bin.
         let period = self.config.nominal_period.as_ps().max(1);
-        let pct20 = (slack.as_ps().max(0) * 20) / period; // 0..=19 → 5% steps
-        (pct20 as usize).min(SLACK_BINS - 1)
+        let twentieths = (slack.as_ps().max(0) * 20 - 1).max(0) / period;
+        (twentieths as usize).min(SLACK_BINS - 1)
     }
 
     /// Folds `other` into `self`. Call in canonical trial order: the
@@ -365,6 +370,22 @@ mod tests {
         assert_eq!(r.stages()[2].depth_hist[DEPTH_BINS - 1], 1);
         assert_eq!(r.slack_total(), Picos(720));
         assert_eq!(r.stages()[0].total_events(), 2);
+    }
+
+    #[test]
+    fn slack_bins_are_right_inclusive() {
+        // Nominal period 1000ps → bins of 50ps each, (0,50], (50,100] …
+        let mut r = Recorder::new(cfg());
+        r.event(0, borrow(0, 1, 50, false)); // exactly 5% → first bin
+        r.event(1, borrow(0, 1, 51, false)); // just over 5% → second bin
+        r.event(2, borrow(0, 1, 500, false)); // exactly 50% → last regular bin
+        r.event(3, borrow(0, 1, 501, false)); // beyond 50% → overflow bin
+        r.event(4, borrow(0, 1, 0, false)); // degenerate zero slack → first bin
+        let hist = r.stages()[0].slack_hist;
+        assert_eq!(hist[0], 2);
+        assert_eq!(hist[1], 1);
+        assert_eq!(hist[SLACK_BINS - 2], 1);
+        assert_eq!(hist[SLACK_BINS - 1], 1);
     }
 
     #[test]
