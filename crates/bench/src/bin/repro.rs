@@ -8,6 +8,7 @@
 //! repro trace <claims|claims-netlist> [--telemetry OUT.json] [--threads N]
 //! repro bench-check --fresh FRESH.json [--baseline BASE.json]
 //!                   [--tolerance 0.15] [--max-overhead 0.5]
+//! repro lint [--json] [--deny warn]
 //! ```
 //!
 //! `--threads N` sets the Monte-Carlo sweep worker count (default: all
@@ -21,11 +22,17 @@
 //! `--baseline` the machine-dependent throughput comparison against a
 //! committed document runs too (`--tolerance`, two-sided). `trace`
 //! runs an experiment with telemetry attached and writes the JSON
-//! trace (plus a CSV sibling) to the `--telemetry` path.
+//! trace (plus a CSV sibling) to the `--telemetry` path. `lint` runs
+//! the `timber-lint` static design-rule checks over every shipped
+//! generator config (`--deny warn` also fails on warnings; `--json`
+//! emits the machine-readable report).
+//!
+//! Exit codes: `0` success, `1` a gate failed (bench-check breach or
+//! lint findings at the deny threshold), `2` usage error.
 
 use std::env;
 
-use timber_bench::{ablations, experiments, margin, perf, report, trace};
+use timber_bench::{ablations, experiments, lintgate, margin, perf, report, trace};
 
 fn main() {
     let raw: Vec<String> = env::args().skip(1).collect();
@@ -37,6 +44,7 @@ fn main() {
     let mut out: Option<String> = None;
     let mut tolerance: f64 = 0.15;
     let mut max_overhead: f64 = 0.5;
+    let mut deny: Option<String> = None;
     let mut positionals: Vec<String> = Vec::new();
     let mut i = 0;
     while i < raw.len() {
@@ -89,6 +97,10 @@ fn main() {
             tolerance = v
                 .parse()
                 .unwrap_or_else(|_| die("--tolerance needs a fraction, e.g. 0.15"));
+        } else if arg == "--deny" {
+            deny = Some(value_of("--deny", &mut i));
+        } else if let Some(v) = arg.strip_prefix("--deny=") {
+            deny = Some(v.to_owned());
         } else if let Some(flag) = arg.strip_prefix("--") {
             die(&format!("unknown flag --{flag}"));
         } else {
@@ -110,6 +122,18 @@ fn main() {
             die(&format!("unexpected argument {}", positionals[2]));
         }
         run_trace(&experiment, threads, telemetry.as_deref());
+        return;
+    }
+    if what == "lint" {
+        if positionals.len() > 1 {
+            die(&format!("unexpected argument {}", positionals[1]));
+        }
+        let deny_warn = match deny.as_deref() {
+            None | Some("error") => false,
+            Some("warn") => true,
+            Some(other) => die(&format!("--deny expects `warn` or `error`, got {other:?}")),
+        };
+        run_lint(json, deny_warn);
         return;
     }
     if what == "bench-check" {
@@ -146,7 +170,7 @@ fn main() {
     ];
     if !KNOWN.contains(&what.as_str()) {
         die(&format!(
-            "unknown experiment {what:?} (expected one of: {})",
+            "unknown subcommand {what:?} (expected one of: {}, lint, trace, bench-check)",
             KNOWN.join(", ")
         ));
     }
@@ -286,6 +310,21 @@ fn main() {
             println!("{}", perf::render_bench(&r));
         }
         assert!(r.identical, "thread count changed sweep results");
+    }
+}
+
+/// `repro lint`: the static design-rule gate over every shipped
+/// generator config. Exit 1 when any config has findings at the deny
+/// threshold.
+fn run_lint(json: bool, deny_warn: bool) {
+    let reports = lintgate::lint_all();
+    if json {
+        println!("{}", timber_lint::reports_json(&reports, deny_warn));
+    } else {
+        print!("{}", lintgate::render_reports(&reports, deny_warn));
+    }
+    if !lintgate::gate_passes(&reports, deny_warn) {
+        std::process::exit(1);
     }
 }
 

@@ -24,6 +24,7 @@
 
 pub mod ablations;
 pub mod experiments;
+pub mod lintgate;
 pub mod margin;
 pub mod perf;
 pub mod report;
@@ -38,6 +39,7 @@ pub use experiments::{
     claims, claims_threaded, compare, compare_threaded, fig1, fig2, fig5, fig7, fig8, table1,
     ClaimsResult, CompareRow, Fig1Result, WaveResult,
 };
+pub use lintgate::{gate_config, gate_passes, lint_all, render_reports, shipped_netlists};
 pub use margin::{margin_recovery, render_margin, MarginRow};
 pub use perf::{bench_check, pipeline_baseline, pipeline_baseline_threaded, BenchResult, BenchRun};
 pub use trace::{trace_experiment, TraceResult, DEFAULT_RING_CAPACITY};

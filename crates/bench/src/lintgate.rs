@@ -1,0 +1,116 @@
+//! The `repro lint` gate: every netlist generator the repository ships,
+//! each paired with the TIMBER integration config CI checks it against.
+//!
+//! The gate exists so a generator regression (dead logic, a loop, a
+//! short path the padding plan misses) fails CI with a stable
+//! diagnostic code instead of surfacing later as a confusing
+//! simulation result. Configs mirror how the experiments actually
+//! clock these designs: the period is measured from the design's own
+//! critical path with a 5% guard band plus setup, then snapped so the
+//! checking period quantises exactly onto `k` intervals.
+
+use timber_lint::{lint, snap_period, LintConfig, LintReport, ScheduleSpec, Severity};
+use timber_netlist::{
+    alu, array_multiplier, kogge_stone_adder, pipelined_datapath, random_dag, ripple_carry_adder,
+    CellLibrary, DatapathSpec, Netlist, Picos, RandomDagSpec,
+};
+use timber_proc::structural::proxy_netlist;
+use timber_sta::{ClockConstraint, TimingAnalysis};
+
+/// Checking percentage the gate lints at: the paper's headline c=30%
+/// operating point.
+pub const GATE_CHECKING_PCT: f64 = 30.0;
+
+/// Builds the gate config for one netlist: deferred flagging at
+/// [`GATE_CHECKING_PCT`], period from the design's own critical path
+/// (×1.05 guard band + 30ps setup), snapped for exact interval
+/// quantisation.
+pub fn gate_config(netlist: &Netlist) -> LintConfig {
+    let spec = ScheduleSpec::deferred(GATE_CHECKING_PCT);
+    let sta = TimingAnalysis::run(netlist, &ClockConstraint::with_period(Picos(1_000_000)));
+    let raw = sta.worst_arrival().scale(1.05) + Picos(30);
+    let period = snap_period(raw, &spec);
+    LintConfig::new(
+        "gate-deferred30",
+        spec,
+        ClockConstraint::with_period(period),
+    )
+}
+
+/// Every shipped generator/example design, at the sizes the
+/// experiments and benches use.
+pub fn shipped_netlists() -> Vec<Netlist> {
+    let lib = CellLibrary::standard();
+    vec![
+        ripple_carry_adder(&lib, 16).expect("generator"),
+        kogge_stone_adder(&lib, 16).expect("generator"),
+        array_multiplier(&lib, 8).expect("generator"),
+        alu(&lib, 8).expect("generator"),
+        random_dag(&lib, &RandomDagSpec::default()).expect("generator"),
+        pipelined_datapath(&lib, &DatapathSpec::uniform(4, 12, 150, 0.7, 17)).expect("generator"),
+        proxy_netlist(11),
+    ]
+}
+
+/// Lints every shipped design against its gate config.
+pub fn lint_all() -> Vec<LintReport> {
+    shipped_netlists()
+        .iter()
+        .map(|nl| lint(nl, &gate_config(nl)))
+        .collect()
+}
+
+/// Human-readable rendering of a gate run: each report followed by a
+/// one-line verdict.
+pub fn render_reports(reports: &[LintReport], deny_warn: bool) -> String {
+    let mut out = String::new();
+    for r in reports {
+        out.push_str(&r.render());
+        out.push('\n');
+    }
+    let errors: usize = reports.iter().map(|r| r.count(Severity::Error)).sum();
+    let warnings: usize = reports.iter().map(|r| r.count(Severity::Warn)).sum();
+    let pass = reports.iter().all(|r| r.passes(deny_warn));
+    out.push_str(&format!(
+        "repro lint: {} configs, {errors} errors, {warnings} warnings — {}\n",
+        reports.len(),
+        if pass { "PASS" } else { "FAIL" }
+    ));
+    out
+}
+
+/// Whether a gate run passes at the given threshold.
+pub fn gate_passes(reports: &[LintReport], deny_warn: bool) -> bool {
+    reports.iter().all(|r| r.passes(deny_warn))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_shipped_config_is_clean_under_deny_warn() {
+        let reports = lint_all();
+        assert_eq!(reports.len(), shipped_netlists().len());
+        for r in &reports {
+            assert!(r.passes(true), "{}", r.render());
+        }
+        assert!(gate_passes(&reports, true));
+    }
+
+    #[test]
+    fn render_mentions_verdict_and_config_count() {
+        let reports = lint_all();
+        let text = render_reports(&reports, true);
+        assert!(text.contains("PASS"), "{text}");
+        assert!(text.contains(&format!("{} configs", reports.len())));
+    }
+
+    #[test]
+    fn gate_periods_quantise_exactly() {
+        // snap_period must leave no TBR004 quantisation warnings.
+        for r in lint_all() {
+            assert_eq!(r.count(Severity::Warn), 0, "{}", r.render());
+        }
+    }
+}

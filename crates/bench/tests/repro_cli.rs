@@ -1,0 +1,48 @@
+//! End-to-end exit-code contract of the `repro` binary: `0` success,
+//! `1` gate findings, `2` usage error — the codes CI and scripts rely
+//! on.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+#[test]
+fn lint_gate_passes_on_shipped_configs() {
+    let out = repro(&["lint", "--deny", "warn"]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("PASS"), "{text}");
+}
+
+#[test]
+fn lint_json_is_a_single_machine_readable_document() {
+    let out = repro(&["lint", "--json"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let doc: serde_json::Value = serde_json::from_str(text.trim()).expect("valid JSON");
+    assert_eq!(doc["tool"], serde_json::json!("timber-lint"));
+    assert_eq!(doc["schema_version"], serde_json::json!(1));
+    assert_eq!(doc["pass"], serde_json::json!(true));
+    assert!(doc["reports"].as_array().is_some_and(|r| !r.is_empty()));
+}
+
+#[test]
+fn unknown_subcommand_exits_2_and_lists_lint() {
+    let out = repro(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown subcommand"), "{err}");
+    assert!(err.contains("lint"), "usage must list lint: {err}");
+}
+
+#[test]
+fn bad_deny_value_exits_2() {
+    let out = repro(&["lint", "--deny", "sometimes"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--deny"));
+}

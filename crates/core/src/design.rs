@@ -52,10 +52,33 @@ impl TimberDesign {
     ///
     /// # Panics
     ///
-    /// Panics if the netlist has no flip-flops.
+    /// Panics if the netlist has no flip-flops or contains a
+    /// combinational loop (validated netlists never do; see
+    /// [`TimberDesign::try_plan`]).
     pub fn plan(&self, netlist: &Netlist, constraint: &ClockConstraint) -> DesignReport {
+        self.try_plan(netlist, constraint)
+            .expect("validated netlist must be acyclic")
+    }
+
+    /// Analyses `netlist`, reporting a combinational loop (with its
+    /// full cycle path) instead of panicking — the no-panic entry point
+    /// `timber-lint` uses for netlists of unknown provenance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`timber_netlist::NetlistError::CombinationalLoop`] if
+    /// the combinational logic is cyclic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has no flip-flops.
+    pub fn try_plan(
+        &self,
+        netlist: &Netlist,
+        constraint: &ClockConstraint,
+    ) -> Result<DesignReport, timber_netlist::NetlistError> {
         assert!(netlist.flop_count() > 0, "design must contain flip-flops");
-        let sta = TimingAnalysis::run(netlist, constraint);
+        let sta = TimingAnalysis::try_run(netlist, constraint)?;
         let replaced = PathDistribution::replacement_set(&sta, netlist, self.checking_pct);
 
         // Relay cones: only meaningful for the flip-flop style.
@@ -80,7 +103,7 @@ impl TimberDesign {
             Vec::new()
         };
 
-        let hold = HoldAnalysis::run(netlist, constraint);
+        let hold = HoldAnalysis::try_run(netlist, constraint)?;
         let padding = hold.padding_plan(netlist, self.schedule.checking());
 
         let consolidation = if replaced.is_empty() {
@@ -89,7 +112,7 @@ impl TimberDesign {
             Some(ConsolidationTree::new(replaced.len()))
         };
 
-        DesignReport {
+        Ok(DesignReport {
             style: self.style,
             schedule: self.schedule,
             total_flops: netlist.flop_count(),
@@ -99,7 +122,7 @@ impl TimberDesign {
             padding_total: padding.total_padding,
             consolidation,
             period: constraint.period,
-        }
+        })
     }
 }
 

@@ -1,0 +1,158 @@
+//! Lint configuration: the schedule, constraint, padding policy, and
+//! replacement plan that a netlist is checked against.
+//!
+//! A [`LintConfig`] describes one intended TIMBER integration. The
+//! linter validates the configuration itself (schedule well-formedness)
+//! and then the netlist against it (short-path safety, relay coverage,
+//! consolidation latency).
+
+use timber_netlist::{FlopId, Picos};
+use timber_sta::ClockConstraint;
+
+/// Checking-period schedule as *declared* — possibly invalid, which is
+/// exactly what the linter exists to catch before
+/// [`timber::CheckingPeriod`] would reject or a silicon respin would
+/// reveal it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleSpec {
+    /// Checking period as a percentage of the clock period.
+    pub checking_pct: f64,
+    /// Number of time-borrowing intervals.
+    pub k_tb: u8,
+    /// Number of error-detection intervals.
+    pub k_ed: u8,
+    /// How many intervals a relayed error advances a downstream select
+    /// input per hop (the paper's rule uses 1).
+    pub relay_increment: u8,
+}
+
+impl ScheduleSpec {
+    /// The paper's deferred-flagging configuration: 1 TB + 2 ED
+    /// intervals, relay increment 1.
+    pub fn deferred(checking_pct: f64) -> ScheduleSpec {
+        ScheduleSpec {
+            checking_pct,
+            k_tb: 1,
+            k_ed: 2,
+            relay_increment: 1,
+        }
+    }
+
+    /// The paper's immediate-flagging configuration: 0 TB + 2 ED
+    /// intervals, relay increment 1.
+    pub fn immediate(checking_pct: f64) -> ScheduleSpec {
+        ScheduleSpec {
+            checking_pct,
+            k_tb: 0,
+            k_ed: 2,
+            relay_increment: 1,
+        }
+    }
+
+    /// Total interval count `k = k_tb + k_ed`.
+    pub fn k(&self) -> u8 {
+        self.k_tb.saturating_add(self.k_ed)
+    }
+}
+
+/// How short-path padding deficits are treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaddingPolicy {
+    /// Buffers will be inserted wherever needed; deficits produce an
+    /// informational plan summary (`TBR012`).
+    Auto,
+    /// No padding is planned; any unpadded short path is an error
+    /// (`TBR010`).
+    None,
+    /// Padding up to this much total delay is acceptable; exceeding it
+    /// is an error (`TBR011`).
+    Budget(Picos),
+}
+
+/// Which flip-flops become TIMBER elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplacementPlan {
+    /// Replace every flop ending a top-c% critical path (the paper's
+    /// §6 rule); always relay-complete by construction.
+    TopC,
+    /// Replace exactly these flops; the linter checks the set for
+    /// relay-coverage gaps (`TBR020`) and superfluous members
+    /// (`TBR021`).
+    Explicit(Vec<FlopId>),
+}
+
+/// One TIMBER integration to lint a netlist against.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Configuration name (used in report headers and JSON).
+    pub name: String,
+    /// Declared checking-period schedule.
+    pub schedule: ScheduleSpec,
+    /// Clock constraint the design is analysed under.
+    pub constraint: ClockConstraint,
+    /// Short-path padding policy.
+    pub padding: PaddingPolicy,
+    /// Replacement plan.
+    pub replacement: ReplacementPlan,
+}
+
+impl LintConfig {
+    /// Creates a config with the defaults used by shipped gates:
+    /// automatic padding and top-c% replacement.
+    pub fn new(
+        name: impl Into<String>,
+        schedule: ScheduleSpec,
+        constraint: ClockConstraint,
+    ) -> LintConfig {
+        LintConfig {
+            name: name.into(),
+            schedule,
+            constraint,
+            padding: PaddingPolicy::Auto,
+            replacement: ReplacementPlan::TopC,
+        }
+    }
+
+    /// Replaces the padding policy.
+    pub fn with_padding(mut self, padding: PaddingPolicy) -> LintConfig {
+        self.padding = padding;
+        self
+    }
+
+    /// Replaces the replacement plan.
+    pub fn with_replacement(mut self, replacement: ReplacementPlan) -> LintConfig {
+        self.replacement = replacement;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_configurations() {
+        let d = ScheduleSpec::deferred(30.0);
+        assert_eq!((d.k_tb, d.k_ed, d.relay_increment), (1, 2, 1));
+        assert_eq!(d.k(), 3);
+        let i = ScheduleSpec::immediate(30.0);
+        assert_eq!((i.k_tb, i.k_ed), (0, 2));
+        assert_eq!(i.k(), 2);
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let cfg = LintConfig::new(
+            "t",
+            ScheduleSpec::deferred(20.0),
+            ClockConstraint::with_period(Picos(1000)),
+        );
+        assert_eq!(cfg.padding, PaddingPolicy::Auto);
+        assert_eq!(cfg.replacement, ReplacementPlan::TopC);
+        let cfg = cfg
+            .with_padding(PaddingPolicy::Budget(Picos(500)))
+            .with_replacement(ReplacementPlan::Explicit(vec![FlopId(0)]));
+        assert_eq!(cfg.padding, PaddingPolicy::Budget(Picos(500)));
+        assert!(matches!(cfg.replacement, ReplacementPlan::Explicit(_)));
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests: every shipped generator is lint-clean, and
+//! seeded defect injection is always caught with the expected code.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use timber_netlist::{
+    alu, array_multiplier, kogge_stone_adder, pipelined_datapath, random_dag, ripple_carry_adder,
+    CellLibrary, DatapathSpec, InstId, Netlist, NetlistBuilder, Picos, RandomDagSpec,
+};
+use timber_sta::{ClockConstraint, TimingAnalysis};
+
+use crate::config::{LintConfig, ScheduleSpec};
+use crate::diagnostic::{DiagCode, Severity};
+use crate::linter::lint;
+use crate::schedule::snap_period;
+
+/// A lint config derived from the design's own critical path, the way
+/// the shipped CI gate builds one.
+fn config_for(netlist: &Netlist, checking_pct: f64) -> LintConfig {
+    let spec = ScheduleSpec::deferred(checking_pct);
+    let sta = TimingAnalysis::run(netlist, &ClockConstraint::with_period(Picos(1_000_000)));
+    let raw = sta.worst_arrival().scale(1.05) + Picos(30);
+    let period = snap_period(raw, &spec);
+    LintConfig::new(
+        format!("deferred{checking_pct}"),
+        spec,
+        ClockConstraint::with_period(period),
+    )
+}
+
+fn assert_clean(netlist: &Netlist, checking_pct: f64) {
+    let report = lint(netlist, &config_for(netlist, checking_pct));
+    assert!(
+        report.passes(true),
+        "generator output must be lint-clean:\n{}",
+        report.render()
+    );
+}
+
+/// A small design for injection tests: a three-gate cone into a flop,
+/// returned as the builder (so a defect can be spliced in) plus the
+/// three gate output nets.
+fn seed_builder(lib: &CellLibrary) -> (NetlistBuilder<'_>, [timber_netlist::NetId; 3]) {
+    let mut b = NetlistBuilder::new("seed", lib);
+    let a = b.input("a");
+    let c = b.input("b");
+    let x = b.gate("nand2", &[a, c]).unwrap();
+    let y = b.gate("inv", &[x]).unwrap();
+    let z = b.gate("and2", &[y, c]).unwrap();
+    let q = b.flop("f", z);
+    b.output("o", q);
+    (b, [x, y, z])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arithmetic generators produce lint-clean netlists at every
+    /// paper checking percentage.
+    #[test]
+    fn arithmetic_generators_are_lint_clean(
+        width in 2usize..=8,
+        c_idx in 0usize..4,
+    ) {
+        let c = [10.0, 20.0, 30.0, 40.0][c_idx];
+        let lib = CellLibrary::standard();
+        assert_clean(&ripple_carry_adder(&lib, width).unwrap(), c);
+        assert_clean(&kogge_stone_adder(&lib, width).unwrap(), c);
+        assert_clean(&alu(&lib, width).unwrap(), c);
+    }
+
+    /// The array multiplier (the largest arithmetic generator) is
+    /// lint-clean.
+    #[test]
+    fn multiplier_is_lint_clean(width in 2usize..=6) {
+        let lib = CellLibrary::standard();
+        assert_clean(&array_multiplier(&lib, width).unwrap(), 30.0);
+    }
+
+    /// Random DAGs and pipelined datapaths are lint-clean for any seed.
+    #[test]
+    fn structural_generators_are_lint_clean(seed in 0u64..100) {
+        let lib = CellLibrary::standard();
+        let dag = random_dag(&lib, &RandomDagSpec {
+            inputs: 6, outputs: 6, gates: 80, depth_bias: 0.6, seed,
+        }).unwrap();
+        assert_clean(&dag, 30.0);
+        let dp = pipelined_datapath(
+            &lib,
+            &DatapathSpec::uniform(3, 8, 90, 0.7, seed),
+        ).unwrap();
+        assert_clean(&dp, 30.0);
+    }
+
+    /// A spliced combinational back-edge is always caught as TBR040,
+    /// never a panic, wherever it lands.
+    #[test]
+    fn spliced_back_edge_is_caught(pin in 0usize..2) {
+        let lib = CellLibrary::standard();
+        let (mut b, [_, _, z]) = seed_builder(&lib);
+        // Feed the last gate's output back into the first gate.
+        b.rewire_input(InstId(0), pin, z);
+        let nl = b.finish_unchecked();
+        let report = lint(&nl, &config_for_defect());
+        let loops = report.with_code(DiagCode::CombinationalLoop);
+        prop_assert!(!loops.is_empty(), "{}", report.render());
+        prop_assert!(loops[0].message.contains(" -> "), "{}", loops[0].message);
+        prop_assert!(!report.passes(false));
+        prop_assert_eq!(report.with_code(DiagCode::TimingChecksSkipped).len(), 1);
+    }
+
+    /// A doubled driver is always caught as TBR041.
+    #[test]
+    fn doubled_driver_is_caught(victim in 0usize..2) {
+        let lib = CellLibrary::standard();
+        let (mut b, nets) = seed_builder(&lib);
+        b.rewire_output(InstId(2), nets[victim]);
+        let nl = b.finish_unchecked();
+        let report = lint(&nl, &config_for_defect());
+        prop_assert!(!report.with_code(DiagCode::MultiDrivenNet).is_empty(),
+            "{}", report.render());
+        prop_assert!(!report.passes(false));
+    }
+
+    /// A disconnected input pin is always caught as TBR042.
+    #[test]
+    fn disconnected_input_is_caught(inst in 0u32..3) {
+        let lib = CellLibrary::standard();
+        let (mut b, _) = seed_builder(&lib);
+        let dangling = b.floating_net("dangling");
+        b.rewire_input(InstId(inst), 0, dangling);
+        let nl = b.finish_unchecked();
+        let report = lint(&nl, &config_for_defect());
+        let floats = report.with_code(DiagCode::FloatingInput);
+        prop_assert!(!floats.is_empty(), "{}", report.render());
+        prop_assert!(floats[0].subject.contains("dangling"));
+        prop_assert!(!report.passes(false));
+    }
+}
+
+/// Fixed config for defect-injection tests (the netlist is broken, so
+/// its critical path cannot be measured first).
+fn config_for_defect() -> LintConfig {
+    LintConfig::new(
+        "defect",
+        ScheduleSpec::deferred(30.0),
+        ClockConstraint::with_period(Picos(1000)),
+    )
+}
+
+#[test]
+fn generators_clean_under_immediate_flagging_too() {
+    let lib = CellLibrary::standard();
+    let nl = pipelined_datapath(&lib, &DatapathSpec::uniform(4, 12, 150, 0.7, 17)).unwrap();
+    let spec = ScheduleSpec::immediate(20.0);
+    let sta = TimingAnalysis::run(&nl, &ClockConstraint::with_period(Picos(1_000_000)));
+    let period = snap_period(sta.worst_arrival().scale(1.05) + Picos(30), &spec);
+    let cfg = LintConfig::new("immediate20", spec, ClockConstraint::with_period(period));
+    let report = lint(&nl, &cfg);
+    assert_eq!(report.count(Severity::Error), 0, "{}", report.render());
+    assert_eq!(report.count(Severity::Warn), 0, "{}", report.render());
+}

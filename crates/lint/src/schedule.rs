@@ -1,0 +1,261 @@
+//! Schedule well-formedness checks (`TBR001`–`TBR006`).
+//!
+//! These mirror the invariants [`timber::CheckingPeriod::new`] enforces
+//! (paper §4) but report *all* violations with stable codes instead of
+//! failing on the first, plus two rules the constructor cannot see:
+//! checking-period quantisation (`TBR004`) and relay-increment sanity
+//! against the interval split (`TBR005`/`TBR006`, §5.1).
+
+use timber::CheckingPeriod;
+use timber_netlist::Picos;
+
+use crate::config::ScheduleSpec;
+use crate::diagnostic::{DiagCode, Diagnostic, LintReport};
+
+/// Checks a declared schedule against a clock period.
+///
+/// Returns the validated [`CheckingPeriod`] when one can be built (the
+/// timing checks need it); `None` when the declaration is structurally
+/// unbuildable. Diagnostics land in `report` either way.
+pub fn check_schedule(
+    spec: &ScheduleSpec,
+    period: Picos,
+    report: &mut LintReport,
+) -> Option<CheckingPeriod> {
+    let mut buildable = true;
+    if spec.k() == 0 {
+        report.push(
+            Diagnostic::new(
+                DiagCode::EmptySchedule,
+                "schedule",
+                "schedule has no intervals (k_tb + k_ed = 0)",
+            )
+            .with_hint("use at least one ED interval, e.g. the paper's k_tb=1, k_ed=2"),
+        );
+        buildable = false;
+    }
+    if !(spec.checking_pct > 0.0 && spec.checking_pct <= 50.0) {
+        report.push(
+            Diagnostic::new(
+                DiagCode::CheckingPercentRange,
+                "schedule.checking_pct",
+                format!(
+                    "checking period {}% of the clock is outside (0, 50] — it must end \
+                     before the falling edge that latches the error flag",
+                    spec.checking_pct
+                ),
+            )
+            .with_hint("the paper evaluates c in 10..40%"),
+        );
+        buildable = false;
+    }
+    if period <= Picos::ZERO {
+        report.push(Diagnostic::new(
+            DiagCode::NonPositivePeriod,
+            "constraint.period",
+            format!("clock period {period} is not positive"),
+        ));
+        buildable = false;
+    }
+    if !buildable {
+        return None;
+    }
+
+    let schedule = match CheckingPeriod::new(period, spec.checking_pct, spec.k_tb, spec.k_ed) {
+        Ok(s) => s,
+        Err(e) => {
+            // The individual checks above cover every constructor error;
+            // this arm guards against future CheckingPeriod invariants.
+            report.push(Diagnostic::new(
+                DiagCode::CheckingPercentRange,
+                "schedule",
+                format!("schedule rejected: {e}"),
+            ));
+            return None;
+        }
+    };
+
+    if schedule.usable_checking() < schedule.checking() {
+        let lost = schedule.checking() - schedule.usable_checking();
+        report.push(
+            Diagnostic::new(
+                DiagCode::CheckingNotDivisible,
+                "schedule",
+                format!(
+                    "checking period {} is not divisible by k = {}; quantisation \
+                     shrinks the usable window to {} (losing {})",
+                    schedule.checking(),
+                    schedule.k(),
+                    schedule.usable_checking(),
+                    lost
+                ),
+            )
+            .with_hint("pick a period or c% whose product is a multiple of k"),
+        );
+    }
+
+    if spec.relay_increment == 0 || spec.relay_increment > spec.k() {
+        report.push(
+            Diagnostic::new(
+                DiagCode::RelayIncrementRange,
+                "schedule.relay_increment",
+                format!(
+                    "relay increment {} is outside 1..={} — a relayed error must \
+                     advance the downstream select by at least one interval and the \
+                     delayed clock cannot reach past the checking period",
+                    spec.relay_increment,
+                    spec.k()
+                ),
+            )
+            .with_hint("the paper's relay rule uses increment 1"),
+        );
+    } else if spec.k_tb > 0 && spec.relay_increment > spec.k_tb {
+        report.push(
+            Diagnostic::new(
+                DiagCode::RelayIncrementSkipsTb,
+                "schedule.relay_increment",
+                format!(
+                    "relay increment {} exceeds k_tb = {}: a single relayed hop \
+                     lands straight in an ED interval, defeating deferred flagging",
+                    spec.relay_increment, spec.k_tb
+                ),
+            )
+            .with_hint("use increment <= k_tb, or switch to immediate flagging (k_tb = 0)"),
+        );
+    }
+
+    Some(schedule)
+}
+
+/// Rounds `raw` up to the nearest period whose checking window divides
+/// evenly into the schedule's `k` intervals, so a config built from a
+/// measured critical-path delay does not trip the `TBR004` quantisation
+/// warning. Falls back to `raw` if no clean period exists within 1000
+/// ps (or the spec itself is unbuildable).
+pub fn snap_period(raw: Picos, spec: &ScheduleSpec) -> Picos {
+    let mut period = raw;
+    for _ in 0..=1000 {
+        if let Ok(s) = CheckingPeriod::new(period, spec.checking_pct, spec.k_tb, spec.k_ed) {
+            if s.usable_checking() == s.checking() {
+                return period;
+            }
+        }
+        period += Picos(1);
+    }
+    raw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::Severity;
+
+    fn run(spec: ScheduleSpec, period: i64) -> (Option<CheckingPeriod>, LintReport) {
+        let mut report = LintReport::new("t");
+        let s = check_schedule(&spec, Picos(period), &mut report);
+        (s, report)
+    }
+
+    #[test]
+    fn paper_configurations_are_clean() {
+        for spec in [ScheduleSpec::deferred(12.0), ScheduleSpec::immediate(12.0)] {
+            let (s, report) = run(spec, 1000);
+            assert!(s.is_some());
+            assert_eq!(report.count(Severity::Error), 0, "{}", report.render());
+            assert_eq!(report.count(Severity::Warn), 0, "{}", report.render());
+        }
+    }
+
+    #[test]
+    fn empty_schedule_is_tbr001() {
+        let spec = ScheduleSpec {
+            checking_pct: 10.0,
+            k_tb: 0,
+            k_ed: 0,
+            relay_increment: 1,
+        };
+        let (s, report) = run(spec, 1000);
+        assert!(s.is_none());
+        assert_eq!(report.with_code(DiagCode::EmptySchedule).len(), 1);
+    }
+
+    #[test]
+    fn bad_percent_and_period_both_reported() {
+        let spec = ScheduleSpec {
+            checking_pct: 60.0,
+            k_tb: 1,
+            k_ed: 2,
+            relay_increment: 1,
+        };
+        let (s, report) = run(spec, 0);
+        assert!(s.is_none());
+        assert_eq!(report.with_code(DiagCode::CheckingPercentRange).len(), 1);
+        assert_eq!(report.with_code(DiagCode::NonPositivePeriod).len(), 1);
+    }
+
+    #[test]
+    fn quantisation_is_tbr004_warning() {
+        // 12% of 1005ps = 120.6 -> 120ps checking (hmm, scale rounds);
+        // use 10% of 1001 = 100 (k=3 -> interval 33, usable 99 < 100).
+        let (s, report) = run(ScheduleSpec::deferred(10.0), 1001);
+        let s = s.expect("buildable");
+        assert!(s.usable_checking() < s.checking());
+        let diags = report.with_code(DiagCode::CheckingNotDivisible);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn snap_period_removes_quantisation() {
+        let spec = ScheduleSpec::deferred(10.0);
+        let snapped = snap_period(Picos(1001), &spec);
+        assert!(snapped >= Picos(1001));
+        let (s, report) = run(spec, snapped.as_ps());
+        assert!(s.is_some());
+        assert!(report.with_code(DiagCode::CheckingNotDivisible).is_empty());
+        // An unbuildable spec falls back to the raw period.
+        let bad = ScheduleSpec {
+            checking_pct: 60.0,
+            k_tb: 1,
+            k_ed: 2,
+            relay_increment: 1,
+        };
+        assert_eq!(snap_period(Picos(1001), &bad), Picos(1001));
+    }
+
+    #[test]
+    fn relay_increment_bounds_are_tbr005() {
+        for inc in [0u8, 4] {
+            let spec = ScheduleSpec {
+                checking_pct: 12.0,
+                k_tb: 1,
+                k_ed: 2,
+                relay_increment: inc,
+            };
+            let (s, report) = run(spec, 1000);
+            assert!(s.is_some(), "schedule itself is fine");
+            assert_eq!(
+                report.with_code(DiagCode::RelayIncrementRange).len(),
+                1,
+                "increment {inc}"
+            );
+        }
+    }
+
+    #[test]
+    fn increment_skipping_tb_is_tbr006() {
+        let spec = ScheduleSpec {
+            checking_pct: 12.0,
+            k_tb: 1,
+            k_ed: 2,
+            relay_increment: 2,
+        };
+        let (_, report) = run(spec, 1000);
+        let diags = report.with_code(DiagCode::RelayIncrementSkipsTb);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Warn);
+        // Immediate flagging has no TB intervals to skip: no warning.
+        let (_, report) = run(ScheduleSpec::immediate(12.0), 1000);
+        assert!(report.with_code(DiagCode::RelayIncrementSkipsTb).is_empty());
+    }
+}

@@ -48,20 +48,43 @@ pub fn kogge_stone_adder(library: &CellLibrary, n: usize) -> Result<Netlist, Net
     }
 
     // Prefix tree: (g, p) o (g', p') = (g | (p & g'), p & p').
+    //
+    // The group-propagate combine is only materialised where a later
+    // level actually consumes it; the sums use the per-bit p from
+    // pre-processing, so the last level (and some low indices) would
+    // otherwise be dead logic.
+    let mut dists = Vec::new();
+    let mut d = 1usize;
+    while d < n {
+        dists.push(d);
+        d *= 2;
+    }
+    let levels = dists.len();
+    let mut needed_p = vec![vec![false; n]; levels];
+    for l in (0..levels.saturating_sub(1)).rev() {
+        let next_d = dists[l + 1];
+        for i in 0..n {
+            let passthrough = i < next_d && needed_p[l + 1][i];
+            let t_operand = i >= next_d;
+            let combine_right = i + next_d < n && needed_p[l + 1][i + next_d];
+            needed_p[l][i] = passthrough || t_operand || combine_right;
+        }
+    }
+
     let mut g_lvl = g.clone();
     let mut p_lvl = p.clone();
-    let mut dist = 1usize;
-    while dist < n {
+    for (lvl, &dist) in dists.iter().enumerate() {
         let mut g_next = g_lvl.clone();
         let mut p_next = p_lvl.clone();
         for i in dist..n {
             let t = b.gate("and2", &[p_lvl[i], g_lvl[i - dist]])?;
             g_next[i] = b.gate("or2", &[g_lvl[i], t])?;
-            p_next[i] = b.gate("and2", &[p_lvl[i], p_lvl[i - dist]])?;
+            if needed_p[lvl][i] {
+                p_next[i] = b.gate("and2", &[p_lvl[i], p_lvl[i - dist]])?;
+            }
         }
         g_lvl = g_next;
         p_lvl = p_next;
-        dist *= 2;
     }
 
     // Post-processing: sum_i = p_i ^ carry_{i-1}; carry_{i-1} = G_{i-1}.
@@ -246,24 +269,24 @@ pub fn alu(library: &CellLibrary, n: usize) -> Result<Netlist, NetlistError> {
     let op0 = b.flop("rop0", op0_pi);
     let op1 = b.flop("rop1", op1_pi);
 
-    // Adder core (ripple).
+    // Adder core (ripple). The result is mod 2^n, so the carry out of
+    // the top bit is never built — it would be dead logic.
     let mut carry: Option<NetId> = None;
     let mut add_bits = Vec::with_capacity(n);
     for i in 0..n {
-        let (s, c) = match carry {
-            None => {
-                let s = b.gate("xor2", &[a_bits[i], b_bits[i]])?;
-                let c = b.gate("and2", &[a_bits[i], b_bits[i]])?;
-                (s, c)
-            }
-            Some(cin) => {
-                let s = b.gate("fa_sum", &[a_bits[i], b_bits[i], cin])?;
-                let c = b.gate("fa_carry", &[a_bits[i], b_bits[i], cin])?;
-                (s, c)
-            }
+        let s = match carry {
+            None => b.gate("xor2", &[a_bits[i], b_bits[i]])?,
+            Some(cin) => b.gate("fa_sum", &[a_bits[i], b_bits[i], cin])?,
+        };
+        carry = if i + 1 < n {
+            Some(match carry {
+                None => b.gate("and2", &[a_bits[i], b_bits[i]])?,
+                Some(cin) => b.gate("fa_carry", &[a_bits[i], b_bits[i], cin])?,
+            })
+        } else {
+            None
         };
         add_bits.push(s);
-        carry = Some(c);
     }
 
     // Logical units and the result mux: op1 ? (op0 ? xor : and) : add.

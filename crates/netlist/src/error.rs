@@ -23,8 +23,17 @@ pub enum NetlistError {
     UndrivenNet(String),
     /// A net has more than one driver.
     MultiplyDrivenNet(String),
-    /// The combinational logic contains a cycle (through the named net).
-    CombinationalLoop(String),
+    /// The combinational logic contains a cycle.
+    ///
+    /// `path` lists the nets on the loop in traversal order (each net is
+    /// the output of one instance on the cycle; the last net feeds the
+    /// first instance again). Produced by
+    /// [`crate::graph::combinational_cycles`], which enumerates every
+    /// loop region; this error carries the first one.
+    CombinationalLoop {
+        /// Output nets of the instances on the cycle, in order.
+        path: Vec<String>,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -43,8 +52,15 @@ impl fmt::Display for NetlistError {
             NetlistError::MultiplyDrivenNet(name) => {
                 write!(f, "net {name:?} has more than one driver")
             }
-            NetlistError::CombinationalLoop(name) => {
-                write!(f, "combinational loop through net {name:?}")
+            NetlistError::CombinationalLoop { path } => {
+                write!(f, "combinational loop: ")?;
+                for name in path {
+                    write!(f, "{name:?} -> ")?;
+                }
+                match path.first() {
+                    Some(first) => write!(f, "{first:?}"),
+                    None => write!(f, "<empty cycle>"),
+                }
             }
         }
     }
@@ -72,9 +88,15 @@ mod tests {
         assert!(NetlistError::MultiplyDrivenNet("n1".into())
             .to_string()
             .contains("more than one driver"));
-        assert!(NetlistError::CombinationalLoop("n1".into())
-            .to_string()
-            .contains("loop"));
+        let e = NetlistError::CombinationalLoop {
+            path: vec!["n1".into(), "n2".into()],
+        };
+        assert!(e.to_string().contains("loop"));
+        // The full cycle is spelled out, closed back on the first net.
+        assert_eq!(
+            e.to_string(),
+            "combinational loop: \"n1\" -> \"n2\" -> \"n1\""
+        );
     }
 
     #[test]

@@ -43,15 +43,29 @@ impl<'nl> Evaluator<'nl> {
     /// # Panics
     ///
     /// Panics if the netlist contains a combinational loop; validated
-    /// netlists built via `NetlistBuilder::finish` never do.
+    /// netlists built via `NetlistBuilder::finish` never do. For
+    /// netlists of unknown provenance (e.g. built with
+    /// `NetlistBuilder::finish_unchecked`), use
+    /// [`Evaluator::try_new`].
     pub fn new(netlist: &'nl Netlist) -> Evaluator<'nl> {
-        let topo = crate::graph::topo_order(netlist).expect("validated netlist must be acyclic");
-        Evaluator {
+        Evaluator::try_new(netlist).expect("validated netlist must be acyclic")
+    }
+
+    /// Creates an evaluator, reporting a combinational loop (with its
+    /// full cycle path) instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NetlistError::CombinationalLoop`] if the
+    /// combinational logic is cyclic.
+    pub fn try_new(netlist: &'nl Netlist) -> Result<Evaluator<'nl>, crate::NetlistError> {
+        let topo = crate::graph::topo_order(netlist)?;
+        Ok(Evaluator {
             netlist,
             values: vec![false; netlist.net_count()],
             flop_state: vec![false; netlist.flop_count()],
             topo,
-        }
+        })
     }
 
     /// Sets a primary-input net value.

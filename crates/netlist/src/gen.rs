@@ -88,7 +88,10 @@ impl Default for RandomDagSpec {
 ///
 /// Gates are drawn from the 2-input subset of the standard library; each
 /// gate's fanins are sampled with a bias toward recently created nets so
-/// that `depth_bias` controls logic depth.
+/// that `depth_bias` controls logic depth. Gate outputs that end up
+/// neither consumed by another gate nor registered among the `outputs`
+/// deepest nets are captured by extra observer registers (`robs*`), so
+/// the cloud never contains dead logic.
 ///
 /// # Errors
 ///
@@ -109,17 +112,31 @@ pub fn random_dag(library: &CellLibrary, spec: &RandomDagSpec) -> Result<Netlist
         let pi = b.input(&format!("in{i}"));
         pool.push(b.flop(&format!("ri{i}"), pi));
     }
+    let mut consumed = vec![false; spec.inputs + spec.gates];
     for _ in 0..spec.gates {
         let cell = gate_menu[rng.gen_range(0..gate_menu.len())];
         let x = pick_biased(&mut rng, pool.len(), spec.depth_bias);
         let y = pick_biased(&mut rng, pool.len(), spec.depth_bias);
+        consumed[x] = true;
+        consumed[y] = true;
         let out = b.gate(cell, &[pool[x], pool[y]])?;
         pool.push(out);
     }
     // Register the deepest nets as outputs so the critical path is observable.
+    let captured_from = pool.len().saturating_sub(spec.outputs);
     for (i, &net) in pool.iter().rev().take(spec.outputs).enumerate() {
         let q = b.flop(&format!("ro{i}"), net);
         b.output(&format!("out{i}"), q);
+    }
+    // Capture orphan gate outputs with observer registers so no gate is
+    // dead logic.
+    let mut obs = 0usize;
+    for idx in spec.inputs..captured_from {
+        if !consumed[idx] {
+            let q = b.flop(&format!("robs{obs}"), pool[idx]);
+            b.output(&format!("obs{obs}"), q);
+            obs += 1;
+        }
     }
     b.finish()
 }
@@ -177,7 +194,9 @@ impl DatapathSpec {
 ///
 /// Per-stage gate counts and depth biases let callers shape which stage
 /// boundaries terminate (and originate) deep paths — the structural knob
-/// behind the Fig. 1 reproduction.
+/// behind the Fig. 1 reproduction. Cloud gates whose outputs are neither
+/// consumed downstream nor captured by the next bank get observer
+/// registers (`r_obs*`), so no stage contains dead logic.
 ///
 /// # Errors
 ///
@@ -216,6 +235,7 @@ pub fn pipelined_datapath(
 
     for stage in 0..spec.stages {
         let mut pool = bank.clone();
+        let mut consumed = vec![false; pool.len() + spec.stage_gates[stage]];
         for _ in 0..spec.stage_gates[stage] {
             let cell = gate_menu[rng.gen_range(0..gate_menu.len())];
             let arity = library
@@ -224,12 +244,14 @@ pub fn pipelined_datapath(
             let mut ins = Vec::with_capacity(arity);
             for _ in 0..arity {
                 let idx = pick_biased(&mut rng, pool.len(), spec.stage_depth_bias[stage]);
+                consumed[idx] = true;
                 ins.push(pool[idx]);
             }
             let out = b.gate(cell, &ins)?;
             pool.push(out);
         }
         // Next register bank captures the deepest `width` nets of the cloud.
+        let captured_from = pool.len().saturating_sub(spec.width);
         let next: Vec<NetId> = pool
             .iter()
             .rev()
@@ -237,6 +259,16 @@ pub fn pipelined_datapath(
             .enumerate()
             .map(|(i, &net)| b.flop(&format!("r{}_{i}", stage + 1), net))
             .collect();
+        // Capture orphan gate outputs (neither consumed downstream in
+        // this cloud nor registered) so no stage contains dead logic.
+        let mut obs = 0usize;
+        for idx in spec.width..captured_from {
+            if !consumed[idx] {
+                let q = b.flop(&format!("r_obs{}_{obs}", stage + 1), pool[idx]);
+                b.output(&format!("obs{}_{obs}", stage + 1), q);
+                obs += 1;
+            }
+        }
         bank = next;
     }
     for (i, &q) in bank.iter().enumerate() {
@@ -329,10 +361,17 @@ mod tests {
         let lib = CellLibrary::standard();
         let spec = DatapathSpec::uniform(3, 8, 60, 0.6, 7);
         let nl = pipelined_datapath(&lib, &spec).unwrap();
-        // 4 banks x 8 bits.
-        assert_eq!(nl.flop_count(), 32);
+        // Gate count is exact; flops are 4 banks x 8 bits plus one
+        // observer register (with its own primary output) per orphan
+        // gate, so those counts move together.
         assert_eq!(nl.instance_count(), 180);
-        assert_eq!(nl.primary_outputs().len(), 8);
+        assert!(nl.flop_count() >= 32);
+        assert!(nl.primary_outputs().len() >= 8);
+        assert_eq!(
+            nl.flop_count() - 32,
+            nl.primary_outputs().len() - 8,
+            "each observer register adds exactly one primary output"
+        );
     }
 
     #[test]

@@ -16,8 +16,9 @@ use crate::netlist::{Driver, FlopId, InstId, NetId, Netlist, Sink};
 ///
 /// # Errors
 ///
-/// Returns [`NetlistError::CombinationalLoop`] if the combinational logic
-/// contains a cycle.
+/// Returns [`NetlistError::CombinationalLoop`] carrying the complete
+/// path of the first loop (see [`combinational_cycles`]) if the
+/// combinational logic contains a cycle.
 pub fn topo_order(netlist: &Netlist) -> Result<Vec<InstId>, NetlistError> {
     let n = netlist.instance_count();
     // In-degree counts only edges coming from other combinational
@@ -48,19 +49,152 @@ pub fn topo_order(netlist: &Netlist) -> Result<Vec<InstId>, NetlistError> {
         }
     }
     if order.len() != n {
-        // Find a net on the cycle for the error message.
-        let on_cycle = (0..n)
-            .find(|&i| indegree[i] > 0)
-            .map(|i| {
-                netlist
-                    .net(netlist.instance(InstId(i as u32)).output())
-                    .name()
-                    .to_owned()
-            })
+        let cycles = combinational_cycles(netlist);
+        let path = cycles
+            .first()
+            .map(|c| cycle_net_names(netlist, c))
             .unwrap_or_default();
-        return Err(NetlistError::CombinationalLoop(on_cycle));
+        return Err(NetlistError::CombinationalLoop { path });
     }
     Ok(order)
+}
+
+/// Enumerates every combinational loop region of the netlist.
+///
+/// The combinational instance graph is decomposed into strongly
+/// connected components (Tarjan); each component containing a cycle
+/// (more than one instance, or one instance feeding itself) is reported
+/// as the shortest elementary cycle inside it, found by BFS. Two loops
+/// sharing any instance belong to the same component and are reported
+/// once — the loop regions are disjoint, so fixing each reported cycle
+/// is guaranteed to make progress on every loop in the design.
+///
+/// Returns one `Vec<InstId>` per loop region, instances in cycle order
+/// (the last instance's output feeds the first's input). An acyclic
+/// netlist yields an empty vector. Cycles are ordered by their smallest
+/// member instance id, so the report is deterministic.
+pub fn combinational_cycles(netlist: &Netlist) -> Vec<Vec<InstId>> {
+    let n = netlist.instance_count();
+    let succs = |i: usize| -> Vec<usize> {
+        let mut out = Vec::new();
+        for sink in netlist
+            .net(netlist.instance(InstId(i as u32)).output())
+            .fanout()
+        {
+            if let Sink::InstancePin(succ, _) = *sink {
+                out.push(succ.0 as usize);
+            }
+        }
+        out
+    };
+
+    // Iterative Tarjan SCC (recursion would overflow on deep chains).
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    // Work frames: (node, successor list, next successor position).
+    let mut frames: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        frames.push((root, succs(root), 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&mut (v, ref adj, ref mut pos)) = frames.last_mut() {
+            if *pos < adj.len() {
+                let w = adj[*pos];
+                *pos += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, succs(w), 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _, _)) = frames.last_mut() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components.push(comp);
+                }
+            }
+        }
+    }
+
+    let mut cycles: Vec<Vec<InstId>> = Vec::new();
+    for comp in components {
+        let is_cyclic = comp.len() > 1 || (comp.len() == 1 && succs(comp[0]).contains(&comp[0]));
+        if !is_cyclic {
+            continue;
+        }
+        let in_comp: std::collections::HashSet<usize> = comp.iter().copied().collect();
+        let start = *comp.iter().min().expect("non-empty component");
+        // Shortest cycle through `start` within the component: BFS from
+        // each successor of `start` back to `start`.
+        let mut prev = vec![UNVISITED; n];
+        let mut queue = VecDeque::new();
+        prev[start] = start;
+        queue.push_back(start);
+        let mut closed = false;
+        'bfs: while let Some(v) = queue.pop_front() {
+            for w in succs(v) {
+                if !in_comp.contains(&w) {
+                    continue;
+                }
+                if w == start {
+                    prev[start] = v; // remember the closing edge
+                    closed = true;
+                    break 'bfs;
+                }
+                if prev[w] == UNVISITED {
+                    prev[w] = v;
+                    queue.push_back(w);
+                }
+            }
+        }
+        debug_assert!(closed, "cyclic SCC must contain a cycle through start");
+        let mut cycle = vec![start];
+        let mut at = prev[start];
+        while at != start {
+            cycle.push(at);
+            at = prev[at];
+        }
+        cycle.reverse(); // walk in edge direction: start -> ... -> start
+        cycles.push(cycle.into_iter().map(|i| InstId(i as u32)).collect());
+    }
+    cycles.sort_by_key(|c| c.iter().min().copied());
+    cycles
+}
+
+/// Output-net names of the instances on a cycle, in cycle order — the
+/// human-readable form [`NetlistError::CombinationalLoop`] carries.
+pub fn cycle_net_names(netlist: &Netlist, cycle: &[InstId]) -> Vec<String> {
+    cycle
+        .iter()
+        .map(|&i| netlist.net(netlist.instance(i).output()).name().to_owned())
+        .collect()
 }
 
 /// Assigns each combinational instance a logic level: sources (fed only
@@ -233,6 +367,74 @@ mod tests {
         let (insts, nets) = transitive_fanin(&nl, d0);
         assert_eq!(insts.len(), 2); // inv + nand2
         assert!(nets.len() >= 3);
+    }
+
+    /// Builds a netlist with a spliced back-edge: u1's second input is
+    /// re-routed onto u2's output, closing the loop u1 -> u2 -> u1.
+    fn looped() -> Netlist {
+        let lib = CellLibrary::standard();
+        let mut b = NetlistBuilder::new("looped", &lib);
+        let a = b.input("a");
+        let x = b.gate("inv", &[a]).unwrap(); // u0 (not on the loop)
+        let y = b.gate("nand2", &[x, a]).unwrap(); // u1
+        let z = b.gate("inv", &[y]).unwrap(); // u2
+        b.output("z", z);
+        b.rewire_input(InstId(1), 1, z);
+        b.finish_unchecked()
+    }
+
+    #[test]
+    fn combinational_cycles_reports_full_loop() {
+        let nl = looped();
+        let cycles = combinational_cycles(&nl);
+        assert_eq!(cycles.len(), 1);
+        // The loop is u1 <-> u2; u0 is outside it.
+        let mut members = cycles[0].clone();
+        members.sort();
+        assert_eq!(members, vec![InstId(1), InstId(2)]);
+        // Cycle order is consistent: each instance feeds the next.
+        let names = cycle_net_names(&nl, &cycles[0]);
+        assert_eq!(names.len(), 2);
+    }
+
+    #[test]
+    fn topo_order_error_carries_cycle_path() {
+        let nl = looped();
+        let err = topo_order(&nl).unwrap_err();
+        match err {
+            NetlistError::CombinationalLoop { path } => {
+                assert_eq!(path.len(), 2);
+                let msg = NetlistError::CombinationalLoop { path }.to_string();
+                assert!(msg.contains("->"), "full path rendered: {msg}");
+            }
+            other => panic!("expected CombinationalLoop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn acyclic_netlist_has_no_cycles() {
+        let nl = two_stage();
+        assert!(combinational_cycles(&nl).is_empty());
+    }
+
+    #[test]
+    fn disjoint_loop_regions_reported_separately() {
+        let lib = CellLibrary::standard();
+        let mut b = NetlistBuilder::new("two_loops", &lib);
+        let a = b.input("a");
+        // Loop 1: u0 -> u1 -> u0.
+        let p = b.gate("inv", &[a]).unwrap();
+        let q = b.gate("inv", &[p]).unwrap();
+        b.rewire_input(InstId(0), 0, q);
+        // Loop 2: u2 -> u2 via a buf chain of one.
+        let r = b.gate("buf", &[a]).unwrap();
+        b.rewire_input(InstId(2), 0, r);
+        b.output("q", q);
+        let nl = b.finish_unchecked();
+        let cycles = combinational_cycles(&nl);
+        assert_eq!(cycles.len(), 2);
+        assert_eq!(cycles[0].len(), 2);
+        assert_eq!(cycles[1], vec![InstId(2)], "self-loop reported");
     }
 
     #[test]

@@ -53,7 +53,9 @@ pub use cell::{Cell, CellId, CellLibrary, TimingArc};
 pub use error::NetlistError;
 pub use eval::Evaluator;
 pub use gen::{pipelined_datapath, random_dag, ripple_carry_adder, DatapathSpec, RandomDagSpec};
-pub use graph::{fanin_cone, fanout_cone, levelize, topo_order};
+pub use graph::{
+    combinational_cycles, cycle_net_names, fanin_cone, fanout_cone, levelize, topo_order,
+};
 pub use logic::LogicFn;
 pub use netlist::{
     Driver, FlopId, InstId, Instance, Net, NetId, Netlist, NetlistBuilder, SeqElement, Sink,

@@ -383,6 +383,59 @@ impl<'lib> NetlistBuilder<'lib> {
         q
     }
 
+    /// Creates a named net with *no* driver.
+    ///
+    /// A floating net only survives [`finish_unchecked`]
+    /// (`finish` rejects it); it exists so `timber-lint` tests can
+    /// inject the disconnected-input defect class deliberately.
+    ///
+    /// [`finish_unchecked`]: NetlistBuilder::finish_unchecked
+    pub fn floating_net(&mut self, name: &str) -> NetId {
+        self.fresh_net(name, None)
+    }
+
+    /// Re-routes input pin `pin` of instance `inst` to `net`, updating
+    /// fanout lists on both the old and the new net.
+    ///
+    /// Splicing an input onto a net created *later* (e.g. a downstream
+    /// gate's output) creates a combinational back-edge; the resulting
+    /// design is rejected by [`finish`](NetlistBuilder::finish) but can
+    /// be materialised with
+    /// [`finish_unchecked`](NetlistBuilder::finish_unchecked) for lint
+    /// testing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inst`, `pin`, or `net` is out of range.
+    pub fn rewire_input(&mut self, inst: InstId, pin: usize, net: NetId) {
+        let old = self.instances[inst.0 as usize].inputs[pin];
+        self.nets[old.0 as usize]
+            .fanout
+            .retain(|s| *s != Sink::InstancePin(inst, pin));
+        self.instances[inst.0 as usize].inputs[pin] = net;
+        self.nets[net.0 as usize]
+            .fanout
+            .push(Sink::InstancePin(inst, pin));
+    }
+
+    /// Points instance `inst`'s output at an existing `net` without
+    /// disturbing that net's recorded driver — after this, two cells
+    /// claim to drive `net` (and `inst`'s original output net is left
+    /// driverless). This is the doubled-driver defect class
+    /// `timber-lint` detects; the result only survives
+    /// [`finish_unchecked`](NetlistBuilder::finish_unchecked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inst` or `net` is out of range.
+    pub fn rewire_output(&mut self, inst: InstId, net: NetId) {
+        assert!(net.0 < self.nets.len() as u32, "net out of range");
+        let old = self.instances[inst.0 as usize].output;
+        // The old output net keeps its name but loses its driver.
+        self.nets[old.0 as usize].driver = None;
+        self.instances[inst.0 as usize].output = net;
+    }
+
     /// Validates and returns the finished netlist.
     ///
     /// # Errors
@@ -398,7 +451,23 @@ impl<'lib> NetlistBuilder<'lib> {
                 return Err(NetlistError::UndrivenNet(net.name.clone()));
             }
         }
-        let netlist = Netlist {
+        let netlist = self.finish_unchecked();
+        // Cycle check: Kahn's algorithm over combinational instances only.
+        crate::graph::topo_order(&netlist)?;
+        Ok(netlist)
+    }
+
+    /// Returns the netlist *without* validating it.
+    ///
+    /// The result may violate every invariant [`finish`] guarantees:
+    /// floating nets, doubled drivers, combinational loops. Downstream
+    /// analyses that assume a validated netlist (the evaluator, STA)
+    /// may panic on it; `timber-lint`'s structural checks are the
+    /// intended consumer, reporting each defect as a diagnostic instead.
+    ///
+    /// [`finish`]: NetlistBuilder::finish
+    pub fn finish_unchecked(self) -> Netlist {
+        Netlist {
             name: self.name,
             library: self.library.clone(),
             nets: self.nets,
@@ -406,10 +475,7 @@ impl<'lib> NetlistBuilder<'lib> {
             flops: self.flops,
             primary_inputs: self.primary_inputs,
             primary_outputs: self.primary_outputs,
-        };
-        // Cycle check: Kahn's algorithm over combinational instances only.
-        crate::graph::topo_order(&netlist)?;
-        Ok(netlist)
+        }
     }
 }
 

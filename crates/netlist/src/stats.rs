@@ -33,8 +33,20 @@ impl NetlistStats {
     /// # Panics
     ///
     /// Panics if the netlist contains a combinational loop (validated
-    /// netlists never do).
+    /// netlists never do). For netlists of unknown provenance, use
+    /// [`NetlistStats::try_measure`].
     pub fn measure(netlist: &Netlist) -> NetlistStats {
+        NetlistStats::try_measure(netlist).expect("validated netlist is acyclic")
+    }
+
+    /// Measures a netlist, reporting a combinational loop (with its
+    /// full cycle path) instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NetlistError::CombinationalLoop`] if the
+    /// combinational logic is cyclic.
+    pub fn try_measure(netlist: &Netlist) -> Result<NetlistStats, crate::NetlistError> {
         let mut census: BTreeMap<String, usize> = BTreeMap::new();
         let mut leakage = 0.0;
         let mut fanout_total = 0usize;
@@ -45,14 +57,13 @@ impl NetlistStats {
             leakage += cell.leakage();
             fanout_total += netlist.net(inst.output()).fanout().len();
         }
-        let max_depth = crate::graph::levelize(netlist)
-            .expect("validated netlist is acyclic")
+        let max_depth = crate::graph::levelize(netlist)?
             .into_iter()
             .max()
             .map(|d| d + 1)
             .unwrap_or(0);
         let instances = netlist.instance_count();
-        NetlistStats {
+        Ok(NetlistStats {
             cell_census: census,
             instances,
             flops: netlist.flop_count(),
@@ -65,7 +76,7 @@ impl NetlistStats {
             } else {
                 fanout_total as f64 / instances as f64
             },
-        }
+        })
     }
 
     /// Renders a one-design summary block.

@@ -1,6 +1,6 @@
 //! Max-delay (setup) arrival-time propagation and slack computation.
 
-use timber_netlist::{Driver, InstId, NetId, Netlist, Picos, Sink};
+use timber_netlist::{Driver, InstId, NetId, Netlist, NetlistError, Picos, Sink};
 
 /// Clock constraint applied to a design.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,17 +91,58 @@ pub struct TimingAnalysis<'nl> {
 
 impl<'nl> TimingAnalysis<'nl> {
     /// Runs analysis with library delays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains a combinational loop; validated
+    /// netlists never do. Use [`TimingAnalysis::try_run`] for netlists
+    /// of unknown provenance.
     pub fn run(netlist: &'nl Netlist, constraint: &ClockConstraint) -> TimingAnalysis<'nl> {
         TimingAnalysis::run_with(netlist, constraint, &LibraryDelays)
     }
 
     /// Runs analysis with a caller-supplied delay calculator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains a combinational loop (see
+    /// [`TimingAnalysis::try_run_with`]).
     pub fn run_with(
         netlist: &'nl Netlist,
         constraint: &ClockConstraint,
         delays: &dyn DelayCalculator,
     ) -> TimingAnalysis<'nl> {
-        let topo = timber_netlist::topo_order(netlist).expect("validated netlist must be acyclic");
+        TimingAnalysis::try_run_with(netlist, constraint, delays)
+            .expect("validated netlist must be acyclic")
+    }
+
+    /// Runs analysis with library delays, reporting a combinational
+    /// loop (with its full cycle path) instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalLoop`] if the combinational
+    /// logic is cyclic.
+    pub fn try_run(
+        netlist: &'nl Netlist,
+        constraint: &ClockConstraint,
+    ) -> Result<TimingAnalysis<'nl>, NetlistError> {
+        TimingAnalysis::try_run_with(netlist, constraint, &LibraryDelays)
+    }
+
+    /// Runs analysis with a caller-supplied delay calculator, reporting
+    /// a combinational loop instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalLoop`] if the combinational
+    /// logic is cyclic.
+    pub fn try_run_with(
+        netlist: &'nl Netlist,
+        constraint: &ClockConstraint,
+        delays: &dyn DelayCalculator,
+    ) -> Result<TimingAnalysis<'nl>, NetlistError> {
+        let topo = timber_netlist::topo_order(netlist)?;
         let n = netlist.net_count();
         let mut arrival = vec![Picos::ZERO; n];
         let mut critical_pin = vec![None; n];
@@ -174,7 +215,7 @@ impl<'nl> TimingAnalysis<'nl> {
             }
         }
 
-        TimingAnalysis {
+        Ok(TimingAnalysis {
             netlist,
             constraint: *constraint,
             arc_delays,
@@ -182,7 +223,7 @@ impl<'nl> TimingAnalysis<'nl> {
             downstream,
             critical_pin,
             topo,
-        }
+        })
     }
 
     /// The design under analysis.

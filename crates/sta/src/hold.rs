@@ -7,7 +7,7 @@
 //! deficits and a buffer-insertion plan whose cost feeds the
 //! `timber-power` overhead model.
 
-use timber_netlist::{Driver, FlopId, Netlist, Picos, Sink};
+use timber_netlist::{Driver, FlopId, Netlist, NetlistError, Picos, Sink};
 
 use crate::analysis::{ClockConstraint, DelayCalculator, LibraryDelays};
 
@@ -21,17 +21,58 @@ pub struct HoldAnalysis {
 
 impl HoldAnalysis {
     /// Runs min-delay analysis with library best-case arc delays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains a combinational loop; validated
+    /// netlists never do. Use [`HoldAnalysis::try_run`] for netlists of
+    /// unknown provenance.
     pub fn run(netlist: &Netlist, constraint: &ClockConstraint) -> HoldAnalysis {
         HoldAnalysis::run_with(netlist, constraint, &LibraryDelays)
     }
 
     /// Runs min-delay analysis with a custom delay calculator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains a combinational loop (see
+    /// [`HoldAnalysis::try_run_with`]).
     pub fn run_with(
         netlist: &Netlist,
         constraint: &ClockConstraint,
         delays: &dyn DelayCalculator,
     ) -> HoldAnalysis {
-        let topo = timber_netlist::topo_order(netlist).expect("validated netlist must be acyclic");
+        HoldAnalysis::try_run_with(netlist, constraint, delays)
+            .expect("validated netlist must be acyclic")
+    }
+
+    /// Runs min-delay analysis, reporting a combinational loop (with
+    /// its full cycle path) instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalLoop`] if the combinational
+    /// logic is cyclic.
+    pub fn try_run(
+        netlist: &Netlist,
+        constraint: &ClockConstraint,
+    ) -> Result<HoldAnalysis, NetlistError> {
+        HoldAnalysis::try_run_with(netlist, constraint, &LibraryDelays)
+    }
+
+    /// Runs min-delay analysis with a custom delay calculator,
+    /// reporting a combinational loop instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalLoop`] if the combinational
+    /// logic is cyclic.
+    pub fn try_run_with(
+        netlist: &Netlist,
+        constraint: &ClockConstraint,
+        delays: &dyn DelayCalculator,
+    ) -> Result<HoldAnalysis, NetlistError> {
+        let topo = timber_netlist::topo_order(netlist)?;
         let mut min_arrival = vec![Picos::MAX; netlist.net_count()];
         for net_id in netlist.net_ids() {
             min_arrival[net_id.0 as usize] = match netlist.net(net_id).driver() {
@@ -53,10 +94,10 @@ impl HoldAnalysis {
             }
             min_arrival[inst.output().0 as usize] = best;
         }
-        HoldAnalysis {
+        Ok(HoldAnalysis {
             min_arrival,
             constraint: *constraint,
-        }
+        })
     }
 
     /// Min arrival at a net.

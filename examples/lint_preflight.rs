@@ -1,0 +1,53 @@
+//! Design-rule preflight: lint an integration plan before simulating it.
+//!
+//! Builds a pipelined datapath, then checks three candidate TIMBER
+//! integrations with `timber-lint`: a sound plan (measured period,
+//! automatic padding, top-c% replacement), a plan that skips short-path
+//! padding, and a hand-picked partial replacement set. The first passes;
+//! the other two fail with stable `TBRxxx` codes naming the offending
+//! endpoints — the same diagnostics `repro lint --deny warn` gates CI
+//! on.
+//!
+//! Run with: `cargo run --release --example lint_preflight`
+
+use timber_repro::lint::{
+    lint, snap_period, LintConfig, PaddingPolicy, ReplacementPlan, ScheduleSpec,
+};
+use timber_repro::netlist::{pipelined_datapath, CellLibrary, DatapathSpec, FlopId, Picos};
+use timber_repro::sta::{ClockConstraint, TimingAnalysis};
+
+fn main() {
+    let lib = CellLibrary::standard();
+    let nl = pipelined_datapath(&lib, &DatapathSpec::uniform(4, 12, 150, 0.7, 17)).unwrap();
+
+    // Clock from the design's own critical path (5% guard + setup),
+    // snapped so the checking period quantises onto k intervals.
+    let spec = ScheduleSpec::deferred(30.0);
+    let sta = TimingAnalysis::run(&nl, &ClockConstraint::with_period(Picos(1_000_000)));
+    let period = snap_period(sta.worst_arrival().scale(1.05) + Picos(30), &spec);
+    println!(
+        "design: {} ({} gates, {} flops), clock {period}\n",
+        nl.name(),
+        nl.instance_count(),
+        nl.flop_count()
+    );
+
+    let sound = LintConfig::new("sound", spec, ClockConstraint::with_period(period));
+    let unpadded = LintConfig::new("no-padding", spec, ClockConstraint::with_period(period))
+        .with_padding(PaddingPolicy::None);
+    let partial = LintConfig::new("partial-plan", spec, ClockConstraint::with_period(period))
+        .with_replacement(ReplacementPlan::Explicit(vec![FlopId(0), FlopId(1)]));
+
+    for cfg in [sound, unpadded, partial] {
+        let report = lint(&nl, &cfg);
+        print!("{}", report.render());
+        println!(
+            "verdict: {}\n",
+            if report.passes(true) {
+                "ready to integrate"
+            } else {
+                "fix before simulating"
+            }
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Acceptance tests for the `timber-lint` design-rule checker: a
+//! known-bad integration must fail, naming the offending endpoint and
+//! a stable diagnostic code, and every shipped generator config must
+//! pass at the CI gate's `--deny warn` threshold.
+
+use timber_lint::{
+    lint, DiagCode, LintConfig, PaddingPolicy, ReplacementPlan, ScheduleSpec, Severity,
+};
+use timber_netlist::{CellLibrary, FlopId, InstId, NetlistBuilder, Picos};
+use timber_sta::{ClockConstraint, TimingAnalysis};
+
+fn measured_config(nl: &timber_netlist::Netlist, spec: ScheduleSpec) -> LintConfig {
+    let sta = TimingAnalysis::run(nl, &ClockConstraint::with_period(Picos(1_000_000)));
+    let period = timber_lint::snap_period(sta.worst_arrival().scale(1.05) + Picos(30), &spec);
+    LintConfig::new("acceptance", spec, ClockConstraint::with_period(period))
+}
+
+/// The headline acceptance case: an integration with an unpadded short
+/// path fails with `TBR010`, and the diagnostic names the endpoint.
+#[test]
+fn known_bad_config_fails_naming_endpoint_and_code() {
+    let lib = CellLibrary::standard();
+    let mut b = NetlistBuilder::new("bad", &lib);
+    let a = b.input("a");
+    let src = b.flop("f_src", a);
+    let mut x = src;
+    for _ in 0..24 {
+        x = b.gate("buf", &[x]).unwrap();
+    }
+    let crit = b.flop("f_crit", x);
+    // Direct flop-to-flop wire: min arrival far below hold + checking.
+    let short = b.flop("f_short_endpoint", src);
+    b.output("o1", crit);
+    b.output("o2", short);
+    let nl = b.finish().unwrap();
+
+    let cfg = measured_config(&nl, ScheduleSpec::deferred(30.0)).with_padding(PaddingPolicy::None);
+    let report = lint(&nl, &cfg);
+
+    assert!(!report.passes(false), "must fail even without --deny warn");
+    let findings = report.with_code(DiagCode::UnpaddedShortPath);
+    assert!(!findings.is_empty());
+    assert!(
+        findings
+            .iter()
+            .any(|d| d.subject.contains("f_short_endpoint")),
+        "diagnostic must name the offending endpoint:\n{}",
+        report.render()
+    );
+    assert!(findings[0].render().contains("TBR010"));
+    assert!(findings[0].render().contains("§4"), "cites the paper rule");
+}
+
+/// An ill-formed schedule is rejected with schedule-class codes before
+/// any netlist analysis runs.
+#[test]
+fn ill_formed_schedule_is_rejected() {
+    let lib = CellLibrary::standard();
+    let nl = timber_netlist::ripple_carry_adder(&lib, 4).unwrap();
+    let spec = ScheduleSpec {
+        checking_pct: 130.0,
+        k_tb: 0,
+        k_ed: 0,
+        relay_increment: 0,
+    };
+    let cfg = LintConfig::new("broken", spec, ClockConstraint::with_period(Picos(0)));
+    let report = lint(&nl, &cfg);
+    assert!(!report.passes(false));
+    assert!(!report.with_code(DiagCode::EmptySchedule).is_empty());
+    assert!(!report.with_code(DiagCode::CheckingPercentRange).is_empty());
+    assert!(!report.with_code(DiagCode::NonPositivePeriod).is_empty());
+    assert_eq!(report.with_code(DiagCode::TimingChecksSkipped).len(), 1);
+}
+
+/// A partial replacement plan that strands a borrowing predecessor is
+/// caught as a relay-coverage gap.
+#[test]
+fn coverage_gap_names_both_flops() {
+    let lib = CellLibrary::standard();
+    let mut b = NetlistBuilder::new("gap", &lib);
+    let a = b.input("a");
+    let mut x = b.flop("f_src", a);
+    for _ in 0..12 {
+        x = b.gate("buf", &[x]).unwrap();
+    }
+    let mut y = b.flop("f_mid", x);
+    for _ in 0..12 {
+        y = b.gate("buf", &[y]).unwrap();
+    }
+    let q = b.flop("f_end", y);
+    b.output("o", q);
+    let nl = b.finish().unwrap();
+    let cfg = measured_config(&nl, ScheduleSpec::deferred(30.0))
+        .with_replacement(ReplacementPlan::Explicit(vec![FlopId(2)]));
+    let report = lint(&nl, &cfg);
+    let gaps = report.with_code(DiagCode::RelayCoverageGap);
+    assert_eq!(gaps.len(), 1, "{}", report.render());
+    assert!(gaps[0].subject.contains("f_end"));
+    assert!(gaps[0].message.contains("f_mid"));
+}
+
+/// Combinational loops are reported (all of them, with the full cycle)
+/// instead of panicking, and structural errors suppress timing checks
+/// with an explicit note.
+#[test]
+fn combinational_loop_reports_full_cycle_without_panicking() {
+    let lib = CellLibrary::standard();
+    let mut b = NetlistBuilder::new("cyclic", &lib);
+    let a = b.input("a");
+    let x = b.gate("inv", &[a]).unwrap();
+    let y = b.gate("and2", &[x, a]).unwrap();
+    let z = b.gate("or2", &[y, a]).unwrap();
+    let q = b.flop("f", z);
+    b.output("o", q);
+    // Close a three-gate cycle: the inverter now reads the or-gate.
+    b.rewire_input(InstId(0), 0, z);
+    let nl = b.finish_unchecked();
+    let cfg = LintConfig::new(
+        "cyclic",
+        ScheduleSpec::deferred(20.0),
+        ClockConstraint::with_period(Picos(1200)),
+    );
+    let report = lint(&nl, &cfg);
+    let loops = report.with_code(DiagCode::CombinationalLoop);
+    assert_eq!(loops.len(), 1, "{}", report.render());
+    // Full cycle path: three hops back to the start.
+    assert!(
+        loops[0].message.matches(" -> ").count() >= 3,
+        "{}",
+        loops[0].message
+    );
+    assert_eq!(report.with_code(DiagCode::TimingChecksSkipped).len(), 1);
+    assert!(!report.passes(false));
+}
+
+/// The CI gate itself: every shipped generator config is clean under
+/// `--deny warn`, the exact invocation `.github/workflows/ci.yml` runs.
+#[test]
+fn shipped_gate_configs_pass_deny_warn() {
+    let lib = CellLibrary::standard();
+    let designs = [
+        timber_netlist::ripple_carry_adder(&lib, 16).unwrap(),
+        timber_netlist::kogge_stone_adder(&lib, 16).unwrap(),
+        timber_netlist::array_multiplier(&lib, 8).unwrap(),
+        timber_netlist::alu(&lib, 8).unwrap(),
+    ];
+    for nl in &designs {
+        let report = lint(nl, &measured_config(nl, ScheduleSpec::deferred(30.0)));
+        assert_eq!(report.count(Severity::Error), 0, "{}", report.render());
+        assert_eq!(report.count(Severity::Warn), 0, "{}", report.render());
+    }
+}
