@@ -9,6 +9,7 @@
 //! repro bench-check --fresh FRESH.json [--baseline BASE.json]
 //!                   [--tolerance 0.15] [--max-overhead 0.5]
 //! repro lint [--json] [--deny warn]
+//! repro conform [--json] [--threads N] [--seed S] [--full] [--sabotage]
 //! ```
 //!
 //! `--threads N` sets the Monte-Carlo sweep worker count (default: all
@@ -25,14 +26,22 @@
 //! trace (plus a CSV sibling) to the `--telemetry` path. `lint` runs
 //! the `timber-lint` static design-rule checks over every shipped
 //! generator config (`--deny warn` also fails on warnings; `--json`
-//! emits the machine-readable report).
+//! emits the machine-readable report). `conform` runs the differential
+//! conformance campaign: the same generated workloads through the
+//! analytical simulator and the event-driven gate-level replay, over
+//! every `(k_tb, k_ed)` grid point, scheme, and burst shape, failing on
+//! any divergence, contract or metamorphic violation, or coverage hole
+//! (`--full` triples the trials, `--sabotage` activates the seeded
+//! model-B bug so the harness can prove it catches divergences; the
+//! report is byte-identical for any `--threads N`).
 //!
-//! Exit codes: `0` success, `1` a gate failed (bench-check breach or
-//! lint findings at the deny threshold), `2` usage error.
+//! Exit codes: `0` success, `1` a gate failed (bench-check breach,
+//! lint findings at the deny threshold, or a conformance campaign that
+//! does not pass), `2` usage error.
 
 use std::env;
 
-use timber_bench::{ablations, experiments, lintgate, margin, perf, report, trace};
+use timber_bench::{ablations, conform, experiments, lintgate, margin, perf, report, trace};
 
 fn main() {
     let raw: Vec<String> = env::args().skip(1).collect();
@@ -45,6 +54,9 @@ fn main() {
     let mut tolerance: f64 = 0.15;
     let mut max_overhead: f64 = 0.5;
     let mut deny: Option<String> = None;
+    let mut seed: u64 = conform::DEFAULT_SEED;
+    let mut full = false;
+    let mut sabotage = false;
     let mut positionals: Vec<String> = Vec::new();
     let mut i = 0;
     while i < raw.len() {
@@ -101,6 +113,16 @@ fn main() {
             deny = Some(value_of("--deny", &mut i));
         } else if let Some(v) = arg.strip_prefix("--deny=") {
             deny = Some(v.to_owned());
+        } else if arg == "--seed" {
+            seed = value_of("--seed", &mut i)
+                .parse()
+                .unwrap_or_else(|_| die("--seed needs a number"));
+        } else if let Some(v) = arg.strip_prefix("--seed=") {
+            seed = v.parse().unwrap_or_else(|_| die("--seed needs a number"));
+        } else if arg == "--full" {
+            full = true;
+        } else if arg == "--sabotage" {
+            sabotage = true;
         } else if let Some(flag) = arg.strip_prefix("--") {
             die(&format!("unknown flag --{flag}"));
         } else {
@@ -134,6 +156,13 @@ fn main() {
             Some(other) => die(&format!("--deny expects `warn` or `error`, got {other:?}")),
         };
         run_lint(json, deny_warn);
+        return;
+    }
+    if what == "conform" {
+        if positionals.len() > 1 {
+            die(&format!("unexpected argument {}", positionals[1]));
+        }
+        run_conform(json, seed, full, sabotage, threads);
         return;
     }
     if what == "bench-check" {
@@ -170,7 +199,7 @@ fn main() {
     ];
     if !KNOWN.contains(&what.as_str()) {
         die(&format!(
-            "unknown subcommand {what:?} (expected one of: {}, lint, trace, bench-check)",
+            "unknown subcommand {what:?} (expected one of: {}, lint, conform, trace, bench-check)",
             KNOWN.join(", ")
         ));
     }
@@ -324,6 +353,21 @@ fn run_lint(json: bool, deny_warn: bool) {
         print!("{}", lintgate::render_reports(&reports, deny_warn));
     }
     if !lintgate::gate_passes(&reports, deny_warn) {
+        std::process::exit(1);
+    }
+}
+
+/// `repro conform`: the differential conformance campaign. Exit 1 when
+/// the report does not pass (divergence, contract or metamorphic
+/// violation, or incomplete coverage).
+fn run_conform(json: bool, seed: u64, full: bool, sabotage: bool, threads: usize) {
+    let report = conform::run(seed, full, sabotage, threads);
+    if json {
+        println!("{}", report.json());
+    } else {
+        print!("{}", report.render());
+    }
+    if !report.pass() {
         std::process::exit(1);
     }
 }

@@ -38,6 +38,7 @@ fn unknown_subcommand_exits_2_and_lists_lint() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown subcommand"), "{err}");
     assert!(err.contains("lint"), "usage must list lint: {err}");
+    assert!(err.contains("conform"), "usage must list conform: {err}");
 }
 
 #[test]
@@ -45,4 +46,64 @@ fn bad_deny_value_exits_2() {
     let out = repro(&["lint", "--deny", "sometimes"]);
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("--deny"));
+}
+
+#[test]
+fn conform_gate_passes_on_the_pinned_seed() {
+    let out = repro(&["conform", "--threads", "4"]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("PASS"), "{text}");
+    assert!(text.contains("coverage"), "{text}");
+}
+
+#[test]
+fn conform_json_is_a_single_machine_readable_document() {
+    let out = repro(&["conform", "--json", "--threads", "4"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let doc: serde_json::Value = serde_json::from_str(text.trim()).expect("valid JSON");
+    assert_eq!(doc["tool"], serde_json::json!("timber-conformance"));
+    assert_eq!(doc["schema_version"], serde_json::json!(1));
+    assert_eq!(doc["pass"], serde_json::json!(true));
+    assert_eq!(doc["cases_run"], serde_json::json!(640));
+    assert!(doc["coverage"].as_array().is_some_and(|c| !c.is_empty()));
+}
+
+#[test]
+fn conform_threads_do_not_change_the_json() {
+    let one = repro(&["conform", "--json", "--threads", "1", "--seed", "11"]);
+    let four = repro(&["conform", "--json", "--threads", "4", "--seed", "11"]);
+    assert!(one.status.success());
+    assert!(four.status.success());
+    assert_eq!(one.stdout, four.stdout, "report must be byte-identical");
+}
+
+#[test]
+fn conform_unknown_flag_exits_2() {
+    let out = repro(&["conform", "--shards", "3"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag"), "{err}");
+}
+
+#[test]
+fn conform_bad_seed_exits_2() {
+    let out = repro(&["conform", "--seed", "banana"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--seed"));
+}
+
+/// The harness self-test: with the seeded model-B bug active the gate
+/// must fail with exit 1 and print a divergence. Ignored by default —
+/// the sabotaged campaign minimizes every divergence, which takes
+/// a while in debug builds (CI's workflow_dispatch job runs it).
+#[test]
+#[ignore = "slow: minimizes hundreds of divergences; run with -- --ignored"]
+fn conform_sabotage_fails_with_exit_1() {
+    let out = repro(&["conform", "--sabotage", "--threads", "4"]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("DIVERGENCE"), "{text}");
+    assert!(text.contains("FAIL"), "{text}");
 }

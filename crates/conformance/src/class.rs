@@ -1,0 +1,133 @@
+//! The classification vocabulary both models must agree on.
+
+use timber_netlist::Picos;
+
+/// Per-(cycle, stage) outcome classification. This is the quantity the
+/// differential oracle compares: what the paper's §3 contract says must
+/// happen to a timing violation — masked silently in a TB interval,
+/// masked-and-flagged in an ED interval, detected-and-recovered,
+/// predicted, or escaped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Data arrived by the clock edge.
+    Ok,
+    /// Violation masked by time borrowing.
+    Masked {
+        /// Time handed to the next stage.
+        borrowed: Picos,
+        /// Depth of the masked-violation chain ending here (1 =
+        /// isolated event; ≥ 2 = relayed in from upstream).
+        depth: u32,
+        /// True when an ED interval was used (flag raised to the
+        /// central error control unit).
+        flagged: bool,
+    },
+    /// Violation detected after corrupting state; recovery bubbles
+    /// follow.
+    Detected {
+        /// Bubbles injected.
+        penalty: u32,
+    },
+    /// Violation predicted before the edge (canary).
+    Predicted,
+    /// Silent data corruption: the violation escaped every mechanism.
+    Corrupted,
+}
+
+impl Class {
+    /// True for any outcome other than [`Class::Ok`] — a timing
+    /// violation was exercised (the coverage-matrix criterion).
+    pub fn is_violation(&self) -> bool {
+        !matches!(self, Class::Ok)
+    }
+
+    /// Borrow-chain depth (zero unless masked).
+    pub fn depth(&self) -> u32 {
+        match *self {
+            Class::Masked { depth, .. } => depth,
+            _ => 0,
+        }
+    }
+
+    /// Time borrowed (zero unless masked).
+    pub fn borrowed(&self) -> Picos {
+        match *self {
+            Class::Masked { borrowed, .. } => borrowed,
+            _ => Picos::ZERO,
+        }
+    }
+}
+
+impl std::fmt::Display for Class {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Class::Ok => write!(f, "ok"),
+            Class::Masked {
+                borrowed,
+                depth,
+                flagged,
+            } => write!(
+                f,
+                "masked(borrowed={borrowed},depth={depth},flagged={flagged})"
+            ),
+            Class::Detected { penalty } => write!(f, "detected(penalty={penalty})"),
+            Class::Predicted => write!(f, "predicted"),
+            Class::Corrupted => write!(f, "corrupted"),
+        }
+    }
+}
+
+/// One model's complete account of a workload run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelRun {
+    /// Per-cycle records in cycle order: `None` marks a recovery
+    /// bubble (no stage evaluated), `Some(row)` carries the per-stage
+    /// classification.
+    pub cycles: Vec<Option<Vec<Class>>>,
+    /// Final architectural carry state: borrow entering each boundary
+    /// on the cycle after the run (length `stages + 1`).
+    pub final_carry: Vec<Picos>,
+    /// Final masked-chain depth feeding each boundary.
+    pub final_chain: Vec<usize>,
+}
+
+impl ModelRun {
+    /// Total violations (non-`Ok` classifications) across the run.
+    pub fn violations(&self) -> u64 {
+        self.cycles
+            .iter()
+            .flatten()
+            .flatten()
+            .filter(|c| c.is_violation())
+            .count() as u64
+    }
+
+    /// Per-class totals `(masked, flagged, detected, predicted,
+    /// corrupted, relays)` — the quantities the telemetry recorder
+    /// counts, for the telemetry-vs-oracle property test. A relay is a
+    /// masked violation with chain depth ≥ 2.
+    pub fn counts(&self) -> (u64, u64, u64, u64, u64, u64) {
+        let (mut masked, mut flagged, mut detected) = (0, 0, 0);
+        let (mut predicted, mut corrupted, mut relays) = (0, 0, 0);
+        for class in self.cycles.iter().flatten().flatten() {
+            match *class {
+                Class::Masked {
+                    depth, flagged: fl, ..
+                } => {
+                    masked += 1;
+                    if fl {
+                        flagged += 1;
+                    }
+                    if depth >= 2 {
+                        relays += 1;
+                    }
+                }
+                Class::Detected { .. } => detected += 1,
+                Class::Predicted => predicted += 1,
+                Class::Corrupted => corrupted += 1,
+                Class::Ok => {}
+            }
+        }
+        (masked, flagged, detected, predicted, corrupted, relays)
+    }
+}

@@ -1,0 +1,302 @@
+//! Model B: an event-driven gate-level replay built on the
+//! `timber-wavesim` waveform kernel.
+//!
+//! Each stage boundary's data net is a real simulated signal: the
+//! workload's arrivals become stimulus transitions, each cycle gets its
+//! own time frame, and the *sampling question* every scheme reduces to —
+//! "had the data settled to its final value by instant X?" — is asked of
+//! the recorded waveform ([`timber_wavesim::Waveform::settles_by`]), not
+//! of the arithmetic the analytical model uses. The two models share
+//! only the workload and the paper's contract; agreement between them is
+//! therefore evidence the contract is implemented right, not that the
+//! same expression was written twice.
+//!
+//! The per-cycle frame is four clock periods long, far beyond any legal
+//! arrival (the workload generator bounds arrivals to three periods),
+//! so one frame's stimulus can never alias into the next frame's
+//! sampling instants.
+
+use timber_netlist::Picos;
+use timber_schemes::SchemeId;
+use timber_wavesim::{Circuit, Logic, SigId};
+
+use crate::class::{Class, ModelRun};
+use crate::workload::Workload;
+
+/// Stimulus-buffer delay: the injected transition is scheduled this
+/// long before the modelled arrival so the waveform records a real
+/// gate-driven transition, not a raw stimulus edge.
+const BUFFER_DELAY: Picos = Picos(1);
+
+/// Runs the event-driven model over a workload and returns its account.
+///
+/// With `sabotage` set, the TIMBER sampling instants are deliberately
+/// shortened by one picosecond — a seeded model-B bug the oracle must
+/// catch on exact-boundary arrivals (the self-test of the harness).
+pub fn event_run(w: &Workload, id: SchemeId, sabotage: bool) -> ModelRun {
+    let stages = w.stages();
+    let schedule = *w.schedule();
+    let period = schedule.period();
+    let interval = schedule.interval();
+    let usable = schedule.usable_checking();
+    let k = schedule.k();
+    let k_tb = schedule.k_tb();
+    let tb_window = interval * i64::from(k_tb);
+    // Parameter derivations shared with `timber_schemes::Registry`.
+    let detect_window = schedule.checking();
+    let guard = period.scale(0.08);
+    let soft_window = interval;
+    let nudge = if sabotage { Picos(1) } else { Picos::ZERO };
+
+    let frame_len = period * 4;
+    let mut circuit = Circuit::new();
+    let mut srcs: Vec<SigId> = Vec::with_capacity(stages);
+    let mut outs: Vec<SigId> = Vec::with_capacity(stages);
+    for s in 0..stages {
+        let src = circuit.signal(&format!("src{s}"));
+        let d = circuit.signal(&format!("d{s}"));
+        circuit.buffer(src, d, BUFFER_DELAY);
+        circuit.watch(d);
+        circuit.stimulus(src, &[(Picos::ZERO, Logic::Zero)]);
+        srcs.push(src);
+        outs.push(d);
+    }
+    let mut sim = circuit.into_simulator();
+
+    let mut carry = vec![Picos::ZERO; stages + 1];
+    let mut chain = vec![0usize; stages + 1];
+    let mut next_carry = vec![Picos::ZERO; stages + 1];
+    let mut next_chain = vec![0usize; stages + 1];
+    // TIMBER-FF relay state: select inputs pending for the next
+    // evaluated cycle (bubbles defer application, like the scheme).
+    let mut pending = vec![0u8; stages];
+    let mut selects = vec![0u8; stages];
+    let mut last = vec![false; stages];
+    let mut penalty: u64 = 0;
+    let mut cycles_out: Vec<Option<Vec<Class>>> = Vec::with_capacity(w.cycles());
+
+    for (t, row) in w.arrivals().iter().enumerate() {
+        if penalty > 0 {
+            // Recovery bubble: nothing launches, nothing samples; the
+            // bubble cycle's workload row is never exercised.
+            penalty -= 1;
+            cycles_out.push(None);
+            continue;
+        }
+        // Frames start one frame in so cycle 0's stimulus can never
+        // collide with the t = 0 initialisation transition.
+        let frame = frame_len * (t as i64 + 1);
+        selects.copy_from_slice(&pending);
+        pending.iter_mut().for_each(|p| *p = 0);
+        next_carry.iter_mut().for_each(|c| *c = Picos::ZERO);
+        next_chain.iter_mut().for_each(|c| *c = 0);
+
+        for s in 0..stages {
+            let arrival = carry[s] + row[s];
+            let expected = Logic::from_bool(!last[s]);
+            sim.inject(frame + arrival - BUFFER_DELAY, srcs[s], expected);
+        }
+        sim.run_until(frame + frame_len - Picos(1));
+
+        let mut classes = vec![Class::Ok; stages];
+        for s in 0..stages {
+            let expected = Logic::from_bool(!last[s]);
+            last[s] = !last[s];
+            let trace = sim.waves().trace(outs[s]).expect("watched signal");
+            let settled = |offset: Picos| trace.settles_by(frame + offset, expected);
+            // Observed arrival: the one transition this frame records.
+            let observed = trace
+                .samples()
+                .iter()
+                .rev()
+                .find(|&&(time, value)| time >= frame && value == expected)
+                .map(|&(time, _)| time - frame)
+                .expect("every evaluated cycle toggles the data net");
+            let class = match id {
+                SchemeId::TimberFf => {
+                    if settled(period) {
+                        Class::Ok
+                    } else {
+                        let delta = interval * i64::from(selects[s] + 1);
+                        if settled(period + delta - nudge) {
+                            let units = selects[s] + 1;
+                            if s + 1 < stages {
+                                let select_out = units.min(k - 1);
+                                pending[s + 1] = pending[s + 1].max(select_out);
+                            }
+                            Class::Masked {
+                                borrowed: delta,
+                                depth: (chain[s] + 1) as u32,
+                                flagged: units > k_tb,
+                            }
+                        } else {
+                            Class::Corrupted
+                        }
+                    }
+                }
+                SchemeId::TimberLatch => {
+                    if settled(period) {
+                        Class::Ok
+                    } else if settled(period + usable - nudge) {
+                        let borrowed = observed - period;
+                        Class::Masked {
+                            borrowed,
+                            depth: (chain[s] + 1) as u32,
+                            flagged: borrowed > tb_window,
+                        }
+                    } else {
+                        Class::Corrupted
+                    }
+                }
+                SchemeId::RazorFf | SchemeId::TransitionDetectorFf => {
+                    if settled(period) {
+                        Class::Ok
+                    } else if settled(period + detect_window) {
+                        Class::Detected { penalty: 1 }
+                    } else {
+                        Class::Corrupted
+                    }
+                }
+                SchemeId::CanaryFf => {
+                    if settled(period - guard) {
+                        Class::Ok
+                    } else if settled(period) {
+                        Class::Predicted
+                    } else {
+                        Class::Corrupted
+                    }
+                }
+                SchemeId::SoftEdgeFf => {
+                    if settled(period) {
+                        Class::Ok
+                    } else if settled(period + soft_window) {
+                        Class::Masked {
+                            borrowed: observed - period,
+                            depth: (chain[s] + 1) as u32,
+                            flagged: false,
+                        }
+                    } else {
+                        Class::Corrupted
+                    }
+                }
+                SchemeId::LogicalMasking => {
+                    // Coverage is pinned to 1.0 by the conformance
+                    // registry: every in-window violation is masked by
+                    // the redundant logic, with zero borrowed time.
+                    if settled(period) {
+                        Class::Ok
+                    } else if settled(period + detect_window) {
+                        Class::Masked {
+                            borrowed: Picos::ZERO,
+                            depth: (chain[s] + 1) as u32,
+                            flagged: false,
+                        }
+                    } else {
+                        Class::Corrupted
+                    }
+                }
+                SchemeId::ConventionalFf => {
+                    if settled(period) {
+                        Class::Ok
+                    } else {
+                        Class::Corrupted
+                    }
+                }
+            };
+            match class {
+                Class::Masked { borrowed, .. } if s + 1 < stages => {
+                    next_carry[s + 1] = borrowed;
+                    next_chain[s + 1] = chain[s] + 1;
+                }
+                Class::Detected { penalty: p } => penalty += u64::from(p),
+                _ => {}
+            }
+            classes[s] = class;
+        }
+        cycles_out.push(Some(classes));
+        std::mem::swap(&mut carry, &mut next_carry);
+        std::mem::swap(&mut chain, &mut next_chain);
+    }
+
+    ModelRun {
+        cycles: cycles_out,
+        final_carry: carry,
+        final_chain: chain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timber::CheckingPeriod;
+
+    fn sched() -> CheckingPeriod {
+        CheckingPeriod::new(Picos(1000), 24.0, 1, 2).unwrap()
+    }
+
+    fn workload(rows: Vec<Vec<i64>>) -> Workload {
+        let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+        Workload::from_rows(sched(), &refs)
+    }
+
+    #[test]
+    fn quiet_workload_is_all_ok_for_every_scheme() {
+        let w = workload(vec![vec![400; 3]; 6]);
+        for id in SchemeId::ALL {
+            let run = event_run(&w, id, false);
+            assert_eq!(run.violations(), 0, "{id:?}");
+            assert_eq!(run.cycles.len(), 6);
+        }
+    }
+
+    #[test]
+    fn timber_ff_masks_and_relays_borrow_downstream() {
+        // Cycle 1, stage 0 overshoots by 40ps (inside the 80ps
+        // interval): masked with a full-interval borrow; cycle 2,
+        // stage 1 inherits the 80ps carry.
+        let mut rows = vec![vec![400i64; 3]; 5];
+        rows[1][0] = 1040;
+        let run = event_run(&workload(rows), SchemeId::TimberFf, false);
+        assert_eq!(
+            run.cycles[1].as_ref().unwrap()[0],
+            Class::Masked {
+                borrowed: Picos(80),
+                depth: 1,
+                flagged: false,
+            }
+        );
+        // Quiet arrival (≤ 420) + 80 carry stays on time at stage 1.
+        assert_eq!(run.cycles[2].as_ref().unwrap()[1], Class::Ok);
+        assert_eq!(run.violations(), 1);
+    }
+
+    #[test]
+    fn exact_boundary_arrival_is_masked_unless_sabotaged() {
+        // Overshoot of exactly one interval: legally masked; the
+        // seeded model-B bug shortens the sampling instant and calls
+        // it corrupted instead.
+        let mut rows = vec![vec![400i64; 2]; 3];
+        rows[1][0] = 1080;
+        let honest = event_run(&workload(rows.clone()), SchemeId::TimberFf, false);
+        assert!(matches!(
+            honest.cycles[1].as_ref().unwrap()[0],
+            Class::Masked { .. }
+        ));
+        let broken = event_run(&workload(rows), SchemeId::TimberFf, true);
+        assert_eq!(broken.cycles[1].as_ref().unwrap()[0], Class::Corrupted);
+    }
+
+    #[test]
+    fn detection_injects_a_bubble_and_skips_the_next_row() {
+        let mut rows = vec![vec![400i64; 2]; 5];
+        rows[1][0] = 1100;
+        rows[2][0] = 1100; // swallowed by the recovery bubble
+        let run = event_run(&workload(rows), SchemeId::RazorFf, false);
+        assert_eq!(
+            run.cycles[1].as_ref().unwrap()[0],
+            Class::Detected { penalty: 1 }
+        );
+        assert_eq!(run.cycles[2], None);
+        assert_eq!(run.violations(), 1);
+    }
+}

@@ -1,0 +1,311 @@
+//! The differential oracle: runs both models on one workload and
+//! reports the first divergence with a minimized, ready-to-paste
+//! reproducer.
+
+use timber_schemes::SchemeId;
+
+use crate::analytical::analytical_run;
+use crate::class::ModelRun;
+use crate::eventmodel::event_run;
+use crate::workload::Workload;
+
+/// A minimized, self-contained reproducer for a divergence: everything
+/// needed to replay it is in the generated test source, so the case
+/// survives even if the workload generator changes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reproducer {
+    /// Scheme under test.
+    pub scheme: SchemeId,
+    /// Seed handed to the models (logical-masking RNG and
+    /// sensitization seed; the arrival table below is what matters).
+    pub seed: u64,
+    /// Whether the seeded model-B bug was active.
+    pub sabotage: bool,
+    /// Clock period in picoseconds.
+    pub period_ps: i64,
+    /// Checking period as a percentage of the clock.
+    pub checking_pct: f64,
+    /// TB interval count.
+    pub k_tb: u8,
+    /// ED interval count.
+    pub k_ed: u8,
+    /// The minimized arrival table, `[cycle][stage]`, in picoseconds.
+    pub rows: Vec<Vec<i64>>,
+}
+
+impl Reproducer {
+    fn of(w: &Workload, scheme: SchemeId, seed: u64, sabotage: bool) -> Reproducer {
+        let s = w.schedule();
+        Reproducer {
+            scheme,
+            seed,
+            sabotage,
+            period_ps: s.period().as_ps(),
+            checking_pct: s.checking().as_ps() as f64 * 100.0 / s.period().as_ps() as f64,
+            k_tb: s.k_tb(),
+            k_ed: s.k_ed(),
+            rows: w
+                .arrivals()
+                .iter()
+                .map(|row| row.iter().map(|a| a.as_ps()).collect())
+                .collect(),
+        }
+    }
+
+    /// The `SchemeId` variant path for generated code.
+    fn variant(&self) -> &'static str {
+        match self.scheme {
+            SchemeId::TimberFf => "TimberFf",
+            SchemeId::TimberLatch => "TimberLatch",
+            SchemeId::RazorFf => "RazorFf",
+            SchemeId::TransitionDetectorFf => "TransitionDetectorFf",
+            SchemeId::CanaryFf => "CanaryFf",
+            SchemeId::SoftEdgeFf => "SoftEdgeFf",
+            SchemeId::LogicalMasking => "LogicalMasking",
+            SchemeId::ConventionalFf => "ConventionalFf",
+        }
+    }
+
+    /// A ready-to-paste `#[test]` asserting the two models agree on
+    /// this exact workload (paste into `tests/conformance_regressions.rs`).
+    pub fn test_source(&self) -> String {
+        use std::fmt::Write as _;
+        let name = self.scheme.name().replace('-', "_");
+        let mut out = String::new();
+        let _ = writeln!(out, "#[test]");
+        let _ = writeln!(
+            out,
+            "fn conformance_regression_{name}_seed{}() {{",
+            self.seed
+        );
+        let _ = writeln!(out, "    use timber::CheckingPeriod;");
+        let _ = writeln!(out, "    use timber_netlist::Picos;");
+        let _ = writeln!(
+            out,
+            "    use timber_repro::conformance::{{oracle, SchemeId, Workload}};"
+        );
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "    let schedule = CheckingPeriod::new(Picos({}), {:?}, {}, {}).unwrap();",
+            self.period_ps, self.checking_pct, self.k_tb, self.k_ed
+        );
+        let _ = writeln!(out, "    let rows: [&[i64]; {}] = [", self.rows.len());
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|c| c.to_string()).collect();
+            let _ = writeln!(out, "        &[{}],", cells.join(", "));
+        }
+        let _ = writeln!(out, "    ];");
+        let _ = writeln!(out, "    let w = Workload::from_rows(schedule, &rows);");
+        let _ = writeln!(
+            out,
+            "    let divergence = oracle::check(&w, SchemeId::{}, {}, {});",
+            self.variant(),
+            self.seed,
+            self.sabotage
+        );
+        let _ = writeln!(
+            out,
+            "    assert!(divergence.is_none(), \"{{divergence:?}}\");"
+        );
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+/// One cross-model disagreement, anchored at its first differing cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Scheme under test.
+    pub scheme: SchemeId,
+    /// Seed handed to both models.
+    pub seed: u64,
+    /// First cycle at which the accounts differ (equals the run length
+    /// for final-state-only divergences).
+    pub cycle: usize,
+    /// First differing stage, when the divergence is stage-local
+    /// (`None` for bubble-structure or whole-row differences).
+    pub stage: Option<usize>,
+    /// The analytical model's account at the divergence point.
+    pub analytical: String,
+    /// The event-driven model's account at the divergence point.
+    pub event_driven: String,
+    /// Minimized reproducer.
+    pub repro: Reproducer,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} seed {} diverges at cycle {}",
+            self.scheme.name(),
+            self.seed,
+            self.cycle
+        )?;
+        if let Some(s) = self.stage {
+            write!(f, " stage {s}")?;
+        }
+        write!(
+            f,
+            ": analytical = {}, event-driven = {}",
+            self.analytical, self.event_driven
+        )
+    }
+}
+
+/// First point of disagreement: `(cycle, stage, model A account,
+/// model B account)`.
+fn first_diff(a: &ModelRun, b: &ModelRun) -> Option<(usize, Option<usize>, String, String)> {
+    for (t, (ra, rb)) in a.cycles.iter().zip(&b.cycles).enumerate() {
+        match (ra, rb) {
+            (None, None) => {}
+            (None, Some(_)) => {
+                return Some((t, None, "recovery bubble".into(), "evaluated cycle".into()))
+            }
+            (Some(_), None) => {
+                return Some((t, None, "evaluated cycle".into(), "recovery bubble".into()))
+            }
+            (Some(row_a), Some(row_b)) => {
+                for (s, (ca, cb)) in row_a.iter().zip(row_b).enumerate() {
+                    if ca != cb {
+                        return Some((t, Some(s), ca.to_string(), cb.to_string()));
+                    }
+                }
+            }
+        }
+    }
+    if a.cycles.len() != b.cycles.len() {
+        return Some((
+            a.cycles.len().min(b.cycles.len()),
+            None,
+            format!("{} cycles", a.cycles.len()),
+            format!("{} cycles", b.cycles.len()),
+        ));
+    }
+    let n = a.cycles.len();
+    for s in 0..a.final_carry.len().max(a.final_chain.len()) {
+        let ca = (a.final_carry.get(s), a.final_chain.get(s));
+        let cb = (b.final_carry.get(s), b.final_chain.get(s));
+        if ca != cb {
+            return Some((
+                n,
+                Some(s),
+                format!("final carry {:?} chain {:?}", ca.0, ca.1),
+                format!("final carry {:?} chain {:?}", cb.0, cb.1),
+            ));
+        }
+    }
+    None
+}
+
+fn diverges(w: &Workload, id: SchemeId, seed: u64, sabotage: bool) -> bool {
+    let a = analytical_run(w, id, seed);
+    let b = event_run(w, id, sabotage);
+    first_diff(&a, &b).is_some()
+}
+
+/// Greedy 1-minimization: truncate past the divergence, then quiet
+/// every cell that is not needed to keep *a* divergence alive.
+fn minimize(w: &Workload, id: SchemeId, seed: u64, sabotage: bool, cycle: usize) -> Workload {
+    let mut min = if cycle < w.cycles() {
+        w.truncated(cycle + 1)
+    } else {
+        w.clone()
+    };
+    let quiet = w.period().scale(0.4);
+    for t in 0..min.cycles() {
+        for s in 0..min.stages() {
+            if min.arrivals()[t][s] == quiet {
+                continue;
+            }
+            let mut candidate = min.clone();
+            candidate.set(t, s, quiet);
+            if diverges(&candidate, id, seed, sabotage) {
+                min = candidate;
+            }
+        }
+    }
+    min
+}
+
+/// Runs both models on `w` and returns the first divergence, minimized,
+/// or `None` when the accounts agree cycle-for-cycle (classification,
+/// bubble structure, and final architectural state).
+pub fn check(w: &Workload, id: SchemeId, seed: u64, sabotage: bool) -> Option<Divergence> {
+    let a = analytical_run(w, id, seed);
+    let b = event_run(w, id, sabotage);
+    let (cycle, _, _, _) = first_diff(&a, &b)?;
+    let min = minimize(w, id, seed, sabotage, cycle);
+    // Re-derive the report from the minimized workload so the anchor
+    // matches what the reproducer replays.
+    let (cycle, stage, analytical, event_driven) = first_diff(
+        &analytical_run(&min, id, seed),
+        &event_run(&min, id, sabotage),
+    )
+    .expect("minimization preserves the divergence");
+    Some(Divergence {
+        scheme: id,
+        seed,
+        cycle,
+        stage,
+        analytical,
+        event_driven,
+        repro: Reproducer::of(&min, id, seed, sabotage),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::BurstShape;
+    use timber::CheckingPeriod;
+    use timber_netlist::Picos;
+
+    fn sched() -> CheckingPeriod {
+        CheckingPeriod::new(Picos(1000), 24.0, 1, 2).unwrap()
+    }
+
+    #[test]
+    fn honest_models_agree_on_every_scheme_and_shape() {
+        for id in SchemeId::ALL {
+            for shape in BurstShape::ALL {
+                let w = Workload::generate(sched(), 4, 32, shape, 13);
+                let d = check(&w, id, 13, false);
+                assert!(d.is_none(), "{id:?} {shape:?}: {}", d.unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn sabotaged_model_is_caught_and_minimized() {
+        // TbSingle plants exact-boundary arrivals, which the sabotaged
+        // model misclassifies as corrupted.
+        let w = Workload::generate(sched(), 4, 48, BurstShape::TbSingle, 0);
+        let d = check(&w, SchemeId::TimberFf, 0, true).expect("sabotage must be caught");
+        assert_eq!(d.scheme, SchemeId::TimberFf);
+        // Minimization quiets everything except the offending cell.
+        let quiet = Picos(400);
+        let hot: usize = d
+            .repro
+            .rows
+            .iter()
+            .flatten()
+            .filter(|&&c| Picos(c) != quiet)
+            .count();
+        assert_eq!(hot, 1, "{:?}", d.repro.rows);
+        let src = d.repro.test_source();
+        assert!(src.contains("#[test]"), "{src}");
+        assert!(src.contains("SchemeId::TimberFf"), "{src}");
+        assert!(src.contains("oracle::check"), "{src}");
+    }
+
+    #[test]
+    fn divergence_display_names_the_anchor() {
+        let w = Workload::generate(sched(), 2, 24, BurstShape::TbSingle, 1);
+        let d = check(&w, SchemeId::TimberFf, 1, true).expect("sabotage must be caught");
+        let text = d.to_string();
+        assert!(text.contains("timber-ff"), "{text}");
+        assert!(text.contains("diverges at cycle"), "{text}");
+    }
+}

@@ -1,0 +1,278 @@
+//! Campaign accounting: pass/fail verdict, coverage matrix, and the
+//! deterministic JSON export the CI gate diffs.
+
+use serde_json::{json, Value};
+use timber_schemes::SchemeId;
+
+use crate::campaign::GRID;
+use crate::oracle::Divergence;
+use crate::workload::BurstShape;
+
+/// The reduced outcome of one campaign.
+///
+/// The JSON export deliberately carries no timestamps, durations, or
+/// thread counts: the same spec must serialise to byte-identical output
+/// on any machine with any `--threads N` (the flakiness guard asserts
+/// exactly that).
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Base seed the case seeds were derived from.
+    pub base_seed: u64,
+    /// Whether the seeded model-B bug was active.
+    pub sabotage: bool,
+    /// Cases executed.
+    pub cases_run: u64,
+    /// Total violations the analytical model classified across cases.
+    pub violations_seen: u64,
+    /// Cross-model divergences (each minimized).
+    pub divergences: Vec<Divergence>,
+    /// Masking/flagging contract violations.
+    pub contract_violations: Vec<String>,
+    /// Metamorphic property violations.
+    pub metamorphic_violations: Vec<String>,
+    /// `covered[grid][scheme][shape]`: did at least one trial of the
+    /// cell classify at least one violation?
+    covered: Vec<Vec<Vec<bool>>>,
+}
+
+impl CampaignReport {
+    /// An empty report for the reducer to fill.
+    pub fn new(base_seed: u64, sabotage: bool) -> CampaignReport {
+        CampaignReport {
+            base_seed,
+            sabotage,
+            cases_run: 0,
+            violations_seen: 0,
+            divergences: Vec::new(),
+            contract_violations: Vec::new(),
+            metamorphic_violations: Vec::new(),
+            covered: vec![
+                vec![vec![false; BurstShape::ALL.len()]; SchemeId::ALL.len()];
+                GRID.len()
+            ],
+        }
+    }
+
+    /// Marks one coverage cell as exercised.
+    pub fn mark_covered(&mut self, grid_idx: usize, scheme_idx: usize, shape_idx: usize) {
+        self.covered[grid_idx][scheme_idx][shape_idx] = true;
+    }
+
+    /// Shapes exercised for one `(grid, scheme)` cell.
+    pub fn shapes_covered(&self, grid_idx: usize, scheme_idx: usize) -> usize {
+        self.covered[grid_idx][scheme_idx]
+            .iter()
+            .filter(|&&c| c)
+            .count()
+    }
+
+    /// True when every `(k_tb, k_ed, scheme, shape)` cell saw at least
+    /// one classified violation.
+    pub fn coverage_complete(&self) -> bool {
+        self.covered.iter().flatten().flatten().all(|&c| c)
+    }
+
+    /// Human-readable names of the unexercised cells.
+    pub fn missing_cells(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (g, per_scheme) in self.covered.iter().enumerate() {
+            for (sc, per_shape) in per_scheme.iter().enumerate() {
+                for (sh, &covered) in per_shape.iter().enumerate() {
+                    if !covered {
+                        let (k_tb, k_ed) = GRID[g];
+                        out.push(format!(
+                            "(k_tb={k_tb}, k_ed={k_ed}) {} {}",
+                            SchemeId::ALL[sc].name(),
+                            BurstShape::ALL[sh].name()
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The gate verdict: no divergences, no contract or metamorphic
+    /// violations, and complete coverage.
+    pub fn pass(&self) -> bool {
+        self.divergences.is_empty()
+            && self.contract_violations.is_empty()
+            && self.metamorphic_violations.is_empty()
+            && self.coverage_complete()
+    }
+
+    /// Deterministic JSON export (schema version 1).
+    pub fn json(&self) -> String {
+        let divergences: Vec<Value> = self
+            .divergences
+            .iter()
+            .map(|d| {
+                json!({
+                    "scheme": d.scheme.name(),
+                    "seed": d.seed,
+                    "cycle": d.cycle as u64,
+                    "stage": d.stage.map(|s| s as u64),
+                    "analytical": d.analytical.clone(),
+                    "event_driven": d.event_driven.clone(),
+                    "repro_test": d.repro.test_source(),
+                })
+            })
+            .collect();
+        let coverage: Vec<Value> = GRID
+            .iter()
+            .enumerate()
+            .flat_map(|(g, &(k_tb, k_ed))| {
+                SchemeId::ALL
+                    .iter()
+                    .enumerate()
+                    .map(move |(sc, id)| (g, k_tb, k_ed, sc, *id))
+            })
+            .map(|(g, k_tb, k_ed, sc, id)| {
+                let shapes: Vec<&str> = BurstShape::ALL
+                    .iter()
+                    .enumerate()
+                    .filter(|&(sh, _)| self.covered[g][sc][sh])
+                    .map(|(_, shape)| shape.name())
+                    .collect();
+                json!({
+                    "k_tb": k_tb,
+                    "k_ed": k_ed,
+                    "scheme": id.name(),
+                    "shapes_covered": shapes,
+                })
+            })
+            .collect();
+        let value = json!({
+            "schema_version": 1u64,
+            "tool": "timber-conformance",
+            "base_seed": self.base_seed,
+            "sabotage": self.sabotage,
+            "cases_run": self.cases_run,
+            "violations_seen": self.violations_seen,
+            "divergences": divergences,
+            "contract_violations": self.contract_violations.clone(),
+            "metamorphic_violations": self.metamorphic_violations.clone(),
+            "coverage": coverage,
+            "coverage_complete": self.coverage_complete(),
+            "pass": self.pass(),
+        });
+        serde_json::to_string_pretty(&value).expect("report serialises")
+    }
+
+    /// Human-readable summary with the coverage matrix: one row per
+    /// grid point, one column per scheme, each cell `covered/total`
+    /// burst shapes.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "conformance campaign (base seed {})", self.base_seed);
+        let _ = writeln!(
+            out,
+            "  cases: {}   violations classified: {}",
+            self.cases_run, self.violations_seen
+        );
+        let _ = writeln!(
+            out,
+            "  divergences: {}   contract violations: {}   metamorphic violations: {}",
+            self.divergences.len(),
+            self.contract_violations.len(),
+            self.metamorphic_violations.len()
+        );
+        let _ = writeln!(out);
+        let _ = writeln!(out, "  coverage (burst shapes exercised per cell):");
+        let total = BurstShape::ALL.len();
+        let _ = write!(out, "  {:>12}", "(k_tb,k_ed)");
+        for id in SchemeId::ALL {
+            let short: String = id
+                .name()
+                .split('-')
+                .map(|w| &w[..1])
+                .collect::<Vec<_>>()
+                .join("");
+            let _ = write!(out, " {short:>5}");
+        }
+        let _ = writeln!(out);
+        for (g, (k_tb, k_ed)) in GRID.iter().enumerate() {
+            let _ = write!(out, "  {:>12}", format!("({k_tb},{k_ed})"));
+            for sc in 0..SchemeId::ALL.len() {
+                let _ = write!(
+                    out,
+                    " {:>5}",
+                    format!("{}/{total}", self.shapes_covered(g, sc))
+                );
+            }
+            let _ = writeln!(out);
+        }
+        for d in &self.divergences {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "  DIVERGENCE: {d}");
+            let _ = writeln!(out, "  paste into tests/conformance_regressions.rs:");
+            for line in d.repro.test_source().lines() {
+                let _ = writeln!(out, "    {line}");
+            }
+        }
+        for v in &self.contract_violations {
+            let _ = writeln!(out, "  CONTRACT: {v}");
+        }
+        for v in &self.metamorphic_violations {
+            let _ = writeln!(out, "  METAMORPHIC: {v}");
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "  verdict: {}",
+            if self.pass() { "PASS" } else { "FAIL" }
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_fails_on_coverage() {
+        let r = CampaignReport::new(1, false);
+        assert!(!r.coverage_complete());
+        assert!(!r.pass());
+        assert_eq!(r.missing_cells().len(), GRID.len() * 8 * 5);
+    }
+
+    #[test]
+    fn fully_covered_report_passes() {
+        let mut r = CampaignReport::new(1, false);
+        for g in 0..GRID.len() {
+            for sc in 0..SchemeId::ALL.len() {
+                for sh in 0..BurstShape::ALL.len() {
+                    r.mark_covered(g, sc, sh);
+                }
+            }
+        }
+        assert!(r.coverage_complete());
+        assert!(r.pass());
+        assert_eq!(r.shapes_covered(0, 0), 5);
+    }
+
+    #[test]
+    fn json_is_parseable_and_versioned() {
+        let mut r = CampaignReport::new(9, false);
+        r.cases_run = 3;
+        r.mark_covered(0, 0, 0);
+        let parsed = serde_json::from_str(&r.json()).unwrap();
+        assert_eq!(parsed["schema_version"], serde_json::json!(1u64));
+        assert_eq!(parsed["tool"], serde_json::json!("timber-conformance"));
+        assert_eq!(parsed["base_seed"], serde_json::json!(9u64));
+        assert_eq!(parsed["pass"], serde_json::json!(false));
+        assert_eq!(parsed["coverage"].as_array().unwrap().len(), GRID.len() * 8);
+    }
+
+    #[test]
+    fn render_mentions_verdict_and_matrix() {
+        let r = CampaignReport::new(2, false);
+        let text = r.render();
+        assert!(text.contains("coverage"), "{text}");
+        assert!(text.contains("FAIL"), "{text}");
+        assert!(text.contains("(1,2)"), "{text}");
+    }
+}

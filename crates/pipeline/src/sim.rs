@@ -164,6 +164,36 @@ impl<'a, S: TelemetrySink> PipelineSim<'a, S> {
         &self.config
     }
 
+    /// Borrowed time entering each stage boundary on the *next* cycle —
+    /// the architectural carry state left behind by [`PipelineSim::run`].
+    ///
+    /// Index `s` is the borrow inherited by boundary `s`; index 0 and
+    /// the final boundary are always zero (nothing borrows into the
+    /// pipeline head, and borrow falling off the tail is absorbed by
+    /// write-back slack). The differential-conformance oracle compares
+    /// this against the event-driven model's final state.
+    pub fn carry(&self) -> &[Picos] {
+        &self.carry
+    }
+
+    /// Length of the masked-violation chain feeding each boundary on
+    /// the next cycle (the relay depth; companion of
+    /// [`PipelineSim::carry`]).
+    pub fn chain_depths(&self) -> &[usize] {
+        &self.chain
+    }
+
+    /// Recovery bubbles still pending after [`PipelineSim::run`]
+    /// returned.
+    pub fn penalty_remaining(&self) -> u64 {
+        self.penalty_remaining
+    }
+
+    /// Total cycles simulated so far (across all `run` calls).
+    pub fn cycles_run(&self) -> u64 {
+        self.cycle
+    }
+
     /// Runs `cycles` clock cycles and returns the statistics.
     ///
     /// Schemes that reserve a guard band (canary prediction) apply it
@@ -491,6 +521,28 @@ mod tests {
         assert_eq!(stats.masked, 2 * 10);
         assert_eq!(stats.chain_histogram, vec![2, 9]);
         assert!(stats.multi_stage_fraction() > 0.7);
+    }
+
+    #[test]
+    fn final_state_accessors_expose_carry_and_chain() {
+        // Every stage always at 850 vs period 800: each boundary masks
+        // every cycle, so after the run boundary 1 carries 50ps of
+        // borrow with a chain of depth 1 feeding it.
+        let cfg = PipelineConfig::new(2, Picos(800));
+        let mut scheme = BorrowAll;
+        let mut profiles = vec![timber_variability::StagePathProfile::from_critical(Picos(850)); 2];
+        for p in &mut profiles {
+            p.p_critical = 1.0;
+            p.p_near = 0.0;
+        }
+        let mut sens = SensitizationModel::new(profiles, 1);
+        let mut var = CompositeVariability::nominal();
+        let mut sim = PipelineSim::new(cfg, &mut scheme, &mut sens, &mut var);
+        let _ = sim.run(10);
+        assert_eq!(sim.cycles_run(), 10);
+        assert_eq!(sim.penalty_remaining(), 0);
+        assert_eq!(sim.carry(), &[Picos::ZERO, Picos(50), Picos::ZERO]);
+        assert_eq!(sim.chain_depths(), &[0, 1, 0]);
     }
 
     #[test]

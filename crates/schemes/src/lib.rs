@@ -26,12 +26,14 @@
 
 pub mod baselines;
 pub mod features;
+pub mod registry;
 
 pub use baselines::{CanaryFf, LogicalMasking, RazorFf, SoftEdgeFf, TransitionDetectorFf};
 pub use features::{
     feature_matrix, render_table1, Category, MarginRecovery, Overhead, TechniqueFeatures,
     WhenDetected,
 };
+pub use registry::{Registry, SchemeId};
 pub use timber_pipeline::reference::MarginedFlop;
 
 #[cfg(test)]

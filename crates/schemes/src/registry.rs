@@ -1,0 +1,220 @@
+//! The canonical scheme registry: one stable identifier per implemented
+//! resilience technique, plus a factory that derives every technique's
+//! parameters from a single [`CheckingPeriod`] the way the experiments
+//! do (Razor window = the checking period, canary guard = 8% of the
+//! clock, soft-edge transparency = one borrow interval).
+//!
+//! The registry exists so cross-cutting subsystems — the conformance
+//! oracle, the bench experiments, future fuzzers — enumerate *the same*
+//! eight design points instead of each hand-rolling its own list that
+//! silently drifts.
+
+use timber::{CheckingPeriod, TimberFfScheme, TimberLatchScheme};
+use timber_netlist::Picos;
+use timber_pipeline::reference::MarginedFlop;
+use timber_pipeline::SequentialScheme;
+
+use crate::baselines::{CanaryFf, LogicalMasking, RazorFf, SoftEdgeFf, TransitionDetectorFf};
+
+/// Stable identifier of one implemented resilience technique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeId {
+    /// TIMBER flip-flop with discrete borrowing and the error relay.
+    TimberFf,
+    /// TIMBER pulsed latch with continuous borrowing.
+    TimberLatch,
+    /// Razor shadow-latch detection with local replay.
+    RazorFf,
+    /// Transition-detector detection with a global stall.
+    TransitionDetectorFf,
+    /// Canary prediction before the edge.
+    CanaryFf,
+    /// Design-time soft-edge transparency window.
+    SoftEdgeFf,
+    /// Logical error masking with redundant logic.
+    LogicalMasking,
+    /// Conventional margined flip-flop (the baseline design point).
+    ConventionalFf,
+}
+
+impl SchemeId {
+    /// Every implemented scheme, in the canonical comparison order used
+    /// by the experiments and the conformance campaign.
+    pub const ALL: [SchemeId; 8] = [
+        SchemeId::TimberFf,
+        SchemeId::TimberLatch,
+        SchemeId::RazorFf,
+        SchemeId::TransitionDetectorFf,
+        SchemeId::CanaryFf,
+        SchemeId::SoftEdgeFf,
+        SchemeId::LogicalMasking,
+        SchemeId::ConventionalFf,
+    ];
+
+    /// The scheme's stable name (matches each implementation's
+    /// `SequentialScheme::name`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeId::TimberFf => "timber-ff",
+            SchemeId::TimberLatch => "timber-latch",
+            SchemeId::RazorFf => "razor-ff",
+            SchemeId::TransitionDetectorFf => "transition-detector-ff",
+            SchemeId::CanaryFf => "canary-ff",
+            SchemeId::SoftEdgeFf => "soft-edge-ff",
+            SchemeId::LogicalMasking => "logical-masking",
+            SchemeId::ConventionalFf => "conventional-ff",
+        }
+    }
+
+    /// Resolves a stable name back to its identifier.
+    pub fn from_name(name: &str) -> Option<SchemeId> {
+        SchemeId::ALL.into_iter().find(|id| id.name() == name)
+    }
+
+    /// True when the scheme can mask violations by borrowing time
+    /// (produces `StageOutcome::Masked`).
+    pub fn is_masking(self) -> bool {
+        matches!(
+            self,
+            SchemeId::TimberFf
+                | SchemeId::TimberLatch
+                | SchemeId::SoftEdgeFf
+                | SchemeId::LogicalMasking
+        )
+    }
+
+    /// True when the scheme recovers through pipeline bubbles
+    /// (produces `StageOutcome::Detected`), which shifts the cycle
+    /// numbering of everything downstream of a detection.
+    pub fn is_detection(self) -> bool {
+        matches!(self, SchemeId::RazorFf | SchemeId::TransitionDetectorFf)
+    }
+}
+
+/// Factory building any [`SchemeId`] with parameters derived from one
+/// checking-period schedule, exactly as the experiments derive them.
+#[derive(Debug, Clone, Copy)]
+pub struct Registry {
+    schedule: CheckingPeriod,
+    stages: usize,
+    coverage: f64,
+}
+
+impl Registry {
+    /// A registry deriving every parameter from `schedule` for a
+    /// pipeline with `stages` boundaries. Logical-masking coverage
+    /// defaults to the experiments' 0.8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is zero.
+    pub fn new(schedule: CheckingPeriod, stages: usize) -> Registry {
+        assert!(stages > 0, "need at least one stage boundary");
+        Registry {
+            schedule,
+            stages,
+            coverage: 0.8,
+        }
+    }
+
+    /// Overrides the logical-masking coverage fraction. The conformance
+    /// oracle pins it to 1.0 so the scheme's internal RNG cannot make
+    /// two otherwise-identical models diverge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coverage` is outside `[0, 1]`.
+    #[must_use]
+    pub fn coverage(mut self, coverage: f64) -> Registry {
+        assert!((0.0..=1.0).contains(&coverage), "coverage in [0,1]");
+        self.coverage = coverage;
+        self
+    }
+
+    /// The schedule parameters are derived from.
+    pub fn schedule(&self) -> &CheckingPeriod {
+        &self.schedule
+    }
+
+    /// Detection/masking window shared by Razor, the transition
+    /// detector and logical masking: the full checking period.
+    pub fn window(&self) -> Picos {
+        self.schedule.checking()
+    }
+
+    /// Canary guard band: 8% of the clock period (the experiments'
+    /// derivation in `timber-bench`'s margin sweep).
+    pub fn guard(&self) -> Picos {
+        self.schedule.period().scale(0.08)
+    }
+
+    /// Soft-edge transparency window: one borrow interval.
+    pub fn soft_window(&self) -> Picos {
+        self.schedule.interval()
+    }
+
+    /// Builds the scheme, seeding any internal randomness with `seed`.
+    pub fn build(&self, id: SchemeId, seed: u64) -> Box<dyn SequentialScheme> {
+        match id {
+            SchemeId::TimberFf => Box::new(TimberFfScheme::new(self.schedule, self.stages)),
+            SchemeId::TimberLatch => Box::new(TimberLatchScheme::new(self.schedule, self.stages)),
+            SchemeId::RazorFf => Box::new(RazorFf::new(self.window())),
+            SchemeId::TransitionDetectorFf => Box::new(TransitionDetectorFf::new(self.window())),
+            SchemeId::CanaryFf => Box::new(CanaryFf::new(self.guard())),
+            SchemeId::SoftEdgeFf => Box::new(SoftEdgeFf::new(self.soft_window())),
+            SchemeId::LogicalMasking => {
+                Box::new(LogicalMasking::new(self.coverage, self.window(), seed))
+            }
+            SchemeId::ConventionalFf => Box::new(MarginedFlop::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> CheckingPeriod {
+        CheckingPeriod::new(Picos(1000), 24.0, 1, 2).unwrap()
+    }
+
+    #[test]
+    fn names_are_unique_and_round_trip() {
+        let mut seen = std::collections::HashSet::new();
+        for id in SchemeId::ALL {
+            assert!(seen.insert(id.name()), "duplicate name {}", id.name());
+            assert_eq!(SchemeId::from_name(id.name()), Some(id));
+        }
+        assert_eq!(SchemeId::from_name("frobnicator-ff"), None);
+    }
+
+    #[test]
+    fn built_scheme_names_match_ids() {
+        let reg = Registry::new(sched(), 4);
+        for id in SchemeId::ALL {
+            let scheme = reg.build(id, 7);
+            assert_eq!(scheme.name(), id.name(), "{id:?}");
+        }
+    }
+
+    #[test]
+    fn derived_parameters_follow_the_schedule() {
+        let reg = Registry::new(sched(), 4);
+        assert_eq!(reg.window(), Picos(240));
+        assert_eq!(reg.guard(), Picos(80));
+        assert_eq!(reg.soft_window(), Picos(80));
+    }
+
+    #[test]
+    fn masking_and_detection_partitions_are_disjoint() {
+        for id in SchemeId::ALL {
+            assert!(!(id.is_masking() && id.is_detection()), "{id:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage in [0,1]")]
+    fn coverage_is_validated() {
+        let _ = Registry::new(sched(), 1).coverage(1.5);
+    }
+}

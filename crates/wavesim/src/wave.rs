@@ -30,6 +30,20 @@ impl Waveform {
         }
     }
 
+    /// True when the signal has settled to `expected` by time `t`: its
+    /// value at `t` (the last transition at or before `t`) equals
+    /// `expected`. This is the capture predicate a sequential element
+    /// clocked at `t` evaluates, and what the conformance oracle's
+    /// event-driven model samples at each scheme's capture instants.
+    pub fn settles_by(&self, t: Picos, expected: Logic) -> bool {
+        self.value_at(t) == expected
+    }
+
+    /// The last recorded transition, if any transition was recorded.
+    pub fn last_transition(&self) -> Option<(Picos, Logic)> {
+        self.samples.last().copied()
+    }
+
     /// Times at which the signal rose (changed to 1).
     pub fn rising_edges(&self) -> Vec<Picos> {
         self.samples
@@ -150,6 +164,25 @@ mod tests {
         assert_eq!(w.value_at(Picos(15)), Logic::One);
         assert_eq!(w.value_at(Picos(20)), Logic::Zero);
         assert_eq!(w.value_at(Picos(100)), Logic::Zero);
+    }
+
+    #[test]
+    fn settles_by_matches_capture_semantics() {
+        let w = wave(&[(10, Logic::One), (20, Logic::Zero)]);
+        // Before the first transition the value is X: nothing settled.
+        assert!(!w.settles_by(Picos(5), Logic::One));
+        // A transition exactly at the sampling instant is captured.
+        assert!(w.settles_by(Picos(10), Logic::One));
+        assert!(w.settles_by(Picos(15), Logic::One));
+        assert!(!w.settles_by(Picos(15), Logic::Zero));
+        assert!(w.settles_by(Picos(20), Logic::Zero));
+    }
+
+    #[test]
+    fn last_transition_reported() {
+        assert_eq!(Waveform::default().last_transition(), None);
+        let w = wave(&[(10, Logic::One), (20, Logic::Zero)]);
+        assert_eq!(w.last_transition(), Some((Picos(20), Logic::Zero)));
     }
 
     #[test]

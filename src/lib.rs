@@ -25,6 +25,7 @@ pub use timber_proc as proc_model;
 pub use timber_sta as sta;
 
 pub use timber as core;
+pub use timber_conformance as conformance;
 pub use timber_lint as lint;
 pub use timber_pipeline as pipeline;
 pub use timber_power as power;

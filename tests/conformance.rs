@@ -1,0 +1,80 @@
+//! Cross-model conformance at the workspace level: the analytical
+//! simulator and the event-driven gate-level replay must agree on every
+//! scheme, the pinned campaign must pass with complete coverage, the
+//! seeded model-B bug must be caught, and the telemetry recorder's
+//! counters must match the oracle's per-class counts on identical runs.
+
+use proptest::prelude::*;
+
+use timber_repro::conformance::{
+    analytical_run_recorded, oracle, run_campaign, BurstShape, CampaignSpec, SchemeId, Workload,
+};
+use timber_repro::core::CheckingPeriod;
+use timber_repro::netlist::Picos;
+use timber_repro::telemetry::Counter;
+
+fn sched() -> CheckingPeriod {
+    CheckingPeriod::new(Picos(1000), 24.0, 1, 2).unwrap()
+}
+
+#[test]
+fn both_models_agree_for_every_scheme_and_shape() {
+    for id in SchemeId::ALL {
+        for shape in BurstShape::ALL {
+            let w = Workload::generate(sched(), 4, 40, shape, 99);
+            let d = oracle::check(&w, id, 99, false);
+            assert!(d.is_none(), "{id:?} {shape:?}: {}", d.unwrap());
+        }
+    }
+}
+
+#[test]
+fn pinned_campaign_passes_with_complete_coverage() {
+    let report = run_campaign(&CampaignSpec::pinned(7).threads(2));
+    assert!(report.pass(), "{}", report.render());
+    assert!(report.coverage_complete(), "{:?}", report.missing_cells());
+    assert_eq!(report.cases_run, 640);
+}
+
+#[test]
+fn campaign_report_is_thread_invariant() {
+    let one = run_campaign(&CampaignSpec::pinned(21));
+    let four = run_campaign(&CampaignSpec::pinned(21).threads(4));
+    assert_eq!(one.json(), four.json(), "report must be byte-identical");
+}
+
+#[test]
+fn sabotaged_model_produces_a_pasteable_reproducer() {
+    let w = Workload::generate(sched(), 4, 48, BurstShape::TbSingle, 5);
+    let d = oracle::check(&w, SchemeId::TimberFf, 5, true).expect("sabotage must diverge");
+    let src = d.repro.test_source();
+    assert!(src.contains("#[test]"), "{src}");
+    assert!(src.contains("Workload::from_rows"), "{src}");
+    assert!(src.contains("oracle::check"), "{src}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The telemetry `Recorder`'s counters (Masked / Flagged / Detected
+    /// / Predicted / Corrupted / Relays) must equal the oracle's
+    /// per-class counts on the same analytical run — for every scheme.
+    #[test]
+    fn telemetry_counters_match_oracle_counts(
+        seed in any::<u64>(),
+        shape_idx in 0usize..BurstShape::ALL.len(),
+    ) {
+        let shape = BurstShape::ALL[shape_idx];
+        for id in SchemeId::ALL {
+            let w = Workload::generate(sched(), 4, 32, shape, seed);
+            let (run, rec) = analytical_run_recorded(&w, id, seed);
+            let (masked, flagged, detected, predicted, corrupted, relays) = run.counts();
+            prop_assert_eq!(rec.counter(Counter::Masked), masked, "{:?} masked", id);
+            prop_assert_eq!(rec.counter(Counter::Flagged), flagged, "{:?} flagged", id);
+            prop_assert_eq!(rec.counter(Counter::Detected), detected, "{:?} detected", id);
+            prop_assert_eq!(rec.counter(Counter::Predicted), predicted, "{:?} predicted", id);
+            prop_assert_eq!(rec.counter(Counter::Corrupted), corrupted, "{:?} corrupted", id);
+            prop_assert_eq!(rec.counter(Counter::Relays), relays, "{:?} relays", id);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Captured conformance reproducers.
+//!
+//! Each test here started life as the `repro_test` field of a campaign
+//! divergence (`repro conform` prints it ready to paste). The workload
+//! is pinned as a literal arrival table, so the case survives any
+//! change to the workload generator, and the assertion is the one the
+//! oracle makes: both models must agree cycle-for-cycle.
+
+use timber::CheckingPeriod;
+use timber_netlist::Picos;
+use timber_repro::conformance::{oracle, SchemeId, Workload};
+
+/// Minimized by the oracle from a `TbSingle` campaign case (seed 5):
+/// a single exact-boundary arrival — overshoot of exactly one 80 ps
+/// interval at cycle 3, stage 0 — with every other cell quiet. This is
+/// the boundary the seeded model-B bug (`--sabotage`, which shortens
+/// the sampling instants by 1 ps) misclassifies as corrupted, so it is
+/// the sharpest agreement point the harness owns: the honest models
+/// must agree on it, and the sabotaged model must be caught on it.
+fn minimized_boundary_workload() -> Workload {
+    let schedule = CheckingPeriod::new(Picos(1000), 24.0, 1, 2).unwrap();
+    let rows: [&[i64]; 4] = [
+        &[400, 400, 400, 400],
+        &[400, 400, 400, 400],
+        &[400, 400, 400, 400],
+        &[1080, 400, 400, 400],
+    ];
+    Workload::from_rows(schedule, &rows)
+}
+
+#[test]
+fn conformance_regression_timber_ff_seed5() {
+    let w = minimized_boundary_workload();
+    let divergence = oracle::check(&w, SchemeId::TimberFf, 5, false);
+    assert!(divergence.is_none(), "{divergence:?}");
+}
+
+#[test]
+fn conformance_regression_timber_ff_seed5_sabotage_is_caught() {
+    let w = minimized_boundary_workload();
+    let d = oracle::check(&w, SchemeId::TimberFf, 5, true).expect("seeded bug must diverge");
+    assert_eq!(d.cycle, 3);
+    assert_eq!(d.stage, Some(0));
+    assert!(d.analytical.contains("masked"), "{d}");
+    assert_eq!(d.event_driven, "corrupted", "{d}");
+}
