@@ -10,6 +10,9 @@
 //!                   [--tolerance 0.15] [--max-overhead 0.5]
 //! repro lint [--json] [--deny warn]
 //! repro conform [--json] [--threads N] [--seed S] [--full] [--sabotage]
+//! repro soak [--json] [--threads N] [--seed S] [--cycles N]
+//!            [--checkpoint FILE] [--resume] [--stop-after N]
+//!            [--inject-panic K] [--inject-hang K]
 //! ```
 //!
 //! `--threads N` sets the Monte-Carlo sweep worker count (default: all
@@ -33,7 +36,15 @@
 //! any divergence, contract or metamorphic violation, or coverage hole
 //! (`--full` triples the trials, `--sabotage` activates the seeded
 //! model-B bug so the harness can prove it catches divergences; the
-//! report is byte-identical for any `--threads N`).
+//! report is byte-identical for any `--threads N`). `soak` runs the
+//! resilience soak campaign: every storm scenario × every scheme under
+//! the escalation-ladder governor, through the hardened executor
+//! (panic isolation, watchdog, retry, quarantine). `--checkpoint FILE`
+//! logs completed trials; `--resume` pre-loads them so a killed
+//! campaign finishes to a byte-identical report; `--stop-after N` is
+//! the deterministic stand-in for `kill -9` in resume tests;
+//! `--inject-panic K` / `--inject-hang K` append synthetic failing
+//! trials that must all land in the quarantine ledger.
 //!
 //! Exit codes: `0` success, `1` a gate failed (bench-check breach,
 //! lint findings at the deny threshold, or a conformance campaign that
@@ -41,7 +52,7 @@
 
 use std::env;
 
-use timber_bench::{ablations, conform, experiments, lintgate, margin, perf, report, trace};
+use timber_bench::{ablations, conform, experiments, lintgate, margin, perf, report, soak, trace};
 
 fn main() {
     let raw: Vec<String> = env::args().skip(1).collect();
@@ -57,6 +68,12 @@ fn main() {
     let mut seed: u64 = conform::DEFAULT_SEED;
     let mut full = false;
     let mut sabotage = false;
+    let mut cycles: u64 = soak::DEFAULT_CYCLES;
+    let mut checkpoint: Option<String> = None;
+    let mut resume = false;
+    let mut stop_after: Option<usize> = None;
+    let mut inject_panic: usize = 0;
+    let mut inject_hang: usize = 0;
     let mut positionals: Vec<String> = Vec::new();
     let mut i = 0;
     while i < raw.len() {
@@ -123,6 +140,45 @@ fn main() {
             full = true;
         } else if arg == "--sabotage" {
             sabotage = true;
+        } else if arg == "--cycles" {
+            cycles = value_of("--cycles", &mut i)
+                .parse()
+                .unwrap_or_else(|_| die("--cycles needs a number"));
+        } else if let Some(v) = arg.strip_prefix("--cycles=") {
+            cycles = v.parse().unwrap_or_else(|_| die("--cycles needs a number"));
+        } else if arg == "--checkpoint" {
+            checkpoint = Some(value_of("--checkpoint", &mut i));
+        } else if let Some(v) = arg.strip_prefix("--checkpoint=") {
+            checkpoint = Some(v.to_owned());
+        } else if arg == "--resume" {
+            resume = true;
+        } else if arg == "--stop-after" {
+            stop_after = Some(
+                value_of("--stop-after", &mut i)
+                    .parse()
+                    .unwrap_or_else(|_| die("--stop-after needs a number")),
+            );
+        } else if let Some(v) = arg.strip_prefix("--stop-after=") {
+            stop_after = Some(
+                v.parse()
+                    .unwrap_or_else(|_| die("--stop-after needs a number")),
+            );
+        } else if arg == "--inject-panic" {
+            inject_panic = value_of("--inject-panic", &mut i)
+                .parse()
+                .unwrap_or_else(|_| die("--inject-panic needs a count"));
+        } else if let Some(v) = arg.strip_prefix("--inject-panic=") {
+            inject_panic = v
+                .parse()
+                .unwrap_or_else(|_| die("--inject-panic needs a count"));
+        } else if arg == "--inject-hang" {
+            inject_hang = value_of("--inject-hang", &mut i)
+                .parse()
+                .unwrap_or_else(|_| die("--inject-hang needs a count"));
+        } else if let Some(v) = arg.strip_prefix("--inject-hang=") {
+            inject_hang = v
+                .parse()
+                .unwrap_or_else(|_| die("--inject-hang needs a count"));
         } else if let Some(flag) = arg.strip_prefix("--") {
             die(&format!("unknown flag --{flag}"));
         } else {
@@ -165,6 +221,26 @@ fn main() {
         run_conform(json, seed, full, sabotage, threads);
         return;
     }
+    if what == "soak" {
+        if positionals.len() > 1 {
+            die(&format!("unexpected argument {}", positionals[1]));
+        }
+        if resume && checkpoint.is_none() {
+            die("--resume needs --checkpoint FILE");
+        }
+        let spec = soak::SoakSpec {
+            seed,
+            cycles,
+            threads,
+            checkpoint: checkpoint.map(std::path::PathBuf::from),
+            resume,
+            inject_panic,
+            inject_hang,
+            stop_after,
+        };
+        run_soak(json, &spec);
+        return;
+    }
     if what == "bench-check" {
         if positionals.len() > 1 {
             die(&format!("unexpected argument {}", positionals[1]));
@@ -199,7 +275,7 @@ fn main() {
     ];
     if !KNOWN.contains(&what.as_str()) {
         die(&format!(
-            "unknown subcommand {what:?} (expected one of: {}, lint, conform, trace, bench-check)",
+            "unknown subcommand {what:?} (expected one of: {}, lint, conform, soak, trace, bench-check)",
             KNOWN.join(", ")
         ));
     }
@@ -338,7 +414,12 @@ fn main() {
         } else {
             println!("{}", perf::render_bench(&r));
         }
-        assert!(r.identical, "thread count changed sweep results");
+        // A gate verdict, not a programming error: exit 1 with a
+        // diagnostic instead of unwinding through a panic.
+        if !r.identical {
+            eprintln!("repro bench FAILED: thread count changed sweep results");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -362,6 +443,33 @@ fn run_lint(json: bool, deny_warn: bool) {
 /// violation, or incomplete coverage).
 fn run_conform(json: bool, seed: u64, full: bool, sabotage: bool, threads: usize) {
     let report = conform::run(seed, full, sabotage, threads);
+    if json {
+        println!("{}", report.json());
+    } else {
+        print!("{}", report.render());
+    }
+    if !report.pass() {
+        std::process::exit(1);
+    }
+}
+
+/// `repro soak`: the resilience soak campaign. Exit 1 when the report
+/// does not pass (a real trial quarantined or missing, or an injected
+/// failure escaping the ledger); checkpoint I/O problems are usage
+/// errors (exit 2) naming the offending path.
+fn run_soak(json: bool, spec: &soak::SoakSpec) {
+    // Trial panics are isolated and quarantined by the hardened
+    // executor (the ledger keeps each panic message), so the default
+    // hook's per-panic backtrace spew would only pollute the report.
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = soak::run(spec).unwrap_or_else(|e| {
+        let path = spec
+            .checkpoint
+            .as_deref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "<none>".to_owned());
+        die(&format!("cannot use checkpoint {path}: {e}"))
+    });
     if json {
         println!("{}", report.json());
     } else {

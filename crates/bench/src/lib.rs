@@ -29,6 +29,7 @@ pub mod lintgate;
 pub mod margin;
 pub mod perf;
 pub mod report;
+pub mod soak;
 pub mod trace;
 
 pub use ablations::{

@@ -39,6 +39,7 @@ fn unknown_subcommand_exits_2_and_lists_lint() {
     assert!(err.contains("unknown subcommand"), "{err}");
     assert!(err.contains("lint"), "usage must list lint: {err}");
     assert!(err.contains("conform"), "usage must list conform: {err}");
+    assert!(err.contains("soak"), "usage must list soak: {err}");
 }
 
 #[test]
@@ -92,6 +93,109 @@ fn conform_bad_seed_exits_2() {
     let out = repro(&["conform", "--seed", "banana"]);
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("--seed"));
+}
+
+#[test]
+fn soak_gate_passes_and_quarantines_exactly_the_injected_failures() {
+    let out = repro(&[
+        "soak",
+        "--json",
+        "--cycles",
+        "400",
+        "--inject-panic",
+        "2",
+        "--threads",
+        "4",
+    ]);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "{text}");
+    let doc: serde_json::Value = serde_json::from_str(text.trim()).expect("valid JSON");
+    assert_eq!(doc["tool"], serde_json::json!("timber-soak"));
+    assert_eq!(doc["pass"], serde_json::json!(true));
+    assert_eq!(doc["injected"], serde_json::json!(2));
+    let quarantined = doc["quarantined"].as_array().expect("ledger");
+    assert_eq!(quarantined.len(), 2, "{text}");
+    for q in quarantined {
+        assert_eq!(q["kind"], serde_json::json!("panic"));
+    }
+}
+
+#[test]
+fn soak_stop_then_resume_matches_an_uninterrupted_run_byte_for_byte() {
+    let dir = std::env::temp_dir();
+    let ckpt = dir.join(format!("repro-soak-cli-resume-{}", std::process::id()));
+    let ckpt = ckpt.to_str().unwrap();
+    let _ = std::fs::remove_file(ckpt);
+    let common = [
+        "--json",
+        "--cycles",
+        "400",
+        "--seed",
+        "11",
+        "--threads",
+        "4",
+    ];
+
+    let mut first: Vec<&str> = vec!["soak", "--checkpoint", ckpt, "--stop-after", "10"];
+    first.extend_from_slice(&common);
+    let stopped = repro(&first);
+    assert!(stopped.status.success(), "stopped run must still exit 0");
+
+    let mut second: Vec<&str> = vec!["soak", "--checkpoint", ckpt, "--resume"];
+    second.extend_from_slice(&common);
+    let resumed = repro(&second);
+    assert!(resumed.status.success());
+
+    let mut uninterrupted: Vec<&str> = vec!["soak"];
+    uninterrupted.extend_from_slice(&common);
+    let clean = repro(&uninterrupted);
+    assert!(clean.status.success());
+    assert_eq!(
+        resumed.stdout, clean.stdout,
+        "resumed report must be byte-identical"
+    );
+    let _ = std::fs::remove_file(ckpt);
+}
+
+#[test]
+fn soak_unreadable_checkpoint_exits_2_and_names_the_path() {
+    // A directory is never a valid checkpoint log: opening it for
+    // append fails, and the diagnostic must name the offending path.
+    let dir = std::env::temp_dir();
+    let out = repro(&[
+        "soak",
+        "--cycles",
+        "400",
+        "--checkpoint",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("checkpoint"), "{err}");
+    assert!(err.contains(dir.to_str().unwrap()), "{err}");
+}
+
+#[test]
+fn soak_resume_without_checkpoint_exits_2() {
+    let out = repro(&["soak", "--resume"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--checkpoint"), "{err}");
+}
+
+#[test]
+fn soak_bad_inject_count_exits_2_and_names_the_flag() {
+    let out = repro(&["soak", "--inject-panic", "banana"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--inject-panic"));
+}
+
+#[test]
+fn bench_check_unreadable_fresh_file_exits_2_and_names_the_path() {
+    let out = repro(&["bench-check", "--fresh", "/nonexistent/FRESH.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("/nonexistent/FRESH.json"), "{err}");
 }
 
 /// The harness self-test: with the seeded model-B bug active the gate

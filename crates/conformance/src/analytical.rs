@@ -84,7 +84,10 @@ impl TelemetrySink for ClassificationSink {
             EventKind::Relay { .. }
             | EventKind::EdFlag { .. }
             | EventKind::ThrottleRequest
-            | EventKind::Throttle { .. } => return,
+            | EventKind::Throttle { .. }
+            | EventKind::Escalate { .. }
+            | EventKind::Deescalate { .. }
+            | EventKind::SafeModeReplay { .. } => return,
         };
         let stage = kind.stage().expect("classified events carry a stage") as usize;
         let row = self.cycles[cycle as usize]

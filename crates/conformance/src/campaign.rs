@@ -4,14 +4,12 @@
 //! differential oracle, the paper's masking/flagging contract, and two
 //! metamorphic properties checked on every case.
 //!
-//! Parallelism follows the Monte-Carlo engine's scatter discipline:
+//! Parallelism goes through `timber_resilience::scatter_strict` — the
+//! deterministic work-pull scatter shared with the Monte-Carlo engine:
 //! worker threads pull flat case indices from an atomic counter, write
 //! results back by index, and the report is reduced in canonical case
 //! order afterwards — so the output is bit-identical for any
 //! `--threads N`.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use timber::CheckingPeriod;
 use timber_netlist::Picos;
@@ -448,33 +446,12 @@ fn run_case(spec: &CampaignSpec, flat: usize) -> CaseOutcome {
 pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
     let cases = spec.cases();
     let threads = spec.threads.max(1).min(cases.max(1));
-    let slots: Vec<Mutex<Option<CaseOutcome>>> = (0..cases).map(|_| Mutex::new(None)).collect();
-    if threads <= 1 {
-        for (flat, slot) in slots.iter().enumerate() {
-            *slot.lock().expect("single-threaded slot") = Some(run_case(spec, flat));
-        }
-    } else {
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let flat = next.fetch_add(1, Ordering::Relaxed);
-                    if flat >= cases {
-                        break;
-                    }
-                    let outcome = run_case(spec, flat);
-                    *slots[flat].lock().expect("scatter slot") = Some(outcome);
-                });
-            }
-        });
-    }
+    let indices: Vec<usize> = (0..cases).collect();
+    let outcomes =
+        timber_resilience::scatter_strict(&indices, threads, &|&flat| run_case(spec, flat));
 
     let mut report = CampaignReport::new(spec.base_seed, spec.sabotage);
-    for slot in slots {
-        let outcome = slot
-            .into_inner()
-            .expect("scatter slot")
-            .expect("every case ran");
+    for outcome in outcomes {
         report.cases_run += 1;
         report.violations_seen += outcome.violations;
         if outcome.violations > 0 {

@@ -18,6 +18,12 @@
 //! are about: single- vs multi-stage error rates, recovery penalties,
 //! and throughput/energy cost.
 //!
+//! Two clock authorities are available: the paper's open-loop
+//! single-pulse [`FrequencyController`] (the default), and — via
+//! [`PipelineConfig::governor`] — the closed-loop escalation-ladder
+//! governor from `timber-resilience`, which adds deep-throttle and a
+//! Razor-style safe-mode replay for sustained error storms.
+//!
 //! # Example
 //!
 //! ```
@@ -50,6 +56,7 @@ pub use montecarlo::{Environment, SweepResult, SweepSpec, TrialPoint};
 pub use scheme::{CycleContext, Recovery, SequentialScheme, StageOutcome};
 pub use sim::{PipelineConfig, PipelineSim};
 pub use stats::RunStats;
+pub use timber_resilience::{GovernorConfig, GovernorLevel};
 pub use topology::{Topology, TopologySim};
 
 #[cfg(test)]

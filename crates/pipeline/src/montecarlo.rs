@@ -4,8 +4,9 @@
 //! producing [`SequentialScheme`]s), an *environment axis* (factories
 //! producing an [`Environment`]: pipeline config, sensitization model
 //! and variability stack), and a *trial axis* (independent seeds). The
-//! engine fans the trials out over a pool of scoped OS threads
-//! (`std::thread::scope` — no dependencies beyond std) and reduces each
+//! engine fans the trials out through
+//! [`timber_resilience::scatter_strict`] — the deterministic work-pull
+//! scatter shared with the conformance campaign — and reduces each
 //! cell's trials with [`RunStats::merge`].
 //!
 //! # Determinism
@@ -23,8 +24,6 @@
 //!   merged *sequentially in trial order*, so floating-point sums are
 //!   performed in one canonical order no matter which worker ran which
 //!   trial.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use timber_telemetry::{Recorder, RecorderConfig};
 use timber_variability::{DelaySource, SensitizationModel};
@@ -244,55 +243,19 @@ impl<'a> SweepSpec<'a> {
         (total, threads)
     }
 
-    /// Fans `total` trials out over `threads` workers and returns the
-    /// per-trial outputs in flat trial order, independent of which
-    /// worker ran which trial.
+    /// Fans `total` trials out over `threads` workers through the
+    /// shared deterministic scatter and returns the per-trial outputs
+    /// in flat trial order, independent of which worker ran which
+    /// trial. A panicking trial is re-raised deterministically (lowest
+    /// panicking flat index) by [`timber_resilience::scatter_strict`].
     fn scatter<T: Send>(
         &self,
         total: usize,
         threads: usize,
         run_one: &(impl Fn(usize) -> T + Sync),
     ) -> Vec<T> {
-        let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
-        if threads <= 1 {
-            for (flat, slot) in slots.iter_mut().enumerate() {
-                *slot = Some(run_one(flat));
-            }
-        } else {
-            // Workers pull flat trial indices from a shared counter and
-            // keep their results; after the join the results are
-            // scattered back to their index so the reduction is
-            // independent of the work-stealing schedule.
-            let counter = AtomicUsize::new(0);
-            let worker_outs: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|_| {
-                        s.spawn(|| {
-                            let mut out = Vec::new();
-                            loop {
-                                let flat = counter.fetch_add(1, Ordering::Relaxed);
-                                if flat >= total {
-                                    break;
-                                }
-                                out.push((flat, run_one(flat)));
-                            }
-                            out
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("sweep worker panicked"))
-                    .collect()
-            });
-            for (flat, out) in worker_outs.into_iter().flatten() {
-                slots[flat] = Some(out);
-            }
-        }
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every trial ran"))
-            .collect()
+        let indices: Vec<usize> = (0..total).collect();
+        timber_resilience::scatter_strict(&indices, threads, &|&flat| run_one(flat))
     }
 
     fn reduce(&self, per_trial: Vec<RunStats>) -> SweepResult {

@@ -1,6 +1,7 @@
 //! The cycle-level pipeline simulator.
 
 use timber_netlist::Picos;
+use timber_resilience::{GovernorConfig, GovernorLevel, LadderGovernor};
 use timber_telemetry::{Counter, EventKind, NoopSink, TelemetrySink};
 use timber_variability::{DelaySource, SensitizationModel};
 
@@ -29,6 +30,15 @@ pub struct PipelineConfig {
     /// Energy per recovery bubble (replay re-executes work, so bubbles
     /// are not free; defaults to the per-cycle energy).
     pub energy_per_bubble: f64,
+    /// Closed-loop escalation-ladder governor. `None` (the default)
+    /// keeps the open-loop single-pulse [`FrequencyController`];
+    /// `Some` replaces it with a
+    /// [`timber_resilience::LadderGovernor`] — a windowed flag-rate
+    /// estimator driving nominal → throttle → deep-throttle →
+    /// safe-mode, with safe-mode entry flushing all in-flight borrow
+    /// state and replaying through a pipeline refill (Razor-style
+    /// fallback).
+    pub governor: Option<GovernorConfig>,
 }
 
 impl PipelineConfig {
@@ -49,6 +59,58 @@ impl PipelineConfig {
             slowdown_window: 100,
             energy_per_cycle: 1.0,
             energy_per_bubble: 1.0,
+            governor: None,
+        }
+    }
+}
+
+/// The clock authority of a run: the paper's open-loop single-pulse
+/// throttle, or the closed-loop escalation ladder.
+#[derive(Debug, Clone)]
+enum ClockControl {
+    OpenLoop(FrequencyController),
+    Ladder(LadderGovernor),
+}
+
+impl ClockControl {
+    fn for_config(config: &PipelineConfig) -> ClockControl {
+        match config.governor {
+            Some(gc) => ClockControl::Ladder(LadderGovernor::new(config.nominal_period, gc)),
+            None => ClockControl::OpenLoop(FrequencyController::new(
+                config.nominal_period,
+                config.slowdown_factor,
+                config.slowdown_window,
+                config.consolidation_latency_cycles,
+            )),
+        }
+    }
+
+    fn period_at(&mut self, cycle: u64) -> Picos {
+        match self {
+            ClockControl::OpenLoop(c) => c.period_at(cycle),
+            ClockControl::Ladder(g) => g.period_at(cycle),
+        }
+    }
+
+    fn flag_error(&mut self, cycle: u64) {
+        match self {
+            ClockControl::OpenLoop(c) => c.flag_error(cycle),
+            ClockControl::Ladder(g) => g.flag_error(cycle),
+        }
+    }
+
+    fn is_slowed(&self) -> bool {
+        match self {
+            ClockControl::OpenLoop(c) => c.is_slowed(),
+            ClockControl::Ladder(g) => g.is_slowed(),
+        }
+    }
+
+    /// Slowdown episodes: open-loop pulses, or ladder escalations.
+    fn episodes(&self) -> u64 {
+        match self {
+            ClockControl::OpenLoop(c) => c.episodes(),
+            ClockControl::Ladder(g) => g.escalations(),
         }
     }
 }
@@ -74,7 +136,7 @@ pub struct PipelineSim<'a, S: TelemetrySink = NoopSink> {
     scheme: &'a mut dyn SequentialScheme,
     sensitization: &'a mut SensitizationModel,
     variability: &'a mut dyn DelaySource,
-    controller: FrequencyController,
+    clock: ClockControl,
     /// Borrowed time entering each boundary this cycle.
     carry: Vec<Picos>,
     /// Length of the masked-violation chain feeding each boundary.
@@ -136,19 +198,14 @@ impl<'a, S: TelemetrySink> PipelineSim<'a, S> {
             "sensitization model must cover all {} stages",
             config.stages
         );
-        let controller = FrequencyController::new(
-            config.nominal_period,
-            config.slowdown_factor,
-            config.slowdown_window,
-            config.consolidation_latency_cycles,
-        );
+        let clock = ClockControl::for_config(&config);
         scheme.reset();
         PipelineSim {
             config,
             scheme,
             sensitization,
             variability,
-            controller,
+            clock,
             carry: vec![Picos::ZERO; config.stages + 1],
             chain: vec![0; config.stages + 1],
             next_carry: vec![Picos::ZERO; config.stages + 1],
@@ -204,23 +261,68 @@ impl<'a, S: TelemetrySink> PipelineSim<'a, S> {
         // Chains are at most `stages` long, so one reservation keeps
         // `record_chain` allocation-free for the whole run.
         stats.reserve_chains(self.config.stages + 1);
-        let mut seen_episodes = self.controller.episodes();
+        let mut seen_episodes = self.clock.episodes();
         for _ in 0..cycles {
             let t = self.cycle;
             self.cycle += 1;
-            let period = self.controller.period_at(t);
+            let period = self.clock.period_at(t);
+
+            // Closed-loop ladder transitions actuate at most once per
+            // cycle; polling here observes every one.
+            if let ClockControl::Ladder(g) = &mut self.clock {
+                if let Some(tr) = g.take_transition() {
+                    if S::ENABLED {
+                        let kind = if tr.is_escalation() {
+                            EventKind::Escalate {
+                                level: tr.to.index(),
+                                period: tr.period,
+                            }
+                        } else {
+                            EventKind::Deescalate {
+                                level: tr.to.index(),
+                                period: tr.period,
+                            }
+                        };
+                        self.sink.event(t, kind);
+                    }
+                    if tr.to == GovernorLevel::SafeMode {
+                        // Razor-style fallback: the environment has
+                        // outrun what borrowing can absorb, so discard
+                        // every in-flight speculative borrow and replay
+                        // through a full pipeline refill at the safe
+                        // clock. Flushed chains end here and are
+                        // recorded so chain accounting stays exact.
+                        let mut flushed = 0u32;
+                        for d in self.chain.iter_mut() {
+                            if *d > 0 {
+                                stats.record_chain(*d);
+                                flushed += 1;
+                                *d = 0;
+                            }
+                        }
+                        self.carry.fill(Picos::ZERO);
+                        self.penalty_remaining += self.config.stages as u64;
+                        if S::ENABLED {
+                            self.sink.event(t, EventKind::SafeModeReplay { flushed });
+                        }
+                    }
+                }
+            }
+
             stats.cycles += 1;
             stats.wall_time += period;
-            if self.controller.is_slowed() {
+            if self.clock.is_slowed() {
                 stats.slow_cycles += 1;
             }
             if S::ENABLED {
                 self.sink.add(Counter::Cycles, 1);
-                if self.controller.is_slowed() {
+                if self.clock.is_slowed() {
                     self.sink.add(Counter::SlowCycles, 1);
                 }
-                if self.controller.episodes() != seen_episodes {
-                    seen_episodes = self.controller.episodes();
+                if matches!(self.clock, ClockControl::OpenLoop(_))
+                    && self.clock.episodes() != seen_episodes
+                {
+                    seen_episodes = self.clock.episodes();
                     self.sink.event(t, EventKind::Throttle { period });
                 }
             }
@@ -289,7 +391,7 @@ impl<'a, S: TelemetrySink> PipelineSim<'a, S> {
                         }
                         if flagged {
                             stats.flagged += 1;
-                            self.controller.flag_error(t);
+                            self.clock.flag_error(t);
                         }
                         if s + 1 < self.config.stages {
                             self.next_carry[s + 1] = borrowed;
@@ -318,7 +420,7 @@ impl<'a, S: TelemetrySink> PipelineSim<'a, S> {
                         if self.chain[s] > 0 {
                             stats.record_chain(self.chain[s]);
                         }
-                        self.controller.flag_error(t);
+                        self.clock.flag_error(t);
                         if S::ENABLED {
                             self.sink.event(t, EventKind::Predicted { stage: s as u32 });
                             self.sink.event(t, EventKind::ThrottleRequest);
@@ -348,7 +450,7 @@ impl<'a, S: TelemetrySink> PipelineSim<'a, S> {
         while stats.chain_histogram.last() == Some(&0) {
             stats.chain_histogram.pop();
         }
-        stats.slowdown_episodes = self.controller.episodes();
+        stats.slowdown_episodes = self.clock.episodes();
         stats
     }
 }
@@ -559,5 +661,153 @@ mod tests {
     #[should_panic(expected = "at least one stage")]
     fn config_validates_stages() {
         let _ = PipelineConfig::new(0, Picos(1000));
+    }
+
+    /// A scheme that masks and *flags* every overrun — maximum
+    /// escalation pressure for governor tests.
+    #[derive(Debug)]
+    struct FlagAll;
+    impl SequentialScheme for FlagAll {
+        fn name(&self) -> &str {
+            "flag-all"
+        }
+        fn evaluate(
+            &mut self,
+            _s: usize,
+            arrival: Picos,
+            _i: Picos,
+            ctx: &CycleContext,
+        ) -> StageOutcome {
+            if arrival <= ctx.period {
+                StageOutcome::Ok
+            } else {
+                StageOutcome::Masked {
+                    borrowed: arrival - ctx.period,
+                    flagged: true,
+                }
+            }
+        }
+        fn reset(&mut self) {}
+    }
+
+    fn storm_config(stages: usize) -> PipelineConfig {
+        let mut cfg = PipelineConfig::new(stages, Picos(800));
+        cfg.governor = Some(timber_resilience::GovernorConfig {
+            window: 16,
+            escalate_flags: 4,
+            deescalate_flags: 0,
+            hold_windows: 2,
+            deadline_windows: 4,
+            latency_cycles: 2,
+            ..timber_resilience::GovernorConfig::default()
+        });
+        cfg
+    }
+
+    /// Critical path forced every cycle at 1100ps against a nominal
+    /// period of 800: the overshoot outruns throttle (880) and
+    /// deep-throttle (1000) — only safe-mode (1200) masks it, so the
+    /// ladder must climb all the way.
+    fn forced_sens(stages: usize) -> SensitizationModel {
+        let mut profiles =
+            vec![timber_variability::StagePathProfile::from_critical(Picos(1100)); stages];
+        for p in &mut profiles {
+            p.p_critical = 1.0;
+            p.p_near = 0.0;
+        }
+        SensitizationModel::new(profiles, 1)
+    }
+
+    #[test]
+    fn governor_escalates_under_storm_and_slows_wall_clock() {
+        let cfg = storm_config(2);
+        let mut scheme = FlagAll;
+        let mut sens = forced_sens(2);
+        let mut var = CompositeVariability::nominal();
+        let stats = PipelineSim::new(cfg, &mut scheme, &mut sens, &mut var).run(400);
+        // The ladder must have climbed (episodes counts escalations)…
+        assert!(stats.slowdown_episodes >= 3, "{}", stats.slowdown_episodes);
+        assert!(stats.slow_cycles > 0);
+        // …and safe-mode entry injected a pipeline refill.
+        assert!(stats.penalty_cycles >= 2, "{}", stats.penalty_cycles);
+        // Wall time exceeds nominal: the storm cost real frequency.
+        assert!(stats.wall_time > Picos(800) * 400);
+    }
+
+    #[test]
+    fn governor_stays_nominal_on_quiet_workload() {
+        let mut cfg = storm_config(3);
+        cfg.nominal_period = Picos(1000);
+        let mut scheme = FlagAll;
+        let mut sens = uniform_sens(3, 900);
+        let mut var = CompositeVariability::nominal();
+        let stats = PipelineSim::new(cfg, &mut scheme, &mut sens, &mut var).run(5_000);
+        assert_eq!(stats.slowdown_episodes, 0);
+        assert_eq!(stats.slow_cycles, 0);
+        assert_eq!(stats.wall_time, Picos(1000) * 5_000);
+    }
+
+    #[test]
+    fn governor_telemetry_counters_match_events() {
+        use timber_telemetry::{Recorder, RecorderConfig};
+        let cfg = storm_config(2);
+        let mut scheme = FlagAll;
+        let mut sens = forced_sens(2);
+        let mut var = CompositeVariability::nominal();
+        let mut rec = Recorder::new(RecorderConfig::new(2, Picos(800)).ring_capacity(4096));
+        let _ =
+            PipelineSim::with_telemetry(cfg, &mut scheme, &mut sens, &mut var, &mut rec).run(400);
+        let escalations = rec.counter(Counter::Escalations);
+        let deescalations = rec.counter(Counter::Deescalations);
+        let safe_entries = rec.counter(Counter::SafeModeEntries);
+        assert!(escalations >= 3, "{escalations}");
+        assert!(safe_entries >= 1, "{safe_entries}");
+        // Counters must equal the surviving event trace (ring is large
+        // enough to keep every event in this short run).
+        let mut seen_up = 0u64;
+        let mut seen_down = 0u64;
+        let mut seen_safe = 0u64;
+        for e in rec.events() {
+            match e.kind {
+                EventKind::Escalate { level, .. } => {
+                    seen_up += 1;
+                    if level == 3 {
+                        seen_safe += 1;
+                    }
+                }
+                EventKind::Deescalate { .. } => seen_down += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(seen_up, escalations);
+        assert_eq!(seen_down, deescalations);
+        assert_eq!(seen_safe, safe_entries);
+    }
+
+    #[test]
+    fn safe_mode_replay_flushes_carry_and_chain() {
+        use timber_telemetry::{Recorder, RecorderConfig};
+        let cfg = storm_config(2);
+        let mut scheme = FlagAll;
+        let mut sens = forced_sens(2);
+        let mut var = CompositeVariability::nominal();
+        let mut rec = Recorder::new(RecorderConfig::new(2, Picos(800)).ring_capacity(4096));
+        let mut sim = PipelineSim::with_telemetry(cfg, &mut scheme, &mut sens, &mut var, &mut rec);
+        // Run exactly up to the first safe-mode entry by stepping.
+        let mut entered = false;
+        for _ in 0..600 {
+            let _ = sim.run(1);
+            if let ClockControl::Ladder(g) = &sim.clock {
+                if g.level() == GovernorLevel::SafeMode {
+                    entered = true;
+                    break;
+                }
+            }
+        }
+        assert!(entered, "storm must reach safe mode");
+        // The flush landed this cycle: no speculative borrow survives.
+        assert!(sim.carry().iter().all(|&c| c == Picos::ZERO));
+        assert!(sim.chain_depths().iter().all(|&d| d == 0));
+        assert!(sim.penalty_remaining() > 0, "refill bubbles pending");
     }
 }

@@ -1,0 +1,161 @@
+//! Crash-safe trial checkpointing.
+//!
+//! The format is an append-only line log: each completed trial is one
+//! `"{index}\t{payload}\n"` line, flushed as it is written. Payloads
+//! are the trial's canonical single-line JSON, stored *verbatim* — on
+//! resume the final report is assembled from these exact strings in
+//! index order, which is what makes a killed-and-resumed campaign
+//! byte-identical to an uninterrupted one.
+//!
+//! A kill can truncate at most the final line (appends are sequential
+//! and flushed per line); [`read_checkpoint`] therefore tolerates — and
+//! silently drops — a last line with no trailing newline or a malformed
+//! prefix. Everything before it is intact by construction.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+/// Appends completed-trial records to a checkpoint file, one flushed
+/// line per trial.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    out: BufWriter<File>,
+}
+
+impl CheckpointWriter {
+    /// Opens `path` for appending (created if absent). Existing records
+    /// are preserved — pass the same path on `--resume`.
+    pub fn append(path: &Path) -> std::io::Result<CheckpointWriter> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(CheckpointWriter {
+            out: BufWriter::new(file),
+        })
+    }
+
+    /// Records trial `index` with its canonical single-line payload and
+    /// flushes so a kill cannot lose it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` contains a newline or tab (it must be the
+    /// trial's canonical single-line JSON).
+    pub fn record(&mut self, index: usize, payload: &str) -> std::io::Result<()> {
+        assert!(
+            !payload.contains('\n') && !payload.contains('\t'),
+            "checkpoint payloads must be single-line and tab-free"
+        );
+        writeln!(self.out, "{index}\t{payload}")?;
+        self.out.flush()
+    }
+}
+
+/// Reads a checkpoint file back as `index -> payload`.
+///
+/// Returns an empty map if the file does not exist. A torn final line
+/// (kill mid-append) is dropped; a later record for the same index wins
+/// (harmless — payloads are deterministic, so duplicates are equal).
+pub fn read_checkpoint(path: &Path) -> std::io::Result<BTreeMap<usize, String>> {
+    let mut text = String::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_string(&mut text)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeMap::new()),
+        Err(e) => return Err(e),
+    }
+    let mut map = BTreeMap::new();
+    let mut rest = text.as_str();
+    while let Some(nl) = rest.find('\n') {
+        let line = &rest[..nl];
+        rest = &rest[nl + 1..];
+        if let Some((idx, payload)) = line.split_once('\t') {
+            if let Ok(i) = idx.parse::<usize>() {
+                map.insert(i, payload.to_owned());
+            }
+        }
+        // Malformed complete lines are skipped rather than fatal: the
+        // only writer is `record`, so they can't occur in practice, and
+        // a resume should never be scuttled by one stray line.
+    }
+    // `rest` is now the unterminated tail, if any: a torn final append.
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("timber-ckpt-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_records_in_index_order() {
+        let path = tmp("round");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut w = CheckpointWriter::append(&path).unwrap();
+            w.record(2, r#"{"trial":2}"#).unwrap();
+            w.record(0, r#"{"trial":0}"#).unwrap();
+            w.record(1, r#"{"trial":1}"#).unwrap();
+        }
+        let map = read_checkpoint(&path).unwrap();
+        assert_eq!(
+            map.into_iter().collect::<Vec<_>>(),
+            vec![
+                (0, r#"{"trial":0}"#.to_owned()),
+                (1, r#"{"trial":1}"#.to_owned()),
+                (2, r#"{"trial":2}"#.to_owned()),
+            ]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_reads_empty() {
+        let path = tmp("missing");
+        let _ = std::fs::remove_file(&path);
+        assert!(read_checkpoint(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped() {
+        let path = tmp("torn");
+        std::fs::write(&path, "0\t{\"a\":1}\n1\t{\"b\":2}\n2\t{\"tru").unwrap();
+        let map = read_checkpoint(&path).unwrap();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map[&0], "{\"a\":1}");
+        assert_eq!(map[&1], "{\"b\":2}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_preserves_existing_records() {
+        let path = tmp("append");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut w = CheckpointWriter::append(&path).unwrap();
+            w.record(0, "a").unwrap();
+        }
+        {
+            let mut w = CheckpointWriter::append(&path).unwrap();
+            w.record(1, "b").unwrap();
+        }
+        let map = read_checkpoint(&path).unwrap();
+        assert_eq!(map.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-line")]
+    fn multiline_payloads_are_rejected() {
+        let path = tmp("reject");
+        let _ = std::fs::remove_file(&path);
+        let mut w = CheckpointWriter::append(&path).unwrap();
+        let _ = w.record(0, "bad\npayload");
+    }
+}

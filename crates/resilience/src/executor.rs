@@ -1,0 +1,554 @@
+//! Deterministic work-pull execution, in two disciplines.
+//!
+//! [`scatter_strict`] is the strict scatter the Monte-Carlo sweep and
+//! the conformance campaign share: a shared atomic counter hands out
+//! items in index order, results land in index-order slots, and a
+//! panicking item stops new pulls and is re-raised deterministically
+//! (always the lowest panicking index, regardless of thread count or
+//! scheduling). Output is bit-identical for any `threads`.
+//!
+//! [`run_hardened`] is the soak-campaign discipline: same pull order,
+//! but every trial attempt is isolated with `catch_unwind`, watched by
+//! a wall-clock watchdog, retried with bounded deterministic backoff,
+//! and — if it keeps failing — *quarantined* into a ledger instead of
+//! aborting the campaign. Completed trials can be checkpointed so a
+//! killed campaign resumes to a byte-identical final report.
+//!
+//! The watchdog cannot kill a hung thread (std offers no safe way);
+//! each attempt therefore runs on a detached thread, and a timed-out
+//! attempt's thread is *leaked* — it keeps running, its eventual result
+//! discarded. That bounds campaign wall-clock without pretending to
+//! cancel arbitrary computation. Hangs are not retried: a deterministic
+//! trial that hung once will hang again.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::checkpoint::CheckpointWriter;
+
+/// Resolves a `--threads` value: 0 means all available cores.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Runs `run_one` over every item with `threads` workers (0 = all
+/// cores) and returns results in item order, bit-identical for any
+/// thread count.
+///
+/// # Panics
+///
+/// If any item panics, the panic of the *lowest* panicking index is
+/// re-raised after in-flight items finish — deterministic propagation
+/// of the existing fail-fast contract.
+pub fn scatter_strict<T, R, F>(items: &[T], threads: usize, run_one: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = resolve_threads(threads).clamp(1, items.len().max(1));
+    let next = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let panics: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                if poisoned.load(Ordering::SeqCst) {
+                    return;
+                }
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= items.len() {
+                    return;
+                }
+                match catch_unwind(AssertUnwindSafe(|| run_one(&items[i]))) {
+                    Ok(r) => *slots[i].lock().unwrap() = Some(r),
+                    Err(payload) => {
+                        poisoned.store(true, Ordering::SeqCst);
+                        panics.lock().unwrap().push((i, payload));
+                    }
+                }
+            });
+        }
+    });
+
+    // Items are pulled in index order, so every index below the lowest
+    // panicking one was pulled before pulls stopped; if it panicked too
+    // it is in the list. The minimum is therefore the globally lowest
+    // panicking index — scheduling-independent.
+    let mut panics = panics.into_inner().unwrap();
+    if let Some(pos) = panics
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, (i, _))| *i)
+        .map(|(pos, _)| pos)
+    {
+        std::panic::resume_unwind(panics.swap_remove(pos).1);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("all slots filled"))
+        .collect()
+}
+
+/// One soak trial: produces its canonical single-line JSON payload, or
+/// a deterministic error description. Must be `'static` because a
+/// timed-out attempt's thread outlives the campaign call.
+pub type TrialJob = Arc<dyn Fn() -> Result<String, String> + Send + Sync + 'static>;
+
+/// How a quarantined trial ultimately failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// The trial panicked on every attempt.
+    Panic,
+    /// The trial exceeded the wall-clock watchdog (never retried).
+    Hang,
+    /// The trial returned an error on every attempt.
+    Error,
+}
+
+impl FailureKind {
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Hang => "hang",
+            FailureKind::Error => "error",
+        }
+    }
+}
+
+/// One entry of the quarantine ledger: a trial that failed all its
+/// attempts. Reported, not fatal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// Trial index.
+    pub index: usize,
+    /// Terminal failure mode.
+    pub kind: FailureKind,
+    /// Attempts consumed (1 for hangs).
+    pub attempts: u32,
+    /// Deterministic failure detail (panic message, error string, or
+    /// the configured watchdog budget — never measured wall-clock).
+    pub detail: String,
+}
+
+/// Configuration of one hardened campaign.
+pub struct HardenedSpec {
+    /// The trials, in index order.
+    pub jobs: Vec<TrialJob>,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    /// Per-attempt wall-clock watchdog.
+    pub timeout: Duration,
+    /// Attempts per trial for panics/errors (≥ 1). Hangs get one.
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `backoff_base * 2^(n-1)`, capped.
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Payloads of trials already completed in a previous run
+    /// (from [`crate::read_checkpoint`]); these are not re-run.
+    pub completed: BTreeMap<usize, String>,
+    /// Append-only checkpoint log for newly completed trials.
+    pub checkpoint: Option<PathBuf>,
+    /// Stop pulling new trials once this many have *newly* completed —
+    /// the deterministic stand-in for `kill -9` in resume tests.
+    pub stop_after: Option<usize>,
+}
+
+/// The result of [`run_hardened`].
+#[derive(Debug)]
+pub struct HardenedOutcome {
+    /// Per-trial canonical payloads in index order; `None` marks a
+    /// quarantined (or, after an early stop, not-yet-run) trial.
+    pub payloads: Vec<Option<String>>,
+    /// The quarantine ledger, sorted by trial index.
+    pub quarantined: Vec<QuarantineEntry>,
+    /// Trials satisfied from the resume checkpoint without re-running.
+    pub resumed: usize,
+    /// True if `stop_after` ended the campaign early.
+    pub stopped: bool,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// Runs one attempt of `job` under the watchdog. `Err(())` is a
+/// timeout; the attempt thread is leaked and keeps running detached.
+fn attempt_with_watchdog(
+    job: &TrialJob,
+    timeout: Duration,
+) -> Result<std::thread::Result<Result<String, String>>, ()> {
+    let (tx, rx) = mpsc::channel();
+    let job = Arc::clone(job);
+    std::thread::spawn(move || {
+        let result = catch_unwind(AssertUnwindSafe(|| job()));
+        // The receiver is gone if the watchdog already fired; the
+        // discarded send is exactly the leak the module docs describe.
+        let _ = tx.send(result);
+    });
+    rx.recv_timeout(timeout).map_err(|_| ())
+}
+
+/// Full attempt/retry/quarantine cycle for trial `index`.
+fn run_one_hardened(
+    index: usize,
+    job: &TrialJob,
+    spec: &HardenedSpec,
+) -> Result<String, QuarantineEntry> {
+    let mut last_detail = String::new();
+    let mut last_kind = FailureKind::Error;
+    for attempt in 1..=spec.max_attempts {
+        match attempt_with_watchdog(job, spec.timeout) {
+            Ok(Ok(Ok(payload))) => return Ok(payload),
+            Ok(Ok(Err(e))) => {
+                last_kind = FailureKind::Error;
+                last_detail = e;
+            }
+            Ok(Err(panic_payload)) => {
+                last_kind = FailureKind::Panic;
+                last_detail = panic_message(panic_payload.as_ref());
+            }
+            Err(()) => {
+                // Hangs are terminal: a deterministic trial that hung
+                // once will hang again, and its thread is already leaked.
+                return Err(QuarantineEntry {
+                    index,
+                    kind: FailureKind::Hang,
+                    attempts: attempt,
+                    detail: format!("exceeded {} ms watchdog", spec.timeout.as_millis()),
+                });
+            }
+        }
+        if attempt < spec.max_attempts {
+            let exp = attempt.saturating_sub(1).min(16);
+            let backoff = spec
+                .backoff_base
+                .saturating_mul(1u32 << exp)
+                .min(spec.backoff_cap);
+            std::thread::sleep(backoff);
+        }
+    }
+    Err(QuarantineEntry {
+        index,
+        kind: last_kind,
+        attempts: spec.max_attempts,
+        detail: last_detail,
+    })
+}
+
+/// Runs a hardened campaign: work-pull over `spec.jobs`, per-attempt
+/// `catch_unwind` isolation and watchdog, bounded deterministic backoff
+/// retries, quarantine instead of abort, optional checkpointing and
+/// resume. Deterministic for any thread count: payloads and the ledger
+/// depend only on the jobs themselves.
+///
+/// `Err` is returned only for checkpoint I/O failures.
+pub fn run_hardened(spec: HardenedSpec) -> std::io::Result<HardenedOutcome> {
+    let total = spec.jobs.len();
+    let threads = resolve_threads(spec.threads).clamp(1, total.max(1));
+    assert!(spec.max_attempts >= 1, "at least one attempt per trial");
+
+    let mut payloads: Vec<Option<String>> = vec![None; total];
+    let mut resumed = 0usize;
+    for (&i, payload) in &spec.completed {
+        if i < total {
+            payloads[i] = Some(payload.clone());
+            resumed += 1;
+        }
+    }
+    let writer = match &spec.checkpoint {
+        Some(path) => Some(Mutex::new(CheckpointWriter::append(path)?)),
+        None => None,
+    };
+
+    let slots: Vec<Mutex<Option<Result<String, QuarantineEntry>>>> =
+        (0..total).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let fresh_done = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let stopped_early = AtomicBool::new(false);
+    let io_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    let done = &spec.completed;
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= total {
+                    return;
+                }
+                if done.contains_key(&i) {
+                    continue;
+                }
+                let outcome = run_one_hardened(i, &spec.jobs[i], &spec);
+                if let Ok(payload) = &outcome {
+                    if let Some(w) = &writer {
+                        if let Err(e) = w.lock().unwrap().record(i, payload) {
+                            *io_error.lock().unwrap() = Some(e);
+                            stop.store(true, Ordering::SeqCst);
+                        }
+                    }
+                }
+                *slots[i].lock().unwrap() = Some(outcome);
+                if let Some(limit) = spec.stop_after {
+                    if fresh_done.fetch_add(1, Ordering::SeqCst) + 1 >= limit {
+                        stopped_early.store(true, Ordering::SeqCst);
+                        stop.store(true, Ordering::SeqCst);
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = io_error.into_inner().unwrap() {
+        return Err(e);
+    }
+    let mut quarantined = Vec::new();
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot.into_inner().unwrap() {
+            Some(Ok(payload)) => payloads[i] = Some(payload),
+            Some(Err(entry)) => quarantined.push(entry),
+            None => {} // resumed, or never pulled because of an early stop
+        }
+    }
+    quarantined.sort_by_key(|q| q.index);
+    Ok(HardenedOutcome {
+        payloads,
+        quarantined,
+        resumed,
+        stopped: stopped_early.into_inner(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_job(i: usize) -> TrialJob {
+        Arc::new(move || Ok(format!("{{\"trial\":{i}}}")))
+    }
+
+    fn spec(jobs: Vec<TrialJob>) -> HardenedSpec {
+        HardenedSpec {
+            jobs,
+            threads: 3,
+            timeout: Duration::from_secs(5),
+            max_attempts: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+            completed: BTreeMap::new(),
+            checkpoint: None,
+            stop_after: None,
+        }
+    }
+
+    #[test]
+    fn scatter_strict_matches_serial_for_any_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let f = |x: &u64| x * x + 1;
+        let serial: Vec<u64> = items.iter().map(f).collect();
+        for threads in [1, 2, 5, 16] {
+            assert_eq!(scatter_strict(&items, threads, &f), serial);
+        }
+    }
+
+    #[test]
+    fn scatter_strict_handles_empty_input() {
+        let items: Vec<u64> = Vec::new();
+        assert!(scatter_strict(&items, 4, &|x: &u64| *x).is_empty());
+    }
+
+    #[test]
+    fn scatter_strict_propagates_lowest_panic() {
+        let items: Vec<u64> = (0..64).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            scatter_strict(&items, 4, &|x: &u64| {
+                if *x == 13 || *x == 40 {
+                    panic!("boom at {x}");
+                }
+                *x
+            })
+        }));
+        let msg = panic_message(caught.unwrap_err().as_ref());
+        assert_eq!(msg, "boom at 13");
+    }
+
+    #[test]
+    fn hardened_all_success() {
+        let out = run_hardened(spec((0..10).map(ok_job).collect())).unwrap();
+        assert!(out.quarantined.is_empty());
+        assert!(!out.stopped);
+        for (i, p) in out.payloads.iter().enumerate() {
+            assert_eq!(p.as_deref(), Some(format!("{{\"trial\":{i}}}").as_str()));
+        }
+    }
+
+    #[test]
+    fn hardened_quarantines_persistent_panic() {
+        let mut jobs: Vec<TrialJob> = (0..6).map(ok_job).collect();
+        jobs[2] = Arc::new(|| panic!("injected panic"));
+        let out = run_hardened(spec(jobs)).unwrap();
+        assert_eq!(out.quarantined.len(), 1);
+        let q = &out.quarantined[0];
+        assert_eq!(q.index, 2);
+        assert_eq!(q.kind, FailureKind::Panic);
+        assert_eq!(q.attempts, 2);
+        assert_eq!(q.detail, "injected panic");
+        assert!(out.payloads[2].is_none());
+        assert!(out.payloads[3].is_some());
+    }
+
+    #[test]
+    fn hardened_retries_transient_error() {
+        let tries = Arc::new(AtomicUsize::new(0));
+        let t = Arc::clone(&tries);
+        let mut jobs: Vec<TrialJob> = (0..3).map(ok_job).collect();
+        jobs[1] = Arc::new(move || {
+            if t.fetch_add(1, Ordering::SeqCst) == 0 {
+                Err("transient".to_owned())
+            } else {
+                Ok("{\"trial\":1}".to_owned())
+            }
+        });
+        let out = run_hardened(spec(jobs)).unwrap();
+        assert!(out.quarantined.is_empty());
+        assert_eq!(out.payloads[1].as_deref(), Some("{\"trial\":1}"));
+        assert_eq!(tries.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn hardened_quarantines_hang_without_retry() {
+        let mut jobs: Vec<TrialJob> = (0..4).map(ok_job).collect();
+        jobs[3] = Arc::new(|| {
+            std::thread::sleep(Duration::from_secs(600));
+            Ok(String::new())
+        });
+        let mut s = spec(jobs);
+        s.timeout = Duration::from_millis(50);
+        let out = run_hardened(s).unwrap();
+        assert_eq!(out.quarantined.len(), 1);
+        let q = &out.quarantined[0];
+        assert_eq!(q.index, 3);
+        assert_eq!(q.kind, FailureKind::Hang);
+        assert_eq!(q.attempts, 1);
+        assert_eq!(q.detail, "exceeded 50 ms watchdog");
+    }
+
+    #[test]
+    fn hardened_resume_skips_completed() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<TrialJob> = (0..5)
+            .map(|i| {
+                let ran = Arc::clone(&ran);
+                Arc::new(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    Ok(format!("{{\"trial\":{i}}}"))
+                }) as TrialJob
+            })
+            .collect();
+        let mut s = spec(jobs);
+        s.completed.insert(0, "{\"trial\":0}".to_owned());
+        s.completed.insert(3, "{\"trial\":3}".to_owned());
+        let out = run_hardened(s).unwrap();
+        assert_eq!(out.resumed, 2);
+        assert_eq!(ran.load(Ordering::SeqCst), 3);
+        for (i, p) in out.payloads.iter().enumerate() {
+            assert_eq!(p.as_deref(), Some(format!("{{\"trial\":{i}}}").as_str()));
+        }
+    }
+
+    #[test]
+    fn hardened_stop_after_leaves_holes_and_flags_stopped() {
+        let mut s = spec((0..12).map(ok_job).collect());
+        s.threads = 1;
+        s.stop_after = Some(4);
+        let out = run_hardened(s).unwrap();
+        assert!(out.stopped);
+        let done = out.payloads.iter().filter(|p| p.is_some()).count();
+        assert_eq!(done, 4);
+    }
+
+    #[test]
+    fn hardened_checkpoint_then_resume_completes_the_rest() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("timber-exec-resume-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // First run: stop after 3 of 8.
+        let mut s = spec((0..8).map(ok_job).collect());
+        s.threads = 2;
+        s.checkpoint = Some(path.clone());
+        s.stop_after = Some(3);
+        let first = run_hardened(s).unwrap();
+        assert!(first.stopped);
+        // Resume: finish the rest; final payloads identical to a
+        // never-stopped run.
+        let completed = crate::read_checkpoint(&path).unwrap();
+        assert!(completed.len() >= 3);
+        let mut s = spec((0..8).map(ok_job).collect());
+        s.checkpoint = Some(path.clone());
+        s.completed = completed;
+        let second = run_hardened(s).unwrap();
+        assert!(!second.stopped);
+        let uninterrupted = run_hardened(spec((0..8).map(ok_job).collect())).unwrap();
+        assert_eq!(second.payloads, uninterrupted.payloads);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn hardened_is_deterministic_across_thread_counts() {
+        let make_jobs = || -> Vec<TrialJob> {
+            (0..20)
+                .map(|i| {
+                    if i % 7 == 3 {
+                        Arc::new(move || -> Result<String, String> { panic!("bad trial {i}") })
+                            as TrialJob
+                    } else {
+                        ok_job(i)
+                    }
+                })
+                .collect()
+        };
+        let run = |threads: usize| {
+            let mut s = spec(make_jobs());
+            s.threads = threads;
+            run_hardened(s).unwrap()
+        };
+        let base = run(1);
+        for threads in [2, 4, 8] {
+            let out = run(threads);
+            assert_eq!(out.payloads, base.payloads, "threads={threads}");
+            assert_eq!(out.quarantined, base.quarantined, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn failure_kind_names_are_stable() {
+        assert_eq!(FailureKind::Panic.name(), "panic");
+        assert_eq!(FailureKind::Hang.name(), "hang");
+        assert_eq!(FailureKind::Error.name(), "error");
+    }
+}

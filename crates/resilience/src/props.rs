@@ -1,0 +1,154 @@
+//! Property-based tests for the escalation-ladder governor.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use timber_netlist::Picos;
+
+use crate::governor::{GovernorConfig, GovernorLevel, LadderGovernor};
+
+/// One splitmix64 step, used to unpack several independent small draws
+/// from a single `any::<u64>()` (the vendored proptest subset only
+/// composes tuples up to arity six).
+fn mix(z: u64) -> u64 {
+    let z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A randomly drawn but always-valid governor configuration: `knobs`
+/// is unpacked into hold/deadline/latency.
+fn draw_config(window: u64, escalate: u64, band: u64, knobs: u64) -> GovernorConfig {
+    GovernorConfig {
+        window,
+        escalate_flags: escalate + band, // keeps the hysteresis band open
+        deescalate_flags: escalate.saturating_sub(1),
+        hold_windows: 1 + mix(knobs) % 4,
+        deadline_windows: 1 + mix(knobs ^ 1) % 5,
+        latency_cycles: mix(knobs ^ 2) % window,
+        ..GovernorConfig::default()
+    }
+}
+
+/// Deterministic per-case flag pattern: flag whenever the mixed hash of
+/// (seed, cycle) clears a density threshold.
+fn flags_at(seed: u64, cycle: u64, density_pct: u64) -> bool {
+    mix(seed ^ cycle.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % 100 < density_pct
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Safety: for any valid config and any flag pattern, the period
+    /// the governor returns never exceeds the ladder maximum, and every
+    /// reported transition period is also within it.
+    #[test]
+    fn period_never_exceeds_ladder_maximum(
+        window in 4u64..40,
+        escalate in 1u64..6,
+        band in 1u64..4,
+        knobs in any::<u64>(),
+        density in 0u64..=100,
+        seed in 0u64..1000,
+    ) {
+        let cfg = draw_config(window, escalate, band, knobs);
+        let mut g = LadderGovernor::new(Picos(1000), cfg);
+        let max = g.max_period();
+        for c in 0..2_000u64 {
+            let p = g.period_at(c);
+            prop_assert!(p <= max, "cycle {}: {:?} > {:?}", c, p, max);
+            prop_assert!(p >= Picos(1000), "cycle {}: below nominal", c);
+            if flags_at(seed, c, density) {
+                g.flag_error(c);
+            }
+            if let Some(t) = g.take_transition() {
+                prop_assert!(t.period <= max);
+            }
+        }
+    }
+
+    /// Liveness: once flags cease, the governor returns to nominal
+    /// within its own published recovery bound, from any storm it was
+    /// driven into.
+    #[test]
+    fn recovery_within_published_bound(
+        window in 4u64..32,
+        escalate in 1u64..5,
+        band in 1u64..4,
+        knobs in any::<u64>(),
+        density in 20u64..=100,
+        seed in 0u64..1000,
+    ) {
+        let cfg = draw_config(window, escalate, band, knobs);
+        let storm_len = 1 + mix(seed ^ 7) % 600;
+        let mut g = LadderGovernor::new(Picos(1000), cfg);
+        for c in 0..storm_len {
+            let _ = g.period_at(c);
+            if flags_at(seed, c, density) {
+                g.flag_error(c);
+            }
+        }
+        let bound = g.recovery_bound();
+        let mut recovered_at = None;
+        for c in storm_len..storm_len + bound + 1 {
+            let _ = g.period_at(c);
+            if g.level() == GovernorLevel::Nominal {
+                recovered_at = Some(c - storm_len);
+                break;
+            }
+        }
+        prop_assert!(
+            recovered_at.is_some(),
+            "level {:?} still elevated after {} flag-free cycles",
+            g.level(),
+            bound,
+        );
+    }
+
+    /// Accounting: escalation and de-escalation counters always equal
+    /// the observed ladder transitions, chain correctly, and their
+    /// difference is exactly the final ladder index.
+    #[test]
+    fn counters_match_observed_transitions(
+        window in 4u64..32,
+        escalate in 1u64..5,
+        band in 1u64..4,
+        knobs in any::<u64>(),
+        density in 0u64..=100,
+        seed in 0u64..1000,
+    ) {
+        let cfg = draw_config(window, escalate, band, knobs);
+        let mut g = LadderGovernor::new(Picos(1000), cfg);
+        let mut transitions = Vec::new();
+        let mut level = GovernorLevel::Nominal;
+        for c in 0..3_000u64 {
+            let _ = g.period_at(c);
+            if flags_at(seed, c, density) {
+                g.flag_error(c);
+            }
+            if let Some(t) = g.take_transition() {
+                // Transitions chain: each starts at the current level
+                // and moves exactly one rung.
+                prop_assert_eq!(t.from, level);
+                prop_assert_eq!(
+                    (t.to.index() as i32 - t.from.index() as i32).abs(),
+                    1
+                );
+                level = t.to;
+                transitions.push(t);
+            }
+        }
+        prop_assert_eq!(level, g.level());
+        let ups = transitions.iter().filter(|t| t.is_escalation()).count() as u64;
+        let downs = transitions.len() as u64 - ups;
+        prop_assert_eq!(ups, g.escalations());
+        prop_assert_eq!(downs, g.deescalations());
+        prop_assert_eq!(ups - downs, u64::from(g.level().index()));
+        let safe_entries = transitions
+            .iter()
+            .filter(|t| t.to == GovernorLevel::SafeMode)
+            .count() as u64;
+        prop_assert_eq!(safe_entries, g.safe_mode_entries());
+    }
+}

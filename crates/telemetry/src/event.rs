@@ -67,6 +67,29 @@ pub enum EventKind {
         /// Period in force while slowed.
         period: Picos,
     },
+    /// The closed-loop governor stepped *up* its escalation ladder
+    /// (nominal → throttle → deep-throttle → safe-mode).
+    Escalate {
+        /// Ladder level entered (0 = nominal … 3 = safe-mode).
+        level: u8,
+        /// Period in force at the new level.
+        period: Picos,
+    },
+    /// The governor stepped back *down* one ladder level after the
+    /// flag rate stayed below the hysteresis threshold long enough.
+    Deescalate {
+        /// Ladder level entered (0 = nominal … 3 = safe-mode).
+        level: u8,
+        /// Period in force at the new level.
+        period: Picos,
+    },
+    /// The governor entered safe mode: in-flight borrowed time was
+    /// discarded and the pipeline replayed from a clean state
+    /// (Razor-style fallback).
+    SafeModeReplay {
+        /// Stage boundaries whose in-flight borrow state was flushed.
+        flushed: u32,
+    },
 }
 
 impl EventKind {
@@ -81,6 +104,9 @@ impl EventKind {
             EventKind::Panic { .. } => "panic",
             EventKind::ThrottleRequest => "throttle-request",
             EventKind::Throttle { .. } => "throttle",
+            EventKind::Escalate { .. } => "escalate",
+            EventKind::Deescalate { .. } => "deescalate",
+            EventKind::SafeModeReplay { .. } => "safe-mode-replay",
         }
     }
 
@@ -93,7 +119,11 @@ impl EventKind {
             | EventKind::Detected { stage, .. }
             | EventKind::Predicted { stage }
             | EventKind::Panic { stage } => Some(stage),
-            EventKind::ThrottleRequest | EventKind::Throttle { .. } => None,
+            EventKind::ThrottleRequest
+            | EventKind::Throttle { .. }
+            | EventKind::Escalate { .. }
+            | EventKind::Deescalate { .. }
+            | EventKind::SafeModeReplay { .. } => None,
         }
     }
 }
@@ -123,6 +153,10 @@ impl fmt::Display for Event {
             EventKind::Relay { select, .. } => write!(f, " select={select}"),
             EventKind::Detected { penalty, .. } => write!(f, " penalty={penalty}"),
             EventKind::Throttle { period } => write!(f, " period={period}"),
+            EventKind::Escalate { level, period } | EventKind::Deescalate { level, period } => {
+                write!(f, " level={level} period={period}")
+            }
+            EventKind::SafeModeReplay { flushed } => write!(f, " flushed={flushed}"),
             _ => Ok(()),
         }
     }

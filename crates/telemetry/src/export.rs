@@ -36,6 +36,13 @@ fn event_json(e: &Event) -> Value {
         EventKind::Throttle { period } => {
             obj.push(("period_ps".to_owned(), json!(period.as_ps())));
         }
+        EventKind::Escalate { level, period } | EventKind::Deescalate { level, period } => {
+            obj.push(("level".to_owned(), json!(level)));
+            obj.push(("period_ps".to_owned(), json!(period.as_ps())));
+        }
+        EventKind::SafeModeReplay { flushed } => {
+            obj.push(("flushed".to_owned(), json!(flushed)));
+        }
         _ => {}
     }
     Value::Object(obj)
@@ -141,6 +148,14 @@ pub fn trace_csv(cells: &[(String, Recorder)]) -> String {
                     String::new(),
                 ),
                 EventKind::Throttle { period } => (
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    period.as_ps().to_string(),
+                ),
+                EventKind::Escalate { period, .. } | EventKind::Deescalate { period, .. } => (
                     String::new(),
                     String::new(),
                     String::new(),

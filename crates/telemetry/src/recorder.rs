@@ -322,6 +322,15 @@ impl TelemetrySink for Recorder {
             EventKind::Throttle { .. } => {
                 self.counters[Counter::ThrottleEpisodes as usize] += 1;
             }
+            EventKind::Escalate { .. } => {
+                self.counters[Counter::Escalations as usize] += 1;
+            }
+            EventKind::Deescalate { .. } => {
+                self.counters[Counter::Deescalations as usize] += 1;
+            }
+            EventKind::SafeModeReplay { .. } => {
+                self.counters[Counter::SafeModeEntries as usize] += 1;
+            }
         }
         self.ring.push(Event { cycle, kind });
     }

@@ -40,11 +40,17 @@ pub enum Counter {
     WaveEvents,
     /// Signal transitions recorded by the waveform kernel.
     WaveTransitions,
+    /// Governor ladder escalations (one per upward level change).
+    Escalations,
+    /// Governor ladder de-escalations (one per downward level change).
+    Deescalations,
+    /// Safe-mode entries (each flushes in-flight borrows and replays).
+    SafeModeEntries,
 }
 
 impl Counter {
     /// Number of counters (array-index bound).
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 16;
 
     /// All counters, in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -61,6 +67,9 @@ impl Counter {
         Counter::ThrottleRequests,
         Counter::WaveEvents,
         Counter::WaveTransitions,
+        Counter::Escalations,
+        Counter::Deescalations,
+        Counter::SafeModeEntries,
     ];
 
     /// Stable machine-readable name (used by the JSON export).
@@ -79,6 +88,9 @@ impl Counter {
             Counter::ThrottleRequests => "throttle_requests",
             Counter::WaveEvents => "wave_events",
             Counter::WaveTransitions => "wave_transitions",
+            Counter::Escalations => "escalations",
+            Counter::Deescalations => "deescalations",
+            Counter::SafeModeEntries => "safe_mode_entries",
         }
     }
 }
