@@ -1,0 +1,724 @@
+//! The 64-lane bit-sliced simulation engine.
+//!
+//! State layout (the "bit planes" of DESIGN.md §12): per stage
+//! boundary `s`, the engine keeps
+//!
+//! * `carry[s]` / `chain[s]` — dense `i64`/`u32` planes of borrowed
+//!   time and chain depth per lane, double-buffered like the scalar
+//!   simulator's SoA rows, with a companion `u64` occupancy mask whose
+//!   bit `l` says lane `l` has live state (mask-clear lanes are zero);
+//! * `select[s]` / `pending[s]` — `u8` planes of the TIMBER relay
+//!   select inputs, with occupancy masks;
+//!
+//! plus per-lane (not per-stage) planes: the recovery-bubble counter
+//! with its `penalty_mask`, the genuine per-lane
+//! [`FrequencyController`] with a `watch_mask` of lanes whose
+//! controller may currently deviate from the nominal period, and the
+//! per-lane tallies.
+//!
+//! A cycle touches dense data only where a mask bit is set, so in the
+//! paper's sparse-error regime the whole step degenerates to: one
+//! branch-free delay/violation pass per stage and a single `u64`
+//! test.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use timber_pipeline::{FrequencyController, PipelineConfig, RunStats};
+use timber_telemetry::Counter;
+
+use crate::scheme::BatchScheme;
+use crate::workload::BatchWorkload;
+
+/// Maximum lanes per batch: one bit per lane in a `u64` plane.
+pub const MAX_LANES: usize = 64;
+
+/// A batched run request: one pipeline/scheme configuration evaluated
+/// over `lanes` independent Monte-Carlo trials.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Pipeline configuration (stages, period, recovery budget). The
+    /// closed-loop governor is not supported by the bit-sliced engine.
+    pub pipeline: PipelineConfig,
+    /// Resilience scheme at every stage boundary.
+    pub scheme: BatchScheme,
+    /// Counter-mode delay workload (must cover at least
+    /// `pipeline.stages` stages).
+    pub workload: BatchWorkload,
+    /// Number of independent trials, `1..=64`.
+    pub lanes: usize,
+}
+
+impl BatchConfig {
+    /// Validates the request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is outside `1..=64`, the workload covers
+    /// fewer stages than the pipeline, a closed-loop governor is
+    /// configured, the energy weights are not the default 1.0 (the
+    /// engine folds energy into a closed form), or the scheme
+    /// parameters are invalid.
+    pub fn validate(&self) {
+        assert!(
+            (1..=MAX_LANES).contains(&self.lanes),
+            "lanes must be in 1..={MAX_LANES}"
+        );
+        assert!(
+            self.workload.stages() >= self.pipeline.stages,
+            "workload must cover all {} stages",
+            self.pipeline.stages
+        );
+        assert!(
+            self.pipeline.governor.is_none(),
+            "the bit-sliced engine supports only the open-loop controller"
+        );
+        assert!(
+            self.pipeline.energy_per_cycle == 1.0 && self.pipeline.energy_per_bubble == 1.0,
+            "the bit-sliced engine requires unit energy weights"
+        );
+        self.scheme.validate();
+    }
+}
+
+/// Result of a batched run: per-lane statistics and telemetry
+/// counters, in lane order. Both are bit-identical to replaying each
+/// lane through the scalar `PipelineSim` (enforced by
+/// [`crate::reference::check_equivalence`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRun {
+    /// Per-lane run statistics.
+    pub stats: Vec<RunStats>,
+    /// Per-lane telemetry counters, indexed by `Counter as usize`.
+    pub counters: Vec<[u64; Counter::COUNT]>,
+}
+
+/// Decision rule of a scheme, pre-lowered to integer picoseconds.
+#[derive(Debug, Clone, Copy)]
+enum Rule {
+    Margined,
+    /// Razor replay and TDTB stall share the decision shape; both
+    /// cost `penalty` bubbles.
+    Detector {
+        window: i64,
+        penalty: u64,
+    },
+    Canary,
+    SoftEdge {
+        window: i64,
+    },
+    Logical {
+        coverage: f64,
+        margin: i64,
+    },
+    TimberFf {
+        interval: i64,
+        k: u8,
+        k_tb: u8,
+    },
+    TimberLatch {
+        window: i64,
+        tb_window: i64,
+    },
+}
+
+impl Rule {
+    fn lower(scheme: &BatchScheme) -> Rule {
+        match *scheme {
+            BatchScheme::Conventional => Rule::Margined,
+            BatchScheme::Razor { window } | BatchScheme::TransitionDetector { window } => {
+                Rule::Detector {
+                    window: window.as_ps(),
+                    penalty: 1,
+                }
+            }
+            BatchScheme::Canary { .. } => Rule::Canary,
+            BatchScheme::SoftEdge { window } => Rule::SoftEdge {
+                window: window.as_ps(),
+            },
+            BatchScheme::LogicalMasking { coverage, margin } => Rule::Logical {
+                coverage,
+                margin: margin.as_ps(),
+            },
+            BatchScheme::TimberFf(sched) => Rule::TimberFf {
+                interval: sched.interval().as_ps(),
+                k: sched.k(),
+                k_tb: sched.k_tb(),
+            },
+            BatchScheme::TimberLatch(sched) => Rule::TimberLatch {
+                window: sched.usable_checking().as_ps(),
+                tb_window: sched.interval().as_ps() * i64::from(sched.k_tb()),
+            },
+        }
+    }
+}
+
+/// Per-lane event tallies accumulated during the run.
+#[derive(Debug, Clone, Default)]
+struct LaneTally {
+    masked: u64,
+    flagged: u64,
+    detected: u64,
+    predicted: u64,
+    corrupted: u64,
+    penalty_cycles: u64,
+    slow_cycles: u64,
+    relays: u64,
+    throttle_requests: u64,
+    chain_hist: Vec<u64>,
+}
+
+impl LaneTally {
+    /// Mirrors `RunStats::record_chain`: grow-on-demand histogram of
+    /// chain lengths (index `len - 1`).
+    fn record_chain(&mut self, len: usize) {
+        if len == 0 {
+            return;
+        }
+        if self.chain_hist.len() < len {
+            self.chain_hist.resize(len, 0);
+        }
+        self.chain_hist[len - 1] += 1;
+    }
+}
+
+/// The engine proper. Constructed per run; all planes are allocated
+/// once up front.
+struct Engine {
+    pipeline: PipelineConfig,
+    rule: Rule,
+    guard: i64,
+    workload: BatchWorkload,
+    lanes: usize,
+    stages: usize,
+    nominal_ps: i64,
+    /// Bit `l` set for every live lane.
+    all: u64,
+    lane_seeds: Vec<u64>,
+    clocks: Vec<FrequencyController>,
+    /// Lanes whose controller may deviate from nominal; only these pay
+    /// a per-cycle `period_at` call.
+    watch_mask: u64,
+    /// First cycle at which lane `l`'s controller is guaranteed quiet
+    /// again (no pending actuation, no active slowdown).
+    watch_until: Vec<u64>,
+    /// Current period per lane, in ps (nominal for unwatched lanes).
+    period_ps: Vec<i64>,
+    /// Dense per-boundary planes with `u64` occupancy masks
+    /// (mask-clear lanes hold zero).
+    carry: Vec<Vec<i64>>,
+    carry_mask: Vec<u64>,
+    chain: Vec<Vec<u32>>,
+    chain_mask: Vec<u64>,
+    next_carry: Vec<Vec<i64>>,
+    next_carry_mask: Vec<u64>,
+    next_chain: Vec<Vec<u32>>,
+    next_chain_mask: Vec<u64>,
+    /// TIMBER relay planes (allocated but untouched for other rules).
+    select: Vec<Vec<u8>>,
+    select_mask: Vec<u64>,
+    pending: Vec<Vec<u8>>,
+    pending_mask: Vec<u64>,
+    /// Per-lane coverage RNGs (logical masking only); drawn in the
+    /// same conditional order as the scalar scheme object.
+    rngs: Vec<StdRng>,
+    penalty: Vec<u64>,
+    penalty_mask: u64,
+    tally: Vec<LaneTally>,
+    /// Scratch arrival row for the current stage.
+    arrivals: Vec<i64>,
+}
+
+/// Calls `f(l)` for every set bit of `mask`, ascending.
+#[inline]
+fn for_lanes(mut mask: u64, mut f: impl FnMut(usize)) {
+    while mask != 0 {
+        let l = mask.trailing_zeros() as usize;
+        mask &= mask - 1;
+        f(l);
+    }
+}
+
+impl Engine {
+    fn new(config: &BatchConfig) -> Engine {
+        config.validate();
+        let stages = config.pipeline.stages;
+        let lanes = config.lanes;
+        let rule = Rule::lower(&config.scheme);
+        let lane_seeds: Vec<u64> = (0..lanes).map(|l| config.workload.lane_seed(l)).collect();
+        let rngs = if matches!(rule, Rule::Logical { .. }) {
+            lane_seeds
+                .iter()
+                .map(|&s| StdRng::seed_from_u64(s))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let clocks = (0..lanes)
+            .map(|_| {
+                FrequencyController::new(
+                    config.pipeline.nominal_period,
+                    config.pipeline.slowdown_factor,
+                    config.pipeline.slowdown_window,
+                    config.pipeline.consolidation_latency_cycles,
+                )
+            })
+            .collect();
+        let plane_i64 = || vec![vec![0i64; lanes]; stages];
+        let plane_u32 = || vec![vec![0u32; lanes]; stages];
+        let plane_u8 = || vec![vec![0u8; lanes]; stages];
+        Engine {
+            pipeline: config.pipeline,
+            rule,
+            guard: config.scheme.guard_ps(),
+            workload: config.workload.clone(),
+            lanes,
+            stages,
+            nominal_ps: config.pipeline.nominal_period.as_ps(),
+            all: if lanes == MAX_LANES {
+                u64::MAX
+            } else {
+                (1u64 << lanes) - 1
+            },
+            lane_seeds,
+            clocks,
+            watch_mask: 0,
+            watch_until: vec![0; lanes],
+            period_ps: vec![config.pipeline.nominal_period.as_ps(); lanes],
+            carry: plane_i64(),
+            carry_mask: vec![0; stages],
+            chain: plane_u32(),
+            chain_mask: vec![0; stages],
+            next_carry: plane_i64(),
+            next_carry_mask: vec![0; stages],
+            next_chain: plane_u32(),
+            next_chain_mask: vec![0; stages],
+            select: plane_u8(),
+            select_mask: vec![0; stages],
+            pending: plane_u8(),
+            pending_mask: vec![0; stages],
+            rngs,
+            penalty: vec![0; lanes],
+            penalty_mask: 0,
+            tally: vec![LaneTally::default(); lanes],
+            arrivals: vec![0; lanes],
+        }
+    }
+
+    /// Puts lane `l` under clock watch after a flag at cycle `t`: the
+    /// controller must be stepped every cycle until the actuation
+    /// (≤ `t + latency`) and its slowdown window have fully played out
+    /// and the lazily-cleared `slow_until` state has been observed
+    /// once more (hence the `+ 1`).
+    #[inline]
+    fn flag_lane(&mut self, l: usize, t: u64) {
+        self.clocks[l].flag_error(t);
+        self.watch_mask |= 1u64 << l;
+        let until =
+            t + self.pipeline.consolidation_latency_cycles + self.pipeline.slowdown_window + 1;
+        if until > self.watch_until[l] {
+            self.watch_until[l] = until;
+        }
+    }
+
+    fn step(&mut self, t: u64) {
+        // 1. Clocks: only watched lanes can deviate from nominal, so
+        // only they pay the controller call (the scalar engine calls
+        // period_at every cycle; skipped calls are behaviourally
+        // equivalent because all controller transitions are
+        // level-triggered `cycle >= threshold` checks).
+        let mut m = self.watch_mask;
+        while m != 0 {
+            let l = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let p = self.clocks[l].period_at(t);
+            self.period_ps[l] = p.as_ps();
+            if self.clocks[l].is_slowed() {
+                self.tally[l].slow_cycles += 1;
+            }
+            if t + 1 >= self.watch_until[l] {
+                self.watch_mask &= !(1u64 << l);
+                self.period_ps[l] = self.nominal_ps;
+            }
+        }
+
+        // 2. Recovery bubbles: bubbled lanes burn one penalty cycle
+        // and freeze all boundary state.
+        let bubble = self.penalty_mask;
+        for_lanes(bubble, |l| {
+            self.penalty[l] -= 1;
+            self.tally[l].penalty_cycles += 1;
+            if self.penalty[l] == 0 {
+                self.penalty_mask &= !(1u64 << l);
+            }
+        });
+        let active = self.all & !bubble;
+        if active == 0 {
+            return;
+        }
+
+        // 3. TIMBER relay roll: at each lane's first evaluation of a
+        // cycle the scalar scheme latches pending selects into the
+        // flops and clears them; bubbled lanes skip it exactly like
+        // they skip evaluation.
+        if matches!(self.rule, Rule::TimberFf { .. }) {
+            for s in 0..self.stages {
+                let roll = (self.pending_mask[s] | self.select_mask[s]) & active;
+                for_lanes(roll, |l| {
+                    self.select[s][l] = self.pending[s][l];
+                    self.pending[s][l] = 0;
+                });
+                self.select_mask[s] =
+                    (self.select_mask[s] & !active) | (self.pending_mask[s] & active);
+                self.pending_mask[s] &= !active;
+            }
+        }
+
+        // 4. Stage sweep: one branch-free delay/arrival/violation pass
+        // per stage, then service only the attention lanes.
+        for s in 0..self.stages {
+            let profile = self.workload.profiles()[s];
+            let key = crate::workload::row_key(t, s);
+            let carry_row = &self.carry[s];
+            let mut violation = 0u64;
+            for (l, (arr, &seed)) in self.arrivals.iter_mut().zip(&self.lane_seeds).enumerate() {
+                let delay = profile
+                    .delay(crate::workload::splitmix64(seed ^ key))
+                    .as_ps();
+                let a = carry_row[l] + delay;
+                *arr = a;
+                violation |= u64::from(a + self.guard > self.period_ps[l]) << l;
+            }
+            // Attention: violating lanes plus lanes whose inherited
+            // chain must be recorded as it dies.
+            let attention = (violation | self.chain_mask[s]) & active;
+            for_lanes(attention, |l| {
+                self.eval_lane(s, l, t, violation >> l & 1 == 1);
+            });
+        }
+
+        // 5. Commit: per-lane double-buffer swap, but only where a
+        // mask bit says there is state to move or clear.
+        for s in 0..self.stages {
+            let touched = (self.carry_mask[s] | self.next_carry_mask[s]) & active;
+            for_lanes(touched, |l| {
+                self.carry[s][l] = self.next_carry[s][l];
+                self.next_carry[s][l] = 0;
+            });
+            self.carry_mask[s] = (self.carry_mask[s] & !active) | self.next_carry_mask[s];
+            self.next_carry_mask[s] = 0;
+
+            let touched = (self.chain_mask[s] | self.next_chain_mask[s]) & active;
+            for_lanes(touched, |l| {
+                self.chain[s][l] = self.next_chain[s][l];
+                self.next_chain[s][l] = 0;
+            });
+            self.chain_mask[s] = (self.chain_mask[s] & !active) | self.next_chain_mask[s];
+            self.next_chain_mask[s] = 0;
+        }
+    }
+
+    /// Evaluates one attention lane at stage `s`, mirroring the scalar
+    /// outcome handling of `PipelineSim::run` statement for statement.
+    fn eval_lane(&mut self, s: usize, l: usize, t: u64, violated: bool) {
+        let chain_depth = self.chain[s][l] as usize;
+        if !violated {
+            // On-time capture: an inherited chain dies here.
+            if chain_depth > 0 {
+                self.tally[l].record_chain(chain_depth);
+            }
+            return;
+        }
+        let period = self.period_ps[l];
+        let overshoot = self.arrivals[l] - period;
+        enum Outcome {
+            Masked { borrowed: i64, flagged: bool },
+            Detected { penalty: u64 },
+            Predicted,
+            Corrupted,
+        }
+        let outcome = match self.rule {
+            Rule::Margined => Outcome::Corrupted,
+            Rule::Detector { window, penalty } => {
+                if overshoot <= window {
+                    Outcome::Detected { penalty }
+                } else {
+                    Outcome::Corrupted
+                }
+            }
+            Rule::Canary => {
+                // Violation here means "inside the guard band or
+                // late"; before the edge it is a prediction.
+                if overshoot <= 0 {
+                    Outcome::Predicted
+                } else {
+                    Outcome::Corrupted
+                }
+            }
+            Rule::SoftEdge { window } => {
+                if overshoot <= window {
+                    Outcome::Masked {
+                        borrowed: overshoot,
+                        flagged: false,
+                    }
+                } else {
+                    Outcome::Corrupted
+                }
+            }
+            Rule::Logical { coverage, margin } => {
+                if overshoot <= margin && self.rngs[l].gen_bool(coverage) {
+                    Outcome::Masked {
+                        borrowed: 0,
+                        flagged: false,
+                    }
+                } else {
+                    Outcome::Corrupted
+                }
+            }
+            Rule::TimberLatch { window, tb_window } => {
+                if overshoot <= window {
+                    Outcome::Masked {
+                        borrowed: overshoot,
+                        flagged: overshoot > tb_window,
+                    }
+                } else {
+                    Outcome::Corrupted
+                }
+            }
+            Rule::TimberFf { interval, k, k_tb } => {
+                let select = self.select[s][l];
+                let delta = interval * (i64::from(select) + 1);
+                if overshoot <= delta {
+                    let units = select + 1;
+                    if s + 1 < self.stages {
+                        // Relay: downstream select input for the next
+                        // cycle (single writer per slot in a linear
+                        // pipeline; the slot was cleared at roll).
+                        self.pending[s + 1][l] = units.min(k - 1);
+                        self.pending_mask[s + 1] |= 1u64 << l;
+                    }
+                    Outcome::Masked {
+                        borrowed: delta,
+                        flagged: units > k_tb,
+                    }
+                } else {
+                    Outcome::Corrupted
+                }
+            }
+        };
+        match outcome {
+            Outcome::Masked { borrowed, flagged } => {
+                self.tally[l].masked += 1;
+                let len = chain_depth + 1;
+                if chain_depth > 0 {
+                    self.tally[l].relays += 1;
+                }
+                if flagged {
+                    self.tally[l].flagged += 1;
+                    self.tally[l].throttle_requests += 1;
+                    self.flag_lane(l, t);
+                }
+                if s + 1 < self.stages {
+                    self.next_carry[s + 1][l] = borrowed;
+                    self.next_carry_mask[s + 1] |= 1u64 << l;
+                    self.next_chain[s + 1][l] = len as u32;
+                    self.next_chain_mask[s + 1] |= 1u64 << l;
+                } else {
+                    self.tally[l].record_chain(len);
+                }
+            }
+            Outcome::Detected { penalty } => {
+                self.tally[l].detected += 1;
+                self.tally[l].record_chain(chain_depth + 1);
+                self.penalty[l] += penalty;
+                self.penalty_mask |= 1u64 << l;
+            }
+            Outcome::Predicted => {
+                self.tally[l].predicted += 1;
+                if chain_depth > 0 {
+                    self.tally[l].record_chain(chain_depth);
+                }
+                self.tally[l].throttle_requests += 1;
+                self.flag_lane(l, t);
+            }
+            Outcome::Corrupted => {
+                self.tally[l].corrupted += 1;
+                self.tally[l].record_chain(chain_depth + 1);
+            }
+        }
+    }
+
+    fn finish(mut self, cycles: u64) -> BatchRun {
+        // Flush chains still in flight (scalar end-of-run rule).
+        for s in 0..self.stages {
+            let mask = self.chain_mask[s];
+            for_lanes(mask, |l| {
+                let len = self.chain[s][l] as usize;
+                self.tally[l].record_chain(len);
+            });
+        }
+        let slowed = self
+            .pipeline
+            .nominal_period
+            .scale(1.0 + self.pipeline.slowdown_factor);
+        let mut stats = Vec::with_capacity(self.lanes);
+        let mut counters = Vec::with_capacity(self.lanes);
+        for (l, tally) in self.tally.into_iter().enumerate() {
+            let episodes = self.clocks[l].episodes();
+            // Every cycle is nominal or slowed, and both energy
+            // weights are asserted 1.0, so wall time and energy fold
+            // into closed forms identical to the scalar running sums
+            // (integer ps additions; +1.0 f64 additions are exact in
+            // this range).
+            let wall_time = self.pipeline.nominal_period * (cycles - tally.slow_cycles) as i64
+                + slowed * tally.slow_cycles as i64;
+            let mut c = [0u64; Counter::COUNT];
+            c[Counter::Cycles as usize] = cycles;
+            c[Counter::Masked as usize] = tally.masked;
+            c[Counter::Flagged as usize] = tally.flagged;
+            c[Counter::Detected as usize] = tally.detected;
+            c[Counter::Predicted as usize] = tally.predicted;
+            c[Counter::Corrupted as usize] = tally.corrupted;
+            c[Counter::PenaltyCycles as usize] = tally.penalty_cycles;
+            c[Counter::SlowCycles as usize] = tally.slow_cycles;
+            c[Counter::ThrottleEpisodes as usize] = episodes;
+            c[Counter::Relays as usize] = tally.relays;
+            c[Counter::ThrottleRequests as usize] = tally.throttle_requests;
+            counters.push(c);
+            stats.push(RunStats {
+                cycles,
+                instructions: cycles - tally.penalty_cycles,
+                masked: tally.masked,
+                flagged: tally.flagged,
+                detected: tally.detected,
+                predicted: tally.predicted,
+                corrupted: tally.corrupted,
+                penalty_cycles: tally.penalty_cycles,
+                slow_cycles: tally.slow_cycles,
+                slowdown_episodes: episodes,
+                wall_time,
+                chain_histogram: tally.chain_hist,
+                energy: cycles as f64,
+            });
+        }
+        BatchRun { stats, counters }
+    }
+}
+
+/// Runs `cycles` clock cycles of every lane through the bit-sliced
+/// engine and returns per-lane statistics and telemetry counters.
+///
+/// # Panics
+///
+/// Panics if the configuration fails [`BatchConfig::validate`].
+pub fn run_batched(config: &BatchConfig, cycles: u64) -> BatchRun {
+    let mut engine = Engine::new(config);
+    for t in 0..cycles {
+        engine.step(t);
+    }
+    engine.finish(cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::BatchStageProfile;
+    use timber::CheckingPeriod;
+    use timber_netlist::Picos;
+    use timber_variability::StagePathProfile;
+
+    fn stress_profiles(stages: usize, critical: i64) -> Vec<BatchStageProfile> {
+        (0..stages)
+            .map(|s| {
+                let mut p = StagePathProfile::from_critical(Picos(critical + 10 * s as i64));
+                p.p_critical = 0.02;
+                p.p_near = 0.2;
+                BatchStageProfile::from_profile(&p)
+            })
+            .collect()
+    }
+
+    fn config(scheme: BatchScheme, lanes: usize, critical: i64) -> BatchConfig {
+        BatchConfig {
+            pipeline: PipelineConfig::new(4, Picos(1000)),
+            scheme,
+            workload: BatchWorkload::new(stress_profiles(4, critical), 2010),
+            lanes,
+        }
+    }
+
+    #[test]
+    fn quiet_workload_is_all_ok() {
+        let cfg = config(BatchScheme::Conventional, 8, 900);
+        let run = run_batched(&cfg, 2_000);
+        for stats in &run.stats {
+            assert_eq!(stats.cycles, 2_000);
+            assert_eq!(stats.instructions, 2_000);
+            assert_eq!(stats.violations(), 0);
+            assert_eq!(stats.wall_time, Picos(1000) * 2_000);
+            assert!(stats.chain_histogram.is_empty());
+        }
+    }
+
+    #[test]
+    fn timber_ff_masks_and_flags_under_stress() {
+        let sched = CheckingPeriod::new(Picos(1000), 24.0, 1, 2).unwrap();
+        let cfg = config(BatchScheme::TimberFf(sched), 64, 1040);
+        let run = run_batched(&cfg, 5_000);
+        let masked: u64 = run.stats.iter().map(|s| s.masked).sum();
+        let flagged: u64 = run.stats.iter().map(|s| s.flagged).sum();
+        assert!(masked > 0, "stress workload must mask");
+        assert!(flagged > 0, "chains must reach the ED region");
+        let slow: u64 = run.stats.iter().map(|s| s.slow_cycles).sum();
+        assert!(slow > 0, "flags must throttle the per-lane clock");
+        for (stats, counters) in run.stats.iter().zip(&run.counters) {
+            assert_eq!(counters[Counter::Masked as usize], stats.masked);
+            assert_eq!(counters[Counter::Flagged as usize], stats.flagged);
+            assert_eq!(
+                counters[Counter::ThrottleEpisodes as usize],
+                stats.slowdown_episodes
+            );
+        }
+    }
+
+    #[test]
+    fn detector_penalties_cost_instructions() {
+        let cfg = config(BatchScheme::Razor { window: Picos(200) }, 16, 1040);
+        let run = run_batched(&cfg, 5_000);
+        let detected: u64 = run.stats.iter().map(|s| s.detected).sum();
+        assert!(detected > 0);
+        for stats in &run.stats {
+            assert_eq!(stats.instructions + stats.penalty_cycles, stats.cycles);
+        }
+    }
+
+    #[test]
+    fn lane_count_below_64_works() {
+        for lanes in [1, 2, 63] {
+            let cfg = config(BatchScheme::SoftEdge { window: Picos(60) }, lanes, 1020);
+            let run = run_batched(&cfg, 500);
+            assert_eq!(run.stats.len(), lanes);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let sched = CheckingPeriod::new(Picos(1000), 24.0, 0, 2).unwrap();
+        let cfg = config(BatchScheme::TimberFf(sched), 32, 1040);
+        assert_eq!(run_batched(&cfg, 3_000), run_batched(&cfg, 3_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "open-loop controller")]
+    fn governor_is_rejected() {
+        let mut cfg = config(BatchScheme::Conventional, 4, 900);
+        cfg.pipeline.governor = Some(timber_resilience::GovernorConfig::default());
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "lanes must be in")]
+    fn lane_bounds_are_enforced() {
+        let cfg = config(BatchScheme::Conventional, 65, 900);
+        cfg.validate();
+    }
+}

@@ -1,0 +1,65 @@
+//! # timber-batch
+//!
+//! 64-lane bit-sliced Monte-Carlo trial batcher for the TIMBER
+//! (DATE 2010) reproduction's architectural simulator.
+//!
+//! The scalar hot path (`timber_pipeline::PipelineSim`) simulates one
+//! trial at a time: one cycle touches one stage row, one scheme object
+//! and one clock controller. Monte-Carlo sweeps, however, run many
+//! *independent* trials of the *same* configuration — the ideal shape
+//! for batching. This crate packs up to 64 trials ("lanes") into one
+//! engine where every per-lane boolean lives in a `u64` bit-plane
+//! (violation, chain-active, recovery-bubble, clock-watch) and every
+//! small per-lane integer lives in a dense byte/word plane (relay
+//! select, borrow carry, chain depth). A cycle step is then:
+//!
+//! 1. generate all 64 delays for a stage from a counter-mode generator
+//!    (pure function of `(lane_seed, cycle, stage)` — no RNG state),
+//! 2. build the violation bit-plane with one branch-free pass,
+//! 3. fall through instantly when `violation | chain` is all-zero
+//!    (the overwhelmingly common case in the paper's sparse-error
+//!    regime), otherwise service only the set bits.
+//!
+//! Determinism is preserved *exactly*: the scalar reference engine
+//! replays the identical delay planes through `PipelineSim` (via the
+//! [`timber_pipeline::DelayRows`] planned supply) with the real scheme
+//! objects, and [`reference::check_equivalence`] asserts per-lane
+//! [`timber_pipeline::RunStats`] and telemetry counters are
+//! bit-identical — the scalar↔bit-sliced gate `repro bench-check`
+//! enforces in CI.
+//!
+//! # Example
+//!
+//! ```
+//! use timber_batch::{BatchConfig, BatchScheme, BatchWorkload, BatchStageProfile};
+//! use timber_netlist::Picos;
+//! use timber_pipeline::PipelineConfig;
+//! use timber_variability::StagePathProfile;
+//!
+//! let profiles: Vec<BatchStageProfile> = (0..4)
+//!     .map(|_| BatchStageProfile::from_profile(&StagePathProfile::from_critical(Picos(980))))
+//!     .collect();
+//! let config = BatchConfig {
+//!     pipeline: PipelineConfig::new(4, Picos(1000)),
+//!     scheme: BatchScheme::Conventional,
+//!     workload: BatchWorkload::new(profiles, 7),
+//!     lanes: 64,
+//! };
+//! let run = timber_batch::run_batched(&config, 10_000);
+//! assert_eq!(run.stats.len(), 64);
+//! timber_batch::reference::check_equivalence(&config, 10_000, 2).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod reference;
+pub mod scheme;
+pub mod workload;
+
+pub use engine::{run_batched, BatchConfig, BatchRun, MAX_LANES};
+pub use scheme::BatchScheme;
+pub use workload::{BatchStageProfile, BatchWorkload, LaneDelays};
+
+#[cfg(test)]
+mod props;

@@ -1,0 +1,97 @@
+//! Property tests: the bit-sliced engine is bit-identical to the
+//! scalar path for all eight schemes across random `(k_tb, k_ed)`
+//! schedules, stress profiles, lane counts and thread counts.
+
+use proptest::prelude::*;
+use timber::CheckingPeriod;
+use timber_netlist::Picos;
+use timber_pipeline::PipelineConfig;
+use timber_variability::StagePathProfile;
+
+use crate::engine::BatchConfig;
+use crate::reference::check_equivalence;
+use crate::scheme::BatchScheme;
+use crate::workload::{BatchStageProfile, BatchWorkload};
+
+const PERIOD: Picos = Picos(1000);
+
+/// A violation-rich workload: criticals past the period so every
+/// outcome class (mask, flag, detect, predict, corrupt, chains,
+/// bubbles, throttles) is exercised.
+fn workload(stages: usize, over: i64, p_critical: f64, p_near: f64, seed: u64) -> BatchWorkload {
+    let profiles = (0..stages)
+        .map(|s| {
+            let critical = PERIOD.as_ps() + over + 20 * s as i64;
+            let mut p = StagePathProfile::from_critical(Picos(critical));
+            p.p_critical = p_critical;
+            p.p_near = p_near;
+            BatchStageProfile::from_profile(&p)
+        })
+        .collect();
+    BatchWorkload::new(profiles, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The satellite gate: per-trial `RunStats` and telemetry counters
+    /// bit-identical across engines for every scheme, over random
+    /// schedules, violation pressure, lane counts and thread counts.
+    #[test]
+    fn batched_equals_scalar_for_all_schemes(
+        schedule in (0u8..=2, 1u8..=2, 10.0f64..30.0),
+        pressure in (10i64..=120, 0.005f64..0.08, 0.05f64..0.3),
+        shape in (any::<u64>(), 1usize..=64, 1usize..=4, 200u64..=700),
+    ) {
+        let (k_tb, k_ed, pct) = schedule;
+        let (over, p_critical, p_near) = pressure;
+        let (seed, lanes, threads, cycles) = shape;
+        let sched = CheckingPeriod::new(PERIOD, pct, k_tb, k_ed).unwrap();
+        let schemes = [
+            BatchScheme::TimberFf(sched),
+            BatchScheme::TimberLatch(sched),
+            BatchScheme::Razor { window: sched.checking() },
+            BatchScheme::TransitionDetector { window: sched.checking() },
+            BatchScheme::Canary { guard: Picos(80) },
+            BatchScheme::SoftEdge { window: sched.interval() },
+            BatchScheme::LogicalMasking { coverage: 0.8, margin: sched.checking() },
+            BatchScheme::Conventional,
+        ];
+        for scheme in schemes {
+            let config = BatchConfig {
+                pipeline: PipelineConfig::new(5, PERIOD),
+                scheme,
+                workload: workload(5, over, p_critical, p_near, seed),
+                lanes,
+            };
+            check_equivalence(&config, cycles, threads)
+                .unwrap_or_else(|e| panic!("equivalence failed: {e}"));
+        }
+    }
+
+    /// Quiet workloads stay quiet in both engines (the all-clear fast
+    /// path must not skip real work).
+    #[test]
+    fn quiet_lanes_have_no_events(
+        seed in any::<u64>(),
+        lanes in 1usize..=64,
+        cycles in 100u64..=400,
+    ) {
+        let profiles = (0..4)
+            .map(|_| BatchStageProfile::from_profile(
+                &StagePathProfile::from_critical(Picos(880))))
+            .collect();
+        let config = BatchConfig {
+            pipeline: PipelineConfig::new(4, PERIOD),
+            scheme: BatchScheme::Conventional,
+            workload: BatchWorkload::new(profiles, seed),
+            lanes,
+        };
+        let run = crate::engine::run_batched(&config, cycles);
+        for stats in &run.stats {
+            prop_assert_eq!(stats.violations(), 0);
+            prop_assert_eq!(stats.instructions, cycles);
+        }
+        prop_assert!(check_equivalence(&config, cycles, 1).is_ok());
+    }
+}

@@ -1,0 +1,174 @@
+//! Scalar reference replay and the scalar↔bit-sliced equivalence gate.
+//!
+//! Every lane of a [`BatchConfig`] is replayed through the real
+//! `PipelineSim` (planned delay supply over the identical counter-mode
+//! delay plane, real scheme objects, real telemetry recorder),
+//! scattered over the shared work-pull executor. The per-lane
+//! `RunStats` and counters must be **bit-identical** to the bit-sliced
+//! engine's — that equality is the batcher's correctness argument, and
+//! `repro bench-check` enforces it as a hard within-run CI gate.
+
+use timber_pipeline::PipelineSim;
+use timber_resilience::scatter_strict;
+use timber_telemetry::{Counter, Recorder, RecorderConfig};
+
+use crate::engine::{run_batched, BatchConfig, BatchRun};
+
+/// Replays every lane through the scalar `PipelineSim` and collects
+/// per-lane statistics and counters in lane order.
+///
+/// `threads = 0` resolves to the detected core count; the merge order
+/// is the flat lane order regardless of thread count (the sweep
+/// machinery's determinism contract).
+///
+/// # Panics
+///
+/// Panics if the configuration fails [`BatchConfig::validate`].
+pub fn run_scalar_reference(config: &BatchConfig, cycles: u64, threads: usize) -> BatchRun {
+    config.validate();
+    let lanes: Vec<usize> = (0..config.lanes).collect();
+    let per_lane = scatter_strict(&lanes, threads, &|&lane| {
+        let mut scheme = config
+            .scheme
+            .build_scalar(config.pipeline.stages, config.workload.lane_seed(lane));
+        let mut rows = config.workload.lane_rows(lane);
+        // Ring capacity 0: counters only, no event storage cost.
+        let mut recorder = Recorder::new(
+            RecorderConfig::new(config.pipeline.stages, config.pipeline.nominal_period)
+                .ring_capacity(0),
+        );
+        let stats = PipelineSim::planned_with_telemetry(
+            config.pipeline,
+            scheme.as_mut(),
+            &mut rows,
+            &mut recorder,
+        )
+        .run(cycles);
+        let counters = Counter::ALL.map(|c| recorder.counter(c));
+        (stats, counters)
+    });
+    let (stats, counters) = per_lane.into_iter().unzip();
+    BatchRun { stats, counters }
+}
+
+/// Runs both engines and verifies bit-identity lane by lane.
+///
+/// Returns `Err` naming the first diverging lane and quantity; `Ok`
+/// means every lane's `RunStats` (including the chain histogram and
+/// wall time) and all 16 telemetry counters agree exactly.
+///
+/// # Panics
+///
+/// Panics if the configuration fails [`BatchConfig::validate`].
+pub fn check_equivalence(config: &BatchConfig, cycles: u64, threads: usize) -> Result<(), String> {
+    let batched = run_batched(config, cycles);
+    let scalar = run_scalar_reference(config, cycles, threads);
+    for lane in 0..config.lanes {
+        if batched.stats[lane] != scalar.stats[lane] {
+            return Err(format!(
+                "scheme {}: lane {lane} RunStats diverged\n  bit-sliced: {:?}\n  scalar:     {:?}",
+                config.scheme.name(),
+                batched.stats[lane],
+                scalar.stats[lane]
+            ));
+        }
+        if batched.counters[lane] != scalar.counters[lane] {
+            return Err(format!(
+                "scheme {}: lane {lane} telemetry counters diverged\n  bit-sliced: {:?}\n  scalar:     {:?}",
+                config.scheme.name(),
+                batched.counters[lane],
+                scalar.counters[lane]
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::BatchScheme;
+    use crate::workload::{BatchStageProfile, BatchWorkload};
+    use timber::CheckingPeriod;
+    use timber_netlist::Picos;
+    use timber_pipeline::PipelineConfig;
+    use timber_variability::StagePathProfile;
+
+    fn stress_workload(stages: usize, critical: i64, seed: u64) -> BatchWorkload {
+        let profiles = (0..stages)
+            .map(|s| {
+                let mut p = StagePathProfile::from_critical(Picos(critical + 15 * s as i64));
+                p.p_critical = 0.03;
+                p.p_near = 0.25;
+                BatchStageProfile::from_profile(&p)
+            })
+            .collect();
+        BatchWorkload::new(profiles, seed)
+    }
+
+    fn config(scheme: BatchScheme) -> BatchConfig {
+        BatchConfig {
+            pipeline: PipelineConfig::new(5, Picos(1000)),
+            scheme,
+            workload: stress_workload(5, 1050, 2010),
+            lanes: 64,
+        }
+    }
+
+    #[test]
+    fn all_schemes_match_scalar_reference() {
+        let sched = CheckingPeriod::deferred_flagging(Picos(1000), 24.0).unwrap();
+        let immediate = CheckingPeriod::immediate_flagging(Picos(1000), 24.0).unwrap();
+        let schemes = [
+            BatchScheme::TimberFf(sched),
+            BatchScheme::TimberFf(immediate),
+            BatchScheme::TimberLatch(sched),
+            BatchScheme::Razor {
+                window: sched.checking(),
+            },
+            BatchScheme::TransitionDetector {
+                window: sched.checking(),
+            },
+            BatchScheme::Canary { guard: Picos(80) },
+            BatchScheme::SoftEdge {
+                window: sched.interval(),
+            },
+            BatchScheme::LogicalMasking {
+                coverage: 0.8,
+                margin: sched.checking(),
+            },
+            BatchScheme::Conventional,
+        ];
+        for scheme in schemes {
+            check_equivalence(&config(scheme), 4_000, 2)
+                .unwrap_or_else(|e| panic!("equivalence failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn scalar_reference_is_thread_count_invariant() {
+        let sched = CheckingPeriod::deferred_flagging(Picos(1000), 24.0).unwrap();
+        let cfg = config(BatchScheme::TimberFf(sched));
+        let one = run_scalar_reference(&cfg, 2_000, 1);
+        let four = run_scalar_reference(&cfg, 2_000, 4);
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn partial_lane_batches_match_too() {
+        let sched = CheckingPeriod::deferred_flagging(Picos(1000), 24.0).unwrap();
+        for lanes in [1, 3, 17] {
+            let mut cfg = config(BatchScheme::TimberFf(sched));
+            cfg.lanes = lanes;
+            check_equivalence(&cfg, 1_500, 2).unwrap();
+        }
+    }
+
+    #[test]
+    fn pending_bubbles_at_run_end_do_not_diverge() {
+        // A heavy detection workload ends mid-penalty with high
+        // probability; both engines must account identically.
+        let cfg = config(BatchScheme::Razor { window: Picos(300) });
+        check_equivalence(&cfg, 1_001, 3).unwrap();
+    }
+}

@@ -4,7 +4,7 @@
 //! repro [table1|fig1|fig2|fig5|fig7|fig8|claims|compare|margin|\
 //!        ablation-schedule|ablation-droop|metastability|validate|\
 //!        bench|all] [--json] [--threads N]
-//! repro bench [--json] [--out BENCH.json]
+//! repro bench [--json] [--out BENCH.json] [--batch {on,off,auto}]
 //! repro trace <claims|claims-netlist> [--telemetry OUT.json] [--threads N]
 //! repro bench-check --fresh FRESH.json [--baseline BASE.json]
 //!                   [--tolerance 0.15] [--max-overhead 0.5]
@@ -20,9 +20,14 @@
 //! any number, only wall-clock time. `bench` times the sweep engine
 //! and writes the baseline to `--out` (default `BENCH_pipeline.json`;
 //! CI writes to a scratch path so the committed baseline is never
-//! clobbered). `bench-check` gates a fresh measurement: the within-run
-//! hardware-independent checks (thread-count invariance, telemetry
-//! overhead ratio vs `--max-overhead`) always run, and with
+//! clobbered); `--batch {on,off,auto}` controls the bit-sliced 64-lane
+//! batching measurement (default `auto`; `off` records
+//! `batched: null`). `bench-check` gates a fresh measurement: the
+//! within-run hardware-independent checks (thread-count invariance,
+//! telemetry overhead ratio vs `--max-overhead`, the multi-core
+//! scaling floor, and scalar<->bit-sliced equivalence plus the
+//! batching speed floor when the document carries a `batched` section)
+//! always run and report every breach in one invocation, and with
 //! `--baseline` the machine-dependent throughput comparison against a
 //! committed document runs too (`--tolerance`, two-sided). `trace`
 //! runs an experiment with telemetry attached and writes the JSON
@@ -64,6 +69,7 @@ fn main() {
     let mut out: Option<String> = None;
     let mut tolerance: f64 = 0.15;
     let mut max_overhead: f64 = 0.5;
+    let mut batch = perf::BatchMode::Auto;
     let mut deny: Option<String> = None;
     let mut seed: u64 = conform::DEFAULT_SEED;
     let mut full = false;
@@ -126,6 +132,12 @@ fn main() {
             tolerance = v
                 .parse()
                 .unwrap_or_else(|_| die("--tolerance needs a fraction, e.g. 0.15"));
+        } else if arg == "--batch" {
+            batch = value_of("--batch", &mut i)
+                .parse()
+                .unwrap_or_else(|e| die(&format!("--batch {e}")));
+        } else if let Some(v) = arg.strip_prefix("--batch=") {
+            batch = v.parse().unwrap_or_else(|e| die(&format!("--batch {e}")));
         } else if arg == "--deny" {
             deny = Some(value_of("--deny", &mut i));
         } else if let Some(v) = arg.strip_prefix("--deny=") {
@@ -405,7 +417,7 @@ fn main() {
         } else {
             println!("== Sweep-engine baseline (writes {out_path}) ==");
         }
-        let r = perf::pipeline_baseline_threaded(2_000_000, threads);
+        let r = perf::pipeline_baseline_threaded(2_000_000, threads, batch);
         let doc = perf::bench_json(&r);
         std::fs::write(out_path, format!("{doc}\n"))
             .unwrap_or_else(|e| die(&format!("cannot write {out_path}: {e}")));
@@ -414,10 +426,14 @@ fn main() {
         } else {
             println!("{}", perf::render_bench(&r));
         }
-        // A gate verdict, not a programming error: exit 1 with a
+        // Gate verdicts, not programming errors: exit 1 with a
         // diagnostic instead of unwinding through a panic.
         if !r.identical {
             eprintln!("repro bench FAILED: thread count changed sweep results");
+            std::process::exit(1);
+        }
+        if r.batched.is_some_and(|b| !b.identical) {
+            eprintln!("repro bench FAILED: scalar and bit-sliced engines diverged");
             std::process::exit(1);
         }
     }

@@ -14,7 +14,9 @@ use timber_schemes::{
     render_table1, CanaryFf, LogicalMasking, MarginedFlop, RazorFf, SoftEdgeFf,
     TransitionDetectorFf,
 };
-use timber_variability::{CompositeVariability, SensitizationModel, VariabilityBuilder};
+use timber_variability::{
+    CompositeVariability, SensitizationModel, StagePathProfile, VariabilityBuilder,
+};
 use timber_wavesim::render_waves;
 
 /// Default clock period used across experiments.
@@ -280,12 +282,19 @@ impl ClaimsResult {
     }
 }
 
+/// The per-stage path profiles of the shared stress environment: a
+/// high-performance processor model (critical paths at 97% of the
+/// cycle). The claims sensitization and the bit-sliced bench workload
+/// both derive from these.
+pub fn stress_stage_profiles(stages: usize, seed: u64) -> Vec<StagePathProfile> {
+    ProcessorModel::generate(PerfPoint::High, 256, PERIOD, seed).stage_profiles(stages)
+}
+
 /// The sensitization half of the shared stress environment: stage
 /// profiles from a high-performance processor model (critical paths at
 /// 97% of the cycle).
 pub fn stress_sensitization(stages: usize, seed: u64) -> SensitizationModel {
-    let proc = ProcessorModel::generate(PerfPoint::High, 256, PERIOD, seed);
-    SensitizationModel::new(proc.stage_profiles(stages), seed ^ 0x5EED)
+    SensitizationModel::new(stress_stage_profiles(stages, seed), seed ^ 0x5EED)
 }
 
 /// The variability half of the shared stress environment: voltage

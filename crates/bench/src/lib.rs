@@ -43,5 +43,8 @@ pub use experiments::{
 };
 pub use lintgate::{gate_config, gate_passes, lint_all, render_reports, shipped_netlists};
 pub use margin::{margin_recovery, render_margin, MarginRow};
-pub use perf::{bench_check, pipeline_baseline, pipeline_baseline_threaded, BenchResult, BenchRun};
+pub use perf::{
+    bench_check, pipeline_baseline, pipeline_baseline_threaded, BatchBench, BatchMode, BenchResult,
+    BenchRun,
+};
 pub use trace::{trace_experiment, TraceResult, DEFAULT_RING_CAPACITY};

@@ -1,25 +1,77 @@
 //! Engine-throughput baseline: measures the Monte-Carlo sweep engine
-//! on the claims workload at one and at all cores, checks the results
-//! are identical, and serialises the numbers as `BENCH_pipeline.json`
-//! so later changes can be compared against a committed baseline.
+//! on the claims workload at one and at all cores, times the bit-sliced
+//! 64-lane batcher against the same-process scalar figures, checks that
+//! every run is bit-identical, and serialises the numbers as
+//! `BENCH_pipeline.json` so later changes can be compared against a
+//! committed baseline.
 //!
 //! Two kinds of gate read that document:
 //!
-//! * **Within-run** (hardware-independent): `identical_across_threads`
-//!   and the telemetry-overhead ratio — instrumented vs no-op-sink wall
-//!   clock of the *same* sweep in the *same* process — do not depend on
-//!   how fast the machine is, so CI can gate them hard even on shared
-//!   runners.
+//! * **Within-run** (hardware-independent): `identical_across_threads`,
+//!   the telemetry-overhead ratio, the multi-core scaling floor
+//!   (`speedup >= 0.7 x min(threads, cores)`), and the bit-sliced
+//!   batching tier (scalar<->bit-sliced equivalence plus
+//!   `speedup_batched >= 4x` the scalar single-thread throughput).
+//!   Every figure is a ratio of two measurements taken on one machine
+//!   in one process, so CI can gate them hard even on shared runners.
 //! * **Cross-run** (machine-dependent): absolute `cycles_per_second`
 //!   against a committed baseline. Meaningful on the machine that wrote
 //!   the baseline; advisory on heterogeneous CI hardware.
 
+use std::str::FromStr;
 use std::time::Instant;
 
 use serde_json::{json, Value};
+use timber::CheckingPeriod;
+use timber_batch::{
+    reference, run_batched, BatchConfig, BatchScheme, BatchStageProfile, BatchWorkload, MAX_LANES,
+};
+use timber_netlist::Picos;
+use timber_pipeline::PipelineConfig;
 
-use crate::experiments::{self, ClaimsResult, TRIALS};
+use crate::experiments::{self, ClaimsResult, PERIOD, SEED, TRIALS};
 use crate::trace::DEFAULT_RING_CAPACITY;
+
+/// Within-run scaling floor: the multi-thread speedup must reach this
+/// fraction of `min(threads, cores)`. Hardware-independent because both
+/// sides of the ratio come from the same process on the same machine.
+pub const SCALING_FLOOR_FRACTION: f64 = 0.7;
+
+/// Within-run batching floor: the bit-sliced engine must deliver at
+/// least this multiple of the scalar single-thread cycles/second.
+pub const BATCH_SPEEDUP_FLOOR: f64 = 4.0;
+
+/// Whether `repro bench` runs the bit-sliced batching measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchMode {
+    /// Decide automatically (currently always measures; the variant is
+    /// reserved for future size/host heuristics). The default.
+    Auto,
+    /// Always measure the batched path.
+    On,
+    /// Skip the batched path; the document records `batched: null`.
+    Off,
+}
+
+impl BatchMode {
+    /// Whether the batched measurement runs under this mode.
+    pub fn enabled(self) -> bool {
+        !matches!(self, BatchMode::Off)
+    }
+}
+
+impl FromStr for BatchMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<BatchMode, String> {
+        match s {
+            "auto" => Ok(BatchMode::Auto),
+            "on" => Ok(BatchMode::On),
+            "off" => Ok(BatchMode::Off),
+            other => Err(format!("expects `on`, `off` or `auto`, got {other:?}")),
+        }
+    }
+}
 
 /// One timed execution of the baseline workload.
 #[derive(Debug, Clone, Copy)]
@@ -47,7 +99,33 @@ pub struct OverheadRun {
     pub ratio: f64,
 }
 
-/// The full baseline: the claims sweep timed single- and multi-threaded.
+/// The bit-sliced batching measurement: 64 Monte-Carlo lanes evaluated
+/// in one engine pass, cross-checked bit-for-bit against the scalar
+/// `PipelineSim` replay of the identical counter-mode workload.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchBench {
+    /// Trials packed into the bit-plane batch.
+    pub lanes: usize,
+    /// Simulated cycles per lane.
+    pub cycles_per_lane: u64,
+    /// Total simulated lane-cycles (`lanes * cycles_per_lane`).
+    pub total_cycles: u64,
+    /// Wall-clock of the bit-sliced engine.
+    pub wall_seconds: f64,
+    /// Lane-cycles per second of the bit-sliced engine.
+    pub cycles_per_second: f64,
+    /// Wall-clock of the single-threaded scalar replay of the same
+    /// lanes.
+    pub scalar_replay_wall_seconds: f64,
+    /// Lane-cycles per second of the scalar replay.
+    pub scalar_replay_cycles_per_second: f64,
+    /// Whether the per-lane statistics and telemetry counters of both
+    /// engines were bit-identical (they must be).
+    pub identical: bool,
+}
+
+/// The full baseline: the claims sweep timed single- and
+/// multi-threaded, plus the optional bit-sliced batching measurement.
 #[derive(Debug, Clone)]
 pub struct BenchResult {
     /// Trials per sweep cell.
@@ -56,14 +134,22 @@ pub struct BenchResult {
     pub cycles_per_trial: u64,
     /// Total simulated cycles per execution (all schemes, all trials).
     pub total_cycles: u64,
+    /// Detected core count ([`std::thread::available_parallelism`]),
+    /// recorded so the scaling floor can be judged hardware-independently.
+    pub cores: usize,
     /// Single-threaded run.
     pub single: BenchRun,
-    /// Multi-threaded run (all available cores).
+    /// Multi-threaded run (all available cores unless overridden).
     pub multi: BenchRun,
     /// Multi- over single-thread wall-clock speedup.
     pub speedup: f64,
     /// Recorder-instrumented vs no-op-sink cost of the same sweep.
     pub overhead: OverheadRun,
+    /// The bit-sliced batching measurement (`None` with `--batch off`).
+    pub batched: Option<BatchBench>,
+    /// Batched over scalar single-thread cycles/second (`None` with
+    /// `--batch off`).
+    pub speedup_batched: Option<f64>,
     /// Whether every run (single, multi, instrumented) produced
     /// bit-identical statistics (they must).
     pub identical: bool,
@@ -75,32 +161,82 @@ fn timed(cycles: u64, threads: usize) -> (f64, ClaimsResult) {
     (start.elapsed().as_secs_f64(), result)
 }
 
+/// The bit-sliced bench workload: the stress stage profiles with the
+/// critical paths pushed past the nominal edge, so the measurement
+/// exercises the masking/relay event path rather than an all-quiet
+/// sweep, on a floor of 1% critical-path sensitization.
+fn batch_config() -> BatchConfig {
+    let profiles: Vec<BatchStageProfile> = experiments::stress_stage_profiles(5, SEED)
+        .into_iter()
+        .map(|mut p| {
+            p.critical = Picos(p.critical.as_ps() + 80);
+            p.p_critical = p.p_critical.max(0.01);
+            BatchStageProfile::from_profile(&p)
+        })
+        .collect();
+    let sched = CheckingPeriod::deferred_flagging(PERIOD, 24.0).expect("valid schedule");
+    BatchConfig {
+        pipeline: PipelineConfig::new(5, PERIOD),
+        scheme: BatchScheme::TimberFf(sched),
+        workload: BatchWorkload::new(profiles, SEED),
+        lanes: MAX_LANES,
+    }
+}
+
+/// Times the bit-sliced engine and its single-threaded scalar replay
+/// on the identical 64-lane workload and cross-checks bit-identity.
+fn batch_baseline(cycles: u64) -> BatchBench {
+    let config = batch_config();
+    // Match the claims sweep's total simulated volume (two schemes at
+    // `cycles` each) so the wall clocks are comparable.
+    let cycles_per_lane = (2 * cycles / MAX_LANES as u64).max(1);
+    let total_cycles = cycles_per_lane * MAX_LANES as u64;
+    let start = Instant::now();
+    let batched = run_batched(&config, cycles_per_lane);
+    let wall = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let scalar = reference::run_scalar_reference(&config, cycles_per_lane, 1);
+    let replay_wall = start.elapsed().as_secs_f64();
+    BatchBench {
+        lanes: MAX_LANES,
+        cycles_per_lane,
+        total_cycles,
+        wall_seconds: wall,
+        cycles_per_second: total_cycles as f64 / wall,
+        scalar_replay_wall_seconds: replay_wall,
+        scalar_replay_cycles_per_second: total_cycles as f64 / replay_wall,
+        identical: batched == scalar,
+    }
+}
+
 /// Times the claims sweep (`cycles` total cycles per scheme) with one
-/// worker thread and with every available core, and cross-checks that
-/// the thread count did not change a single statistic.
+/// worker thread and with every available core, cross-checks that the
+/// thread count did not change a single statistic, and runs the
+/// bit-sliced batching measurement.
 pub fn pipeline_baseline(cycles: u64) -> BenchResult {
-    pipeline_baseline_threaded(cycles, 0)
+    pipeline_baseline_threaded(cycles, 0, BatchMode::Auto)
 }
 
 /// [`pipeline_baseline`] with an explicit worker-thread count for the
-/// multi-threaded run. `0` clamps to
-/// [`std::thread::available_parallelism`] (the single-threaded
-/// reference run always uses one worker).
-pub fn pipeline_baseline_threaded(cycles: u64, threads: usize) -> BenchResult {
-    let cores = match threads {
-        0 => std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
+/// multi-threaded run and an explicit [`BatchMode`]. `threads == 0`
+/// clamps to [`std::thread::available_parallelism`] (the
+/// single-threaded reference run always uses one worker).
+pub fn pipeline_baseline_threaded(cycles: u64, threads: usize, batch: BatchMode) -> BenchResult {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let multi_threads = match threads {
+        0 => cores,
         n => n,
     };
     let (wall_single, single) = timed(cycles, 1);
-    let (wall_multi, multi) = timed(cycles, cores);
+    let (wall_multi, multi) = timed(cycles, multi_threads);
     // Same sweep once more with a recorder attached: the instrumented /
     // no-op ratio is the within-run overhead gate, and the statistics
     // must not change just because telemetry watched.
     let start = Instant::now();
     let (traced, _recorders) =
-        experiments::claims_spec(cycles, cores).run_with_telemetry(DEFAULT_RING_CAPACITY);
+        experiments::claims_spec(cycles, multi_threads).run_with_telemetry(DEFAULT_RING_CAPACITY);
     let wall_instrumented = start.elapsed().as_secs_f64();
     let instrumented_identical =
         traced.cell(0, 0) == &multi.deferred && traced.cell(1, 0) == &multi.immediate;
@@ -110,18 +246,26 @@ pub fn pipeline_baseline_threaded(cycles: u64, threads: usize) -> BenchResult {
         wall_seconds: wall,
         cycles_per_second: total_cycles as f64 / wall,
     };
+    let single_run = run(1, wall_single);
+    let batched = batch.enabled().then(|| batch_baseline(cycles));
+    let speedup_batched = batched
+        .as_ref()
+        .map(|b| b.cycles_per_second / single_run.cycles_per_second);
     BenchResult {
         trials: TRIALS,
         cycles_per_trial: (cycles / TRIALS as u64).max(1),
         total_cycles,
-        single: run(1, wall_single),
-        multi: run(cores, wall_multi),
+        cores,
+        single: single_run,
+        multi: run(multi_threads, wall_multi),
         speedup: wall_single / wall_multi,
         overhead: OverheadRun {
             noop_wall_seconds: wall_multi,
             instrumented_wall_seconds: wall_instrumented,
             ratio: wall_instrumented / wall_multi,
         },
+        batched,
+        speedup_batched,
         identical: single.deferred == multi.deferred
             && single.immediate == multi.immediate
             && instrumented_identical,
@@ -136,6 +280,21 @@ fn run_json(r: &BenchRun) -> Value {
     })
 }
 
+fn batch_json(b: &BatchBench) -> Value {
+    json!({
+        "lanes": b.lanes,
+        "cycles_per_lane": b.cycles_per_lane,
+        "total_cycles": b.total_cycles,
+        "wall_seconds": b.wall_seconds,
+        "cycles_per_second": b.cycles_per_second,
+        "scalar_replay": json!({
+            "wall_seconds": b.scalar_replay_wall_seconds,
+            "cycles_per_second": b.scalar_replay_cycles_per_second,
+        }),
+        "identical_scalar_bitsliced": b.identical,
+    })
+}
+
 /// Serialises a [`BenchResult`] as the `BENCH_pipeline.json` document.
 pub fn bench_json(r: &BenchResult) -> String {
     serde_json::to_string_pretty(&json!({
@@ -143,6 +302,7 @@ pub fn bench_json(r: &BenchResult) -> String {
         "trials": r.trials,
         "cycles_per_trial": r.cycles_per_trial,
         "total_cycles": r.total_cycles,
+        "cores": r.cores,
         "single_thread": json!(run_json(&r.single)),
         "multi_thread": json!(run_json(&r.multi)),
         "speedup": r.speedup,
@@ -151,6 +311,8 @@ pub fn bench_json(r: &BenchResult) -> String {
             "instrumented_wall_seconds": r.overhead.instrumented_wall_seconds,
             "ratio": r.overhead.ratio,
         }),
+        "batched": r.batched.as_ref().map(batch_json).unwrap_or(Value::Null),
+        "speedup_batched": r.speedup_batched.map(|v| json!(v)).unwrap_or(Value::Null),
         "identical_across_threads": r.identical,
     }))
     .expect("serialise bench result")
@@ -158,8 +320,8 @@ pub fn bench_json(r: &BenchResult) -> String {
 
 /// Renders the baseline as text.
 pub fn render_bench(r: &BenchResult) -> String {
-    format!(
-        "claims sweep: {} trials x {} cycles, {} total simulated cycles\n\
+    let mut out = format!(
+        "claims sweep: {} trials x {} cycles, {} total simulated cycles ({} cores detected)\n\
          single thread ({}): {:.3} s  ({:.0} cycles/s)\n\
          multi  thread ({}): {:.3} s  ({:.0} cycles/s)\n\
          speedup: {:.2}x   results identical across thread counts: {}\n\
@@ -167,6 +329,7 @@ pub fn render_bench(r: &BenchResult) -> String {
         r.trials,
         r.cycles_per_trial,
         r.total_cycles,
+        r.cores,
         r.single.threads,
         r.single.wall_seconds,
         r.single.cycles_per_second,
@@ -178,7 +341,24 @@ pub fn render_bench(r: &BenchResult) -> String {
         r.overhead.instrumented_wall_seconds,
         r.overhead.noop_wall_seconds,
         r.overhead.ratio,
-    )
+    );
+    match (&r.batched, r.speedup_batched) {
+        (Some(b), Some(sb)) => out.push_str(&format!(
+            "batched ({} lanes x {} cycles): {:.3} s  ({:.0} lane-cycles/s), \
+             scalar replay {:.3} s  ({:.0}/s), bit-identical: {}\n\
+             speedup_batched: {:.2}x over scalar single thread\n",
+            b.lanes,
+            b.cycles_per_lane,
+            b.wall_seconds,
+            b.cycles_per_second,
+            b.scalar_replay_wall_seconds,
+            b.scalar_replay_cycles_per_second,
+            b.identical,
+            sb,
+        )),
+        _ => out.push_str("batched: off\n"),
+    }
+    out
 }
 
 /// Extracts `<section>.cycles_per_second` from a bench JSON document.
@@ -194,10 +374,16 @@ fn throughput(doc: &Value, section: &str, label: &str) -> Result<f64, String> {
 /// Two tiers of checks run on the fresh document:
 ///
 /// * **Within-run** (always): `identical_across_threads` must be true,
-///   and the recorder-instrumented sweep must cost at most
+///   the recorder-instrumented sweep must cost at most
 ///   `1 + max_overhead` times the no-op-sink sweep
-///   (`telemetry_overhead.ratio`). Both were measured on one machine
-///   in one process, so they hold regardless of runner hardware.
+///   (`telemetry_overhead.ratio`), the multi-thread speedup must reach
+///   [`SCALING_FLOOR_FRACTION`]` x min(threads, cores)`, and — when the
+///   document carries a `batched` measurement — the bit-sliced engine
+///   must be bit-identical to the scalar replay and `speedup_batched`
+///   must reach [`BATCH_SPEEDUP_FLOOR`]. All were measured on one
+///   machine in one process, so they hold regardless of runner
+///   hardware. Every failed criterion is reported; the check never
+///   stops at the first breach.
 /// * **Cross-run** (only with `baseline_json`): each
 ///   `cycles_per_second` figure (single- and multi-threaded) must stay
 ///   within `±tolerance` (e.g. `0.15` = ±15%) of the baseline. A
@@ -210,8 +396,9 @@ fn throughput(doc: &Value, section: &str, label: &str) -> Result<f64, String> {
 ///
 /// # Errors
 ///
-/// Returns a message listing every out-of-tolerance metric (or the
-/// parse failure) — the CI gate prints it and exits non-zero.
+/// Returns a message listing *every* failed criterion (within-run
+/// breaches, out-of-tolerance metrics, missing fields) in one
+/// invocation — the CI gate prints it and exits non-zero.
 pub fn bench_check(
     baseline_json: Option<&str>,
     fresh_json: &str,
@@ -225,28 +412,85 @@ pub fn bench_check(
     assert!(max_overhead > 0.0, "max_overhead must be positive");
     let fresh: Value =
         serde_json::from_str(fresh_json).map_err(|e| format!("fresh: invalid JSON: {e}"))?;
-    if fresh["identical_across_threads"] != Value::Bool(true) {
-        return Err("fresh run was not identical across thread counts".to_owned());
-    }
 
     let mut report = String::new();
     let mut breaches = Vec::new();
 
-    let overhead = fresh["telemetry_overhead"]["ratio"]
-        .as_f64()
-        .filter(|v| *v > 0.0)
-        .ok_or("fresh: missing or non-positive telemetry_overhead.ratio")?;
-    let line = format!(
-        "telemetry overhead: instrumented sweep costs {overhead:.2}x the no-op sweep \
-         (allowed {:.2}x)",
-        1.0 + max_overhead
-    );
-    report.push_str(&line);
-    report.push('\n');
-    if overhead > 1.0 + max_overhead {
-        breaches.push(format!("{line} -- recorder instrumentation too expensive"));
+    // -- Within-run tier (hard): every criterion is checked and every
+    // breach recorded, so one invocation surfaces them all together.
+    if fresh["identical_across_threads"] != Value::Bool(true) {
+        breaches.push("fresh run was not identical across thread counts".to_owned());
     }
 
+    match fresh["telemetry_overhead"]["ratio"]
+        .as_f64()
+        .filter(|v| *v > 0.0)
+    {
+        None => breaches.push("fresh: missing or non-positive telemetry_overhead.ratio".to_owned()),
+        Some(overhead) => {
+            let line = format!(
+                "telemetry overhead: instrumented sweep costs {overhead:.2}x the no-op sweep \
+                 (allowed {:.2}x)",
+                1.0 + max_overhead
+            );
+            report.push_str(&line);
+            report.push('\n');
+            if overhead > 1.0 + max_overhead {
+                breaches.push(format!("{line} -- recorder instrumentation too expensive"));
+            }
+        }
+    }
+
+    let speedup = fresh["speedup"].as_f64().filter(|v| *v > 0.0);
+    let threads = fresh["multi_thread"]["threads"].as_u64().filter(|v| *v > 0);
+    let cores = fresh["cores"].as_u64().filter(|v| *v > 0);
+    match (speedup, threads, cores) {
+        (Some(s), Some(t), Some(c)) => {
+            let floor = SCALING_FLOOR_FRACTION * t.min(c) as f64;
+            let line = format!(
+                "scaling: speedup {s:.2}x on {t} threads / {c} cores \
+                 (floor {floor:.2}x = {SCALING_FLOOR_FRACTION} x min(threads, cores))"
+            );
+            report.push_str(&line);
+            report.push('\n');
+            if s < floor {
+                breaches.push(format!(
+                    "{line} -- parallel dispatch below the scaling floor"
+                ));
+            }
+        }
+        _ => breaches.push(
+            "fresh: missing speedup, multi_thread.threads or cores for the scaling floor"
+                .to_owned(),
+        ),
+    }
+
+    if fresh["batched"] == Value::Null {
+        report.push_str("batched: off (no bit-sliced measurement in this document)\n");
+    } else {
+        if fresh["batched"]["identical_scalar_bitsliced"] != Value::Bool(true) {
+            breaches
+                .push("batched: scalar and bit-sliced engines were not bit-identical".to_owned());
+        }
+        match fresh["speedup_batched"].as_f64().filter(|v| *v > 0.0) {
+            None => breaches.push("fresh: missing or non-positive speedup_batched".to_owned()),
+            Some(sb) => {
+                let line = format!(
+                    "batched: {sb:.2}x the scalar single-thread throughput \
+                     (floor {BATCH_SPEEDUP_FLOOR:.2}x)"
+                );
+                report.push_str(&line);
+                report.push('\n');
+                if sb < BATCH_SPEEDUP_FLOOR {
+                    breaches.push(format!(
+                        "{line} -- bit-sliced engine below the batching floor"
+                    ));
+                }
+            }
+        }
+    }
+
+    // -- Cross-run tier (advisory on heterogeneous hardware).
     if let Some(baseline_json) = baseline_json {
         let baseline: Value = serde_json::from_str(baseline_json)
             .map_err(|e| format!("baseline: invalid JSON: {e}"))?;
@@ -286,47 +530,128 @@ mod tests {
 
     #[test]
     fn baseline_is_thread_count_invariant_and_well_formed() {
-        let r = pipeline_baseline(40_000);
+        let r = pipeline_baseline_threaded(40_000, 0, BatchMode::Off);
         assert!(r.identical, "thread count must not change results");
         assert_eq!(r.trials, TRIALS);
         assert_eq!(r.total_cycles, 2 * TRIALS as u64 * r.cycles_per_trial);
+        assert!(r.cores >= 1);
         assert!(r.single.cycles_per_second > 0.0);
         assert!(r.multi.cycles_per_second > 0.0);
+        assert!(r.batched.is_none());
+        assert!(r.speedup_batched.is_none());
 
         let js = bench_json(&r);
-        let back = serde_json::from_str(&js).expect("valid json");
+        let back: Value = serde_json::from_str(&js).expect("valid json");
         assert_eq!(back["benchmark"], "pipeline_sweep_claims");
         assert_eq!(back["identical_across_threads"], serde_json::json!(true));
+        assert!(back["cores"].as_u64().unwrap() >= 1);
+        assert_eq!(back["batched"], Value::Null);
+        assert_eq!(back["speedup_batched"], Value::Null);
         assert!(back["single_thread"]["cycles_per_second"].as_f64().unwrap() > 0.0);
         assert!(back["telemetry_overhead"]["ratio"].as_f64().unwrap() > 0.0);
         assert!(!render_bench(&r).is_empty());
-        // The baseline's own document passes the within-run gate
-        // (generous bound: this tiny workload only exercises plumbing;
-        // CI gates the full-size run at the real bound).
-        bench_check(None, &js, 0.15, 10.0).expect("fresh baseline gates itself");
+        assert!(render_bench(&r).contains("batched: off"));
+    }
+
+    #[test]
+    fn batched_measurement_is_equivalent_and_reported() {
+        let r = pipeline_baseline_threaded(40_000, 1, BatchMode::On);
+        let b = r.batched.expect("batched measurement present");
+        assert!(b.identical, "scalar and bit-sliced engines must agree");
+        assert_eq!(b.lanes, MAX_LANES);
+        assert_eq!(b.total_cycles, b.cycles_per_lane * MAX_LANES as u64);
+        assert!(b.cycles_per_second > 0.0);
+        assert!(r.speedup_batched.unwrap() > 0.0);
+
+        let js = bench_json(&r);
+        let back: Value = serde_json::from_str(&js).expect("valid json");
+        assert_eq!(
+            back["batched"]["identical_scalar_bitsliced"],
+            serde_json::json!(true)
+        );
+        assert!(back["batched"]["cycles_per_second"].as_f64().unwrap() > 0.0);
+        assert!(back["speedup_batched"].as_f64().unwrap() > 0.0);
+        assert!(render_bench(&r).contains("speedup_batched"));
     }
 
     #[test]
     fn explicit_thread_count_is_respected() {
-        let r = pipeline_baseline_threaded(40_000, 3);
+        let r = pipeline_baseline_threaded(40_000, 3, BatchMode::Off);
         assert_eq!(r.multi.threads, 3);
         assert_eq!(r.single.threads, 1);
         assert!(r.identical);
     }
 
-    fn doc_with_overhead(single_cps: f64, multi_cps: f64, overhead: f64) -> String {
+    #[test]
+    fn batch_mode_parses_per_the_cli_contract() {
+        assert_eq!("on".parse::<BatchMode>().unwrap(), BatchMode::On);
+        assert_eq!("off".parse::<BatchMode>().unwrap(), BatchMode::Off);
+        assert_eq!("auto".parse::<BatchMode>().unwrap(), BatchMode::Auto);
+        assert!(BatchMode::Auto.enabled());
+        assert!(BatchMode::On.enabled());
+        assert!(!BatchMode::Off.enabled());
+        let err = "maybe".parse::<BatchMode>().unwrap_err();
+        assert!(err.contains("maybe"), "{err}");
+        assert!(err.contains("on"), "{err}");
+    }
+
+    /// A synthetic well-formed bench document for the gate tests. The
+    /// knobs cover every within-run criterion.
+    #[allow(clippy::too_many_arguments)]
+    fn doc_full(
+        single_cps: f64,
+        multi_cps: f64,
+        overhead: f64,
+        speedup: f64,
+        threads: u64,
+        cores: u64,
+        batched_identical: Option<bool>,
+        speedup_batched: Option<f64>,
+    ) -> String {
+        let batched = match batched_identical {
+            None => Value::Null,
+            Some(identical) => json!({
+                "lanes": 64,
+                "cycles_per_lane": 10_000,
+                "total_cycles": 640_000,
+                "wall_seconds": 0.1,
+                "cycles_per_second": 6_400_000.0,
+                "scalar_replay": json!({
+                    "wall_seconds": 0.4,
+                    "cycles_per_second": 1_600_000.0,
+                }),
+                "identical_scalar_bitsliced": identical,
+            }),
+        };
         serde_json::to_string_pretty(&json!({
             "benchmark": "pipeline_sweep_claims",
+            "cores": cores,
             "single_thread": json!({"threads": 1, "wall_seconds": 1.0, "cycles_per_second": single_cps}),
-            "multi_thread": json!({"threads": 4, "wall_seconds": 0.5, "cycles_per_second": multi_cps}),
+            "multi_thread": json!({"threads": threads, "wall_seconds": 0.5, "cycles_per_second": multi_cps}),
+            "speedup": speedup,
             "telemetry_overhead": json!({
                 "noop_wall_seconds": 0.5,
                 "instrumented_wall_seconds": 0.5 * overhead,
                 "ratio": overhead,
             }),
+            "batched": batched,
+            "speedup_batched": speedup_batched.map(|v| json!(v)).unwrap_or(Value::Null),
             "identical_across_threads": true,
         }))
         .unwrap()
+    }
+
+    fn doc_with_overhead(single_cps: f64, multi_cps: f64, overhead: f64) -> String {
+        doc_full(
+            single_cps,
+            multi_cps,
+            overhead,
+            3.4,
+            4,
+            4,
+            Some(true),
+            Some(6.0),
+        )
     }
 
     fn doc(single_cps: f64, multi_cps: f64) -> String {
@@ -341,6 +666,8 @@ mod tests {
         assert!(report.contains("single_thread"), "{report}");
         assert!(report.contains("multi_thread"), "{report}");
         assert!(report.contains("telemetry overhead"), "{report}");
+        assert!(report.contains("scaling"), "{report}");
+        assert!(report.contains("batched"), "{report}");
     }
 
     #[test]
@@ -386,6 +713,50 @@ mod tests {
     }
 
     #[test]
+    fn bench_check_enforces_the_scaling_floor() {
+        // speedup 1.1x on 4 threads / 4 cores is below 0.7 x 4 = 2.8.
+        let flat = doc_full(4e6, 4.4e6, 1.05, 1.1, 4, 4, Some(true), Some(6.0));
+        let err = bench_check(None, &flat, 0.15, 0.5).expect_err("flat scaling must fail");
+        assert!(err.contains("scaling floor"), "{err}");
+        // The floor is min(threads, cores): 1 thread on 8 cores only
+        // has to beat 0.7x, so an honest single-core run passes.
+        let one = doc_full(4e6, 4e6, 1.05, 1.0, 1, 8, Some(true), Some(6.0));
+        bench_check(None, &one, 0.15, 0.5).expect("single-thread run passes the floor");
+    }
+
+    #[test]
+    fn bench_check_enforces_the_batched_tier() {
+        // A scalar<->bit-sliced divergence is a hard failure.
+        let diverged = doc_full(4e6, 8e6, 1.05, 3.4, 4, 4, Some(false), Some(6.0));
+        let err = bench_check(None, &diverged, 0.15, 0.5).expect_err("divergence must fail");
+        assert!(err.contains("bit-identical"), "{err}");
+        // A batched path slower than the floor is a hard failure.
+        let slow = doc_full(4e6, 8e6, 1.05, 3.4, 4, 4, Some(true), Some(2.0));
+        let err = bench_check(None, &slow, 0.15, 0.5).expect_err("slow batching must fail");
+        assert!(err.contains("batching floor"), "{err}");
+        // `--batch off` documents skip the tier entirely.
+        let off = doc_full(4e6, 8e6, 1.05, 3.4, 4, 4, None, None);
+        let report = bench_check(None, &off, 0.15, 0.5).expect("batched tier skipped");
+        assert!(report.contains("batched: off"), "{report}");
+    }
+
+    #[test]
+    fn bench_check_reports_every_breach_in_one_invocation() {
+        // Invariance breach + overhead breach + scaling breach +
+        // batched divergence, all present, all reported together.
+        let broken = doc_full(4e6, 4.4e6, 2.0, 1.1, 4, 4, Some(false), Some(2.0)).replace(
+            "\"identical_across_threads\": true",
+            "\"identical_across_threads\": false",
+        );
+        let err = bench_check(None, &broken, 0.15, 0.5).expect_err("all breaches fail");
+        assert!(err.contains("identical across thread counts"), "{err}");
+        assert!(err.contains("too expensive"), "{err}");
+        assert!(err.contains("scaling floor"), "{err}");
+        assert!(err.contains("bit-identical"), "{err}");
+        assert!(err.contains("batching floor"), "{err}");
+    }
+
+    #[test]
     fn bench_check_rejects_malformed_documents() {
         assert!(bench_check(Some("not json"), &doc(1.0, 1.0), 0.15, 0.5).is_err());
         assert!(bench_check(Some(&doc(1.0, 1.0)), "{}", 0.15, 0.5).is_err());
@@ -396,7 +767,8 @@ mod tests {
         );
         let err = bench_check(Some(&doc(4.0, 8.0)), &broken, 0.15, 0.5).unwrap_err();
         assert!(err.contains("identical"), "{err}");
-        // A fresh document without the overhead section is rejected.
+        // A fresh document without the overhead section or the scaling
+        // fields is rejected, naming every missing piece at once.
         let legacy = serde_json::to_string(&json!({
             "single_thread": json!({"cycles_per_second": 1.0}),
             "multi_thread": json!({"cycles_per_second": 1.0}),
@@ -405,5 +777,6 @@ mod tests {
         .unwrap();
         let err = bench_check(None, &legacy, 0.15, 0.5).unwrap_err();
         assert!(err.contains("telemetry_overhead"), "{err}");
+        assert!(err.contains("scaling floor"), "{err}");
     }
 }

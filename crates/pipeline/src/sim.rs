@@ -64,6 +64,123 @@ impl PipelineConfig {
     }
 }
 
+/// Per-cycle supplier of stage combinational delays.
+///
+/// The simulator's hot loop is row-based: once per productive cycle it
+/// asks its delay supply to fill one row — `row[s]` is the (already
+/// variability-derated) combinational delay of stage `s` — and then
+/// evaluates the whole row against the scheme. The default supply
+/// samples the [`SensitizationModel`] / [`DelaySource`] environment;
+/// a *planned* supply replays precomputed or counter-mode generated
+/// delays instead, which is what the bit-sliced trial batcher's
+/// scalar-equivalence gate runs against (the same delay plane feeds
+/// both engines, so their statistics must agree bit for bit).
+///
+/// `fill_row` is only called on productive cycles (never during
+/// recovery bubbles), in strictly increasing `cycle` order, so
+/// counter-mode implementations may key on `cycle` directly and
+/// stream-stateful implementations observe the same call sequence the
+/// environment path would.
+pub trait DelayRows {
+    /// Fills `row[s]` with the combinational delay of stage `s` for
+    /// this `cycle`.
+    fn fill_row(&mut self, cycle: u64, row: &mut [Picos]);
+}
+
+/// Where a run's per-stage delays come from: the sampled stochastic
+/// environment, or a planned (replayable) delay source.
+enum DelaySupply<'a> {
+    Environment {
+        sensitization: &'a mut SensitizationModel,
+        variability: &'a mut dyn DelaySource,
+    },
+    Planned(&'a mut dyn DelayRows),
+}
+
+impl DelaySupply<'_> {
+    /// Fills one cycle's delay row, preserving the exact legacy
+    /// operation order in environment mode (per stage, ascending: one
+    /// sensitization sample, then one variability factor) so results
+    /// stay bit-identical with the pre-row-based hot loop.
+    fn fill_row(&mut self, cycle: u64, row: &mut [Picos]) {
+        match self {
+            DelaySupply::Environment {
+                sensitization,
+                variability,
+            } => {
+                for (s, slot) in row.iter_mut().enumerate() {
+                    let (base, _class) = sensitization.sample(s);
+                    let factor = variability.factor(cycle, s);
+                    *slot = base.scale(factor);
+                }
+            }
+            DelaySupply::Planned(rows) => rows.fill_row(cycle, row),
+        }
+    }
+}
+
+impl std::fmt::Debug for DelaySupply<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DelaySupply::Environment { .. } => f.write_str("DelaySupply::Environment"),
+            DelaySupply::Planned(_) => f.write_str("DelaySupply::Planned"),
+        }
+    }
+}
+
+/// Struct-of-arrays per-boundary state, double-buffered.
+///
+/// Each field is one flat array indexed by stage boundary, so a cycle
+/// step walks a handful of small contiguous rows (delay, arrival,
+/// carry, chain) instead of hopping between per-stage objects: the
+/// arrival row is built in one branch-free pass, and the outcome loop
+/// only touches the chain/carry rows on the rare violating stages.
+#[derive(Debug)]
+struct StageSoa {
+    /// Borrowed time entering each boundary this cycle.
+    carry: Vec<Picos>,
+    /// Length of the masked-violation chain feeding each boundary.
+    chain: Vec<usize>,
+    /// Double buffer for `carry`: next cycle's borrows accumulate
+    /// here, then the buffers swap — the main loop never allocates.
+    next_carry: Vec<Picos>,
+    /// Double buffer for `chain`.
+    next_chain: Vec<usize>,
+    /// Per-stage combinational delay row, filled once per cycle.
+    delay_row: Vec<Picos>,
+    /// Per-stage arrival row (`carry + delay`), built in one pass.
+    arrival_row: Vec<Picos>,
+}
+
+impl StageSoa {
+    fn new(stages: usize) -> StageSoa {
+        StageSoa {
+            carry: vec![Picos::ZERO; stages + 1],
+            chain: vec![0; stages + 1],
+            next_carry: vec![Picos::ZERO; stages + 1],
+            next_chain: vec![0; stages + 1],
+            delay_row: vec![Picos::ZERO; stages],
+            arrival_row: vec![Picos::ZERO; stages],
+        }
+    }
+
+    /// Zeroes the next-cycle buffers and builds the arrival row from
+    /// the freshly filled delay row.
+    fn begin_cycle(&mut self) {
+        self.next_carry.fill(Picos::ZERO);
+        self.next_chain.fill(0);
+        for (s, arrival) in self.arrival_row.iter_mut().enumerate() {
+            *arrival = self.carry[s] + self.delay_row[s];
+        }
+    }
+
+    /// Swaps the double buffers at the end of a productive cycle.
+    fn commit_cycle(&mut self) {
+        std::mem::swap(&mut self.carry, &mut self.next_carry);
+        std::mem::swap(&mut self.chain, &mut self.next_chain);
+    }
+}
+
 /// The clock authority of a run: the paper's open-loop single-pulse
 /// throttle, or the closed-loop escalation ladder.
 #[derive(Debug, Clone)]
@@ -134,18 +251,11 @@ impl ClockControl {
 pub struct PipelineSim<'a, S: TelemetrySink = NoopSink> {
     config: PipelineConfig,
     scheme: &'a mut dyn SequentialScheme,
-    sensitization: &'a mut SensitizationModel,
-    variability: &'a mut dyn DelaySource,
+    supply: DelaySupply<'a>,
     clock: ClockControl,
-    /// Borrowed time entering each boundary this cycle.
-    carry: Vec<Picos>,
-    /// Length of the masked-violation chain feeding each boundary.
-    chain: Vec<usize>,
-    /// Double buffer for `carry`: next cycle's borrows accumulate here,
-    /// then the buffers swap — the main loop never allocates.
-    next_carry: Vec<Picos>,
-    /// Double buffer for `chain`.
-    next_chain: Vec<usize>,
+    /// Struct-of-arrays boundary state (carry/chain rows, double
+    /// buffered) plus the per-cycle delay and arrival rows.
+    soa: StageSoa,
     cycle: u64,
     penalty_remaining: u64,
     sink: S,
@@ -176,6 +286,20 @@ impl<'a> PipelineSim<'a, NoopSink> {
     ) -> PipelineSim<'a, NoopSink> {
         PipelineSim::with_telemetry(config, scheme, sensitization, variability, NoopSink)
     }
+
+    /// Creates an un-instrumented simulator replaying a planned delay
+    /// source instead of sampling the stochastic environment.
+    ///
+    /// This is the scalar reference engine of the bit-sliced trial
+    /// batcher: both engines consume the identical delay rows, so
+    /// their statistics must be bit-identical.
+    pub fn planned(
+        config: PipelineConfig,
+        scheme: &'a mut dyn SequentialScheme,
+        rows: &'a mut dyn DelayRows,
+    ) -> PipelineSim<'a, NoopSink> {
+        PipelineSim::planned_with_telemetry(config, scheme, rows, NoopSink)
+    }
 }
 
 impl<'a, S: TelemetrySink> PipelineSim<'a, S> {
@@ -198,18 +322,45 @@ impl<'a, S: TelemetrySink> PipelineSim<'a, S> {
             "sensitization model must cover all {} stages",
             config.stages
         );
+        PipelineSim::with_supply(
+            config,
+            scheme,
+            DelaySupply::Environment {
+                sensitization,
+                variability,
+            },
+            sink,
+        )
+    }
+
+    /// [`PipelineSim::planned`] with a telemetry sink attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid (zero stages).
+    pub fn planned_with_telemetry(
+        config: PipelineConfig,
+        scheme: &'a mut dyn SequentialScheme,
+        rows: &'a mut dyn DelayRows,
+        sink: S,
+    ) -> PipelineSim<'a, S> {
+        PipelineSim::with_supply(config, scheme, DelaySupply::Planned(rows), sink)
+    }
+
+    fn with_supply(
+        config: PipelineConfig,
+        scheme: &'a mut dyn SequentialScheme,
+        supply: DelaySupply<'a>,
+        sink: S,
+    ) -> PipelineSim<'a, S> {
         let clock = ClockControl::for_config(&config);
         scheme.reset();
         PipelineSim {
             config,
             scheme,
-            sensitization,
-            variability,
+            supply,
             clock,
-            carry: vec![Picos::ZERO; config.stages + 1],
-            chain: vec![0; config.stages + 1],
-            next_carry: vec![Picos::ZERO; config.stages + 1],
-            next_chain: vec![0; config.stages + 1],
+            soa: StageSoa::new(config.stages),
             cycle: 0,
             penalty_remaining: 0,
             sink,
@@ -230,14 +381,14 @@ impl<'a, S: TelemetrySink> PipelineSim<'a, S> {
     /// write-back slack). The differential-conformance oracle compares
     /// this against the event-driven model's final state.
     pub fn carry(&self) -> &[Picos] {
-        &self.carry
+        &self.soa.carry
     }
 
     /// Length of the masked-violation chain feeding each boundary on
     /// the next cycle (the relay depth; companion of
     /// [`PipelineSim::carry`]).
     pub fn chain_depths(&self) -> &[usize] {
-        &self.chain
+        &self.soa.chain
     }
 
     /// Recovery bubbles still pending after [`PipelineSim::run`]
@@ -293,14 +444,14 @@ impl<'a, S: TelemetrySink> PipelineSim<'a, S> {
                         // clock. Flushed chains end here and are
                         // recorded so chain accounting stays exact.
                         let mut flushed = 0u32;
-                        for d in self.chain.iter_mut() {
+                        for d in self.soa.chain.iter_mut() {
                             if *d > 0 {
                                 stats.record_chain(*d);
                                 flushed += 1;
                                 *d = 0;
                             }
                         }
-                        self.carry.fill(Picos::ZERO);
+                        self.soa.carry.fill(Picos::ZERO);
                         self.penalty_remaining += self.config.stages as u64;
                         if S::ENABLED {
                             self.sink.event(t, EventKind::SafeModeReplay { flushed });
@@ -346,32 +497,32 @@ impl<'a, S: TelemetrySink> PipelineSim<'a, S> {
                 period,
                 nominal_period: self.config.nominal_period,
             };
-            self.next_carry.fill(Picos::ZERO);
-            self.next_chain.fill(0);
+            // Row-based cycle step: sample the whole delay row, build
+            // the arrival row in one pass, then classify outcomes.
+            self.supply.fill_row(t, &mut self.soa.delay_row);
+            self.soa.begin_cycle();
 
             for s in 0..self.config.stages {
-                let (base, _class) = self.sensitization.sample(s);
-                let factor = self.variability.factor(t, s);
-                let arrival = self.carry[s] + base.scale(factor);
-                let outcome = self.scheme.evaluate(s, arrival, self.carry[s], &ctx);
+                let arrival = self.soa.arrival_row[s];
+                let outcome = self.scheme.evaluate(s, arrival, self.soa.carry[s], &ctx);
                 match outcome {
                     StageOutcome::Ok => {
-                        if self.chain[s] > 0 {
-                            stats.record_chain(self.chain[s]);
+                        if self.soa.chain[s] > 0 {
+                            stats.record_chain(self.soa.chain[s]);
                         }
                     }
                     StageOutcome::Masked { borrowed, flagged } => {
                         stats.masked += 1;
-                        let len = self.chain[s] + 1;
+                        let len = self.soa.chain[s] + 1;
                         if S::ENABLED {
-                            if self.chain[s] > 0 {
+                            if self.soa.chain[s] > 0 {
                                 // An inherited borrow means the upstream
                                 // boundary relayed its error state here.
                                 self.sink.event(
                                     t,
                                     EventKind::Relay {
                                         stage: s as u32,
-                                        select: self.chain[s] as u32,
+                                        select: self.soa.chain[s] as u32,
                                     },
                                 );
                             }
@@ -394,8 +545,8 @@ impl<'a, S: TelemetrySink> PipelineSim<'a, S> {
                             self.clock.flag_error(t);
                         }
                         if s + 1 < self.config.stages {
-                            self.next_carry[s + 1] = borrowed;
-                            self.next_chain[s + 1] = len;
+                            self.soa.next_carry[s + 1] = borrowed;
+                            self.soa.next_chain[s + 1] = len;
                         } else {
                             // Chain falls off the pipeline end.
                             stats.record_chain(len);
@@ -403,7 +554,7 @@ impl<'a, S: TelemetrySink> PipelineSim<'a, S> {
                     }
                     StageOutcome::Detected { recovery } => {
                         stats.detected += 1;
-                        stats.record_chain(self.chain[s] + 1);
+                        stats.record_chain(self.soa.chain[s] + 1);
                         self.penalty_remaining += u64::from(recovery.penalty_cycles());
                         if S::ENABLED {
                             self.sink.event(
@@ -417,8 +568,8 @@ impl<'a, S: TelemetrySink> PipelineSim<'a, S> {
                     }
                     StageOutcome::Predicted => {
                         stats.predicted += 1;
-                        if self.chain[s] > 0 {
-                            stats.record_chain(self.chain[s]);
+                        if self.soa.chain[s] > 0 {
+                            stats.record_chain(self.soa.chain[s]);
                         }
                         self.clock.flag_error(t);
                         if S::ENABLED {
@@ -428,19 +579,18 @@ impl<'a, S: TelemetrySink> PipelineSim<'a, S> {
                     }
                     StageOutcome::Corrupted => {
                         stats.corrupted += 1;
-                        stats.record_chain(self.chain[s] + 1);
+                        stats.record_chain(self.soa.chain[s] + 1);
                         if S::ENABLED {
                             self.sink.event(t, EventKind::Panic { stage: s as u32 });
                         }
                     }
                 }
             }
-            std::mem::swap(&mut self.carry, &mut self.next_carry);
-            std::mem::swap(&mut self.chain, &mut self.next_chain);
+            self.soa.commit_cycle();
             stats.instructions += 1;
         }
         // Flush chains still in flight.
-        for &len in &self.chain {
+        for &len in &self.soa.chain {
             if len > 0 {
                 stats.record_chain(len);
             }

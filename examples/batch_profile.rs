@@ -1,0 +1,55 @@
+//! Scratch profiling harness for the bit-sliced batcher: times the
+//! 64-lane engine against the scalar replay of the identical workload.
+//! Run with `cargo run --release --example batch_profile`.
+
+use std::time::Instant;
+
+use timber::CheckingPeriod;
+use timber_batch::{run_batched, BatchConfig, BatchScheme, BatchStageProfile, BatchWorkload};
+use timber_netlist::Picos;
+use timber_pipeline::PipelineConfig;
+use timber_variability::StagePathProfile;
+
+const CYCLES: u64 = 200_000;
+const STAGES: usize = 5;
+const PERIOD: Picos = Picos(1000);
+
+fn main() {
+    let profiles = (0..STAGES)
+        .map(|s| {
+            let mut p = StagePathProfile::from_critical(Picos(1050 + 15 * s as i64));
+            p.p_critical = 0.03;
+            p.p_near = 0.25;
+            BatchStageProfile::from_profile(&p)
+        })
+        .collect();
+    let sched = CheckingPeriod::deferred_flagging(PERIOD, 24.0).expect("valid");
+    let config = BatchConfig {
+        pipeline: PipelineConfig::new(STAGES, PERIOD),
+        scheme: BatchScheme::TimberFf(sched),
+        workload: BatchWorkload::new(profiles, 2010),
+        lanes: 64,
+    };
+
+    let t = Instant::now();
+    let batched = run_batched(&config, CYCLES);
+    let tb = t.elapsed().as_secs_f64();
+    let lane_cycles = CYCLES * 64;
+    println!(
+        "batched:  {:.3}s  ({:.0} lane-cycles/s) masked[0]={}",
+        tb,
+        lane_cycles as f64 / tb,
+        batched.stats[0].masked
+    );
+
+    let t = Instant::now();
+    let scalar = timber_batch::reference::run_scalar_reference(&config, CYCLES, 1);
+    let ts = t.elapsed().as_secs_f64();
+    println!(
+        "scalar:   {:.3}s  ({:.0} lane-cycles/s) masked[0]={}",
+        ts,
+        lane_cycles as f64 / ts,
+        scalar.stats[0].masked
+    );
+    println!("ratio: {:.2}x   identical: {}", ts / tb, batched == scalar);
+}

@@ -1,0 +1,137 @@
+//! Scratch profiling harness: times the hot-path components of one
+//! claims-style trial in isolation so optimisation work targets the
+//! real cost centres. Run with `cargo run --release --example
+//! hotpath_profile`.
+
+use std::time::Instant;
+
+use timber::{CheckingPeriod, TimberFfScheme};
+use timber_netlist::Picos;
+use timber_pipeline::{PipelineConfig, PipelineSim, SequentialScheme};
+use timber_variability::{DelaySource, SensitizationModel, VariabilityBuilder};
+
+const CYCLES: u64 = 2_000_000;
+const STAGES: usize = 5;
+const PERIOD: Picos = Picos(1000);
+
+fn main() {
+    let mk_sens = || SensitizationModel::uniform(STAGES, Picos(970), 0x5EED);
+    let mk_var = || {
+        VariabilityBuilder::new(42)
+            .voltage_droop(0.05, 500, 2000.0)
+            .temperature(0.01, 1_000_000)
+            .local_jitter(0.005)
+            .build()
+    };
+
+    // (a) full sim
+    let sched = CheckingPeriod::deferred_flagging(PERIOD, 24.0).expect("valid");
+    let mut scheme = TimberFfScheme::new(sched, STAGES);
+    let mut sens = mk_sens();
+    let mut var = mk_var();
+    let cfg = PipelineConfig::new(STAGES, PERIOD);
+    let t = Instant::now();
+    let stats = PipelineSim::new(cfg, &mut scheme, &mut sens, &mut var).run(CYCLES);
+    let full = t.elapsed().as_secs_f64();
+    println!(
+        "full sim:       {:.3}s  ({:.0} cycles/s) masked={}",
+        full,
+        CYCLES as f64 / full,
+        stats.masked
+    );
+
+    // (b) sensitization sampling only
+    let mut sens = mk_sens();
+    let t = Instant::now();
+    let mut acc = Picos::ZERO;
+    for _ in 0..CYCLES {
+        for s in 0..STAGES {
+            acc += sens.sample(s).0;
+        }
+    }
+    let tb = t.elapsed().as_secs_f64();
+    println!(
+        "sens only:      {:.3}s  ({:.0} cycles/s) acc={}",
+        tb,
+        CYCLES as f64 / tb,
+        acc.as_ps()
+    );
+
+    // (c) variability only
+    let mut var = mk_var();
+    let t = Instant::now();
+    let mut facc = 0.0f64;
+    for c in 0..CYCLES {
+        for s in 0..STAGES {
+            facc += var.factor(c, s);
+        }
+    }
+    let tc = t.elapsed().as_secs_f64();
+    println!(
+        "var only:       {:.3}s  ({:.0} cycles/s) acc={:.2}",
+        tc,
+        CYCLES as f64 / tc,
+        facc
+    );
+
+    // (c2) individual sources
+    for (name, mut src) in [
+        (
+            "droop",
+            VariabilityBuilder::new(42)
+                .voltage_droop(0.05, 500, 2000.0)
+                .build(),
+        ),
+        (
+            "temp",
+            VariabilityBuilder::new(42)
+                .temperature(0.01, 1_000_000)
+                .build(),
+        ),
+        (
+            "jitter",
+            VariabilityBuilder::new(42).local_jitter(0.005).build(),
+        ),
+    ] {
+        let t = Instant::now();
+        let mut facc = 0.0f64;
+        for c in 0..CYCLES {
+            for s in 0..STAGES {
+                facc += src.factor(c, s);
+            }
+        }
+        let tcc = t.elapsed().as_secs_f64();
+        println!(
+            "var {name:<10} {:.3}s  ({:.0} cycles/s) acc={:.2}",
+            tcc,
+            CYCLES as f64 / tcc,
+            facc
+        );
+    }
+
+    // (d) scheme only, fixed arrivals
+    let sched = CheckingPeriod::deferred_flagging(PERIOD, 24.0).expect("valid");
+    let mut scheme = TimberFfScheme::new(sched, STAGES);
+    let t = Instant::now();
+    let mut ok = 0u64;
+    for c in 0..CYCLES {
+        let ctx = timber_pipeline::CycleContext {
+            cycle: c,
+            period: PERIOD,
+            nominal_period: PERIOD,
+        };
+        for s in 0..STAGES {
+            let arr = Picos(600 + ((c as i64 + s as i64) & 63));
+            if scheme.evaluate(s, arr, Picos::ZERO, &ctx) == timber_pipeline::StageOutcome::Ok {
+                ok += 1;
+            }
+        }
+    }
+    let td = t.elapsed().as_secs_f64();
+    println!(
+        "scheme only:    {:.3}s  ({:.0} cycles/s) ok={}",
+        td,
+        CYCLES as f64 / td,
+        ok
+    );
+}
