@@ -13,6 +13,11 @@
 //! repro soak [--json] [--threads N] [--seed S] [--cycles N]
 //!            [--checkpoint FILE] [--resume] [--stop-after N]
 //!            [--inject-panic K] [--inject-hang K]
+//! repro serve [--socket PATH] [--checkpoint FILE] [--resume]
+//!             [--batch-size N] [--capacity N] [--threads N]
+//! repro storm [--clients N] [--requests M] [--seed S] [--poison K]
+//!             [--batch-size N] [--capacity N] [--threads N]
+//!             [--json] [--out REPORT.json]
 //! ```
 //!
 //! `--threads N` sets the Monte-Carlo sweep worker count (default: all
@@ -51,9 +56,26 @@
 //! `--inject-panic K` / `--inject-hang K` append synthetic failing
 //! trials that must all land in the quarantine ledger.
 //!
+//! `serve` starts the persistent evaluation daemon: JSONL requests on
+//! stdin (or on a Unix socket with `--socket PATH`), one JSON response
+//! line per request, answered from the content-addressed cache and
+//! batched onto the hardened executor on a miss. `--checkpoint FILE`
+//! doubles as the crash-safe result journal; `--resume` preloads it so
+//! a restarted daemon answers warm. A `{"op":"stats"}` request returns
+//! the service counters and latency quantiles; `{"op":"shutdown"}`
+//! stops the daemon cleanly (EOF on stdin does too). `storm` is the
+//! deterministic load generator and replay gate: `--requests M` drawn
+//! from a seeded pool, dealt across `--clients N` simulated clients,
+//! plus `--poison K` requests that must all quarantine. Its `--json`
+//! report (and `--out` copy) is byte-identical for any `--threads`,
+//! client count or batch interleaving of the same campaign — responses
+//! are canonically ordered by request id and wall-clock latency stays
+//! out of the document — and the gate also demands a cache hit rate
+//! and a 10x warm-over-cold service-time speedup.
+//!
 //! Exit codes: `0` success, `1` a gate failed (bench-check breach,
-//! lint findings at the deny threshold, or a conformance campaign that
-//! does not pass), `2` usage error.
+//! lint findings at the deny threshold, or a conformance or storm
+//! campaign that does not pass), `2` usage error.
 
 use std::env;
 
@@ -80,6 +102,12 @@ fn main() {
     let mut stop_after: Option<usize> = None;
     let mut inject_panic: usize = 0;
     let mut inject_hang: usize = 0;
+    let mut socket: Option<String> = None;
+    let mut batch_size: usize = timber_serve::DEFAULT_BATCH_SIZE;
+    let mut capacity: usize = timber_serve::engine::DEFAULT_RESULT_CAPACITY;
+    let mut clients: usize = 4;
+    let mut requests: usize = 64;
+    let mut poison: usize = 0;
     let mut positionals: Vec<String> = Vec::new();
     let mut i = 0;
     while i < raw.len() {
@@ -191,6 +219,48 @@ fn main() {
             inject_hang = v
                 .parse()
                 .unwrap_or_else(|_| die("--inject-hang needs a count"));
+        } else if arg == "--socket" {
+            socket = Some(value_of("--socket", &mut i));
+        } else if let Some(v) = arg.strip_prefix("--socket=") {
+            socket = Some(v.to_owned());
+        } else if arg == "--batch-size" {
+            batch_size = value_of("--batch-size", &mut i)
+                .parse()
+                .unwrap_or_else(|_| die("--batch-size needs a number"));
+        } else if let Some(v) = arg.strip_prefix("--batch-size=") {
+            batch_size = v
+                .parse()
+                .unwrap_or_else(|_| die("--batch-size needs a number"));
+        } else if arg == "--capacity" {
+            capacity = value_of("--capacity", &mut i)
+                .parse()
+                .unwrap_or_else(|_| die("--capacity needs a number"));
+        } else if let Some(v) = arg.strip_prefix("--capacity=") {
+            capacity = v
+                .parse()
+                .unwrap_or_else(|_| die("--capacity needs a number"));
+        } else if arg == "--clients" {
+            clients = value_of("--clients", &mut i)
+                .parse()
+                .unwrap_or_else(|_| die("--clients needs a number"));
+        } else if let Some(v) = arg.strip_prefix("--clients=") {
+            clients = v
+                .parse()
+                .unwrap_or_else(|_| die("--clients needs a number"));
+        } else if arg == "--requests" {
+            requests = value_of("--requests", &mut i)
+                .parse()
+                .unwrap_or_else(|_| die("--requests needs a number"));
+        } else if let Some(v) = arg.strip_prefix("--requests=") {
+            requests = v
+                .parse()
+                .unwrap_or_else(|_| die("--requests needs a number"));
+        } else if arg == "--poison" {
+            poison = value_of("--poison", &mut i)
+                .parse()
+                .unwrap_or_else(|_| die("--poison needs a count"));
+        } else if let Some(v) = arg.strip_prefix("--poison=") {
+            poison = v.parse().unwrap_or_else(|_| die("--poison needs a count"));
         } else if let Some(flag) = arg.strip_prefix("--") {
             die(&format!("unknown flag --{flag}"));
         } else {
@@ -253,6 +323,39 @@ fn main() {
         run_soak(json, &spec);
         return;
     }
+    if what == "serve" {
+        if positionals.len() > 1 {
+            die(&format!("unexpected argument {}", positionals[1]));
+        }
+        if resume && checkpoint.is_none() {
+            die("--resume needs --checkpoint FILE");
+        }
+        let config = timber_serve::EngineConfig {
+            result_capacity: capacity,
+            threads,
+            journal: checkpoint.map(std::path::PathBuf::from),
+            resume,
+            ..timber_serve::EngineConfig::default()
+        };
+        run_serve(config, socket.as_deref(), batch_size);
+        return;
+    }
+    if what == "storm" {
+        if positionals.len() > 1 {
+            die(&format!("unexpected argument {}", positionals[1]));
+        }
+        let spec = timber_serve::StormSpec {
+            clients,
+            requests,
+            seed,
+            poison,
+            threads,
+            batch_size,
+            capacity,
+        };
+        run_storm(json, &spec, out.as_deref());
+        return;
+    }
     if what == "bench-check" {
         if positionals.len() > 1 {
             die(&format!("unexpected argument {}", positionals[1]));
@@ -287,7 +390,7 @@ fn main() {
     ];
     if !KNOWN.contains(&what.as_str()) {
         die(&format!(
-            "unknown subcommand {what:?} (expected one of: {}, lint, conform, soak, trace, bench-check)",
+            "unknown subcommand {what:?} (expected one of: {}, lint, conform, soak, serve, storm, trace, bench-check)",
             KNOWN.join(", ")
         ));
     }
@@ -492,6 +595,62 @@ fn run_soak(json: bool, spec: &soak::SoakSpec) {
         print!("{}", report.render());
     }
     if !report.pass() {
+        std::process::exit(1);
+    }
+}
+
+/// `repro serve`: the persistent evaluation daemon. Serves JSONL
+/// requests on stdin (or `--socket PATH`) until a shutdown request or
+/// EOF; journal/socket I/O problems are usage errors (exit 2) naming
+/// the path.
+fn run_serve(config: timber_serve::EngineConfig, socket: Option<&str>, batch_size: usize) {
+    // Poisoned compiles and evaluation panics are isolated and
+    // quarantined by the engine (the response keeps the panic message),
+    // so the default hook's backtrace spew would only pollute the
+    // response stream's stderr.
+    std::panic::set_hook(Box::new(|_| {}));
+    let journal = config
+        .journal
+        .as_deref()
+        .map(|p| p.display().to_string())
+        .unwrap_or_else(|| "<none>".to_owned());
+    let mut engine = timber_serve::Engine::new(config)
+        .unwrap_or_else(|e| die(&format!("cannot open journal {journal}: {e}")));
+    let batch_size = batch_size.max(1);
+    match socket {
+        Some(path) => {
+            eprintln!("repro serve: listening on {path}");
+            timber_serve::serve_unix(&mut engine, std::path::Path::new(path), batch_size)
+                .unwrap_or_else(|e| die(&format!("cannot serve socket {path}: {e}")));
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            timber_serve::serve_lines(&mut engine, stdin.lock(), &mut stdout.lock(), batch_size)
+                .map(|_| ())
+                .unwrap_or_else(|e| die(&format!("cannot serve stdin: {e}")));
+        }
+    }
+}
+
+/// `repro storm`: the deterministic load campaign against a fresh
+/// engine. Exit 1 when the gate fails (a real request not answered
+/// `ok`, a poisoned request escaping quarantine, or the hit-rate or
+/// hit-speedup floor breached).
+fn run_storm(json: bool, spec: &timber_serve::StormSpec, out: Option<&str>) {
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = timber_serve::storm::run(spec).unwrap_or_else(|e| die(&format!("storm: {e}")));
+    if let Some(path) = out {
+        std::fs::write(path, format!("{}\n", report.json()))
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    }
+    if json {
+        println!("{}", report.json());
+    } else {
+        print!("{}", report.render());
+    }
+    if !report.pass() {
+        eprintln!("repro storm FAILED:\n{}", report.render());
         std::process::exit(1);
     }
 }

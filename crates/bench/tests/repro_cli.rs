@@ -40,6 +40,8 @@ fn unknown_subcommand_exits_2_and_lists_lint() {
     assert!(err.contains("lint"), "usage must list lint: {err}");
     assert!(err.contains("conform"), "usage must list conform: {err}");
     assert!(err.contains("soak"), "usage must list soak: {err}");
+    assert!(err.contains("serve"), "usage must list serve: {err}");
+    assert!(err.contains("storm"), "usage must list storm: {err}");
 }
 
 #[test]
@@ -188,6 +190,101 @@ fn soak_bad_inject_count_exits_2_and_names_the_flag() {
     let out = repro(&["soak", "--inject-panic", "banana"]);
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("--inject-panic"));
+}
+
+#[test]
+fn storm_campaign_passes_and_replays_byte_identically() {
+    let args = [
+        "storm",
+        "--clients",
+        "3",
+        "--requests",
+        "24",
+        "--poison",
+        "1",
+        "--seed",
+        "7",
+        "--threads",
+        "4",
+        "--json",
+    ];
+    let a = repro(&args);
+    let text = String::from_utf8(a.stdout.clone()).unwrap();
+    assert!(a.status.success(), "{text}");
+    let doc: serde_json::Value = serde_json::from_str(text.trim()).expect("valid JSON");
+    assert_eq!(doc["tool"], serde_json::json!("timber-storm"));
+    assert_eq!(doc["pass"], serde_json::json!(true));
+    assert_eq!(doc["counters"]["quarantined"], serde_json::json!(1));
+    // A cold replay in a fresh process with a different thread count
+    // must produce the identical document.
+    let mut replay_args = args;
+    replay_args[10] = "1";
+    let b = repro(&replay_args);
+    assert!(b.status.success());
+    assert_eq!(a.stdout, b.stdout, "storm report must replay exactly");
+}
+
+#[test]
+fn storm_unknown_flag_exits_2_and_names_it() {
+    let out = repro(&["storm", "--frobs", "3"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag --frobs"), "{err}");
+}
+
+#[test]
+fn serve_unknown_flag_exits_2_and_names_it() {
+    let out = repro(&["serve", "--frobs", "3"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag --frobs"), "{err}");
+}
+
+#[test]
+fn serve_resume_without_checkpoint_exits_2() {
+    let out = repro(&["serve", "--resume"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--checkpoint"), "{err}");
+}
+
+#[test]
+fn serve_answers_a_session_on_stdin_and_honours_shutdown() {
+    use std::io::Write;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["serve", "--batch-size", "4"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn repro serve");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(
+            b"{\"id\":1,\"design\":\"rca16\",\"trials\":1,\"cycles\":200}\n\
+              {\"id\":2,\"design\":\"rca16\",\"trials\":1,\"cycles\":200}\n\
+              {\"id\":3,\"op\":\"stats\"}\n\
+              {\"id\":4,\"op\":\"shutdown\"}\n",
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 4, "{text}");
+    let docs: Vec<serde_json::Value> = lines
+        .iter()
+        .map(|l| serde_json::from_str(l).expect("valid JSON"))
+        .collect();
+    // Identical content answered identically, warm equal to cold.
+    assert_eq!(docs[0]["status"], serde_json::json!("ok"));
+    assert_eq!(docs[0]["key"], docs[1]["key"]);
+    assert_eq!(docs[0]["totals"], docs[1]["totals"]);
+    let counters = &docs[2]["stats"]["counters"];
+    assert_eq!(counters["misses"], serde_json::json!(1), "{text}");
+    assert_eq!(counters["hits"], serde_json::json!(1), "{text}");
+    assert_eq!(docs[3]["shutdown"], serde_json::json!(true));
 }
 
 #[test]

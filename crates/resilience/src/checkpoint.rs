@@ -1,16 +1,25 @@
-//! Crash-safe trial checkpointing.
+//! Crash-safe trial checkpointing and content-keyed journalling.
 //!
-//! The format is an append-only line log: each completed trial is one
-//! `"{index}\t{payload}\n"` line, flushed as it is written. Payloads
-//! are the trial's canonical single-line JSON, stored *verbatim* — on
-//! resume the final report is assembled from these exact strings in
-//! index order, which is what makes a killed-and-resumed campaign
-//! byte-identical to an uninterrupted one.
+//! The format is an append-only line log: each completed record is one
+//! `"{key}\t{payload}\n"` line, flushed as it is written. Payloads
+//! are the record's canonical single-line JSON, stored *verbatim* — on
+//! resume the final report is assembled from these exact strings,
+//! which is what makes a killed-and-resumed campaign byte-identical to
+//! an uninterrupted one.
 //!
 //! A kill can truncate at most the final line (appends are sequential
-//! and flushed per line); [`read_checkpoint`] therefore tolerates — and
-//! silently drops — a last line with no trailing newline or a malformed
+//! and flushed per line); the readers therefore tolerate — and
+//! silently drop — a last line with no trailing newline or a malformed
 //! prefix. Everything before it is intact by construction.
+//!
+//! Two keyspaces share the format:
+//!
+//! * [`CheckpointWriter`] / [`read_checkpoint`] key records by *trial
+//!   index* (the soak campaign's resume log);
+//! * [`JournalWriter`] / [`read_journal`] key records by an arbitrary
+//!   single-line string — the serve daemon uses content-address hex
+//!   digests, so a restarted daemon re-answers any previously computed
+//!   request from the journal without re-evaluating it.
 
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
@@ -51,36 +60,95 @@ impl CheckpointWriter {
     }
 }
 
+/// Appends content-keyed records to a journal file, one flushed line
+/// per record. Same on-disk discipline as [`CheckpointWriter`], but the
+/// key is an arbitrary single-line string (the serve daemon writes
+/// cache-key hex digests).
+#[derive(Debug)]
+pub struct JournalWriter {
+    out: BufWriter<File>,
+}
+
+impl JournalWriter {
+    /// Opens `path` for appending (created if absent). Existing records
+    /// are preserved — pass the same path on `--resume`.
+    pub fn append(path: &Path) -> std::io::Result<JournalWriter> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JournalWriter {
+            out: BufWriter::new(file),
+        })
+    }
+
+    /// Records `key -> payload` and flushes so a kill cannot lose it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` or `payload` contains a newline or tab (records
+    /// must stay single-line so a torn append damages at most itself).
+    pub fn record(&mut self, key: &str, payload: &str) -> std::io::Result<()> {
+        assert!(
+            !key.contains('\n') && !key.contains('\t') && !key.is_empty(),
+            "journal keys must be non-empty, single-line and tab-free"
+        );
+        assert!(
+            !payload.contains('\n') && !payload.contains('\t'),
+            "journal payloads must be single-line and tab-free"
+        );
+        writeln!(self.out, "{key}\t{payload}")?;
+        self.out.flush()
+    }
+}
+
+/// Reads an append-only log back as complete `(key, payload)` records
+/// in file order. The unterminated tail (a torn final append) and any
+/// malformed complete line are skipped rather than fatal: the only
+/// writers are the `record` methods, so they can't occur in practice,
+/// and a resume should never be scuttled by one stray line.
+fn scan_records(path: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut text = String::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_string(&mut text)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    }
+    let mut records = Vec::new();
+    let mut rest = text.as_str();
+    while let Some(nl) = rest.find('\n') {
+        let line = &rest[..nl];
+        rest = &rest[nl + 1..];
+        if let Some((key, payload)) = line.split_once('\t') {
+            if !key.is_empty() {
+                records.push((key.to_owned(), payload.to_owned()));
+            }
+        }
+    }
+    // `rest` is now the unterminated tail, if any: a torn final append.
+    Ok(records)
+}
+
 /// Reads a checkpoint file back as `index -> payload`.
 ///
 /// Returns an empty map if the file does not exist. A torn final line
 /// (kill mid-append) is dropped; a later record for the same index wins
 /// (harmless — payloads are deterministic, so duplicates are equal).
 pub fn read_checkpoint(path: &Path) -> std::io::Result<BTreeMap<usize, String>> {
-    let mut text = String::new();
-    match File::open(path) {
-        Ok(mut f) => {
-            f.read_to_string(&mut text)?;
-        }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeMap::new()),
-        Err(e) => return Err(e),
-    }
     let mut map = BTreeMap::new();
-    let mut rest = text.as_str();
-    while let Some(nl) = rest.find('\n') {
-        let line = &rest[..nl];
-        rest = &rest[nl + 1..];
-        if let Some((idx, payload)) = line.split_once('\t') {
-            if let Ok(i) = idx.parse::<usize>() {
-                map.insert(i, payload.to_owned());
-            }
+    for (key, payload) in scan_records(path)? {
+        if let Ok(i) = key.parse::<usize>() {
+            map.insert(i, payload);
         }
-        // Malformed complete lines are skipped rather than fatal: the
-        // only writer is `record`, so they can't occur in practice, and
-        // a resume should never be scuttled by one stray line.
     }
-    // `rest` is now the unterminated tail, if any: a torn final append.
     Ok(map)
+}
+
+/// Reads a journal file back as `(key, payload)` records in append
+/// order (a later record for the same key should win — replay them in
+/// order). Returns an empty list if the file does not exist; a torn
+/// final line is dropped.
+pub fn read_journal(path: &Path) -> std::io::Result<Vec<(String, String)>> {
+    scan_records(path)
 }
 
 #[cfg(test)]
@@ -157,5 +225,53 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let mut w = CheckpointWriter::append(&path).unwrap();
         let _ = w.record(0, "bad\npayload");
+    }
+
+    #[test]
+    fn journal_round_trips_in_append_order() {
+        let path = tmp("journal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut w = JournalWriter::append(&path).unwrap();
+            w.record("cafe01", r#"{"a":1}"#).unwrap();
+            w.record("beef02", r#"{"b":2}"#).unwrap();
+            w.record("cafe01", r#"{"a":1}"#).unwrap(); // duplicate key
+        }
+        let records = read_journal(&path).unwrap();
+        assert_eq!(
+            records,
+            vec![
+                ("cafe01".to_owned(), r#"{"a":1}"#.to_owned()),
+                ("beef02".to_owned(), r#"{"b":2}"#.to_owned()),
+                ("cafe01".to_owned(), r#"{"a":1}"#.to_owned()),
+            ]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_tolerates_torn_final_line() {
+        let path = tmp("journal-torn");
+        std::fs::write(&path, "aa\t{\"x\":1}\nbb\t{\"y\":2}\ncc\t{\"to").unwrap();
+        let records = read_journal(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1], ("bb".to_owned(), "{\"y\":2}".to_owned()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_missing_file_reads_empty() {
+        let path = tmp("journal-missing");
+        let _ = std::fs::remove_file(&path);
+        assert!(read_journal(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn journal_rejects_empty_keys() {
+        let path = tmp("journal-reject");
+        let _ = std::fs::remove_file(&path);
+        let mut w = JournalWriter::append(&path).unwrap();
+        let _ = w.record("", "payload");
     }
 }

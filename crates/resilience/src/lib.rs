@@ -37,7 +37,7 @@ pub mod executor;
 pub mod governor;
 pub mod storms;
 
-pub use checkpoint::{read_checkpoint, CheckpointWriter};
+pub use checkpoint::{read_checkpoint, read_journal, CheckpointWriter, JournalWriter};
 pub use executor::{
     resolve_threads, run_hardened, scatter_strict, FailureKind, HardenedOutcome, HardenedSpec,
     QuarantineEntry, TrialJob,

@@ -1,0 +1,165 @@
+//! Deterministic, bounded, content-addressed LRU caches.
+//!
+//! One generic [`LruCache`] backs both tiers of the engine: the
+//! *result* tier (spec key → finished response body) and the *design*
+//! tier (design key → [`crate::compile::CompiledDesign`]). Recency is a
+//! logical tick the cache increments on every touch — no wall clock —
+//! and eviction takes the smallest `(tick, key)` pair, so the entire
+//! cache trajectory (hits, misses, which entry leaves when) is a pure
+//! function of the touch sequence. The storm gate leans on that: replay
+//! the same request stream and the eviction counters diff byte-equal.
+
+use std::collections::BTreeMap;
+
+use crate::key::CacheKey;
+
+/// A bounded map from content keys to values with logical-clock LRU
+/// eviction.
+#[derive(Debug, Clone)]
+pub struct LruCache<V> {
+    capacity: usize,
+    tick: u64,
+    entries: BTreeMap<CacheKey, (u64, V)>,
+}
+
+impl<V> LruCache<V> {
+    /// An empty cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a cache that can hold nothing
+    /// would turn every request into a miss and silently void the
+    /// service's speedup contract.
+    pub fn new(capacity: usize) -> LruCache<V> {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruCache {
+            capacity,
+            tick: 0,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Maximum entry count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|slot| {
+            slot.0 = tick;
+            &slot.1
+        })
+    }
+
+    /// Peeks at `key` without refreshing recency (diagnostics only).
+    pub fn peek(&self, key: &CacheKey) -> Option<&V> {
+        self.entries.get(key).map(|slot| &slot.1)
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least-recently-used
+    /// entry if the cache is full. Returns how many entries were
+    /// evicted (0 or 1).
+    pub fn insert(&mut self, key: CacheKey, value: V) -> usize {
+        self.tick += 1;
+        let replacing = self.entries.contains_key(&key);
+        let mut evicted = 0;
+        if !replacing && self.entries.len() == self.capacity {
+            // Smallest (tick, key): the stalest entry, key order
+            // breaking the (impossible under one tick per touch, but
+            // belt-and-braces) tie deterministically.
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(k, (t, _))| (*t, **k))
+                .map(|(k, _)| *k)
+                .expect("full cache is non-empty");
+            self.entries.remove(&victim);
+            evicted = 1;
+        }
+        self.entries.insert(key, (self.tick, value));
+        evicted
+    }
+
+    /// The cached keys in key order (diagnostics / tests).
+    pub fn keys(&self) -> impl Iterator<Item = &CacheKey> {
+        self.entries.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::content_hash;
+
+    fn k(n: u8) -> CacheKey {
+        content_hash(&[n])
+    }
+
+    #[test]
+    fn get_miss_then_hit() {
+        let mut c: LruCache<String> = LruCache::new(4);
+        assert!(c.get(&k(1)).is_none());
+        assert_eq!(c.insert(k(1), "one".into()), 0);
+        assert_eq!(c.get(&k(1)).map(String::as_str), Some("one"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_removes_the_least_recently_used() {
+        let mut c: LruCache<u32> = LruCache::new(2);
+        c.insert(k(1), 1);
+        c.insert(k(2), 2);
+        assert!(c.get(&k(1)).is_some()); // refresh 1; 2 is now stalest
+        assert_eq!(c.insert(k(3), 3), 1);
+        assert!(c.peek(&k(2)).is_none());
+        assert!(c.peek(&k(1)).is_some());
+        assert!(c.peek(&k(3)).is_some());
+    }
+
+    #[test]
+    fn replacing_an_entry_never_evicts() {
+        let mut c: LruCache<u32> = LruCache::new(2);
+        c.insert(k(1), 1);
+        c.insert(k(2), 2);
+        assert_eq!(c.insert(k(1), 10), 0);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&k(1)), Some(&10));
+    }
+
+    #[test]
+    fn eviction_trajectory_is_deterministic() {
+        let run = || {
+            let mut c: LruCache<u8> = LruCache::new(3);
+            let mut log = Vec::new();
+            for round in 0..20u8 {
+                let key = k(round % 7);
+                if c.get(&key).is_none() {
+                    let evicted = c.insert(key, round);
+                    log.push((round, evicted));
+                }
+            }
+            let keys: Vec<String> = c.keys().map(|k| k.hex()).collect();
+            (log, keys)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = LruCache::<u8>::new(0);
+    }
+}

@@ -1,0 +1,287 @@
+//! The design tier: compiling a request's netlist into the reusable
+//! evaluation artifact, and running trials against it.
+//!
+//! Compilation is the expensive half of a cold request — generator,
+//! full STA, hold analysis, padding plan, schedule snapping. The
+//! [`CompiledDesign`] it produces depends only on the fields in
+//! [`crate::spec::EvalSpec::design_canonical`], so the engine caches it
+//! separately from results: two requests sweeping schemes over the same
+//! design pay for one compile.
+//!
+//! Evaluation ([`evaluate`]) then mirrors the soak harness's trial
+//! shape — registry-built scheme, STA-derived sensitization profiles,
+//! storm or nominal stress, escalation governor — and reduces the
+//! trials (in canonical trial order) to one id-independent response
+//! body. Determinism: the body is a pure function of the spec, which is
+//! exactly what makes content-addressed caching sound.
+
+use timber::CheckingPeriod;
+use timber_lint::{snap_period, ScheduleSpec};
+use timber_netlist::{
+    alu, array_multiplier, kogge_stone_adder, pipelined_datapath, random_dag, ripple_carry_adder,
+    CellLibrary, DatapathSpec, Netlist, Picos, RandomDagSpec,
+};
+use timber_pipeline::montecarlo::splitmix64;
+use timber_pipeline::{GovernorConfig, PipelineConfig, PipelineSim, RunStats};
+use timber_proc::structural::{proxy_netlist, stage_profiles_from_netlist};
+use timber_proc::PerfPoint;
+use timber_schemes::Registry;
+use timber_sta::{ClockConstraint, HoldAnalysis, TimingAnalysis};
+use timber_variability::{SensitizationModel, StagePathProfile, VariabilityBuilder};
+
+use crate::spec::{DesignId, EvalSpec};
+
+/// Stage-boundary count for the generator designs (the proc proxy
+/// carries its own bank structure).
+const STAGES: usize = 4;
+
+/// The seed the structural processor proxy is pinned at — the same
+/// netlist the lint gate ships.
+const PROC_SEED: u64 = 11;
+
+/// The cached product of the expensive compile step.
+#[derive(Debug, Clone)]
+pub struct CompiledDesign {
+    /// Which design this artifact serves.
+    pub design: DesignId,
+    /// Snapped clock period (checking period quantises exactly).
+    pub period: Picos,
+    /// The interval schedule at that period.
+    pub schedule: CheckingPeriod,
+    /// Per-stage sensitization profiles derived from the netlist's STA
+    /// arrival distribution.
+    pub profiles: Vec<StagePathProfile>,
+    /// Hold-padding plan summary: required min-delay floor.
+    pub padding_floor: Picos,
+    /// Endpoints the plan must pad.
+    pub padding_endpoints: usize,
+    /// Total inserted delay across all padded endpoints.
+    pub padding_total: Picos,
+    /// Flop count of the compiled netlist.
+    pub flops: usize,
+    /// Net count of the compiled netlist.
+    pub nets: usize,
+}
+
+fn generator_netlist(design: DesignId) -> Netlist {
+    let lib = CellLibrary::standard();
+    match design {
+        DesignId::Rca16 => ripple_carry_adder(&lib, 16).expect("generator"),
+        DesignId::Ks16 => kogge_stone_adder(&lib, 16).expect("generator"),
+        DesignId::Mul8 => array_multiplier(&lib, 8).expect("generator"),
+        DesignId::Alu8 => alu(&lib, 8).expect("generator"),
+        DesignId::RandomDag => random_dag(&lib, &RandomDagSpec::default()).expect("generator"),
+        DesignId::Datapath => pipelined_datapath(&lib, &DatapathSpec::uniform(4, 12, 150, 0.7, 17))
+            .expect("generator"),
+        DesignId::Proc => proxy_netlist(PROC_SEED),
+        DesignId::Poison => unreachable!("poison never reaches the generator"),
+    }
+}
+
+/// Profiles for a generator design: critical / 90th-percentile / median
+/// of the STA arrivals at flop D pins, replicated across the pipeline
+/// stages (flop-free combinational designs fall back to the worst
+/// primary-output arrival).
+fn quantile_profiles(netlist: &Netlist, sta: &TimingAnalysis<'_>) -> Vec<StagePathProfile> {
+    let mut arrivals: Vec<Picos> = netlist
+        .flop_ids()
+        .map(|f| sta.arrival(netlist.flop(f).d()))
+        .filter(|&a| a > Picos::ZERO && a < Picos::MAX)
+        .collect();
+    let profile = if arrivals.is_empty() {
+        StagePathProfile::from_critical(sta.worst_arrival())
+    } else {
+        arrivals.sort();
+        let pick = |q: f64| arrivals[((arrivals.len() - 1) as f64 * q) as usize];
+        let critical = *arrivals.last().expect("non-empty");
+        let near = pick(0.90).min(critical);
+        let typical = pick(0.50).min(near);
+        StagePathProfile {
+            critical,
+            near_critical: near,
+            typical,
+            p_critical: 1e-3,
+            p_near: 1e-2,
+        }
+    };
+    vec![profile; STAGES]
+}
+
+/// Compiles a spec's design tier: generator → STA → guard-banded,
+/// snapped period → schedule → sensitization profiles → hold padding
+/// plan.
+///
+/// # Panics
+///
+/// Panics for [`DesignId::Poison`] — by contract, so the engine's
+/// `catch_unwind` + quarantine path is exercised end to end (the serve
+/// analogue of `repro soak --inject-panic`). Also panics on internal
+/// contract violations (spec validation already bounds every schedule
+/// parameter).
+pub fn compile(spec: &EvalSpec) -> CompiledDesign {
+    if spec.design == DesignId::Poison {
+        panic!("poison design: compile fails by contract");
+    }
+    let schedule_spec = ScheduleSpec {
+        checking_pct: spec.checking_pct,
+        k_tb: spec.k_tb,
+        k_ed: spec.k_ed,
+        relay_increment: 1,
+    };
+    let netlist = generator_netlist(spec.design);
+    let sta = TimingAnalysis::run(&netlist, &ClockConstraint::with_period(Picos(1_000_000)));
+    // Same period derivation as the lint gate: the design's own
+    // critical path with a 5% guard band plus setup, snapped so the
+    // checking period quantises exactly onto the k intervals.
+    let raw = sta.worst_arrival().scale(1.05) + Picos(30);
+    let period = snap_period(raw, &schedule_spec);
+    let schedule = CheckingPeriod::new(period, spec.checking_pct, spec.k_tb, spec.k_ed)
+        .expect("snapped period admits the validated schedule");
+    let profiles = if spec.design == DesignId::Proc {
+        stage_profiles_from_netlist(&netlist, PerfPoint::High)
+    } else {
+        quantile_profiles(&netlist, &sta)
+    };
+    let plan = HoldAnalysis::run(&netlist, &ClockConstraint::with_period(period))
+        .padding_plan(&netlist, schedule.checking());
+    CompiledDesign {
+        design: spec.design,
+        period,
+        schedule,
+        profiles,
+        padding_floor: plan.floor,
+        padding_endpoints: plan.deficits.len(),
+        padding_total: plan.total_padding,
+        flops: netlist.flop_ids().count(),
+        nets: netlist.net_ids().count(),
+    }
+}
+
+/// Runs the spec's trials against a compiled design and reduces them to
+/// the id-independent response body. Trial seeds derive from the base
+/// seed via `splitmix64(seed, trial)`; merging happens in trial order,
+/// so the body is byte-identical however the batch was scheduled.
+pub fn evaluate(compiled: &CompiledDesign, spec: &EvalSpec) -> String {
+    let stages = compiled.profiles.len();
+    let registry = Registry::new(compiled.schedule, stages);
+    let mut totals = RunStats::default();
+    for trial in 0..spec.trials {
+        let seed = splitmix64(spec.seed, trial as u64);
+        let mut scheme = registry.build(spec.scheme, seed);
+        let mut sens = SensitizationModel::new(compiled.profiles.clone(), seed ^ 0x5EED);
+        let mut var = match spec.storm {
+            Some(storm) => storm.build(stages, seed),
+            // Nominal stress: mild droop plus fast local jitter.
+            None => VariabilityBuilder::new(seed)
+                .voltage_droop(0.05, 500, 2000.0)
+                .local_jitter(0.005)
+                .build(),
+        };
+        let mut config = PipelineConfig::new(stages, compiled.period);
+        config.governor = Some(GovernorConfig::default());
+        let stats = PipelineSim::new(config, scheme.as_mut(), &mut sens, &mut var).run(spec.cycles);
+        totals.merge(&stats);
+    }
+    format!(
+        "\"status\":\"ok\",\"key\":\"{}\",\"design\":\"{}\",\"scheme\":\"{}\",\"storm\":\"{}\",\
+         \"period_ps\":{},\"checking_ps\":{},\
+         \"padding\":{{\"floor_ps\":{},\"endpoints\":{},\"total_ps\":{}}},\
+         \"netlist\":{{\"flops\":{},\"nets\":{}}},\
+         \"trials\":{},\"cycles\":{},\"seed\":{},\
+         \"totals\":{{\"instructions\":{},\"masked\":{},\"flagged\":{},\"detected\":{},\
+         \"predicted\":{},\"corrupted\":{},\"penalty_cycles\":{},\"slow_cycles\":{},\
+         \"escalations\":{},\"sim_time_ps\":{}}}",
+        spec.key(),
+        spec.design.name(),
+        spec.scheme.name(),
+        spec.storm_name(),
+        compiled.period.as_ps(),
+        compiled.schedule.checking().as_ps(),
+        compiled.padding_floor.as_ps(),
+        compiled.padding_endpoints,
+        compiled.padding_total.as_ps(),
+        compiled.flops,
+        compiled.nets,
+        spec.trials,
+        spec.cycles,
+        spec.seed,
+        totals.instructions,
+        totals.masked,
+        totals.flagged,
+        totals.detected,
+        totals.predicted,
+        totals.corrupted,
+        totals.penalty_cycles,
+        totals.slow_cycles,
+        totals.slowdown_episodes,
+        totals.wall_time.as_ps(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_evaluable_design_compiles() {
+        for design in DesignId::EVALUABLE {
+            let spec = EvalSpec::defaults(design);
+            let c = compile(&spec);
+            assert!(c.period > Picos::ZERO, "{design:?}");
+            assert!(!c.profiles.is_empty(), "{design:?}");
+            for p in &c.profiles {
+                p.validate();
+            }
+            // The snapped schedule must quantise exactly.
+            assert_eq!(
+                c.schedule.checking().as_ps() % i64::from(spec.k_tb + spec.k_ed),
+                0,
+                "{design:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn poison_design_panics_by_contract() {
+        let spec = EvalSpec::defaults(DesignId::Poison);
+        let err = std::panic::catch_unwind(|| compile(&spec)).unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("poison"), "{msg}");
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_and_id_free() {
+        let spec = EvalSpec::defaults(DesignId::Rca16);
+        let compiled = compile(&spec);
+        let a = evaluate(&compiled, &spec);
+        let b = evaluate(&compile(&spec), &spec);
+        assert_eq!(a, b);
+        assert!(!a.contains("\"id\""));
+        assert!(a.contains(&format!("\"key\":\"{}\"", spec.key())));
+    }
+
+    #[test]
+    fn seed_and_scheme_change_the_body() {
+        let base = EvalSpec::defaults(DesignId::Rca16);
+        let compiled = compile(&base);
+        let mut reseeded = base;
+        reseeded.seed = 8;
+        let mut rescheme = base;
+        rescheme.scheme = timber_schemes::SchemeId::ConventionalFf;
+        assert_ne!(evaluate(&compiled, &base), evaluate(&compiled, &reseeded));
+        assert_ne!(evaluate(&compiled, &base), evaluate(&compiled, &rescheme));
+    }
+
+    #[test]
+    fn design_tier_is_schedule_sensitive() {
+        let a = compile(&EvalSpec::defaults(DesignId::Ks16));
+        let mut spec = EvalSpec::defaults(DesignId::Ks16);
+        spec.checking_pct = 30.0;
+        let b = compile(&spec);
+        assert!(b.schedule.checking() > a.schedule.checking());
+    }
+}

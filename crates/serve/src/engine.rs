@@ -1,0 +1,553 @@
+//! The serving engine: content-addressed request processing.
+//!
+//! One [`Engine`] owns the two cache tiers, the durability journal and
+//! the service telemetry, and processes request batches:
+//!
+//! 1. every line is parsed ([`crate::spec::parse_request`]); malformed
+//!    lines become deterministic `status:"error"` responses;
+//! 2. each evaluation request probes the result cache by content key —
+//!    a hit is answered immediately, duplicate keys within the batch
+//!    coalesce onto one pending evaluation (and count as hits);
+//! 3. unique missing designs compile once (design tier), each compile
+//!    isolated with `catch_unwind` so a poisoned request quarantines
+//!    instead of killing the daemon;
+//! 4. the remaining evaluations run as one hardened work-pull batch
+//!    (`run_hardened`: watchdog, bounded retries, quarantine ledger);
+//! 5. new results are journalled (crash-safe, torn-line tolerant) and
+//!    inserted in canonical key order, then responses are emitted
+//!    sorted by request id.
+//!
+//! Determinism: response bodies are pure functions of specs, cache
+//! trajectories are pure functions of the request stream, and only the
+//! `stats` operation exposes wall-clock latency (in its own object).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use timber_resilience::{read_journal, run_hardened, HardenedSpec, JournalWriter, TrialJob};
+use timber_telemetry::{ServiceCounter, ServiceStats};
+
+use crate::cache::LruCache;
+use crate::compile::{compile, evaluate, CompiledDesign};
+use crate::key::CacheKey;
+use crate::spec::{parse_request, EvalSpec, Request};
+
+/// Default result-tier capacity (full response bodies).
+pub const DEFAULT_RESULT_CAPACITY: usize = 1024;
+/// Default design-tier capacity (compiled netlist artifacts).
+pub const DEFAULT_DESIGN_CAPACITY: usize = 64;
+/// Per-attempt watchdog for one evaluation job.
+const WATCHDOG: Duration = Duration::from_secs(30);
+/// Attempts per evaluation before quarantine.
+const MAX_ATTEMPTS: u32 = 2;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Result-tier capacity.
+    pub result_capacity: usize,
+    /// Design-tier capacity.
+    pub design_capacity: usize,
+    /// Worker threads for cache-miss batches (0 = all cores). Never
+    /// changes any response byte.
+    pub threads: usize,
+    /// Append-only durability journal (`keyhex\tbody` lines).
+    pub journal: Option<PathBuf>,
+    /// Preload the journal into the result cache at startup.
+    pub resume: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            result_capacity: DEFAULT_RESULT_CAPACITY,
+            design_capacity: DEFAULT_DESIGN_CAPACITY,
+            threads: 0,
+            journal: None,
+            resume: false,
+        }
+    }
+}
+
+/// One rendered response line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The request id this answers.
+    pub id: u64,
+    /// Brace-free body fields (everything after `"id":N,`).
+    pub body: String,
+}
+
+impl Response {
+    /// The full single-line JSON document.
+    pub fn render(&self) -> String {
+        format!("{{\"id\":{},{}}}", self.id, self.body)
+    }
+}
+
+/// What one batch produced.
+#[derive(Debug)]
+pub struct BatchOutput {
+    /// Responses sorted by request id.
+    pub responses: Vec<Response>,
+    /// True if the batch contained a shutdown request.
+    pub shutdown: bool,
+}
+
+fn json_str(s: &str) -> String {
+    serde_json::Value::String(s.to_owned()).to_string()
+}
+
+/// A pending cold evaluation: the spec plus every request id waiting on
+/// its key.
+struct Pending {
+    spec: EvalSpec,
+    ids: Vec<u64>,
+}
+
+/// The persistent serving engine.
+pub struct Engine {
+    config: EngineConfig,
+    results: LruCache<String>,
+    designs: LruCache<CompiledDesign>,
+    journal: Option<JournalWriter>,
+    stats: ServiceStats,
+    /// Running id handed to requests that carry none.
+    seq: u64,
+}
+
+impl Engine {
+    /// Builds an engine, replaying the journal into the result cache
+    /// when `resume` is set.
+    pub fn new(config: EngineConfig) -> io::Result<Engine> {
+        let mut stats = ServiceStats::new();
+        let mut results = LruCache::new(config.result_capacity);
+        if let (Some(path), true) = (&config.journal, config.resume) {
+            if path.exists() {
+                // Last record wins per key, in file order — exactly the
+                // state the journal writer left behind.
+                let mut resumed: BTreeSet<CacheKey> = BTreeSet::new();
+                for (key, body) in read_journal(path)? {
+                    if let Some(key) = CacheKey::from_hex(&key) {
+                        resumed.insert(key);
+                        results.insert(key, body);
+                    }
+                }
+                stats.add(ServiceCounter::Resumed, resumed.len() as u64);
+            }
+        }
+        let journal = match &config.journal {
+            Some(path) => Some(JournalWriter::append(path)?),
+            None => None,
+        };
+        Ok(Engine {
+            designs: LruCache::new(config.design_capacity),
+            config,
+            results,
+            journal,
+            stats,
+            seq: 0,
+        })
+    }
+
+    /// The engine's telemetry.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// Result-tier occupancy (diagnostics).
+    pub fn cached_results(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Fetches the compiled design for `spec`, compiling (and caching)
+    /// it on a miss. `Err` is the compile panic's message.
+    fn design_for(&mut self, spec: &EvalSpec) -> Result<CompiledDesign, String> {
+        let dkey = spec.design_key();
+        if let Some(d) = self.designs.get(&dkey) {
+            self.stats.bump(ServiceCounter::DesignHits);
+            return Ok(d.clone());
+        }
+        self.stats.bump(ServiceCounter::DesignMisses);
+        let spec_copy = *spec;
+        match catch_unwind(AssertUnwindSafe(move || compile(&spec_copy))) {
+            Ok(design) => {
+                let evicted = self.designs.insert(dkey, design.clone());
+                self.stats
+                    .add(ServiceCounter::DesignEvictions, evicted as u64);
+                Ok(design)
+            }
+            Err(panic) => Err(panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "compile panicked".to_owned())),
+        }
+    }
+
+    /// Processes one batch of request lines to completion.
+    pub fn process_batch(&mut self, lines: &[String]) -> io::Result<BatchOutput> {
+        self.stats.observe_queue_depth(lines.len());
+        let mut responses: Vec<Response> = Vec::with_capacity(lines.len());
+        let mut pending: BTreeMap<CacheKey, Pending> = BTreeMap::new();
+        let mut stats_ids: Vec<u64> = Vec::new();
+        let mut shutdown = false;
+
+        for line in lines {
+            self.stats.bump(ServiceCounter::Requests);
+            let default_id = self.seq;
+            self.seq += 1;
+            match parse_request(line, default_id) {
+                Err(err) => {
+                    self.stats.bump(ServiceCounter::Errors);
+                    responses.push(Response {
+                        id: default_id,
+                        body: format!("\"status\":\"error\",\"error\":{}", json_str(&err)),
+                    });
+                }
+                Ok(Request::Stats { id }) => {
+                    self.stats.bump(ServiceCounter::StatsRequests);
+                    stats_ids.push(id);
+                }
+                Ok(Request::Shutdown { id }) => {
+                    shutdown = true;
+                    responses.push(Response {
+                        id,
+                        body: "\"status\":\"ok\",\"shutdown\":true".to_owned(),
+                    });
+                }
+                Ok(Request::Eval { id, spec }) => {
+                    self.stats.bump(ServiceCounter::Evals);
+                    let key = spec.key();
+                    let probe = Instant::now();
+                    if let Some(body) = self.results.get(&key) {
+                        let body = body.clone();
+                        self.stats.bump(ServiceCounter::Hits);
+                        // Clamp to ≥ 1ns so a sub-tick probe cannot
+                        // zero the mean and void the speedup figure.
+                        self.stats
+                            .hit_latency
+                            .record((probe.elapsed().as_nanos() as u64).max(1));
+                        responses.push(Response { id, body });
+                    } else if let Some(p) = pending.get_mut(&key) {
+                        // Batch coalescing: same content, one compute.
+                        self.stats.bump(ServiceCounter::Hits);
+                        self.stats
+                            .hit_latency
+                            .record((probe.elapsed().as_nanos() as u64).max(1));
+                        p.ids.push(id);
+                    } else {
+                        self.stats.bump(ServiceCounter::Misses);
+                        pending.insert(
+                            key,
+                            Pending {
+                                spec,
+                                ids: vec![id],
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        self.run_pending(pending, &mut responses)?;
+
+        // Stats responses last, so they see the whole batch's counters.
+        for id in stats_ids {
+            responses.push(Response {
+                id,
+                body: format!("\"status\":\"ok\",\"stats\":{}", self.stats.json()),
+            });
+        }
+        responses.sort_by_key(|r| r.id);
+        Ok(BatchOutput {
+            responses,
+            shutdown,
+        })
+    }
+
+    /// Compiles, evaluates, journals and answers every pending miss.
+    fn run_pending(
+        &mut self,
+        pending: BTreeMap<CacheKey, Pending>,
+        responses: &mut Vec<Response>,
+    ) -> io::Result<()> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        // Design tier first, in canonical key order: one compile per
+        // unique design, each isolated against panics.
+        let mut ready: Vec<(CacheKey, Pending, CompiledDesign, Instant)> = Vec::new();
+        for (key, p) in pending {
+            let started = Instant::now();
+            match self.design_for(&p.spec) {
+                Ok(design) => ready.push((key, p, design, started)),
+                Err(detail) => {
+                    self.stats
+                        .add(ServiceCounter::Quarantined, p.ids.len() as u64);
+                    let body = format!(
+                        "\"status\":\"quarantined\",\"key\":\"{}\",\"kind\":\"panic\",\
+                         \"attempts\":1,\"detail\":{}",
+                        key.hex(),
+                        json_str(&detail)
+                    );
+                    for id in p.ids {
+                        responses.push(Response {
+                            id,
+                            body: body.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        if ready.is_empty() {
+            return Ok(());
+        }
+
+        // Evaluation batch through the hardened work-pull executor:
+        // catch_unwind isolation, wall-clock watchdog, bounded retries,
+        // quarantine instead of a dead daemon. Per-job durations ride
+        // out through a side table keyed by job index.
+        let durations: Arc<Mutex<BTreeMap<usize, u64>>> = Arc::new(Mutex::new(BTreeMap::new()));
+        let jobs: Vec<TrialJob> = ready
+            .iter()
+            .enumerate()
+            .map(|(pos, (_, p, design, _))| {
+                let spec = p.spec;
+                let design = design.clone();
+                let durations = Arc::clone(&durations);
+                let job: TrialJob = Arc::new(move || {
+                    let started = Instant::now();
+                    let body = evaluate(&design, &spec);
+                    durations
+                        .lock()
+                        .expect("duration table")
+                        .insert(pos, started.elapsed().as_nanos() as u64);
+                    Ok(body)
+                });
+                job
+            })
+            .collect();
+        let outcome = run_hardened(HardenedSpec {
+            jobs,
+            threads: self.config.threads,
+            timeout: WATCHDOG,
+            max_attempts: MAX_ATTEMPTS,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(100),
+            completed: BTreeMap::new(),
+            checkpoint: None,
+            stop_after: None,
+        })?;
+
+        let mut quarantined: BTreeMap<usize, &timber_resilience::QuarantineEntry> =
+            outcome.quarantined.iter().map(|q| (q.index, q)).collect();
+        let durations = durations.lock().expect("duration table");
+        for (pos, ((key, p, _, started), payload)) in
+            ready.iter().zip(outcome.payloads.iter()).enumerate()
+        {
+            match payload {
+                Some(body) => {
+                    // Compile share + evaluation, one cold sample per
+                    // unique key.
+                    let eval_ns = durations.get(&pos).copied().unwrap_or(0);
+                    let compile_ns = started.elapsed().as_nanos() as u64;
+                    self.stats
+                        .miss_latency
+                        .record(compile_ns.max(eval_ns).max(1));
+                    if let Some(journal) = &mut self.journal {
+                        journal.record(&key.hex(), body)?;
+                    }
+                    let evicted = self.results.insert(*key, body.clone());
+                    self.stats.add(ServiceCounter::Evictions, evicted as u64);
+                    for &id in &p.ids {
+                        responses.push(Response {
+                            id,
+                            body: body.clone(),
+                        });
+                    }
+                }
+                None => {
+                    let (kind, attempts, detail) = match quarantined.remove(&pos) {
+                        Some(q) => (q.kind.name(), q.attempts, q.detail.clone()),
+                        None => ("panic", 1, "evaluation did not complete".to_owned()),
+                    };
+                    self.stats
+                        .add(ServiceCounter::Quarantined, p.ids.len() as u64);
+                    let body = format!(
+                        "\"status\":\"quarantined\",\"key\":\"{}\",\"kind\":\"{kind}\",\
+                         \"attempts\":{attempts},\"detail\":{}",
+                        key.hex(),
+                        json_str(&detail)
+                    );
+                    for &id in &p.ids {
+                        responses.push(Response {
+                            id,
+                            body: body.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> EngineConfig {
+        EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        }
+    }
+
+    fn lines(texts: &[&str]) -> Vec<String> {
+        texts.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn miss_then_hit_serves_identical_bytes() {
+        let mut e = Engine::new(tiny()).unwrap();
+        let cold = e
+            .process_batch(&lines(&[r#"{"id":1,"design":"rca16"}"#]))
+            .unwrap();
+        let warm = e
+            .process_batch(&lines(&[r#"{"id":2,"design":"rca16"}"#]))
+            .unwrap();
+        assert_eq!(cold.responses.len(), 1);
+        assert_eq!(cold.responses[0].body, warm.responses[0].body);
+        assert_eq!(
+            cold.responses[0].render(),
+            "{\"id\":1,".to_owned() + &cold.responses[0].body + "}"
+        );
+        assert_eq!(e.stats().counter(ServiceCounter::Hits), 1);
+        assert_eq!(e.stats().counter(ServiceCounter::Misses), 1);
+        assert!(e.stats().hit_speedup() > 1.0);
+    }
+
+    #[test]
+    fn duplicate_keys_in_one_batch_coalesce() {
+        let mut e = Engine::new(tiny()).unwrap();
+        let out = e
+            .process_batch(&lines(&[
+                r#"{"id":1,"design":"rca16"}"#,
+                r#"{"id":2,"design":"rca16"}"#,
+                r#"{"id":3,"design":"rca16","seed":8}"#,
+            ]))
+            .unwrap();
+        assert_eq!(out.responses.len(), 3);
+        assert_eq!(out.responses[0].body, out.responses[1].body);
+        assert_ne!(out.responses[0].body, out.responses[2].body);
+        assert_eq!(e.stats().counter(ServiceCounter::Misses), 2);
+        assert_eq!(e.stats().counter(ServiceCounter::Hits), 1);
+        // One design, compiled once, reused for the second unique spec.
+        assert_eq!(e.stats().counter(ServiceCounter::DesignMisses), 1);
+        assert_eq!(e.stats().counter(ServiceCounter::DesignHits), 1);
+    }
+
+    #[test]
+    fn poison_is_quarantined_and_the_engine_survives() {
+        let mut e = Engine::new(tiny()).unwrap();
+        let out = e
+            .process_batch(&lines(&[
+                r#"{"id":1,"design":"poison"}"#,
+                r#"{"id":2,"design":"rca16"}"#,
+            ]))
+            .unwrap();
+        assert_eq!(out.responses.len(), 2);
+        assert!(out.responses[0].body.contains("\"status\":\"quarantined\""));
+        assert!(out.responses[0].body.contains("poison"));
+        assert!(out.responses[1].body.contains("\"status\":\"ok\""));
+        assert_eq!(e.stats().counter(ServiceCounter::Quarantined), 1);
+        // The daemon keeps serving afterwards.
+        let again = e
+            .process_batch(&lines(&[r#"{"id":3,"design":"rca16"}"#]))
+            .unwrap();
+        assert!(again.responses[0].body.contains("\"status\":\"ok\""));
+    }
+
+    #[test]
+    fn malformed_and_unknown_lines_answer_deterministic_errors() {
+        let mut e = Engine::new(tiny()).unwrap();
+        let out = e
+            .process_batch(&lines(&[r#"{"design":"rca16","frob":1}"#, "not json"]))
+            .unwrap();
+        assert_eq!(out.responses.len(), 2);
+        for r in &out.responses {
+            assert!(r.body.contains("\"status\":\"error\""), "{}", r.body);
+        }
+        assert_eq!(e.stats().counter(ServiceCounter::Errors), 2);
+        assert_eq!(e.stats().counter(ServiceCounter::Evals), 0);
+    }
+
+    #[test]
+    fn responses_sort_by_id_whatever_the_arrival_order() {
+        let mut e = Engine::new(tiny()).unwrap();
+        let out = e
+            .process_batch(&lines(&[
+                r#"{"id":9,"design":"rca16"}"#,
+                r#"{"id":1,"design":"ks16"}"#,
+                r#"{"id":5,"op":"stats"}"#,
+            ]))
+            .unwrap();
+        let ids: Vec<u64> = out.responses.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn shutdown_flag_and_stats_body() {
+        let mut e = Engine::new(tiny()).unwrap();
+        let out = e
+            .process_batch(&lines(&[
+                r#"{"op":"stats","id":1}"#,
+                r#"{"op":"shutdown","id":2}"#,
+            ]))
+            .unwrap();
+        assert!(out.shutdown);
+        assert!(out.responses[0].body.contains("\"stats\":{\"counters\""));
+        assert!(out.responses[1].body.contains("\"shutdown\":true"));
+    }
+
+    #[test]
+    fn journal_resume_preloads_the_cache() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("timber-serve-journal-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let mut cfg = tiny();
+        cfg.journal = Some(path.clone());
+        let mut e = Engine::new(cfg.clone()).unwrap();
+        let cold = e
+            .process_batch(&lines(&[r#"{"id":1,"design":"rca16"}"#]))
+            .unwrap();
+        drop(e);
+
+        cfg.resume = true;
+        let mut e2 = Engine::new(cfg).unwrap();
+        assert_eq!(e2.stats().counter(ServiceCounter::Resumed), 1);
+        let warm = e2
+            .process_batch(&lines(&[r#"{"id":7,"design":"rca16"}"#]))
+            .unwrap();
+        assert_eq!(warm.responses[0].body, cold.responses[0].body);
+        assert_eq!(e2.stats().counter(ServiceCounter::Hits), 1);
+        assert_eq!(e2.stats().counter(ServiceCounter::Misses), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn engine_assigns_sequence_ids_when_absent() {
+        let mut e = Engine::new(tiny()).unwrap();
+        let out = e
+            .process_batch(&lines(&[r#"{"op":"stats"}"#, r#"{"op":"stats"}"#]))
+            .unwrap();
+        let ids: Vec<u64> = out.responses.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

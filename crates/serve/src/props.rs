@@ -1,0 +1,179 @@
+//! Property-based tests for the cache layer's load-bearing claims:
+//! canonicalization is injective over distinct specs and stable under
+//! request-field reordering, and a cache hit serves the exact bytes the
+//! cold miss produced — for every scheme in the registry.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+use timber_resilience::StormScenario;
+use timber_schemes::SchemeId;
+
+use crate::engine::{Engine, EngineConfig};
+use crate::spec::{parse_request, DesignId, EvalSpec, Request};
+
+/// Checking percentages drawn in properties (all valid, all snappable).
+const PCTS: [f64; 6] = [10.0, 20.0, 24.0, 25.5, 30.0, 50.0];
+
+type Shape = (usize, usize, usize, usize, u8, u8);
+type Budget = (usize, u64, u64);
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    (
+        0usize..7,
+        0usize..8,
+        0usize..4,
+        0usize..PCTS.len(),
+        0u8..4,
+        1u8..4,
+    )
+}
+
+fn budget_strategy() -> impl Strategy<Value = Budget> {
+    (1usize..5, 1u64..1000, 0u64..16)
+}
+
+fn build_spec(shape: Shape, budget: Budget) -> EvalSpec {
+    let (design, scheme, storm, pct, k_tb, k_ed) = shape;
+    let (trials, cycles, seed) = budget;
+    EvalSpec {
+        design: DesignId::EVALUABLE[design],
+        scheme: SchemeId::ALL[scheme],
+        storm: match storm {
+            0 => None,
+            i => Some(StormScenario::ALL[i - 1]),
+        },
+        checking_pct: PCTS[pct],
+        k_tb,
+        k_ed,
+        trials,
+        cycles,
+        seed,
+    }
+}
+
+/// Renders a spec as a request line with one of several field orders.
+fn request_line(spec: &EvalSpec, order: usize) -> String {
+    let fields = [
+        format!("\"design\":\"{}\"", spec.design.name()),
+        format!("\"scheme\":\"{}\"", spec.scheme.name()),
+        format!("\"storm\":\"{}\"", spec.storm_name()),
+        format!("\"checking_pct\":{}", spec.checking_pct),
+        format!("\"k_tb\":{}", spec.k_tb),
+        format!("\"k_ed\":{}", spec.k_ed),
+        format!("\"trials\":{}", spec.trials),
+        format!("\"cycles\":{}", spec.cycles),
+        format!("\"seed\":{}", spec.seed),
+    ];
+    // A seeded rotation plus a parity flip: enough distinct orderings
+    // to exercise order independence without a permutation library.
+    let n = fields.len();
+    let picked: Vec<String> = (0..n)
+        .map(|i| {
+            let idx = if order.is_multiple_of(2) {
+                (i + order) % n
+            } else {
+                (n - 1 - i + order) % n
+            };
+            fields[idx].clone()
+        })
+        .collect();
+    format!("{{{}}}", picked.join(","))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Injectivity: two specs canonicalize (and key) equal iff they are
+    /// field-for-field equal — the property that makes answering from
+    /// the content-addressed cache sound.
+    #[test]
+    fn canonicalization_is_injective(
+        shape_a in shape_strategy(),
+        budget_a in budget_strategy(),
+        shape_b in shape_strategy(),
+        budget_b in budget_strategy(),
+    ) {
+        let a = build_spec(shape_a, budget_a);
+        let b = build_spec(shape_b, budget_b);
+        prop_assert_eq!(a == b, a.canonical() == b.canonical());
+        prop_assert_eq!(a.canonical() == b.canonical(), a.key() == b.key());
+        // The design tier must collapse exactly the design-relevant
+        // fields.
+        let design_equal = a.design == b.design
+            && a.checking_pct.to_bits() == b.checking_pct.to_bits()
+            && a.k_tb == b.k_tb
+            && a.k_ed == b.k_ed;
+        prop_assert_eq!(design_equal, a.design_key() == b.design_key());
+    }
+
+    /// Stability: any field ordering of the same request parses to the
+    /// same spec, canonical form and key.
+    #[test]
+    fn canonicalization_survives_field_reordering(
+        shape in shape_strategy(),
+        budget in budget_strategy(),
+        order_a in 0usize..18,
+        order_b in 0usize..18,
+    ) {
+        let spec = build_spec(shape, budget);
+        let parse = |order: usize| match parse_request(&request_line(&spec, order), 0) {
+            Ok(Request::Eval { spec, .. }) => spec,
+            other => panic!("expected eval, got {other:?}"),
+        };
+        let a = parse(order_a);
+        let b = parse(order_b);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a.canonical(), spec.canonical());
+        prop_assert_eq!(a.key(), spec.key());
+    }
+
+    /// Defaults round-trip: a fully-explicit line and the minimal line
+    /// with every default omitted share one cache key.
+    #[test]
+    fn explicit_defaults_collapse_onto_the_minimal_line(design in 0usize..7) {
+        let spec = EvalSpec::defaults(DesignId::EVALUABLE[design]);
+        let minimal = format!("{{\"design\":\"{}\"}}", spec.design.name());
+        let explicit = request_line(&spec, 0);
+        let key_of = |line: &str| match parse_request(line, 0) {
+            Ok(Request::Eval { spec, .. }) => spec.key(),
+            other => panic!("expected eval, got {other:?}"),
+        };
+        prop_assert_eq!(key_of(&minimal), key_of(&explicit));
+    }
+}
+
+/// The warm-path contract, scheme by scheme: for every scheme in the
+/// registry, the cache-hit response is byte-identical to the cold-miss
+/// response that populated it.
+#[test]
+fn cache_hit_bytes_equal_cold_miss_bytes_for_all_schemes() {
+    let mut engine = Engine::new(EngineConfig {
+        threads: 4,
+        ..EngineConfig::default()
+    })
+    .unwrap();
+    for (i, scheme) in SchemeId::ALL.iter().enumerate() {
+        let line = |id: usize| {
+            format!(
+                "{{\"id\":{id},\"design\":\"rca16\",\"scheme\":\"{}\",\"trials\":1,\
+                 \"cycles\":200}}",
+                scheme.name()
+            )
+        };
+        let cold = engine.process_batch(&[line(2 * i)]).unwrap();
+        let warm = engine.process_batch(&[line(2 * i + 1)]).unwrap();
+        assert_eq!(
+            cold.responses[0].body,
+            warm.responses[0].body,
+            "scheme {} must serve identical bytes warm and cold",
+            scheme.name()
+        );
+        assert!(cold.responses[0].body.contains("\"status\":\"ok\""));
+    }
+    use timber_telemetry::ServiceCounter;
+    assert_eq!(engine.stats().counter(ServiceCounter::Hits), 8);
+    assert_eq!(engine.stats().counter(ServiceCounter::Misses), 8);
+    // All 16 requests hit one compiled design.
+    assert_eq!(engine.stats().counter(ServiceCounter::DesignMisses), 1);
+}

@@ -1,0 +1,185 @@
+//! Transport: JSONL over stdin/stdout or a Unix domain socket.
+//!
+//! The daemon reads request lines, accumulates up to `batch_size` of
+//! them, hands the batch to the [`Engine`], and writes the responses —
+//! one JSON document per line, sorted by request id — before reading
+//! on. A `{"op":"shutdown"}` request flushes its batch immediately and
+//! ends the session (and, for the socket transport, the daemon), so a
+//! client that terminates its burst with a shutdown request never
+//! blocks waiting for the batch to fill. Clients that keep the daemon
+//! running instead end a burst by closing (or half-closing) their
+//! stream.
+//!
+//! Both transports share one engine and therefore one cache, journal
+//! and stats stream; the transport never touches response bytes, so
+//! stdin-driven gates and socket clients observe identical documents.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixListener;
+use std::path::Path;
+
+use crate::engine::Engine;
+
+/// Default maximum batch size: bounds queue depth (and therefore
+/// memory) without starving the work-pull executor of parallelism.
+pub const DEFAULT_BATCH_SIZE: usize = 64;
+
+/// Serves one line-oriented session. Returns `Ok(true)` if a shutdown
+/// request ended it, `Ok(false)` on end-of-input.
+pub fn serve_lines<R: BufRead, W: Write>(
+    engine: &mut Engine,
+    input: R,
+    output: &mut W,
+    batch_size: usize,
+) -> io::Result<bool> {
+    let batch_size = batch_size.max(1);
+    let mut batch: Vec<String> = Vec::with_capacity(batch_size);
+    let mut lines = input.lines();
+    loop {
+        batch.clear();
+        let mut ended = false;
+        while batch.len() < batch_size {
+            match lines.next() {
+                Some(line) => {
+                    let line = line?;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    // A shutdown request flushes the batch now: the
+                    // client is done sending and is waiting on us.
+                    let flush = matches!(
+                        crate::spec::parse_request(&line, 0),
+                        Ok(crate::spec::Request::Shutdown { .. })
+                    );
+                    batch.push(line);
+                    if flush {
+                        break;
+                    }
+                }
+                None => {
+                    ended = true;
+                    break;
+                }
+            }
+        }
+        if batch.is_empty() && ended {
+            return Ok(false);
+        }
+        let out = engine.process_batch(&batch)?;
+        for r in &out.responses {
+            writeln!(output, "{}", r.render())?;
+        }
+        output.flush()?;
+        if out.shutdown {
+            return Ok(true);
+        }
+        if ended {
+            return Ok(false);
+        }
+    }
+}
+
+/// Binds `socket` and serves connections sequentially until a client
+/// sends a shutdown request. The socket file is removed first (stale
+/// daemon leftovers) and on clean shutdown.
+pub fn serve_unix(engine: &mut Engine, socket: &Path, batch_size: usize) -> io::Result<()> {
+    let _ = std::fs::remove_file(socket);
+    let listener = UnixListener::bind(socket)?;
+    for conn in listener.incoming() {
+        let stream = conn?;
+        let mut writer = stream.try_clone()?;
+        let reader = BufReader::new(stream);
+        if serve_lines(engine, reader, &mut writer, batch_size)? {
+            break;
+        }
+    }
+    let _ = std::fs::remove_file(socket);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn line_session_answers_in_id_order_and_honours_shutdown() {
+        let input = concat!(
+            "{\"id\":2,\"design\":\"rca16\"}\n",
+            "{\"id\":1,\"design\":\"rca16\"}\n",
+            "\n",
+            "{\"op\":\"shutdown\",\"id\":3}\n",
+            "{\"id\":4,\"design\":\"rca16\"}\n",
+        );
+        let mut out = Vec::new();
+        let shutdown = serve_lines(
+            &mut engine(),
+            BufReader::new(input.as_bytes()),
+            &mut out,
+            64,
+        )
+        .unwrap();
+        assert!(shutdown);
+        let text = String::from_utf8(out).unwrap();
+        let ids: Vec<&str> = text.lines().map(|l| &l[..l.find(',').unwrap()]).collect();
+        // id 4 sits after the shutdown and is never served.
+        assert_eq!(ids, vec!["{\"id\":1", "{\"id\":2", "{\"id\":3"]);
+    }
+
+    #[test]
+    fn batch_size_one_still_serves_everything() {
+        let input = "{\"id\":1,\"design\":\"rca16\"}\n{\"id\":2,\"design\":\"rca16\"}\n";
+        let mut out = Vec::new();
+        let shutdown =
+            serve_lines(&mut engine(), BufReader::new(input.as_bytes()), &mut out, 1).unwrap();
+        assert!(!shutdown);
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        // Second line was a cache hit on the first's result: identical
+        // bodies behind different ids.
+        let strip = |l: &str| l[l.find(',').unwrap()..].to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(strip(lines[0]), strip(lines[1]));
+    }
+
+    #[test]
+    fn unix_socket_round_trip() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("timber-serve-sock-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let server_path = path.clone();
+        let server = std::thread::spawn(move || {
+            let mut e = engine();
+            serve_unix(&mut e, &server_path, 8).unwrap();
+        });
+        // Wait for the listener to bind.
+        let mut stream = loop {
+            match UnixStream::connect(&path) {
+                Ok(s) => break s,
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        };
+        stream
+            .write_all(b"{\"id\":1,\"design\":\"rca16\"}\n{\"op\":\"shutdown\",\"id\":2}\n")
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut first = String::new();
+        reader.read_line(&mut first).unwrap();
+        assert!(first.contains("\"status\":\"ok\""), "{first}");
+        let mut second = String::new();
+        reader.read_line(&mut second).unwrap();
+        assert!(second.contains("\"shutdown\":true"), "{second}");
+        server.join().unwrap();
+        assert!(!path.exists());
+    }
+}

@@ -1,0 +1,532 @@
+//! JSONL request specs and their canonical form.
+//!
+//! One request is one single-line JSON object. Evaluation requests
+//! name a design, a scheme, a schedule and a trial budget:
+//!
+//! ```json
+//! {"op":"eval","id":3,"design":"rca16","scheme":"timber-ff",
+//!  "checking_pct":24.0,"k_tb":1,"k_ed":2,"trials":2,"cycles":400,
+//!  "seed":7,"storm":"droop-train"}
+//! ```
+//!
+//! Every field except `design` has a default; unknown or duplicated
+//! fields are deterministic errors (strictness is what lets the
+//! canonical form be injective). `{"op":"stats"}` returns the service
+//! counters, `{"op":"shutdown"}` ends a daemon session.
+//!
+//! # Canonicalization
+//!
+//! [`EvalSpec::canonical`] renders the spec as a fixed-order,
+//! fully-defaulted string: JSON field order, whitespace, and numeric
+//! spellings (`24` vs `24.0`) all collapse to one representative, and
+//! the float is rendered by its IEEE-754 bit pattern so no two
+//! distinct values share a spelling. The content hash of that string
+//! is the cache key; the request `id` is deliberately excluded so
+//! identical work from different requests shares one cache entry.
+
+use serde_json::Value;
+use timber_resilience::StormScenario;
+use timber_schemes::SchemeId;
+
+use crate::key::{content_hash, CacheKey};
+
+/// Every netlist the service can evaluate: the lint gate's shipped
+/// generator set, plus the `poison` diagnostic design whose compile
+/// step panics by contract (it exercises the quarantine path end to
+/// end, like `repro soak --inject-panic`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignId {
+    /// 16-bit ripple-carry adder.
+    Rca16,
+    /// 16-bit Kogge–Stone adder.
+    Ks16,
+    /// 8-bit array multiplier.
+    Mul8,
+    /// 8-bit ALU.
+    Alu8,
+    /// Seeded random DAG.
+    RandomDag,
+    /// Four-stage pipelined datapath.
+    Datapath,
+    /// Structural processor proxy (per-bank STA stage profiles).
+    Proc,
+    /// Diagnostic: compilation panics, exercising quarantine.
+    Poison,
+}
+
+impl DesignId {
+    /// Every design, in canonical order.
+    pub const ALL: [DesignId; 8] = [
+        DesignId::Rca16,
+        DesignId::Ks16,
+        DesignId::Mul8,
+        DesignId::Alu8,
+        DesignId::RandomDag,
+        DesignId::Datapath,
+        DesignId::Proc,
+        DesignId::Poison,
+    ];
+
+    /// The evaluable designs (everything except `poison`).
+    pub const EVALUABLE: [DesignId; 7] = [
+        DesignId::Rca16,
+        DesignId::Ks16,
+        DesignId::Mul8,
+        DesignId::Alu8,
+        DesignId::RandomDag,
+        DesignId::Datapath,
+        DesignId::Proc,
+    ];
+
+    /// Stable machine-readable name (request field value).
+    pub fn name(self) -> &'static str {
+        match self {
+            DesignId::Rca16 => "rca16",
+            DesignId::Ks16 => "ks16",
+            DesignId::Mul8 => "mul8",
+            DesignId::Alu8 => "alu8",
+            DesignId::RandomDag => "random_dag",
+            DesignId::Datapath => "datapath",
+            DesignId::Proc => "proc",
+            DesignId::Poison => "poison",
+        }
+    }
+
+    /// Resolves a request field value back to its identifier.
+    pub fn from_name(name: &str) -> Option<DesignId> {
+        DesignId::ALL.into_iter().find(|d| d.name() == name)
+    }
+}
+
+/// Hard ceilings on a single request's work, so one request cannot
+/// stall the batch executor into its watchdog.
+pub const MAX_TRIALS: usize = 64;
+/// Upper bound on simulated cycles per trial.
+pub const MAX_CYCLES: u64 = 1_000_000;
+
+/// A fully-defaulted evaluation request (minus the `id`, which rides
+/// beside it in [`Request::Eval`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalSpec {
+    /// Which netlist to compile and evaluate.
+    pub design: DesignId,
+    /// Which sequential scheme from the registry to run.
+    pub scheme: SchemeId,
+    /// Stress environment: `None` is the nominal droop+jitter stress,
+    /// `Some` is one of the soak storm scenarios.
+    pub storm: Option<StormScenario>,
+    /// Checking period as a percentage of the clock period.
+    pub checking_pct: f64,
+    /// Time-borrowing intervals.
+    pub k_tb: u8,
+    /// Error-detection intervals.
+    pub k_ed: u8,
+    /// Independent Monte-Carlo trials.
+    pub trials: usize,
+    /// Simulated cycles per trial.
+    pub cycles: u64,
+    /// Base seed; trial seeds derive via splitmix64.
+    pub seed: u64,
+}
+
+impl EvalSpec {
+    /// The defaults every omitted field assumes.
+    pub fn defaults(design: DesignId) -> EvalSpec {
+        EvalSpec {
+            design,
+            scheme: SchemeId::TimberFf,
+            storm: None,
+            checking_pct: 24.0,
+            k_tb: 1,
+            k_ed: 2,
+            trials: 2,
+            cycles: 400,
+            seed: 7,
+        }
+    }
+
+    /// Stable name of the storm axis (`"none"` for nominal stress).
+    pub fn storm_name(&self) -> &'static str {
+        self.storm.map_or("none", |s| s.name())
+    }
+
+    /// The canonical spec string the cache key digests: fixed field
+    /// order, every field explicit, the float by bit pattern. Two
+    /// specs canonicalize equal iff they are field-for-field equal.
+    pub fn canonical(&self) -> String {
+        format!(
+            "timber-serve/v1;design={};scheme={};storm={};pct_bits={:016x};k_tb={};k_ed={};trials={};cycles={};seed={}",
+            self.design.name(),
+            self.scheme.name(),
+            self.storm_name(),
+            self.checking_pct.to_bits(),
+            self.k_tb,
+            self.k_ed,
+            self.trials,
+            self.cycles,
+            self.seed,
+        )
+    }
+
+    /// Canonical form of the *design tier*: the subset of fields the
+    /// compiled artifact (netlist + STA + snapped period + padding
+    /// plan) depends on. Requests differing only in scheme, storm,
+    /// trial budget or seed share one compiled design.
+    pub fn design_canonical(&self) -> String {
+        format!(
+            "timber-serve-design/v1;design={};pct_bits={:016x};k_tb={};k_ed={}",
+            self.design.name(),
+            self.checking_pct.to_bits(),
+            self.k_tb,
+            self.k_ed,
+        )
+    }
+
+    /// Content-addressed result-cache key.
+    pub fn key(&self) -> CacheKey {
+        content_hash(self.canonical().as_bytes())
+    }
+
+    /// Content-addressed design-cache key.
+    pub fn design_key(&self) -> CacheKey {
+        content_hash(self.design_canonical().as_bytes())
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Evaluate a spec (answered from cache when possible).
+    Eval {
+        /// Response-ordering id.
+        id: u64,
+        /// The fully-defaulted spec.
+        spec: EvalSpec,
+    },
+    /// Return the service telemetry counters.
+    Stats {
+        /// Response-ordering id.
+        id: u64,
+    },
+    /// End the daemon session cleanly.
+    Shutdown {
+        /// Response-ordering id.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// The request's response-ordering id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Eval { id, .. } | Request::Stats { id } | Request::Shutdown { id } => *id,
+        }
+    }
+}
+
+fn field_u64(value: &Value, name: &str) -> Result<u64, String> {
+    value
+        .as_u64()
+        .ok_or_else(|| format!("field {name:?} must be a non-negative integer"))
+}
+
+fn field_f64(value: &Value, name: &str) -> Result<f64, String> {
+    value
+        .as_f64()
+        .ok_or_else(|| format!("field {name:?} must be a number"))
+}
+
+fn field_str<'v>(value: &'v Value, name: &str) -> Result<&'v str, String> {
+    value
+        .as_str()
+        .ok_or_else(|| format!("field {name:?} must be a string"))
+}
+
+/// Parses one request line. `default_id` is assigned when the line
+/// carries no `id` field (the engine hands out its running sequence
+/// number). Errors are deterministic single-line descriptions.
+pub fn parse_request(line: &str, default_id: u64) -> Result<Request, String> {
+    let doc = serde_json::from_str(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    let fields = match doc {
+        Value::Object(fields) => fields,
+        _ => return Err("request must be a JSON object".to_owned()),
+    };
+
+    let mut seen: Vec<&str> = Vec::new();
+    let mut op = "eval";
+    let mut id: Option<u64> = None;
+    let mut design: Option<DesignId> = None;
+    let mut spec_touched = false;
+    // Staged overrides, applied once the design (and thus the default
+    // spec) is known.
+    let mut scheme: Option<SchemeId> = None;
+    let mut storm: Option<Option<StormScenario>> = None;
+    let mut checking_pct: Option<f64> = None;
+    let mut k_tb: Option<u8> = None;
+    let mut k_ed: Option<u8> = None;
+    let mut trials: Option<usize> = None;
+    let mut cycles: Option<u64> = None;
+    let mut seed: Option<u64> = None;
+
+    for (name, value) in &fields {
+        if seen.contains(&name.as_str()) {
+            return Err(format!("duplicate field {name:?}"));
+        }
+        match name.as_str() {
+            "op" => {
+                op = match field_str(value, "op")? {
+                    "eval" => "eval",
+                    "stats" => "stats",
+                    "shutdown" => "shutdown",
+                    other => {
+                        return Err(format!(
+                            "unknown op {other:?} (expected eval, stats or shutdown)"
+                        ))
+                    }
+                };
+            }
+            "id" => id = Some(field_u64(value, "id")?),
+            "design" => {
+                let text = field_str(value, "design")?;
+                design = Some(DesignId::from_name(text).ok_or_else(|| {
+                    format!(
+                        "unknown design {text:?} (expected one of: {})",
+                        DesignId::ALL.map(|d| d.name()).join(", ")
+                    )
+                })?);
+            }
+            "scheme" => {
+                let text = field_str(value, "scheme")?;
+                scheme = Some(SchemeId::from_name(text).ok_or_else(|| {
+                    format!(
+                        "unknown scheme {text:?} (expected one of: {})",
+                        SchemeId::ALL.map(|s| s.name()).join(", ")
+                    )
+                })?);
+                spec_touched = true;
+            }
+            "storm" => {
+                let text = field_str(value, "storm")?;
+                storm = Some(if text == "none" {
+                    None
+                } else {
+                    Some(StormScenario::parse(text).ok_or_else(|| {
+                        format!(
+                            "unknown storm {text:?} (expected none, {})",
+                            StormScenario::ALL.map(|s| s.name()).join(", ")
+                        )
+                    })?)
+                });
+                spec_touched = true;
+            }
+            "checking_pct" => {
+                let pct = field_f64(value, "checking_pct")?;
+                if !pct.is_finite() || pct <= 0.0 || pct > 50.0 {
+                    return Err(format!("checking_pct {pct} out of range (0, 50]"));
+                }
+                checking_pct = Some(pct);
+                spec_touched = true;
+            }
+            "k_tb" => {
+                let k = field_u64(value, "k_tb")?;
+                if k > 8 {
+                    return Err(format!("k_tb {k} out of range 0..=8"));
+                }
+                k_tb = Some(k as u8);
+                spec_touched = true;
+            }
+            "k_ed" => {
+                let k = field_u64(value, "k_ed")?;
+                if !(1..=8).contains(&k) {
+                    return Err(format!("k_ed {k} out of range 1..=8"));
+                }
+                k_ed = Some(k as u8);
+                spec_touched = true;
+            }
+            "trials" => {
+                let t = field_u64(value, "trials")? as usize;
+                if !(1..=MAX_TRIALS).contains(&t) {
+                    return Err(format!("trials {t} out of range 1..={MAX_TRIALS}"));
+                }
+                trials = Some(t);
+                spec_touched = true;
+            }
+            "cycles" => {
+                let c = field_u64(value, "cycles")?;
+                if !(1..=MAX_CYCLES).contains(&c) {
+                    return Err(format!("cycles {c} out of range 1..={MAX_CYCLES}"));
+                }
+                cycles = Some(c);
+                spec_touched = true;
+            }
+            "seed" => {
+                seed = Some(field_u64(value, "seed")?);
+                spec_touched = true;
+            }
+            other => return Err(format!("unknown field {other:?}")),
+        }
+        seen.push(name.as_str());
+    }
+
+    let id = id.unwrap_or(default_id);
+    match op {
+        "stats" | "shutdown" => {
+            if design.is_some() || spec_touched {
+                return Err(format!("op {op:?} takes no spec fields"));
+            }
+            Ok(if op == "stats" {
+                Request::Stats { id }
+            } else {
+                Request::Shutdown { id }
+            })
+        }
+        _ => {
+            let design = design.ok_or("eval request needs a \"design\" field")?;
+            let mut spec = EvalSpec::defaults(design);
+            if let Some(v) = scheme {
+                spec.scheme = v;
+            }
+            if let Some(v) = storm {
+                spec.storm = v;
+            }
+            if let Some(v) = checking_pct {
+                spec.checking_pct = v;
+            }
+            if let Some(v) = k_tb {
+                spec.k_tb = v;
+            }
+            if let Some(v) = k_ed {
+                spec.k_ed = v;
+            }
+            if let Some(v) = trials {
+                spec.trials = v;
+            }
+            if let Some(v) = cycles {
+                spec.cycles = v;
+            }
+            if let Some(v) = seed {
+                spec.seed = v;
+            }
+            Ok(Request::Eval { id, spec })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_names_round_trip() {
+        for d in DesignId::ALL {
+            assert_eq!(DesignId::from_name(d.name()), Some(d));
+        }
+        assert_eq!(DesignId::from_name("frobnicator"), None);
+    }
+
+    #[test]
+    fn minimal_request_takes_all_defaults() {
+        let r = parse_request(r#"{"design":"rca16"}"#, 9).unwrap();
+        match r {
+            Request::Eval { id, spec } => {
+                assert_eq!(id, 9);
+                assert_eq!(spec, EvalSpec::defaults(DesignId::Rca16));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn field_reordering_yields_the_same_canonical_form() {
+        let a = parse_request(
+            r#"{"design":"ks16","seed":11,"cycles":500,"scheme":"razor-ff"}"#,
+            0,
+        )
+        .unwrap();
+        let b = parse_request(
+            r#"{"scheme":"razor-ff","cycles":500,"design":"ks16","seed":11}"#,
+            0,
+        )
+        .unwrap();
+        let (Request::Eval { spec: sa, .. }, Request::Eval { spec: sb, .. }) = (a, b) else {
+            panic!("both must be evals");
+        };
+        assert_eq!(sa.canonical(), sb.canonical());
+        assert_eq!(sa.key(), sb.key());
+    }
+
+    #[test]
+    fn number_spelling_collapses_but_value_changes_do_not() {
+        let parse = |line: &str| match parse_request(line, 0).unwrap() {
+            Request::Eval { spec, .. } => spec,
+            other => panic!("{other:?}"),
+        };
+        let a = parse(r#"{"design":"rca16","checking_pct":24}"#);
+        let b = parse(r#"{"design":"rca16","checking_pct":24.0}"#);
+        let c = parse(r#"{"design":"rca16","checking_pct":24.5}"#);
+        assert_eq!(a.canonical(), b.canonical());
+        assert_ne!(a.canonical(), c.canonical());
+    }
+
+    #[test]
+    fn id_is_not_part_of_the_cache_key() {
+        let a = parse_request(r#"{"design":"mul8","id":1}"#, 0).unwrap();
+        let b = parse_request(r#"{"design":"mul8","id":2}"#, 0).unwrap();
+        let (Request::Eval { spec: sa, .. }, Request::Eval { spec: sb, .. }) = (a, b) else {
+            panic!("both must be evals");
+        };
+        assert_eq!(sa.key(), sb.key());
+    }
+
+    #[test]
+    fn unknown_duplicate_and_type_errors_are_deterministic() {
+        for (line, needle) in [
+            (r#"{"design":"rca16","frob":1}"#, "unknown field"),
+            (r#"{"design":"nope"}"#, "unknown design"),
+            (r#"{"design":"rca16","scheme":"nope"}"#, "unknown scheme"),
+            (r#"{"design":"rca16","storm":"nope"}"#, "unknown storm"),
+            (r#"{"design":"rca16","trials":0}"#, "out of range"),
+            (r#"{"design":"rca16","cycles":0}"#, "out of range"),
+            (r#"{"design":"rca16","checking_pct":99}"#, "out of range"),
+            (r#"{"design":"rca16","seed":"x"}"#, "non-negative integer"),
+            (r#"{"op":"stats","design":"rca16"}"#, "takes no spec fields"),
+            (r#"{}"#, "needs a \"design\""),
+            (r#"[1,2]"#, "JSON object"),
+            (r#"{"design""#, "malformed JSON"),
+        ] {
+            let err = parse_request(line, 0).unwrap_err();
+            assert!(err.contains(needle), "{line} -> {err}");
+            // Determinism: the same line always produces the same error.
+            assert_eq!(err, parse_request(line, 0).unwrap_err());
+        }
+        let dup = parse_request(r#"{"design":"rca16","design":"ks16"}"#, 0);
+        // The vendored parser may reject duplicate keys itself; either
+        // way the line must fail deterministically.
+        assert!(!matches!(dup, Ok(Request::Eval { .. })));
+    }
+
+    #[test]
+    fn stats_and_shutdown_parse() {
+        assert_eq!(
+            parse_request(r#"{"op":"stats"}"#, 5).unwrap(),
+            Request::Stats { id: 5 }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown","id":77}"#, 5).unwrap(),
+            Request::Shutdown { id: 77 }
+        );
+    }
+
+    #[test]
+    fn design_tier_key_ignores_scheme_and_budget() {
+        let mut a = EvalSpec::defaults(DesignId::Datapath);
+        let mut b = a;
+        b.scheme = SchemeId::RazorFf;
+        b.trials = 4;
+        b.seed = 99;
+        assert_eq!(a.design_key(), b.design_key());
+        assert_ne!(a.key(), b.key());
+        a.k_tb = 2;
+        assert_ne!(a.design_key(), b.design_key());
+    }
+}

@@ -47,11 +47,13 @@
 pub mod event;
 pub mod export;
 pub mod recorder;
+pub mod service;
 pub mod sink;
 
 pub use event::{Event, EventKind};
 pub use export::{recorder_json, render_summary, trace_csv, trace_json};
 pub use recorder::{Recorder, RecorderConfig, StageMetrics, DEPTH_BINS, SLACK_BINS};
+pub use service::{LatencyReservoir, ServiceCounter, ServiceStats};
 pub use sink::{Counter, NoopSink, TelemetrySink};
 
 #[cfg(test)]

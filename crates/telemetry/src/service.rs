@@ -1,0 +1,355 @@
+//! Per-request service telemetry for the long-running evaluation
+//! daemon (`repro serve`).
+//!
+//! The pipeline-side [`crate::Recorder`] counts *simulation* events;
+//! this module counts *service* events: requests, cache hits and
+//! misses, evictions, quarantines, queue depth and service latency.
+//! The split keeps the hot simulation loop untouched — service
+//! accounting happens once per request, far off any inner loop, so it
+//! uses plain fields rather than the zero-cost sink machinery.
+//!
+//! Determinism contract: every counter is a pure function of the
+//! request stream and the cache configuration. Latency samples are
+//! host wall-clock and therefore *not* deterministic — exports keep
+//! them in a separate `latency` object so deterministic consumers
+//! (byte-identical replay gates) can compare the `counters` object
+//! alone.
+
+/// Monotonic service counters, mirroring [`crate::Counter`]'s
+/// fixed-array design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum ServiceCounter {
+    /// Request lines received (any operation).
+    Requests,
+    /// Evaluation requests received.
+    Evals,
+    /// Evaluations answered from the result cache.
+    Hits,
+    /// Evaluations that had to be computed.
+    Misses,
+    /// Compiled designs reused from the design cache.
+    DesignHits,
+    /// Designs compiled from scratch (netlist + STA + padding plan).
+    DesignMisses,
+    /// Result-cache entries evicted.
+    Evictions,
+    /// Design-cache entries evicted.
+    DesignEvictions,
+    /// Requests rejected with a deterministic spec error.
+    Errors,
+    /// Requests quarantined by the hardened executor (panic or hang).
+    Quarantined,
+    /// Results preloaded from the durability journal at startup.
+    Resumed,
+    /// `stats` requests served.
+    StatsRequests,
+}
+
+impl ServiceCounter {
+    /// Number of counters (array-index bound).
+    pub const COUNT: usize = 12;
+
+    /// All counters, in index order.
+    pub const ALL: [ServiceCounter; ServiceCounter::COUNT] = [
+        ServiceCounter::Requests,
+        ServiceCounter::Evals,
+        ServiceCounter::Hits,
+        ServiceCounter::Misses,
+        ServiceCounter::DesignHits,
+        ServiceCounter::DesignMisses,
+        ServiceCounter::Evictions,
+        ServiceCounter::DesignEvictions,
+        ServiceCounter::Errors,
+        ServiceCounter::Quarantined,
+        ServiceCounter::Resumed,
+        ServiceCounter::StatsRequests,
+    ];
+
+    /// Stable machine-readable name (JSON export key).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServiceCounter::Requests => "requests",
+            ServiceCounter::Evals => "evals",
+            ServiceCounter::Hits => "hits",
+            ServiceCounter::Misses => "misses",
+            ServiceCounter::DesignHits => "design_hits",
+            ServiceCounter::DesignMisses => "design_misses",
+            ServiceCounter::Evictions => "evictions",
+            ServiceCounter::DesignEvictions => "design_evictions",
+            ServiceCounter::Errors => "errors",
+            ServiceCounter::Quarantined => "quarantined",
+            ServiceCounter::Resumed => "resumed",
+            ServiceCounter::StatsRequests => "stats_requests",
+        }
+    }
+}
+
+/// Bounded reservoir of latency samples with percentile queries.
+///
+/// Keeps the first [`LatencyReservoir::CAPACITY`] samples verbatim
+/// (service campaigns are far smaller); beyond that, new samples
+/// overwrite a deterministic rotating slot so the reservoir keeps
+/// following the stream without growing.
+#[derive(Debug, Clone)]
+pub struct LatencyReservoir {
+    samples: Vec<u64>,
+    seen: u64,
+    sum: u128,
+}
+
+impl LatencyReservoir {
+    /// Maximum retained samples.
+    pub const CAPACITY: usize = 4096;
+
+    /// An empty reservoir.
+    pub fn new() -> LatencyReservoir {
+        LatencyReservoir {
+            samples: Vec::new(),
+            seen: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one latency sample in nanoseconds.
+    pub fn record(&mut self, nanos: u64) {
+        if self.samples.len() < Self::CAPACITY {
+            self.samples.push(nanos);
+        } else {
+            let slot = (self.seen as usize) % Self::CAPACITY;
+            self.samples[slot] = nanos;
+        }
+        self.seen += 1;
+        self.sum += u128::from(nanos);
+    }
+
+    /// Samples recorded so far (including overwritten ones).
+    pub fn count(&self) -> u64 {
+        self.seen
+    }
+
+    /// Mean over *all* recorded samples, in nanoseconds (0 if empty).
+    pub fn mean(&self) -> u64 {
+        if self.seen == 0 {
+            0
+        } else {
+            (self.sum / u128::from(self.seen)) as u64
+        }
+    }
+
+    /// The `q`-quantile (0.0 ..= 1.0) over the retained samples, in
+    /// nanoseconds (0 if empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+
+    /// Median latency in nanoseconds.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency in nanoseconds.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// JSON object with count/mean/p50/p99 (all nanoseconds).
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
+            self.count(),
+            self.mean(),
+            self.p50(),
+            self.p99()
+        )
+    }
+}
+
+impl Default for LatencyReservoir {
+    fn default() -> Self {
+        LatencyReservoir::new()
+    }
+}
+
+/// The serve daemon's full telemetry state: counters, queue-depth
+/// gauge, and hit/miss latency reservoirs.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    counters: [u64; ServiceCounter::COUNT],
+    /// Largest batch (queue depth) processed so far.
+    max_queue_depth: usize,
+    /// Service latency of cache hits.
+    pub hit_latency: LatencyReservoir,
+    /// Service latency of cache misses (cold evaluations).
+    pub miss_latency: LatencyReservoir,
+}
+
+impl ServiceStats {
+    /// Fresh, all-zero stats.
+    pub fn new() -> ServiceStats {
+        ServiceStats::default()
+    }
+
+    /// Increments `counter` by `n`.
+    pub fn add(&mut self, counter: ServiceCounter, n: u64) {
+        self.counters[counter as usize] += n;
+    }
+
+    /// Increments `counter` by one.
+    pub fn bump(&mut self, counter: ServiceCounter) {
+        self.add(counter, 1);
+    }
+
+    /// Current value of `counter`.
+    pub fn counter(&self, counter: ServiceCounter) -> u64 {
+        self.counters[counter as usize]
+    }
+
+    /// Records a processed batch's queue depth.
+    pub fn observe_queue_depth(&mut self, depth: usize) {
+        self.max_queue_depth = self.max_queue_depth.max(depth);
+    }
+
+    /// Largest batch processed so far.
+    pub fn max_queue_depth(&self) -> usize {
+        self.max_queue_depth
+    }
+
+    /// Cache hit rate over evaluation requests (0.0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let evals = self.counter(ServiceCounter::Hits) + self.counter(ServiceCounter::Misses);
+        if evals == 0 {
+            0.0
+        } else {
+            self.counter(ServiceCounter::Hits) as f64 / evals as f64
+        }
+    }
+
+    /// Mean cold-evaluation latency over mean hit latency (0.0 until
+    /// both have samples) — the figure the storm gate's 10× floor
+    /// checks.
+    pub fn hit_speedup(&self) -> f64 {
+        let (hit, miss) = (self.hit_latency.mean(), self.miss_latency.mean());
+        if hit == 0 || miss == 0 {
+            0.0
+        } else {
+            miss as f64 / hit as f64
+        }
+    }
+
+    /// The deterministic half of the export: counters and queue depth
+    /// only — a pure function of the request stream, safe to diff
+    /// byte-for-byte across replays.
+    pub fn counters_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, c) in ServiceCounter::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", c.name(), self.counter(*c)));
+        }
+        out.push_str(&format!(",\"max_queue_depth\":{}", self.max_queue_depth));
+        out.push('}');
+        out
+    }
+
+    /// Full export: deterministic `counters` plus wall-clock `latency`
+    /// (hit/miss reservoirs and the derived speedup).
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"counters\":{},\"latency\":{{\"hit\":{},\"miss\":{},\"hit_rate\":{:.4},\"hit_speedup\":{:.1}}}}}",
+            self.counters_json(),
+            self.hit_latency.json(),
+            self.miss_latency.json(),
+            self.hit_rate(),
+            self.hit_speedup(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_names_are_unique_and_stable() {
+        let mut names: Vec<&str> = ServiceCounter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ServiceCounter::COUNT);
+        assert_eq!(ServiceCounter::Hits.name(), "hits");
+        assert_eq!(ServiceCounter::Evictions.name(), "evictions");
+    }
+
+    #[test]
+    fn counters_accumulate_independently() {
+        let mut s = ServiceStats::new();
+        s.bump(ServiceCounter::Requests);
+        s.add(ServiceCounter::Hits, 3);
+        assert_eq!(s.counter(ServiceCounter::Requests), 1);
+        assert_eq!(s.counter(ServiceCounter::Hits), 3);
+        assert_eq!(s.counter(ServiceCounter::Misses), 0);
+    }
+
+    #[test]
+    fn hit_rate_and_speedup() {
+        let mut s = ServiceStats::new();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.add(ServiceCounter::Hits, 3);
+        s.add(ServiceCounter::Misses, 1);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(s.hit_speedup(), 0.0); // no latency samples yet
+        s.hit_latency.record(10);
+        s.miss_latency.record(1000);
+        assert!((s.hit_speedup() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reservoir_percentiles_are_order_independent() {
+        let mut a = LatencyReservoir::new();
+        let mut b = LatencyReservoir::new();
+        for v in [5u64, 1, 9, 3, 7] {
+            a.record(v);
+        }
+        for v in [9u64, 7, 5, 3, 1] {
+            b.record(v);
+        }
+        assert_eq!(a.p50(), b.p50());
+        assert_eq!(a.p50(), 5);
+        assert_eq!(a.p99(), 9);
+        assert_eq!(a.mean(), 5);
+    }
+
+    #[test]
+    fn reservoir_saturates_without_growing() {
+        let mut r = LatencyReservoir::new();
+        for v in 0..(LatencyReservoir::CAPACITY as u64 + 100) {
+            r.record(v);
+        }
+        assert_eq!(r.count(), LatencyReservoir::CAPACITY as u64 + 100);
+        assert!(r.p99() > 0);
+    }
+
+    #[test]
+    fn json_exports_parse_and_split_determinism() {
+        let mut s = ServiceStats::new();
+        s.bump(ServiceCounter::Requests);
+        s.bump(ServiceCounter::Evals);
+        s.bump(ServiceCounter::Misses);
+        s.miss_latency.record(12345);
+        s.observe_queue_depth(7);
+        let full: serde_json::Value = serde_json::from_str(&s.json()).unwrap();
+        assert_eq!(full["counters"]["requests"], serde_json::json!(1));
+        assert_eq!(full["counters"]["max_queue_depth"], serde_json::json!(7));
+        assert!(full["latency"]["miss"]["mean_ns"].as_u64().unwrap() > 0);
+        // The deterministic half must not mention latency at all.
+        assert!(!s.counters_json().contains("_ns"));
+        assert!(!s.counters_json().contains("latency"));
+    }
+}
