@@ -1,0 +1,108 @@
+//! The abstract domain: closed time intervals over [`Picos`].
+
+use timber_netlist::Picos;
+
+/// A closed interval `[lo, hi]` of times — the abstract value every
+/// combinational delay, arrival and carry is tracked as. Joins widen
+/// toward the hull of both operands; there is no bottom element because
+/// every tracked quantity always has at least the zero point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    lo: Picos,
+    hi: Picos,
+}
+
+impl Default for Interval {
+    fn default() -> Interval {
+        Interval::ZERO
+    }
+}
+
+impl Interval {
+    /// The `[0, 0]` point interval.
+    pub const ZERO: Interval = Interval {
+        lo: Picos::ZERO,
+        hi: Picos::ZERO,
+    };
+
+    /// Creates `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: Picos, hi: Picos) -> Interval {
+        assert!(lo <= hi, "interval bounds inverted: [{lo:?}, {hi:?}]");
+        Interval { lo, hi }
+    }
+
+    /// The single-point interval `[v, v]`.
+    pub fn point(v: Picos) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Lower bound.
+    pub fn lo(self) -> Picos {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(self) -> Picos {
+        self.hi
+    }
+
+    /// Least upper bound: the hull of both intervals.
+    pub fn join(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// True when `v` lies inside the interval.
+    pub fn contains(self, v: Picos) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+}
+
+/// Minkowski sum: every `a + b` with `a ∈ self`, `b ∈ other`.
+impl std::ops::Add for Interval {
+    type Output = Interval;
+
+    fn add(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo + other.lo,
+            hi: self.hi + other.hi,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_the_hull() {
+        let a = Interval::new(Picos(10), Picos(20));
+        let b = Interval::new(Picos(15), Picos(40));
+        let j = a.join(b);
+        assert_eq!((j.lo(), j.hi()), (Picos(10), Picos(40)));
+        assert_eq!(j, b.join(a));
+        assert_eq!(a.join(a), a);
+    }
+
+    #[test]
+    fn add_is_minkowski() {
+        let a = Interval::new(Picos(1), Picos(2));
+        let b = Interval::new(Picos(10), Picos(20));
+        let s = a + b;
+        assert_eq!((s.lo(), s.hi()), (Picos(11), Picos(22)));
+        assert!(s.contains(Picos(15)));
+        assert!(!s.contains(Picos(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_bounds_are_rejected() {
+        let _ = Interval::new(Picos(2), Picos(1));
+    }
+}

@@ -1,0 +1,248 @@
+//! Explicit-state reachability of the [`LadderGovernor`] FSM.
+//!
+//! The governor's behavior inside one evaluation window is determined
+//! entirely by threshold comparisons on the window's flag count, so
+//! three abstract inputs per window — a storm (`escalate_flags`), a
+//! clean window (zero flags) and, when the thresholds leave one, a
+//! dead-zone count strictly between them — cover every transition the
+//! concrete machine can take. The exploration drives the *real*
+//! implementation through its snapshot/restore API over those inputs,
+//! enumerating the whole reachable state set and proving the published
+//! [`recovery_bound`] and ladder-maximum period from structure, not
+//! from sampled runs.
+//!
+//! [`recovery_bound`]: LadderGovernor::recovery_bound
+
+use std::collections::{HashSet, VecDeque};
+
+use timber_netlist::Picos;
+use timber_resilience::{GovernorConfig, GovernorLevel, GovernorState, LadderGovernor};
+
+/// Guard against configuration families with more distinct states than
+/// the window-normalized snapshot can enumerate cheaply; exceeding it
+/// yields an *unproven* (not failed) analysis.
+const STATE_CAP: usize = 4096;
+
+/// Quotients away the unbounded counter growth: `decide()` reads the
+/// window counters only through `>= hold_windows` / `>= deadline_windows`
+/// comparisons and resets them whenever the threshold acts, so
+/// saturating each counter at its threshold is an *exact* bisimulation
+/// quotient — states identified here are behaviorally indistinguishable,
+/// and the quotient makes the reachable set finite.
+fn normalize(config: &GovernorConfig, mut state: GovernorState) -> GovernorState {
+    state.clean_windows = state.clean_windows.min(config.hold_windows);
+    state.dirty_windows = state.dirty_windows.min(config.deadline_windows);
+    state
+}
+
+/// Result of exhaustively exploring one governor configuration.
+#[derive(Debug, Clone)]
+pub struct GovernorAnalysis {
+    /// Nominal clock period the ladder scales.
+    pub nominal: Picos,
+    /// Configuration explored.
+    pub config: GovernorConfig,
+    /// Distinct reachable window-boundary states.
+    pub reachable_states: usize,
+    /// Worst observed cycles-to-nominal over every reachable state.
+    pub worst_recovery_cycles: u64,
+    /// The bound the implementation publishes.
+    pub published_recovery_bound: u64,
+    /// The ladder's published period ceiling.
+    pub max_period: Picos,
+    /// Largest period actually observed anywhere in the exploration.
+    pub observed_max_period: Picos,
+    /// Every reachable state returns to nominal within the published
+    /// bound under clean input.
+    pub recovery_proved: bool,
+    /// No reachable cycle ever exceeds the published period ceiling.
+    pub period_proved: bool,
+}
+
+impl GovernorAnalysis {
+    /// True when both published bounds are proved.
+    pub fn proved(&self) -> bool {
+        self.recovery_proved && self.period_proved
+    }
+}
+
+/// The abstract per-window flag counts that distinguish every
+/// transition of `config`.
+fn abstract_inputs(config: &GovernorConfig) -> Vec<u64> {
+    let mut inputs = vec![config.escalate_flags, 0];
+    let dead = config.deescalate_flags + 1;
+    if dead < config.escalate_flags {
+        inputs.push(dead);
+    }
+    inputs
+}
+
+/// Runs the machine restored from `state` through one full window with
+/// `flags` errors landing at the window's first cycle, returning the
+/// successor state and the largest period seen.
+fn step(
+    nominal: Picos,
+    config: GovernorConfig,
+    state: GovernorState,
+    flags: u64,
+) -> (GovernorState, Picos) {
+    let mut g = LadderGovernor::restore(nominal, config, state);
+    let mut max_seen = Picos::ZERO;
+    for cycle in 0..=config.window {
+        let period = g.period_at(cycle);
+        max_seen = max_seen.max(period);
+        if cycle == 0 {
+            for _ in 0..flags {
+                g.flag_error(0);
+            }
+        }
+    }
+    (g.state(), max_seen)
+}
+
+/// Exhaustively explores the governor FSM for `(nominal, config)`.
+pub fn explore(nominal: Picos, config: GovernorConfig) -> GovernorAnalysis {
+    let inputs = abstract_inputs(&config);
+    let mut seen: HashSet<GovernorState> = HashSet::new();
+    let mut queue: VecDeque<GovernorState> = VecDeque::new();
+    let initial = normalize(&config, GovernorState::initial());
+    seen.insert(initial);
+    queue.push_back(initial);
+    let mut observed_max_period = Picos::ZERO;
+    let mut capped = false;
+    while let Some(state) = queue.pop_front() {
+        for &flags in &inputs {
+            let (next, max_seen) = step(nominal, config, state, flags);
+            let next = normalize(&config, next);
+            observed_max_period = observed_max_period.max(max_seen);
+            if seen.insert(next) {
+                if seen.len() > STATE_CAP {
+                    capped = true;
+                    queue.clear();
+                    break;
+                }
+                queue.push_back(next);
+            }
+        }
+        if capped {
+            break;
+        }
+    }
+
+    let published_recovery_bound = LadderGovernor::new(nominal, config).recovery_bound();
+    let max_period = LadderGovernor::new(nominal, config).max_period();
+    let mut worst_recovery_cycles = 0u64;
+    let mut recovery_proved = !capped;
+    if !capped {
+        for &state in &seen {
+            match recovery_from(nominal, config, state, published_recovery_bound) {
+                Some(cycles) => worst_recovery_cycles = worst_recovery_cycles.max(cycles),
+                None => recovery_proved = false,
+            }
+        }
+    }
+    GovernorAnalysis {
+        nominal,
+        config,
+        reachable_states: seen.len(),
+        worst_recovery_cycles,
+        published_recovery_bound,
+        max_period,
+        observed_max_period,
+        recovery_proved,
+        period_proved: !capped && observed_max_period <= max_period,
+    }
+}
+
+/// Cycles until the machine restored from `state` is back at nominal
+/// under flag-free input, or `None` if it has not recovered within
+/// `bound` cycles.
+fn recovery_from(
+    nominal: Picos,
+    config: GovernorConfig,
+    state: GovernorState,
+    bound: u64,
+) -> Option<u64> {
+    let mut g = LadderGovernor::restore(nominal, config, state);
+    let mut last_non_nominal = None;
+    for cycle in 0..=bound {
+        if g.period_at(cycle) != nominal {
+            last_non_nominal = Some(cycle);
+        }
+    }
+    if g.period_at(bound) != nominal || g.state().level != GovernorLevel::Nominal {
+        return None;
+    }
+    Some(last_non_nominal.map_or(0, |c| c + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GovernorConfig {
+        GovernorConfig {
+            window: 10,
+            escalate_flags: 3,
+            deescalate_flags: 0,
+            hold_windows: 2,
+            deadline_windows: 4,
+            latency_cycles: 2,
+            ..GovernorConfig::default()
+        }
+    }
+
+    #[test]
+    fn published_bounds_are_proved_for_the_reference_config() {
+        let analysis = explore(Picos(1000), cfg());
+        assert!(analysis.proved(), "{analysis:?}");
+        assert!(analysis.reachable_states > 1);
+        assert!(analysis.reachable_states < STATE_CAP);
+        assert!(analysis.worst_recovery_cycles <= analysis.published_recovery_bound);
+        assert!(
+            analysis.worst_recovery_cycles > 0,
+            "storms must cost something"
+        );
+        assert!(analysis.observed_max_period <= analysis.max_period);
+        assert!(
+            analysis.observed_max_period > Picos(1000),
+            "escalation must be reachable"
+        );
+    }
+
+    #[test]
+    fn default_config_is_proved_too() {
+        let analysis = explore(Picos(1000), GovernorConfig::default());
+        assert!(analysis.proved(), "{analysis:?}");
+    }
+
+    #[test]
+    fn dead_zone_input_only_exists_when_thresholds_leave_one() {
+        let mut c = cfg();
+        assert_eq!(abstract_inputs(&c), vec![3, 0, 1]);
+        c.escalate_flags = 1;
+        assert_eq!(abstract_inputs(&c), vec![1, 0]);
+    }
+
+    #[test]
+    fn worst_recovery_is_reproducible_from_a_deep_state() {
+        let analysis = explore(Picos(1000), cfg());
+        // Drive the real governor into a storm, then measure directly.
+        let mut g = LadderGovernor::new(Picos(1000), cfg());
+        for cycle in 0..200 {
+            let _ = g.period_at(cycle);
+            if cycle % 2 == 0 {
+                g.flag_error(cycle);
+            }
+        }
+        let storm_state = g.state();
+        let measured = recovery_from(
+            Picos(1000),
+            cfg(),
+            storm_state,
+            analysis.published_recovery_bound,
+        );
+        let measured = measured.expect("storm state must recover within the bound");
+        assert!(measured <= analysis.worst_recovery_cycles);
+    }
+}

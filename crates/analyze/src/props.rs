@@ -1,0 +1,84 @@
+//! Property-based soundness umbrella: random schedules, depths, burst
+//! shapes and seeds — for every scheme, the statically certified bounds
+//! must dominate everything the real simulator does on replay, and the
+//! governor ladder's published bounds must be provable for random
+//! configurations.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+use timber::CheckingPeriod;
+use timber_conformance::campaign::GRID;
+use timber_conformance::{BurstShape, Workload};
+use timber_netlist::Picos;
+use timber_resilience::GovernorConfig;
+use timber_schemes::SchemeId;
+
+use crate::governor::explore;
+use crate::soundness::replay_case;
+
+/// Checking percentages drawn from — all inside the valid `(0, 50]`
+/// band, so every drawn schedule builds.
+const PCTS: [f64; 6] = [12.0, 18.0, 24.0, 30.0, 36.0, 42.0];
+
+/// One splitmix64 step, used to unpack several independent small draws
+/// from a single `any::<u64>()` (the vendored proptest subset only
+/// composes tuples up to arity six).
+fn mix(z: u64) -> u64 {
+    let z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any schedule grid point, burst shape, pipeline depth and
+    /// seed: certify from the workload hull, replay through the real
+    /// simulator, and demand that no dynamic observation — borrow,
+    /// chain length, flag, corruption — exceeds its static bound, for
+    /// all eight schemes.
+    #[test]
+    fn certified_bounds_dominate_every_replay(
+        period in 600i64..2000,
+        pct_idx in 0usize..PCTS.len(),
+        grid_idx in 0usize..GRID.len(),
+        stages in 1usize..=6,
+        shape_idx in 0usize..BurstShape::ALL.len(),
+        seed in any::<u64>(),
+    ) {
+        let (k_tb, k_ed) = GRID[grid_idx];
+        let schedule =
+            CheckingPeriod::new(Picos(period), PCTS[pct_idx], k_tb, k_ed).expect("valid draw");
+        let w = Workload::generate(schedule, stages, 48, BurstShape::ALL[shape_idx], seed);
+        for scheme in SchemeId::ALL {
+            let (_cert, _cycles, violations) = replay_case(&w, scheme, seed, "prop", false);
+            prop_assert!(violations.is_empty(), "{scheme:?}: {violations:#?}");
+        }
+    }
+
+    /// For any valid governor configuration, the exhaustive FSM
+    /// exploration must prove both published bounds: every reachable
+    /// state recovers to nominal within `recovery_bound()`, and no
+    /// reachable cycle exceeds `max_period()`.
+    #[test]
+    fn governor_ladder_bounds_are_proved_for_random_configs(
+        window in 4u64..=32,
+        escalate in 1u64..=6,
+        band in 1u64..=4,
+        knobs in any::<u64>(),
+        nominal in 500i64..2000,
+    ) {
+        let config = GovernorConfig {
+            window,
+            escalate_flags: escalate + band, // keeps the hysteresis band open
+            deescalate_flags: escalate.saturating_sub(1),
+            hold_windows: 1 + mix(knobs) % 4,
+            deadline_windows: 1 + mix(knobs ^ 1) % 5,
+            latency_cycles: mix(knobs ^ 2) % window,
+            ..GovernorConfig::default()
+        };
+        let analysis = explore(Picos(nominal), config);
+        prop_assert!(analysis.proved(), "{analysis:?}");
+    }
+}

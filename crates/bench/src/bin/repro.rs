@@ -9,6 +9,7 @@
 //! repro bench-check --fresh FRESH.json [--baseline BASE.json]
 //!                   [--tolerance 0.15] [--max-overhead 0.5]
 //! repro lint [--json] [--deny warn]
+//! repro analyze [--json] [--deny warn] [--sabotage]
 //! repro conform [--json] [--threads N] [--seed S] [--full] [--sabotage]
 //! repro soak [--json] [--threads N] [--seed S] [--cycles N]
 //!            [--checkpoint FILE] [--resume] [--stop-after N]
@@ -39,7 +40,16 @@
 //! trace (plus a CSV sibling) to the `--telemetry` path. `lint` runs
 //! the `timber-lint` static design-rule checks over every shipped
 //! generator config (`--deny warn` also fails on warnings; `--json`
-//! emits the machine-readable report). `conform` runs the differential
+//! emits the machine-readable report). `analyze` runs the
+//! `timber-analyze` abstract-interpretation gate: a fixed-point
+//! dataflow certifies worst-case borrow, relay-chain and consolidation
+//! bounds for every shipped generator config at the gate and
+//! overclocked operating points, explicit-state reachability proves the
+//! governor ladder's published recovery and period bounds, and a
+//! soundness harness replays the conformance surface asserting no
+//! dynamic observation exceeds a static bound (`--sabotage` seeds an
+//! off-by-one bound the harness must catch, so the run is expected to
+//! exit 1; `--deny warn` and `--json` as for `lint`). `conform` runs the differential
 //! conformance campaign: the same generated workloads through the
 //! analytical simulator and the event-driven gate-level replay, over
 //! every `(k_tb, k_ed)` grid point, scheme, and burst shape, failing on
@@ -79,7 +89,9 @@
 
 use std::env;
 
-use timber_bench::{ablations, conform, experiments, lintgate, margin, perf, report, soak, trace};
+use timber_bench::{
+    ablations, analyzegate, conform, experiments, lintgate, margin, perf, report, soak, trace,
+};
 
 fn main() {
     let raw: Vec<String> = env::args().skip(1).collect();
@@ -296,6 +308,18 @@ fn main() {
         run_lint(json, deny_warn);
         return;
     }
+    if what == "analyze" {
+        if positionals.len() > 1 {
+            die(&format!("unexpected argument {}", positionals[1]));
+        }
+        let deny_warn = match deny.as_deref() {
+            None | Some("error") => false,
+            Some("warn") => true,
+            Some(other) => die(&format!("--deny expects `warn` or `error`, got {other:?}")),
+        };
+        run_analyze(json, deny_warn, sabotage);
+        return;
+    }
     if what == "conform" {
         if positionals.len() > 1 {
             die(&format!("unexpected argument {}", positionals[1]));
@@ -390,7 +414,7 @@ fn main() {
     ];
     if !KNOWN.contains(&what.as_str()) {
         die(&format!(
-            "unknown subcommand {what:?} (expected one of: {}, lint, conform, soak, serve, storm, trace, bench-check)",
+            "unknown subcommand {what:?} (expected one of: {}, lint, analyze, conform, soak, serve, storm, trace, bench-check)",
             KNOWN.join(", ")
         ));
     }
@@ -553,6 +577,22 @@ fn run_lint(json: bool, deny_warn: bool) {
         print!("{}", lintgate::render_reports(&reports, deny_warn));
     }
     if !lintgate::gate_passes(&reports, deny_warn) {
+        std::process::exit(1);
+    }
+}
+
+/// `repro analyze`: the abstract-interpretation certification gate.
+/// Exit 1 when any certificate, governor bound or soundness replay has
+/// findings at the deny threshold (with `--sabotage`, exiting 1 *is*
+/// the expected self-test outcome).
+fn run_analyze(json: bool, deny_warn: bool, sabotage: bool) {
+    let gate = analyzegate::run(sabotage);
+    if json {
+        println!("{}", analyzegate::gate_json(&gate, deny_warn));
+    } else {
+        print!("{}", analyzegate::render(&gate, deny_warn));
+    }
+    if !analyzegate::gate_passes(&gate, deny_warn) {
         std::process::exit(1);
     }
 }

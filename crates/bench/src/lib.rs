@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod analyzegate;
 pub mod conform;
 pub mod experiments;
 pub mod lintgate;

@@ -38,10 +38,71 @@ fn unknown_subcommand_exits_2_and_lists_lint() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown subcommand"), "{err}");
     assert!(err.contains("lint"), "usage must list lint: {err}");
+    assert!(err.contains("analyze"), "usage must list analyze: {err}");
     assert!(err.contains("conform"), "usage must list conform: {err}");
     assert!(err.contains("soak"), "usage must list soak: {err}");
     assert!(err.contains("serve"), "usage must list serve: {err}");
     assert!(err.contains("storm"), "usage must list storm: {err}");
+}
+
+#[test]
+fn analyze_gate_passes_on_shipped_configs() {
+    let out = repro(&["analyze", "--deny", "warn"]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("PASS"), "{text}");
+    assert!(text.contains("incorruptible"), "{text}");
+    assert!(text.contains("proved"), "{text}");
+}
+
+#[test]
+fn analyze_json_is_a_single_machine_readable_document() {
+    let out = repro(&["analyze", "--json"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let doc: serde_json::Value = serde_json::from_str(text.trim()).expect("valid JSON");
+    assert_eq!(doc["tool"], serde_json::json!("timber-analyze"));
+    assert_eq!(doc["schema_version"], serde_json::json!(1));
+    assert_eq!(doc["pass"], serde_json::json!(true));
+    assert!(doc["certificates"]
+        .as_array()
+        .is_some_and(|c| !c.is_empty()));
+    assert!(doc["governor"]
+        .as_array()
+        .is_some_and(|g| g.iter().all(|a| a["proved"] == serde_json::json!(true))));
+    assert_eq!(doc["soundness"]["violations"], serde_json::json!([]));
+}
+
+#[test]
+fn analyze_sabotage_fails_with_exit_1() {
+    let out = repro(&["analyze", "--sabotage"]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("FAIL"), "{text}");
+    assert!(text.contains("sabotage seeded"), "{text}");
+}
+
+#[test]
+fn analyze_unknown_flag_exits_2_and_names_it() {
+    let out = repro(&["analyze", "--frobs", "3"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag --frobs"), "{err}");
+}
+
+#[test]
+fn analyze_bad_deny_value_exits_2() {
+    let out = repro(&["analyze", "--deny", "sometimes"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--deny"));
+}
+
+#[test]
+fn analyze_unexpected_argument_exits_2() {
+    let out = repro(&["analyze", "everything"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unexpected argument"), "{err}");
 }
 
 #[test]

@@ -82,6 +82,23 @@ pub enum DiagCode {
     /// Combinational cell whose output reaches no flop or primary
     /// output.
     UnreachableCell,
+    /// Certified worst-case borrow exceeds the schedule's usable
+    /// checking period (`timber-analyze` fixed point).
+    CertifiedBorrowExceedsCapacity,
+    /// Certified relay-chain length exceeds the schedule's maskable
+    /// stages at the analyzed operating point.
+    CertifiedChainExceedsMaskable,
+    /// Consolidation latency exceeds the schedule's `k_ed − 1 + 0.5`
+    /// cycle budget (certificate-level check).
+    CertifiedConsolidationLatency,
+    /// Governor ladder reachability disproved a published bound
+    /// (recovery deadline or ladder-maximum period).
+    GovernorBoundUnproven,
+    /// Silent corruption reachable at the analyzed operating point.
+    CorruptionReachable,
+    /// A dynamic observation exceeded a static certificate bound in
+    /// the soundness replay.
+    SoundnessViolation,
     /// Timing checks were skipped because of earlier errors.
     TimingChecksSkipped,
 }
@@ -109,6 +126,12 @@ impl DiagCode {
             DiagCode::MultiDrivenNet => "TBR041",
             DiagCode::FloatingInput => "TBR042",
             DiagCode::UnreachableCell => "TBR043",
+            DiagCode::CertifiedBorrowExceedsCapacity => "TBR050",
+            DiagCode::CertifiedChainExceedsMaskable => "TBR051",
+            DiagCode::CertifiedConsolidationLatency => "TBR052",
+            DiagCode::GovernorBoundUnproven => "TBR053",
+            DiagCode::CorruptionReachable => "TBR054",
+            DiagCode::SoundnessViolation => "TBR055",
             DiagCode::TimingChecksSkipped => "TBR090",
         }
     }
@@ -128,7 +151,13 @@ impl DiagCode {
             | DiagCode::ConsolidationBudget
             | DiagCode::CombinationalLoop
             | DiagCode::MultiDrivenNet
-            | DiagCode::FloatingInput => Severity::Error,
+            | DiagCode::FloatingInput
+            | DiagCode::CertifiedBorrowExceedsCapacity
+            | DiagCode::CertifiedChainExceedsMaskable
+            | DiagCode::CertifiedConsolidationLatency
+            | DiagCode::GovernorBoundUnproven
+            | DiagCode::CorruptionReachable
+            | DiagCode::SoundnessViolation => Severity::Error,
             DiagCode::CheckingNotDivisible
             | DiagCode::RelayIncrementSkipsTb
             | DiagCode::SuperfluousReplacement
@@ -154,6 +183,12 @@ impl DiagCode {
             | DiagCode::RelayCoverageGap
             | DiagCode::RelayConsolidationTiming => Some("§5.1"),
             DiagCode::SuperfluousReplacement | DiagCode::NothingReplaced => Some("§6"),
+            DiagCode::CertifiedBorrowExceedsCapacity
+            | DiagCode::CertifiedConsolidationLatency
+            | DiagCode::GovernorBoundUnproven => Some("§4"),
+            DiagCode::CertifiedChainExceedsMaskable
+            | DiagCode::CorruptionReachable
+            | DiagCode::SoundnessViolation => Some("§5.1"),
             _ => None,
         }
     }
@@ -351,6 +386,12 @@ mod tests {
             DiagCode::MultiDrivenNet,
             DiagCode::FloatingInput,
             DiagCode::UnreachableCell,
+            DiagCode::CertifiedBorrowExceedsCapacity,
+            DiagCode::CertifiedChainExceedsMaskable,
+            DiagCode::CertifiedConsolidationLatency,
+            DiagCode::GovernorBoundUnproven,
+            DiagCode::CorruptionReachable,
+            DiagCode::SoundnessViolation,
             DiagCode::TimingChecksSkipped,
         ];
         let mut seen = std::collections::HashSet::new();

@@ -54,7 +54,7 @@ pub mod topology;
 pub use controller::FrequencyController;
 pub use montecarlo::{Environment, SweepResult, SweepSpec, TrialPoint};
 pub use scheme::{CycleContext, Recovery, SequentialScheme, StageOutcome};
-pub use sim::{DelayRows, PipelineConfig, PipelineSim};
+pub use sim::{CertifiedBounds, DelayRows, PipelineConfig, PipelineSim};
 pub use stats::RunStats;
 pub use timber_resilience::{GovernorConfig, GovernorLevel};
 pub use topology::{Topology, TopologySim};

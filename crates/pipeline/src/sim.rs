@@ -9,6 +9,25 @@ use crate::controller::FrequencyController;
 use crate::scheme::{CycleContext, SequentialScheme, StageOutcome};
 use crate::stats::RunStats;
 
+/// Statically certified per-run bounds, checked live in debug builds.
+///
+/// `timber-analyze` derives these from the schedule and the workload's
+/// delay hull; attaching them to a [`PipelineConfig`] arms a
+/// `debug_assert!` in the hot loop's masking arm that fails the moment
+/// any dynamic observation exceeds its static certificate. The check is
+/// wrapped in `#[cfg(debug_assertions)]`, so release builds carry zero
+/// overhead — `repro bench-check` runs against release binaries and
+/// sees the identical hot loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CertifiedBounds {
+    /// Certified upper bound on time borrowed at any stage boundary in
+    /// one cycle.
+    pub max_borrow: Picos,
+    /// Certified upper bound on the masked-violation relay-chain
+    /// length.
+    pub max_chain: usize,
+}
+
 /// Configuration of a pipeline run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineConfig {
@@ -39,6 +58,11 @@ pub struct PipelineConfig {
     /// state and replaying through a pipeline refill (Razor-style
     /// fallback).
     pub governor: Option<GovernorConfig>,
+    /// Statically certified bounds from `timber-analyze`. When set,
+    /// debug builds assert every masked borrow and relay chain stays
+    /// within its certificate; release builds ignore the field
+    /// entirely (the check is compiled out).
+    pub debug_bounds: Option<CertifiedBounds>,
 }
 
 impl PipelineConfig {
@@ -60,6 +84,7 @@ impl PipelineConfig {
             energy_per_cycle: 1.0,
             energy_per_bubble: 1.0,
             governor: None,
+            debug_bounds: None,
         }
     }
 }
@@ -514,6 +539,22 @@ impl<'a, S: TelemetrySink> PipelineSim<'a, S> {
                     StageOutcome::Masked { borrowed, flagged } => {
                         stats.masked += 1;
                         let len = self.soa.chain[s] + 1;
+                        #[cfg(debug_assertions)]
+                        if let Some(b) = self.config.debug_bounds {
+                            debug_assert!(
+                                borrowed <= b.max_borrow,
+                                "certificate violated at cycle {t} stage {s}: \
+                                 borrowed {}ps > certified {}ps",
+                                borrowed.as_ps(),
+                                b.max_borrow.as_ps(),
+                            );
+                            debug_assert!(
+                                len <= b.max_chain,
+                                "certificate violated at cycle {t} stage {s}: \
+                                 relay chain {len} > certified {}",
+                                b.max_chain,
+                            );
+                        }
                         if S::ENABLED {
                             if self.soa.chain[s] > 0 {
                                 // An inherited borrow means the upstream
@@ -795,6 +836,53 @@ mod tests {
         assert_eq!(sim.penalty_remaining(), 0);
         assert_eq!(sim.carry(), &[Picos::ZERO, Picos(50), Picos::ZERO]);
         assert_eq!(sim.chain_depths(), &[0, 1, 0]);
+    }
+
+    fn forced_borrow_run(bounds: Option<CertifiedBounds>) -> RunStats {
+        // Every stage always at 850 vs period 800: borrow 50ps per
+        // boundary, chains of length 2 on the 2-stage pipeline.
+        let mut cfg = PipelineConfig::new(2, Picos(800));
+        cfg.debug_bounds = bounds;
+        let mut scheme = BorrowAll;
+        let mut profiles = vec![timber_variability::StagePathProfile::from_critical(Picos(850)); 2];
+        for p in &mut profiles {
+            p.p_critical = 1.0;
+            p.p_near = 0.0;
+        }
+        let mut sens = SensitizationModel::new(profiles, 1);
+        let mut var = CompositeVariability::nominal();
+        PipelineSim::new(cfg, &mut scheme, &mut sens, &mut var).run(10)
+    }
+
+    #[test]
+    fn certified_bounds_that_hold_change_nothing() {
+        let free = forced_borrow_run(None);
+        let bounded = forced_borrow_run(Some(CertifiedBounds {
+            max_borrow: Picos(100),
+            max_chain: 2,
+        }));
+        assert_eq!(free.masked, bounded.masked);
+        assert_eq!(free.chain_histogram, bounded.chain_histogram);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "certificate violated")]
+    fn violated_borrow_certificate_fires_the_debug_hook() {
+        let _ = forced_borrow_run(Some(CertifiedBounds {
+            max_borrow: Picos(49), // real borrow is 50ps
+            max_chain: 2,
+        }));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "certificate violated")]
+    fn violated_chain_certificate_fires_the_debug_hook() {
+        let _ = forced_borrow_run(Some(CertifiedBounds {
+            max_borrow: Picos(100),
+            max_chain: 1, // real chains reach length 2
+        }));
     }
 
     #[test]

@@ -222,6 +222,43 @@ impl LadderTransition {
     }
 }
 
+/// Window-granular control state of a [`LadderGovernor`], normalized so
+/// the currently open estimator window starts at cycle 0.
+///
+/// This is the exact state space an explicit-state reachability check
+/// must enumerate: the ladder level, both hysteresis counters, and any
+/// decision still awaiting actuation (its cycle re-based to the window
+/// start). Per-cycle bookkeeping (`flags_in_window`, `last_cycle`,
+/// lifetime counters) is deliberately excluded — captured *at a window
+/// boundary* it is always zero, which is what makes the reachable set
+/// finite. `timber-analyze` drives [`LadderGovernor::restore`] +
+/// [`LadderGovernor::state`] to prove the published
+/// [`LadderGovernor::recovery_bound`] from structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GovernorState {
+    /// Ladder level in force.
+    pub level: GovernorLevel,
+    /// Consecutive clean windows observed at this level.
+    pub clean_windows: u64,
+    /// Consecutive dead-zone windows observed at this level.
+    pub dirty_windows: u64,
+    /// Decision awaiting actuation: (cycles after the open window's
+    /// start, target level).
+    pub pending: Option<(u64, GovernorLevel)>,
+}
+
+impl GovernorState {
+    /// The state every governor starts in.
+    pub fn initial() -> GovernorState {
+        GovernorState {
+            level: GovernorLevel::Nominal,
+            clean_windows: 0,
+            dirty_windows: 0,
+            pending: None,
+        }
+    }
+}
+
 /// The closed-loop escalation-ladder governor. See the module docs for
 /// the control law.
 #[derive(Debug, Clone)]
@@ -377,6 +414,41 @@ impl LadderGovernor {
     /// actuate per cycle, so polling per cycle observes every one.
     pub fn take_transition(&mut self) -> Option<LadderTransition> {
         self.transition.take()
+    }
+
+    /// Captures the window-granular control state, normalized so the
+    /// currently open estimator window starts at cycle 0. Meaningful at
+    /// a window boundary (immediately after a [`LadderGovernor::period_at`]
+    /// query landed on a multiple of the window), where the per-cycle
+    /// flag counter has just been reset; the pending actuation cycle is
+    /// re-based relative to the window start.
+    pub fn state(&self) -> GovernorState {
+        GovernorState {
+            level: self.level,
+            clean_windows: self.clean_windows,
+            dirty_windows: self.dirty_windows,
+            pending: self
+                .pending
+                .map(|(at, to)| (at.saturating_sub(self.window_start), to)),
+        }
+    }
+
+    /// Rebuilds a governor mid-flight from a [`GovernorState`] snapshot,
+    /// with the open estimator window re-based to start at cycle 0.
+    /// Lifetime counters (escalations, de-escalations, safe-mode
+    /// entries) restart from zero; behavior from cycle 0 onward is
+    /// identical to the snapshotted governor's from its window start.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`LadderGovernor::new`].
+    pub fn restore(nominal: Picos, config: GovernorConfig, state: GovernorState) -> LadderGovernor {
+        let mut g = LadderGovernor::new(nominal, config);
+        g.level = state.level;
+        g.clean_windows = state.clean_windows;
+        g.dirty_windows = state.dirty_windows;
+        g.pending = state.pending;
+        g
     }
 
     /// Clears all estimator and ladder state back to nominal.
@@ -612,6 +684,42 @@ mod tests {
         assert_eq!(g.level(), GovernorLevel::Nominal);
         assert_eq!(g.escalations(), 0);
         assert_eq!(g.period_at(0), Picos(1000));
+    }
+
+    #[test]
+    fn snapshot_at_a_window_boundary_restores_identical_behavior() {
+        // Drive a governor into an interesting mixed state, snapshot at
+        // a window boundary, and check the restored copy tracks the
+        // original cycle-for-cycle over every input pattern.
+        let mut g = LadderGovernor::new(Picos(1000), cfg());
+        storm(&mut g, 0, 25, 1); // two storm windows + a partial one
+        let _ = g.period_at(30); // land exactly on a window boundary
+        let snap = g.state();
+        assert_ne!(snap, GovernorState::initial());
+
+        let mut r = LadderGovernor::restore(Picos(1000), cfg(), snap);
+        assert_eq!(r.level(), g.level());
+        for c in 0..200u64 {
+            let flag = c % 7 == 0; // a dead-zone-ish replay pattern
+            let pg = g.period_at(30 + c);
+            let pr = r.period_at(c);
+            assert_eq!(pg, pr, "cycle {c}");
+            if flag {
+                g.flag_error(30 + c);
+                r.flag_error(c);
+            }
+        }
+        assert_eq!(g.level(), r.level());
+        assert_eq!(g.state(), r.state());
+    }
+
+    #[test]
+    fn initial_state_roundtrips() {
+        let g = LadderGovernor::new(Picos(1000), cfg());
+        assert_eq!(g.state(), GovernorState::initial());
+        let r = LadderGovernor::restore(Picos(1000), cfg(), g.state());
+        assert_eq!(r.level(), GovernorLevel::Nominal);
+        assert_eq!(r.escalations(), 0);
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub use executor::{
     resolve_threads, run_hardened, scatter_strict, FailureKind, HardenedOutcome, HardenedSpec,
     QuarantineEntry, TrialJob,
 };
-pub use governor::{GovernorConfig, GovernorLevel, LadderGovernor, LadderTransition};
+pub use governor::{
+    GovernorConfig, GovernorLevel, GovernorState, LadderGovernor, LadderTransition,
+};
 pub use storms::StormScenario;
 
 #[cfg(test)]
