@@ -148,6 +148,21 @@ pub struct ConfigCertificate {
 }
 
 impl ConfigCertificate {
+    /// True when the certificate proves the point safe: no reachable
+    /// silent corruption, the fixed point converged without the
+    /// widening fallback, and the configured consolidation latency
+    /// fits the schedule's budget. This is the admission predicate the
+    /// design-space autotuner (`timber-tune`) filters candidates with.
+    pub fn is_safe(&self) -> bool {
+        // Latency vs budget uses the same rounded-up-budget rule as
+        // `point_report` (the half-cycle is bought back by latching on
+        // the falling edge).
+        !self.bounds.corruptible
+            && !self.fixpoint.widened
+            && (self.bounds.consolidation_latency_cycles as f64)
+                <= self.bounds.consolidation_budget_cycles.ceil()
+    }
+
     /// Seeds the off-by-one sabotage the soundness gate's self-test
     /// must catch: the borrow bound loses one picosecond and the chain
     /// bound one link.

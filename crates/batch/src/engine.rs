@@ -92,6 +92,40 @@ pub struct BatchRun {
     pub counters: Vec<[u64; Counter::COUNT]>,
 }
 
+impl BatchRun {
+    /// Sums the per-lane statistics into one aggregate, in lane order.
+    ///
+    /// Counts and energy add; `wall_time` adds (total simulated time
+    /// across lanes); the chain histogram merges element-wise. The
+    /// aggregation is sequential over lanes, so the result — including
+    /// its f64 fields — is bit-identical for any worker thread count
+    /// that produced the run.
+    pub fn totals(&self) -> RunStats {
+        let mut total = RunStats::default();
+        for s in &self.stats {
+            total.cycles += s.cycles;
+            total.instructions += s.instructions;
+            total.masked += s.masked;
+            total.flagged += s.flagged;
+            total.detected += s.detected;
+            total.predicted += s.predicted;
+            total.corrupted += s.corrupted;
+            total.penalty_cycles += s.penalty_cycles;
+            total.slow_cycles += s.slow_cycles;
+            total.slowdown_episodes += s.slowdown_episodes;
+            total.wall_time += s.wall_time;
+            total.energy += s.energy;
+            if total.chain_histogram.len() < s.chain_histogram.len() {
+                total.chain_histogram.resize(s.chain_histogram.len(), 0);
+            }
+            for (t, &c) in total.chain_histogram.iter_mut().zip(&s.chain_histogram) {
+                *t += c;
+            }
+        }
+        total
+    }
+}
+
 /// Decision rule of a scheme, pre-lowered to integer picoseconds.
 #[derive(Debug, Clone, Copy)]
 enum Rule {

@@ -19,6 +19,9 @@
 //! repro storm [--clients N] [--requests M] [--seed S] [--poison K]
 //!             [--batch-size N] [--capacity N] [--threads N]
 //!             [--json] [--out REPORT.json]
+//! repro tune [--json] [--out FRONTIER.json] [--seed S] [--threads N]
+//!            [--budget N] [--tolerance T] [--sabotage]
+//! repro tune --frontier-check FRONTIER.json [--threads N]
 //! ```
 //!
 //! `--threads N` sets the Monte-Carlo sweep worker count (default: all
@@ -83,14 +86,34 @@
 //! out of the document — and the gate also demands a cache hit rate
 //! and a 10x warm-over-cold service-time speedup.
 //!
+//! `tune` runs the closed-loop Pareto autotuner over the TIMBER design
+//! space: every `(checking period, k_tb, k_ed, δ-increment, seeding)`
+//! candidate on both case-study netlists is lint-filtered, certified
+//! by the abstract-interpretation analyzer, costed by STA + the power
+//! model, storm-scored on the 64-lane Monte-Carlo engine, and folded
+//! into a per-design non-dominated frontier over (energy/instr,
+//! miss rate, ns/instr). The search validates itself: the frontier
+//! must be minimal, the evaluation order must match the enumeration,
+//! and the paper's §4 case-study schedules (immediate and deferred at
+//! c=30%) must land within the `--tolerance` band of the frontier
+//! (default 0.25). `--budget N` truncates the candidate list (the
+//! evaluated prefix is unchanged — objective values never depend on
+//! the budget), `--sabotage` leaks a seeded dominated point the
+//! validation must catch (exit 1 *is* the expected self-test outcome),
+//! and the `--json` document is byte-identical for any `--threads N`.
+//! `--frontier-check FRONTIER.json` re-runs the search with the spec
+//! recorded inside the committed golden document and fails on any byte
+//! of drift.
+//!
 //! Exit codes: `0` success, `1` a gate failed (bench-check breach,
-//! lint findings at the deny threshold, or a conformance or storm
-//! campaign that does not pass), `2` usage error.
+//! lint findings at the deny threshold, a conformance or storm
+//! campaign that does not pass, or a tune run that fails validation or
+//! drifts from its golden frontier), `2` usage error.
 
 use std::env;
 
 use timber_bench::{
-    ablations, analyzegate, conform, experiments, lintgate, margin, perf, report, soak, trace,
+    ablations, analyzegate, conform, experiments, lintgate, margin, perf, report, soak, trace, tune,
 };
 
 fn main() {
@@ -106,6 +129,10 @@ fn main() {
     let mut batch = perf::BatchMode::Auto;
     let mut deny: Option<String> = None;
     let mut seed: u64 = conform::DEFAULT_SEED;
+    let mut seed_set = false;
+    let mut tolerance_set = false;
+    let mut budget: usize = usize::MAX;
+    let mut frontier_check_path: Option<String> = None;
     let mut full = false;
     let mut sabotage = false;
     let mut cycles: u64 = soak::DEFAULT_CYCLES;
@@ -168,10 +195,22 @@ fn main() {
             tolerance = value_of("--tolerance", &mut i)
                 .parse()
                 .unwrap_or_else(|_| die("--tolerance needs a fraction, e.g. 0.15"));
+            tolerance_set = true;
         } else if let Some(v) = arg.strip_prefix("--tolerance=") {
             tolerance = v
                 .parse()
                 .unwrap_or_else(|_| die("--tolerance needs a fraction, e.g. 0.15"));
+            tolerance_set = true;
+        } else if arg == "--budget" {
+            budget = value_of("--budget", &mut i)
+                .parse()
+                .unwrap_or_else(|_| die("--budget needs a number"));
+        } else if let Some(v) = arg.strip_prefix("--budget=") {
+            budget = v.parse().unwrap_or_else(|_| die("--budget needs a number"));
+        } else if arg == "--frontier-check" {
+            frontier_check_path = Some(value_of("--frontier-check", &mut i));
+        } else if let Some(v) = arg.strip_prefix("--frontier-check=") {
+            frontier_check_path = Some(v.to_owned());
         } else if arg == "--batch" {
             batch = value_of("--batch", &mut i)
                 .parse()
@@ -186,8 +225,10 @@ fn main() {
             seed = value_of("--seed", &mut i)
                 .parse()
                 .unwrap_or_else(|_| die("--seed needs a number"));
+            seed_set = true;
         } else if let Some(v) = arg.strip_prefix("--seed=") {
             seed = v.parse().unwrap_or_else(|_| die("--seed needs a number"));
+            seed_set = true;
         } else if arg == "--full" {
             full = true;
         } else if arg == "--sabotage" {
@@ -380,6 +421,28 @@ fn main() {
         run_storm(json, &spec, out.as_deref());
         return;
     }
+    if what == "tune" {
+        if positionals.len() > 1 {
+            die(&format!("unexpected argument {}", positionals[1]));
+        }
+        // `tune` has its own defaults (seed 42, band tolerance 0.25),
+        // distinct from the conform seed and the bench-check tolerance
+        // that share the flag names.
+        let defaults = timber_tune::TuneSpec::default();
+        let spec = timber_tune::TuneSpec {
+            seed: if seed_set { seed } else { defaults.seed },
+            budget,
+            threads,
+            tolerance: if tolerance_set {
+                tolerance
+            } else {
+                defaults.tolerance
+            },
+            sabotage,
+        };
+        run_tune(json, &spec, out.as_deref(), frontier_check_path.as_deref());
+        return;
+    }
     if what == "bench-check" {
         if positionals.len() > 1 {
             die(&format!("unexpected argument {}", positionals[1]));
@@ -414,7 +477,7 @@ fn main() {
     ];
     if !KNOWN.contains(&what.as_str()) {
         die(&format!(
-            "unknown subcommand {what:?} (expected one of: {}, lint, analyze, conform, soak, serve, storm, trace, bench-check)",
+            "unknown subcommand {what:?} (expected one of: {}, lint, analyze, conform, soak, serve, storm, trace, tune, bench-check)",
             KNOWN.join(", ")
         ));
     }
@@ -691,6 +754,65 @@ fn run_storm(json: bool, spec: &timber_serve::StormSpec, out: Option<&str>) {
     }
     if !report.pass() {
         eprintln!("repro storm FAILED:\n{}", report.render());
+        std::process::exit(1);
+    }
+}
+
+/// `repro tune`: the design-space autotuner and its golden-frontier
+/// gate. Exit 1 when the run fails its own validation (dominated
+/// frontier member, paper anchor out of band — with `--sabotage`,
+/// exiting 1 *is* the expected self-test outcome) or when
+/// `--frontier-check` finds the recomputed document drifted from the
+/// committed golden; unreadable or malformed goldens are usage errors.
+fn run_tune(
+    json: bool,
+    spec: &timber_tune::TuneSpec,
+    out: Option<&str>,
+    frontier_check: Option<&str>,
+) {
+    if let Some(path) = frontier_check {
+        let golden = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        match tune::frontier_check(&golden, spec.threads) {
+            Ok(tune::FrontierCheck::Match) => {
+                println!("repro tune: frontier check PASS ({path} reproduces byte-identically)");
+            }
+            Ok(tune::FrontierCheck::Drift {
+                line,
+                golden,
+                fresh,
+            }) => {
+                eprintln!("repro tune FAILED: {path} drifted from the recomputed frontier");
+                eprintln!("  first difference at line {line}:");
+                eprintln!("  golden: {golden}");
+                eprintln!("  fresh:  {fresh}");
+                std::process::exit(1);
+            }
+            Ok(tune::FrontierCheck::Invalid(violations)) => {
+                eprintln!("repro tune FAILED: recomputed frontier does not validate:");
+                for v in &violations {
+                    eprintln!("  - {v}");
+                }
+                std::process::exit(1);
+            }
+            Err(msg) => die(&msg),
+        }
+        return;
+    }
+    let (report, doc) = tune::tune_document(spec);
+    if let Some(path) = out {
+        std::fs::write(path, &doc).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    }
+    if json {
+        print!("{doc}");
+    } else {
+        print!("{}", tune::render_report(&report));
+    }
+    if !report.pass() {
+        eprintln!("repro tune FAILED:");
+        for v in report.violations() {
+            eprintln!("  - {v}");
+        }
         std::process::exit(1);
     }
 }

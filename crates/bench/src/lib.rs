@@ -32,6 +32,7 @@ pub mod perf;
 pub mod report;
 pub mod soak;
 pub mod trace;
+pub mod tune;
 
 pub use ablations::{
     ablation_dag, ablation_droop, ablation_glitch_activity, ablation_metastability,
@@ -49,3 +50,4 @@ pub use perf::{
     BenchRun,
 };
 pub use trace::{trace_experiment, TraceResult, DEFAULT_RING_CAPACITY};
+pub use tune::{frontier_check, tune_document, FrontierCheck};

@@ -43,6 +43,7 @@ fn unknown_subcommand_exits_2_and_lists_lint() {
     assert!(err.contains("soak"), "usage must list soak: {err}");
     assert!(err.contains("serve"), "usage must list serve: {err}");
     assert!(err.contains("storm"), "usage must list storm: {err}");
+    assert!(err.contains("tune"), "usage must list tune: {err}");
 }
 
 #[test]
@@ -354,6 +355,140 @@ fn bench_check_unreadable_fresh_file_exits_2_and_names_the_path() {
     assert_eq!(out.status.code(), Some(2));
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("/nonexistent/FRESH.json"), "{err}");
+}
+
+/// The committed golden frontier at the repository root, resolved from
+/// the crate dir so the test passes from any working directory.
+const GOLDEN_FRONTIER: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../FRONTIER_tune.json");
+
+#[test]
+fn tune_gate_passes_and_reports_anchors_in_band() {
+    // Budget 12 covers the four paper-anchor candidates (enumerated
+    // first) without evaluating the whole space in a debug build.
+    let out = repro(&["tune", "--budget", "12", "--threads", "4"]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("PASS"), "{text}");
+    assert!(text.contains("immediate-30"), "{text}");
+    assert!(text.contains("deferred-30"), "{text}");
+    assert!(text.contains("within band"), "{text}");
+    assert!(!text.contains("OUT OF BAND"), "{text}");
+}
+
+#[test]
+fn tune_json_is_a_single_machine_readable_document() {
+    let out = repro(&["tune", "--json", "--budget", "12", "--threads", "4"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let doc: serde_json::Value = serde_json::from_str(text.trim()).expect("valid JSON");
+    assert_eq!(doc["tool"], serde_json::json!("repro tune"));
+    assert_eq!(doc["schema_version"], serde_json::json!(1));
+    assert_eq!(doc["validation"]["pass"], serde_json::json!(true));
+    assert_eq!(doc["budget"], serde_json::json!(12));
+    let designs = doc["designs"].as_array().expect("designs array");
+    assert_eq!(designs.len(), 2, "{text}");
+    for d in designs {
+        assert!(d["frontier"].as_array().is_some_and(|f| !f.is_empty()));
+    }
+    let anchors = doc["anchors"].as_array().expect("anchors array");
+    assert_eq!(anchors.len(), 4, "{text}");
+    for a in anchors {
+        assert_eq!(a["within_band"], serde_json::json!(true), "{a}");
+    }
+}
+
+#[test]
+fn tune_threads_do_not_change_the_json() {
+    let one = repro(&["tune", "--json", "--budget", "12", "--threads", "1"]);
+    let four = repro(&["tune", "--json", "--budget", "12", "--threads", "4"]);
+    assert!(one.status.success());
+    assert!(four.status.success());
+    assert_eq!(one.stdout, four.stdout, "frontier must be byte-identical");
+}
+
+#[test]
+fn tune_out_writes_the_stdout_document_with_a_trailing_newline() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("repro-tune-cli-out-{}.json", std::process::id()));
+    let path = path.to_str().unwrap();
+    let out = repro(&["tune", "--json", "--budget", "12", "--out", path]);
+    assert!(out.status.success());
+    let written = std::fs::read(path).expect("artifact written");
+    assert_eq!(written, out.stdout, "--out must mirror stdout");
+    assert!(written.ends_with(b"\n"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn tune_golden_frontier_reproduces_byte_identically() {
+    let out = repro(&[
+        "tune",
+        "--frontier-check",
+        GOLDEN_FRONTIER,
+        "--threads",
+        "4",
+    ]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stdout: {text}\nstderr: {err}");
+    assert!(text.contains("PASS"), "{text}");
+}
+
+#[test]
+fn tune_frontier_check_detects_a_single_tampered_byte() {
+    let golden = std::fs::read_to_string(GOLDEN_FRONTIER).expect("golden committed");
+    let needle = "\"energy_per_instr\": 1.0";
+    assert!(golden.contains(needle), "golden format changed");
+    let tampered = golden.replacen(needle, "\"energy_per_instr\": 9.0", 1);
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("repro-tune-cli-drift-{}.json", std::process::id()));
+    std::fs::write(&path, tampered).unwrap();
+    let out = repro(&["tune", "--frontier-check", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("drifted"), "{err}");
+    assert!(err.contains("first difference at line"), "{err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn tune_sabotage_fails_with_exit_1() {
+    let out = repro(&["tune", "--sabotage", "--budget", "12", "--threads", "4"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("FAILED"), "{err}");
+    assert!(err.contains("dominated"), "{err}");
+}
+
+#[test]
+fn tune_unknown_flag_exits_2_and_names_it() {
+    let out = repro(&["tune", "--frobs", "3"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag --frobs"), "{err}");
+}
+
+#[test]
+fn tune_unexpected_argument_exits_2() {
+    let out = repro(&["tune", "everything"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unexpected argument"), "{err}");
+}
+
+#[test]
+fn tune_bad_budget_exits_2_and_names_the_flag() {
+    let out = repro(&["tune", "--budget", "banana"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--budget"));
+}
+
+#[test]
+fn tune_missing_golden_exits_2_and_names_the_path() {
+    let out = repro(&["tune", "--frontier-check", "/nonexistent/FRONTIER.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("/nonexistent/FRONTIER.json"), "{err}");
 }
 
 /// The harness self-test: with the seeded model-B bug active the gate

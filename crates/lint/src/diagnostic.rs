@@ -311,6 +311,20 @@ impl LintReport {
         self.count(Severity::Error) == 0 && !(deny_warn && self.count(Severity::Warn) > 0)
     }
 
+    /// Error-severity diagnostics, in check order.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Stable wire codes of the error-severity diagnostics, in check
+    /// order — the rejection-reason strings `timber-tune` records for
+    /// candidates the linter refuses.
+    pub fn error_codes(&self) -> Vec<&'static str> {
+        self.errors().map(|d| d.code.as_str()).collect()
+    }
+
     /// Diagnostics carrying a given code.
     pub fn with_code(&self, code: DiagCode) -> Vec<&Diagnostic> {
         self.diagnostics.iter().filter(|d| d.code == code).collect()

@@ -39,7 +39,7 @@ pub mod processor;
 
 pub use fig8::{fig8_table, Fig8Point};
 pub use params::PowerParams;
-pub use processor::ProcessorOverheads;
+pub use processor::{ProcessorOverheads, ReplacementStats};
 
 #[cfg(test)]
 mod props;

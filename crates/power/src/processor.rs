@@ -1,9 +1,32 @@
 //! Processor-level overhead accounting.
 
 use timber::RelayEstimate;
+use timber_netlist::Picos;
 use timber_proc::ProcessorModel;
 
 use crate::params::PowerParams;
+
+/// The raw replacement-set statistics the overhead model consumes —
+/// how many flops are replaced, which of them relay, and how hard the
+/// relay consolidation is.
+///
+/// [`ProcessorOverheads::compute`] derives these from a
+/// [`ProcessorModel`]; `timber-tune` derives them from a real netlist
+/// (`timber-sta` classification over an explicit replacement plan) so
+/// candidate protection sets can be costed with the identical model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplacementStats {
+    /// Flops replaced by TIMBER elements.
+    pub replaced: usize,
+    /// Total flops in the design.
+    pub total_flops: usize,
+    /// Replaced flops that both start and end top-c% paths (each
+    /// carries one select-output generator).
+    pub start_and_end: usize,
+    /// For each replaced flop, the number of error-relay sources in
+    /// its fanin cone.
+    pub relay_sources: Vec<usize>,
+}
 
 /// Overheads of applying TIMBER to a processor model at one checking
 /// period.
@@ -46,12 +69,34 @@ impl ProcessorOverheads {
         k: u8,
         params: &PowerParams,
     ) -> ProcessorOverheads {
+        let stats = ReplacementStats {
+            replaced: proc.replacement_set(c_pct).len(),
+            total_flops: proc.flop_count(),
+            start_and_end: proc.start_and_end_count(c_pct),
+            relay_sources: proc.relay_sources(c_pct),
+        };
+        ProcessorOverheads::from_stats(&stats, proc.period(), c_pct, k, params)
+    }
+
+    /// Computes overheads from raw replacement-set statistics — the
+    /// model core [`ProcessorOverheads::compute`] delegates to, also
+    /// usable for netlist-derived sets (`timber-tune` candidates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters fail validation or `k` is zero.
+    pub fn from_stats(
+        stats: &ReplacementStats,
+        period: Picos,
+        c_pct: f64,
+        k: u8,
+        params: &PowerParams,
+    ) -> ProcessorOverheads {
         params.validate();
         assert!(k > 0, "need at least one interval");
-        let total_flops = proc.flop_count();
-        let replaced_set = proc.replacement_set(c_pct);
-        let replaced = replaced_set.len();
-        let relay_sources = proc.relay_sources(c_pct);
+        let total_flops = stats.total_flops;
+        let replaced = stats.replaced;
+        let relay_sources = &stats.relay_sources;
 
         let design_power = total_flops as f64 * params.ff_power / params.ff_power_fraction;
         let design_area = total_flops as f64 * params.ff_area / params.ff_area_fraction;
@@ -67,7 +112,7 @@ impl ProcessorOverheads {
         // consolidates its `s` sources with a 2-bit max tree of `s − 1`
         // cells (~3 gates each; zero for s ≤ 1, where the select output
         // is just wired through).
-        let generator_gates = 3 * proc.start_and_end_count(c_pct);
+        let generator_gates = 3 * stats.start_and_end;
         let max_tree_gates: usize = relay_sources.iter().map(|&s| 3 * s.saturating_sub(1)).sum();
         let relay_gates = generator_gates + max_tree_gates;
         let relay_power = relay_gates as f64 * params.gate_static_power;
@@ -77,7 +122,7 @@ impl ProcessorOverheads {
         let padding_power = padding_buffers * params.padding_buffer_power;
 
         let max_sources = relay_sources.iter().copied().max().unwrap_or(0);
-        let relay_slack_pct = RelayEstimate::new(max_sources).slack_pct(proc.period());
+        let relay_slack_pct = RelayEstimate::new(max_sources).slack_pct(period);
 
         ProcessorOverheads {
             replaced,

@@ -42,9 +42,11 @@
 pub mod calibration;
 pub mod model;
 pub mod structural;
+pub mod workload;
 
 pub use calibration::{calibration, CalibrationRow, PerfPoint};
 pub use model::{DistributionRow, FlopTiming, ProcessorModel};
+pub use workload::{endpoint_weight, weighted_cut};
 
 #[cfg(test)]
 mod props;

@@ -1,0 +1,185 @@
+//! Workload-aware replacement-set selection.
+//!
+//! The baseline TIMBER policy replaces *every* flop ending a top-c%
+//! path. Workload-aware selection (in the spirit of READ's
+//! resilience-driven endpoint ranking, arXiv 2308.15698) keeps only
+//! the endpoints carrying most of the *violation mass* — criticality
+//! excess beyond the top-c% threshold weighted by an activity proxy —
+//! and then closes the set under relay coverage so the cheaper plan
+//! still lints clean (no TBR020 coverage gaps).
+//!
+//! The same `endpoint_weight` / `weighted_cut` primitives drive the
+//! netlist-side candidate seeding in `timber-tune`; the
+//! [`ProcessorModel::workload_replacement_set`] method exercises them
+//! at processor scale where the statistics are dense enough to test
+//! the subset/closure laws.
+
+use crate::model::ProcessorModel;
+
+/// Violation-mass weight of one endpoint.
+///
+/// `excess` is how far the endpoint's worst input path reaches beyond
+/// the top-c% threshold, as a fraction of the clock period (clamped at
+/// zero); `cone` is the size of its combinational fanin cone, an
+/// activity proxy — more sources toggling into a deep cone means more
+/// chances to sensitise the critical path; `max_cone` normalises the
+/// proxy across the design.
+pub fn endpoint_weight(excess: f64, cone: usize, max_cone: usize) -> f64 {
+    excess.max(0.0) * (1.0 + cone as f64 / max_cone.max(1) as f64)
+}
+
+/// Cuts a weighted id set at `target` cumulative weight fraction.
+///
+/// Ids are ranked by weight descending (ties broken by id ascending so
+/// the cut is deterministic) and kept until the kept mass reaches
+/// `target` × total mass. `target ≥ 1` keeps everything; a positive
+/// total always keeps at least one id. The result is sorted ascending.
+pub fn weighted_cut(weights: &[(usize, f64)], target: f64) -> Vec<usize> {
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    if target >= 1.0 {
+        let mut all: Vec<usize> = weights.iter().map(|&(id, _)| id).collect();
+        all.sort_unstable();
+        return all;
+    }
+    let total: f64 = weights.iter().map(|&(_, w)| w).sum();
+    let mut ranked: Vec<(usize, f64)> = weights.to_vec();
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    let goal = target.max(0.0) * total;
+    let mut kept = Vec::new();
+    let mut mass = 0.0;
+    for (id, w) in ranked {
+        if mass >= goal && !kept.is_empty() {
+            break;
+        }
+        kept.push(id);
+        mass += w;
+    }
+    kept.sort_unstable();
+    kept
+}
+
+impl ProcessorModel {
+    /// Workload-aware replacement set: the subset of
+    /// [`ProcessorModel::replacement_set`] carrying `target` (0..=1)
+    /// of the violation mass, closed under relay coverage (any dropped
+    /// replacement-set flop feeding a kept one is re-added, to a
+    /// fixpoint).
+    ///
+    /// `target = 1.0` reproduces the full replacement set; smaller
+    /// targets give subsets, monotone in `target`.
+    pub fn workload_replacement_set(&self, c_pct: f64, target: f64) -> Vec<usize> {
+        let full = self.replacement_set(c_pct);
+        if target >= 1.0 || full.is_empty() {
+            return full;
+        }
+        let threshold = 1.0 - c_pct / 100.0;
+        let flops = self.flops();
+        let max_cone = full
+            .iter()
+            .map(|&f| flops[f].fanin.len())
+            .max()
+            .unwrap_or(1);
+        let weights: Vec<(usize, f64)> = full
+            .iter()
+            .map(|&f| {
+                let excess = flops[f].in_frac - threshold;
+                (f, endpoint_weight(excess, flops[f].fanin.len(), max_cone))
+            })
+            .collect();
+        let mut kept = weighted_cut(&weights, target);
+
+        // Relay closure: a kept flop fed by a dropped replacement-set
+        // flop would be a TBR020 coverage gap — re-add such feeders
+        // until stable. Closure is monotone, so subsets stay subsets.
+        let in_full: std::collections::BTreeSet<usize> = full.iter().copied().collect();
+        loop {
+            let in_kept: std::collections::BTreeSet<usize> = kept.iter().copied().collect();
+            let mut added = Vec::new();
+            for &f in &kept {
+                for &g in &flops[f].fanin {
+                    let g = g as usize;
+                    if in_full.contains(&g) && !in_kept.contains(&g) && !added.contains(&g) {
+                        added.push(g);
+                    }
+                }
+            }
+            if added.is_empty() {
+                break;
+            }
+            kept.extend(added);
+            kept.sort_unstable();
+            kept.dedup();
+        }
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::PerfPoint;
+    use timber_netlist::Picos;
+
+    fn model() -> ProcessorModel {
+        ProcessorModel::generate(PerfPoint::Medium, 2000, Picos(1000), 7)
+    }
+
+    #[test]
+    fn full_target_reproduces_replacement_set() {
+        let m = model();
+        assert_eq!(
+            m.workload_replacement_set(20.0, 1.0),
+            m.replacement_set(20.0)
+        );
+    }
+
+    #[test]
+    fn cut_is_subset_and_monotone_in_target() {
+        let m = model();
+        let full = m.replacement_set(20.0);
+        let half = m.workload_replacement_set(20.0, 0.5);
+        let ninety = m.workload_replacement_set(20.0, 0.9);
+        let is_subset = |a: &[usize], b: &[usize]| a.iter().all(|x| b.contains(x));
+        assert!(is_subset(&half, &ninety), "cut not monotone in target");
+        assert!(is_subset(&ninety, &full), "cut escaped the full set");
+        assert!(half.len() < full.len(), "half target should drop flops");
+        assert!(!half.is_empty());
+    }
+
+    #[test]
+    fn closure_leaves_no_coverage_gap() {
+        let m = model();
+        let kept = m.workload_replacement_set(20.0, 0.3);
+        let full = m.replacement_set(20.0);
+        for &f in &kept {
+            for &g in &m.flops()[f].fanin {
+                let g = g as usize;
+                if full.contains(&g) {
+                    assert!(kept.contains(&g), "flop {f} fed by dropped feeder {g}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_cut_is_deterministic_and_tie_broken_by_id() {
+        let w = [(3, 1.0), (1, 1.0), (2, 5.0)];
+        assert_eq!(weighted_cut(&w, 0.8), vec![1, 2]);
+        assert_eq!(weighted_cut(&w, 0.0), vec![2]);
+        assert_eq!(weighted_cut(&w, 1.0), vec![1, 2, 3]);
+        assert_eq!(weighted_cut(&[], 0.5), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn endpoint_weight_clamps_and_scales() {
+        assert_eq!(endpoint_weight(-0.1, 4, 8), 0.0);
+        assert!(endpoint_weight(0.1, 8, 8) > endpoint_weight(0.1, 2, 8));
+        assert!(endpoint_weight(0.2, 4, 8) > endpoint_weight(0.1, 4, 8));
+    }
+}

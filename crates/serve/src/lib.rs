@@ -17,7 +17,7 @@
 //!   a *design* tier (compiled netlist + STA arrival quantiles +
 //!   snapped schedule + hold-padding plan) and a *result* tier (full
 //!   response bodies).
-//! * [`compile`] — the design tier's producer, plus the trial
+//! * [`mod@compile`] — the design tier's producer, plus the trial
 //!   evaluator that reduces a spec against a compiled design to an
 //!   id-independent response body.
 //! * [`engine`] — batch orchestration: cache probes, in-batch

@@ -50,6 +50,19 @@ pub fn classify_flops(sta: &TimingAnalysis<'_>, threshold: Picos) -> Vec<FlopTim
         .collect()
 }
 
+/// Max data-arrival time at every flip-flop's D pin, in flop-id order.
+///
+/// This is the per-endpoint criticality vector that workload-aware
+/// protection-set selection (READ-style, see `timber-tune`) ranks and
+/// cuts; it pairs each flop with the same arrival the
+/// `ends_critical` classification thresholds against.
+pub fn endpoint_arrivals(sta: &TimingAnalysis<'_>, netlist: &Netlist) -> Vec<(FlopId, Picos)> {
+    netlist
+        .flop_ids()
+        .map(|f| (f, sta.arrival(netlist.flop(f).d())))
+        .collect()
+}
+
 /// One row of the Fig. 1 reproduction: statistics at a single top-c%
 /// threshold.
 #[derive(Debug, Clone, Copy, PartialEq)]

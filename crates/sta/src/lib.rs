@@ -48,7 +48,7 @@ pub mod report;
 
 pub use analysis::{ClockConstraint, DelayCalculator, LibraryDelays, TimingAnalysis};
 pub use derate::{derate_sweep, DeratePoint, DeratedDelays};
-pub use endpoints::{classify_flops, FlopTimingClass, PathDistribution};
+pub use endpoints::{classify_flops, endpoint_arrivals, FlopTimingClass, PathDistribution};
 pub use histogram::SlackHistogram;
 pub use hold::{HoldAnalysis, PaddingPlan};
 pub use paths::{PathEndpoint, PathQuery, TimingPath};

@@ -49,12 +49,14 @@ pub mod export;
 pub mod recorder;
 pub mod service;
 pub mod sink;
+pub mod tune;
 
 pub use event::{Event, EventKind};
 pub use export::{recorder_json, render_summary, trace_csv, trace_json};
 pub use recorder::{Recorder, RecorderConfig, StageMetrics, DEPTH_BINS, SLACK_BINS};
 pub use service::{LatencyReservoir, ServiceCounter, ServiceStats};
 pub use sink::{Counter, NoopSink, TelemetrySink};
+pub use tune::{TuneCounter, TuneStats};
 
 #[cfg(test)]
 mod props;

@@ -1,0 +1,53 @@
+//! # timber-tune
+//!
+//! A deterministic multi-objective autotuner over the TIMBER (DATE
+//! 2010) design space: checking percentage `c`, interval split
+//! `(k_tb, k_ed)`, relay select increment δ, and the replacement-set
+//! seeding strategy.
+//!
+//! The paper fixes one operating point per case study (`c = 30%`,
+//! immediate or deferred flagging, top-c% replacement) and reports its
+//! overheads; this crate searches the *space around* those points and
+//! emits the Pareto frontier of three minimised objectives — energy
+//! per instruction (storm-simulated, static-overhead-scaled), error
+//! miss rate (silent corruptions plus unprotected violation mass), and
+//! wall-time per instruction. The paper's two schedules are then
+//! *anchors*: a regression gate checks they stay on or within an
+//! ε-band of the frontier, so a modelling change that silently makes
+//! the published configurations look foolish fails CI instead of
+//! shipping.
+//!
+//! Every stage reuses the repository's existing machinery: candidate
+//! feasibility is `timber-lint`, safety is the `timber-analyze`
+//! abstract-interpretation certificate, static cost is `timber-power`
+//! over netlist-derived replacement statistics, coverage is the
+//! bit-sliced `timber-batch` Monte-Carlo engine, and dispatch is the
+//! hardened `scatter_strict` executor — so the frontier JSON is
+//! byte-identical across `--threads` and cold re-runs.
+//!
+//! # Example
+//!
+//! ```
+//! use timber_tune::{tune, TuneSpec};
+//!
+//! let report = tune(&TuneSpec { budget: 6, threads: 1, ..TuneSpec::default() });
+//! assert!(report.pass(), "{:?}", report.violations());
+//! assert_eq!(report.designs.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod pareto;
+pub mod report;
+pub mod search;
+pub mod space;
+
+pub use eval::{evaluate, DesignContext, Evaluation, Objectives, Outcome, ScoreDetail};
+pub use pareto::{dominates, frontier, within_band};
+pub use report::{render, report_json, SCHEMA_VERSION};
+pub use search::{tune, AnchorCheck, DesignReport, ScoredPoint, TuneReport, TuneSpec};
+pub use space::{enumerate, CandidateSpec, DesignId, Seeding};
+
+#[cfg(test)]
+mod props;

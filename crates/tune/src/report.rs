@@ -1,0 +1,185 @@
+//! Rendering: the human-readable search summary and the versioned
+//! JSON frontier artifact.
+//!
+//! The JSON document is the golden-corpus surface: field order is
+//! fixed (insertion order), floats serialise through `serde_json`'s
+//! shortest-round-trip formatter, and nothing thread- or
+//! wall-clock-dependent is present, so two runs with the same spec are
+//! byte-identical.
+
+use serde_json::{json, Value};
+use timber_telemetry::TuneCounter;
+
+use crate::search::{DesignReport, ScoredPoint, TuneReport};
+use crate::space::Seeding;
+
+/// Version of the frontier JSON schema.
+pub const SCHEMA_VERSION: u64 = 1;
+
+fn point_json(p: &ScoredPoint) -> Value {
+    json!({
+        "id": p.spec.id(),
+        "c_pct": p.spec.c_pct(),
+        "k_tb": p.spec.k_tb,
+        "k_ed": p.spec.k_ed,
+        "relay_increment": p.spec.relay_increment,
+        "seeding": p.spec.seeding.name(),
+        "energy_per_instr": p.objectives.energy_per_instr,
+        "miss_rate": p.objectives.miss_rate,
+        "ns_per_instr": p.objectives.ns_per_instr,
+        "replaced": p.detail.replaced,
+        "total_flops": p.detail.total_flops,
+        "power_overhead_pct": p.detail.power_overhead_pct,
+        "violations": p.detail.violations,
+        "corrupted": p.detail.corrupted,
+    })
+}
+
+fn design_json(d: &DesignReport) -> Value {
+    json!({
+        "design": d.design.name(),
+        "evaluated": d.evaluated,
+        "lint_rejected": d.lint_rejected,
+        "cert_rejected": d.cert_rejected,
+        "scored": d.scored.len(),
+        "frontier": Value::Array(d.frontier.iter().map(|&i| point_json(&d.scored[i])).collect()),
+    })
+}
+
+/// The versioned machine-readable document for one tune run.
+pub fn report_json(report: &TuneReport) -> Value {
+    let violations = report.violations();
+    json!({
+        "schema_version": SCHEMA_VERSION,
+        "tool": "repro tune",
+        "seed": report.spec.seed,
+        "budget": report.stats.get(TuneCounter::Evaluated),
+        "tolerance": report.spec.tolerance,
+        "sabotage": report.spec.sabotage,
+        "designs": Value::Array(report.designs.iter().map(design_json).collect()),
+        "anchors": Value::Array(
+            report
+                .anchors
+                .iter()
+                .map(|a| {
+                    json!({
+                        "design": a.design.name(),
+                        "label": a.label.clone(),
+                        "id": a.spec.id(),
+                        "scored": a.scored,
+                        "within_band": a.within_band,
+                    })
+                })
+                .collect(),
+        ),
+        "counters": serde_json::from_str(&report.stats.json()).expect("counter json is valid"),
+        "validation": json!({
+            "pass": violations.is_empty(),
+            "violations": Value::Array(violations.into_iter().map(Value::String).collect()),
+        }),
+    })
+}
+
+/// Human-readable rendering: one frontier table per design, the anchor
+/// verdicts, and the search counters.
+pub fn render(report: &TuneReport) -> String {
+    let mut out = format!(
+        "-- repro tune: seed {}, budget {}, tolerance {:.0}% --\n",
+        report.spec.seed,
+        report.stats.get(TuneCounter::Evaluated),
+        report.spec.tolerance * 100.0
+    );
+    for d in &report.designs {
+        out.push_str(&format!(
+            "{}: {} evaluated, {} scored ({} lint-rejected, {} cert-rejected), \
+             frontier {}\n",
+            d.design.name(),
+            d.evaluated,
+            d.scored.len(),
+            d.lint_rejected,
+            d.cert_rejected,
+            d.frontier.len()
+        ));
+        for &i in &d.frontier {
+            let p = &d.scored[i];
+            let seeding = match p.spec.seeding {
+                Seeding::TopC => "top-c".to_owned(),
+                Seeding::Workload { target_pct } => format!("wl-{target_pct}%"),
+            };
+            out.push_str(&format!(
+                "  {:<34} energy/instr {:>8.4}  miss {:>7.4}  ns/instr {:>8.4}  \
+                 ({} flops, {seeding})\n",
+                p.spec.id(),
+                p.objectives.energy_per_instr,
+                p.objectives.miss_rate,
+                p.objectives.ns_per_instr,
+                p.detail.replaced
+            ));
+        }
+    }
+    for a in &report.anchors {
+        out.push_str(&format!(
+            "anchor {}/{}: {}\n",
+            a.design.name(),
+            a.label,
+            if !a.scored {
+                "NOT SCORED"
+            } else if a.within_band {
+                "within band"
+            } else {
+                "OUTSIDE BAND"
+            }
+        ));
+    }
+    out.push_str(&format!("counters: {}\n", report.stats.json()));
+    out.push_str(&format!(
+        "repro tune: {}\n",
+        if report.pass() { "PASS" } else { "FAIL" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{tune, TuneSpec};
+
+    fn spec() -> TuneSpec {
+        TuneSpec {
+            budget: 6,
+            threads: 1,
+            ..TuneSpec::default()
+        }
+    }
+
+    #[test]
+    fn json_has_schema_and_both_designs() {
+        let report = tune(&spec());
+        let doc = report_json(&report);
+        assert_eq!(doc["schema_version"], json!(SCHEMA_VERSION));
+        assert_eq!(doc["designs"].as_array().unwrap().len(), 2);
+        assert_eq!(doc["validation"]["pass"], json!(true));
+        let names: Vec<&str> = doc["designs"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|d| d["design"].as_str().unwrap())
+            .collect();
+        assert_eq!(names, ["rca16", "mul8"]);
+    }
+
+    #[test]
+    fn json_serialisation_is_stable() {
+        let a = serde_json::to_string_pretty(&report_json(&tune(&spec()))).unwrap();
+        let b = serde_json::to_string_pretty(&report_json(&tune(&spec()))).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn render_mentions_anchors_and_verdict() {
+        let report = tune(&spec());
+        let text = render(&report);
+        assert!(text.contains("anchor rca16/immediate-30"), "{text}");
+        assert!(text.contains("PASS"), "{text}");
+    }
+}

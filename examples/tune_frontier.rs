@@ -1,0 +1,18 @@
+//! Runs the full-space autotuner search and prints the frontier
+//! summary plus the JSON artifact size.
+//! Run with `cargo run --release --example tune_frontier`.
+
+use std::time::Instant;
+
+use timber_tune::{render, report_json, tune, TuneSpec};
+
+fn main() {
+    let spec = TuneSpec::default();
+    let start = Instant::now();
+    let report = tune(&spec);
+    let elapsed = start.elapsed();
+    print!("{}", render(&report));
+    let json = serde_json::to_string_pretty(&report_json(&report)).expect("serialise");
+    println!("json artifact: {} bytes", json.len());
+    println!("search wall time: {elapsed:?}");
+}

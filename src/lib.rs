@@ -31,5 +31,6 @@ pub use timber_pipeline as pipeline;
 pub use timber_power as power;
 pub use timber_schemes as schemes;
 pub use timber_telemetry as telemetry;
+pub use timber_tune as tune;
 pub use timber_variability as variability;
 pub use timber_wavesim as wavesim;
