@@ -14,11 +14,16 @@
 //! repro soak [--json] [--threads N] [--seed S] [--cycles N]
 //!            [--checkpoint FILE] [--resume] [--stop-after N]
 //!            [--inject-panic K] [--inject-hang K]
+//!            [--retry-base MS] [--retry-cap MS] [--watchdog MS]
 //! repro serve [--socket PATH] [--checkpoint FILE] [--resume]
 //!             [--batch-size N] [--capacity N] [--threads N]
+//!             [--retry-base MS] [--retry-cap MS] [--watchdog MS]
 //! repro storm [--clients N] [--requests M] [--seed S] [--poison K]
 //!             [--batch-size N] [--capacity N] [--threads N]
+//!             [--chaos-seed S] [--retry-base MS] [--retry-cap MS]
 //!             [--json] [--out REPORT.json]
+//! repro chaos [--json] [--seed S] [--faults N] [--threads N]
+//!             [--sabotage] [--out REPORT.json]
 //! repro tune [--json] [--out FRONTIER.json] [--seed S] [--threads N]
 //!            [--budget N] [--tolerance T] [--sabotage]
 //! repro tune --frontier-check FRONTIER.json [--threads N]
@@ -84,7 +89,27 @@
 //! client count or batch interleaving of the same campaign — responses
 //! are canonically ordered by request id and wall-clock latency stays
 //! out of the document — and the gate also demands a cache hit rate
-//! and a 10x warm-over-cold service-time speedup.
+//! and a 10x warm-over-cold service-time speedup. With `--chaos-seed S`
+//! the storm doubles as the chaos client: seeded per-request priorities
+//! and deadlines run against a tight admission-control governor, and
+//! every shed or deadline-rejected request is retried with the seeded
+//! jittered backoff of `--retry-base`/`--retry-cap` until served.
+//! `--retry-base MS` / `--retry-cap MS` set the deterministic
+//! seeded-jitter backoff between evaluation attempts wherever the
+//! hardened executor runs (`soak`, `serve`, `storm`), and
+//! `--watchdog MS` the per-attempt wall-clock watchdog.
+//!
+//! `chaos` runs the deterministic fault-injection campaign against an
+//! in-process server: a seeded `FaultPlan` (splitmix64 counter-mode)
+//! flips cache bytes, tears and corrupts journal records, hangs and
+//! stalls evaluation attempts, drops request lines mid-batch and
+//! injects poison specs, and the gate demands exact accounting — every
+//! injected fault detected and recovered or quarantined, zero corrupted
+//! responses served, and the final replay byte-identical to an
+//! unfaulted oracle for any `--threads N`. `--faults N` scales the
+//! campaign, `--sabotage` disables the cache-read checksum so the
+//! harness can prove it catches a served corruption (exit 1 *is* the
+//! expected self-test outcome).
 //!
 //! `tune` runs the closed-loop Pareto autotuner over the TIMBER design
 //! space: every `(checking period, k_tb, k_ed, δ-increment, seeding)`
@@ -147,6 +172,11 @@ fn main() {
     let mut clients: usize = 4;
     let mut requests: usize = 64;
     let mut poison: usize = 0;
+    let mut chaos_seed: Option<u64> = None;
+    let mut retry_base_ms: u64 = 10;
+    let mut retry_cap_ms: u64 = 100;
+    let mut watchdog_ms: Option<u64> = None;
+    let mut faults: usize = timber_chaos::DEFAULT_FAULTS;
     let mut positionals: Vec<String> = Vec::new();
     let mut i = 0;
     while i < raw.len() {
@@ -314,6 +344,50 @@ fn main() {
                 .unwrap_or_else(|_| die("--poison needs a count"));
         } else if let Some(v) = arg.strip_prefix("--poison=") {
             poison = v.parse().unwrap_or_else(|_| die("--poison needs a count"));
+        } else if arg == "--chaos-seed" {
+            chaos_seed = Some(
+                value_of("--chaos-seed", &mut i)
+                    .parse()
+                    .unwrap_or_else(|_| die("--chaos-seed needs a number")),
+            );
+        } else if let Some(v) = arg.strip_prefix("--chaos-seed=") {
+            chaos_seed = Some(
+                v.parse()
+                    .unwrap_or_else(|_| die("--chaos-seed needs a number")),
+            );
+        } else if arg == "--retry-base" {
+            retry_base_ms = value_of("--retry-base", &mut i)
+                .parse()
+                .unwrap_or_else(|_| die("--retry-base needs milliseconds"));
+        } else if let Some(v) = arg.strip_prefix("--retry-base=") {
+            retry_base_ms = v
+                .parse()
+                .unwrap_or_else(|_| die("--retry-base needs milliseconds"));
+        } else if arg == "--retry-cap" {
+            retry_cap_ms = value_of("--retry-cap", &mut i)
+                .parse()
+                .unwrap_or_else(|_| die("--retry-cap needs milliseconds"));
+        } else if let Some(v) = arg.strip_prefix("--retry-cap=") {
+            retry_cap_ms = v
+                .parse()
+                .unwrap_or_else(|_| die("--retry-cap needs milliseconds"));
+        } else if arg == "--watchdog" {
+            watchdog_ms = Some(
+                value_of("--watchdog", &mut i)
+                    .parse()
+                    .unwrap_or_else(|_| die("--watchdog needs milliseconds")),
+            );
+        } else if let Some(v) = arg.strip_prefix("--watchdog=") {
+            watchdog_ms = Some(
+                v.parse()
+                    .unwrap_or_else(|_| die("--watchdog needs milliseconds")),
+            );
+        } else if arg == "--faults" {
+            faults = value_of("--faults", &mut i)
+                .parse()
+                .unwrap_or_else(|_| die("--faults needs a count"));
+        } else if let Some(v) = arg.strip_prefix("--faults=") {
+            faults = v.parse().unwrap_or_else(|_| die("--faults needs a count"));
         } else if let Some(flag) = arg.strip_prefix("--") {
             die(&format!("unknown flag --{flag}"));
         } else {
@@ -375,8 +449,7 @@ fn main() {
         if resume && checkpoint.is_none() {
             die("--resume needs --checkpoint FILE");
         }
-        let spec = soak::SoakSpec {
-            seed,
+        let mut spec = soak::SoakSpec {
             cycles,
             threads,
             checkpoint: checkpoint.map(std::path::PathBuf::from),
@@ -384,7 +457,12 @@ fn main() {
             inject_panic,
             inject_hang,
             stop_after,
+            retry: timber_resilience::RetryPolicy::from_millis(retry_base_ms, retry_cap_ms, seed),
+            ..soak::SoakSpec::pinned(seed)
         };
+        if let Some(ms) = watchdog_ms {
+            spec.watchdog = std::time::Duration::from_millis(ms);
+        }
         run_soak(json, &spec);
         return;
     }
@@ -395,13 +473,17 @@ fn main() {
         if resume && checkpoint.is_none() {
             die("--resume needs --checkpoint FILE");
         }
-        let config = timber_serve::EngineConfig {
+        let mut config = timber_serve::EngineConfig {
             result_capacity: capacity,
             threads,
             journal: checkpoint.map(std::path::PathBuf::from),
             resume,
+            retry: timber_resilience::RetryPolicy::from_millis(retry_base_ms, retry_cap_ms, seed),
             ..timber_serve::EngineConfig::default()
         };
+        if let Some(ms) = watchdog_ms {
+            config.watchdog = std::time::Duration::from_millis(ms);
+        }
         run_serve(config, socket.as_deref(), batch_size);
         return;
     }
@@ -417,8 +499,24 @@ fn main() {
             threads,
             batch_size,
             capacity,
+            chaos_seed,
+            retry_base_ms,
+            retry_cap_ms,
         };
         run_storm(json, &spec, out.as_deref());
+        return;
+    }
+    if what == "chaos" {
+        if positionals.len() > 1 {
+            die(&format!("unexpected argument {}", positionals[1]));
+        }
+        let spec = timber_chaos::ChaosSpec {
+            seed,
+            faults,
+            threads,
+            sabotage,
+        };
+        run_chaos(json, &spec, out.as_deref());
         return;
     }
     if what == "tune" {
@@ -477,7 +575,7 @@ fn main() {
     ];
     if !KNOWN.contains(&what.as_str()) {
         die(&format!(
-            "unknown subcommand {what:?} (expected one of: {}, lint, analyze, conform, soak, serve, storm, trace, tune, bench-check)",
+            "unknown subcommand {what:?} (expected one of: {}, lint, analyze, conform, soak, serve, storm, chaos, trace, tune, bench-check)",
             KNOWN.join(", ")
         ));
     }
@@ -754,6 +852,32 @@ fn run_storm(json: bool, spec: &timber_serve::StormSpec, out: Option<&str>) {
     }
     if !report.pass() {
         eprintln!("repro storm FAILED:\n{}", report.render());
+        std::process::exit(1);
+    }
+}
+
+/// `repro chaos`: the deterministic fault-injection campaign against
+/// an in-process engine. Exit 1 when the accounting gate fails (an
+/// injected fault unaccounted for, a corrupted response served, or the
+/// final replay drifting from the unfaulted oracle — with
+/// `--sabotage`, which disables the cache-read checksum, exiting 1
+/// *is* the expected self-test outcome).
+fn run_chaos(json: bool, spec: &timber_chaos::ChaosSpec, out: Option<&str>) {
+    // Poison-spec compiles panic on purpose; the engine isolates and
+    // quarantines them, so the default hook would only spew backtraces.
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = timber_chaos::run(spec).unwrap_or_else(|e| die(&format!("chaos: {e}")));
+    if let Some(path) = out {
+        std::fs::write(path, format!("{}\n", report.json()))
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    }
+    if json {
+        println!("{}", report.json());
+    } else {
+        print!("{}", report.render());
+    }
+    if !report.pass() {
+        eprintln!("repro chaos FAILED:\n{}", report.render());
         std::process::exit(1);
     }
 }

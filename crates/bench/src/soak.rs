@@ -29,8 +29,8 @@ use timber_netlist::Picos;
 use timber_pipeline::montecarlo::splitmix64;
 use timber_pipeline::{GovernorConfig, PipelineConfig, PipelineSim};
 use timber_resilience::{
-    read_checkpoint, run_hardened, HardenedOutcome, HardenedSpec, QuarantineEntry, StormScenario,
-    TrialJob,
+    read_checkpoint_counting, run_hardened, HardenedOutcome, HardenedSpec, QuarantineEntry,
+    RetryPolicy, ScanStats, StormScenario, TrialJob,
 };
 use timber_schemes::{Registry, SchemeId};
 use timber_variability::SensitizationModel;
@@ -49,8 +49,9 @@ const PERIOD: Picos = Picos(1000);
 const CHECKING_PCT: f64 = 24.0;
 /// Independent trials per (storm, scheme) cell.
 const TRIALS: usize = 2;
-/// Per-attempt wall-clock watchdog. Real trials finish in milliseconds;
-/// only an injected (or genuinely hung) trial ever reaches it.
+/// Default per-attempt wall-clock watchdog. Real trials finish in
+/// milliseconds; only an injected (or genuinely hung) trial ever
+/// reaches it.
 const WATCHDOG: Duration = Duration::from_secs(5);
 /// Attempts per trial for panics/errors.
 const MAX_ATTEMPTS: u32 = 2;
@@ -75,6 +76,10 @@ pub struct SoakSpec {
     /// Stop pulling new trials once this many have newly completed —
     /// the deterministic stand-in for `kill -9` in resume tests.
     pub stop_after: Option<usize>,
+    /// Backoff between trial attempts (`--retry-base` / `--retry-cap`).
+    pub retry: RetryPolicy,
+    /// Per-attempt wall-clock watchdog (`--watchdog`).
+    pub watchdog: Duration,
 }
 
 impl SoakSpec {
@@ -89,6 +94,8 @@ impl SoakSpec {
             inject_panic: 0,
             inject_hang: 0,
             stop_after: None,
+            retry: RetryPolicy::default_policy(),
+            watchdog: WATCHDOG,
         }
     }
 
@@ -230,6 +237,8 @@ pub struct SoakReport {
     pub resumed: usize,
     /// True if `--stop-after` ended the campaign early.
     pub stopped: bool,
+    /// Torn or malformed checkpoint lines dropped during resume.
+    pub torn_lines: u64,
 }
 
 impl SoakReport {
@@ -259,8 +268,8 @@ impl SoakReport {
         let mut out = String::new();
         out.push_str("{\"tool\":\"timber-soak\",\"schema_version\":1");
         out.push_str(&format!(
-            ",\"seed\":{},\"cycles\":{},\"trials\":{},\"injected\":{}",
-            self.seed, self.cycles, self.real_trials, self.injected
+            ",\"seed\":{},\"cycles\":{},\"trials\":{},\"injected\":{},\"torn_lines\":{}",
+            self.seed, self.cycles, self.real_trials, self.injected, self.torn_lines
         ));
         out.push_str(",\"results\":[");
         for (i, p) in self.payloads.iter().enumerate() {
@@ -308,6 +317,12 @@ impl SoakReport {
                 ""
             }
         ));
+        if self.torn_lines > 0 {
+            out.push_str(&format!(
+                "dropped {} torn/malformed checkpoint line(s) during resume\n",
+                self.torn_lines
+            ));
+        }
         for q in &self.quarantined {
             out.push_str(&format!(
                 "quarantined trial {}: {} after {} attempt(s): {}\n",
@@ -325,17 +340,18 @@ impl SoakReport {
 /// Runs the soak campaign. `Err` is a checkpoint I/O failure (a usage
 /// problem, not a gate verdict).
 pub fn run(spec: &SoakSpec) -> std::io::Result<SoakReport> {
-    let completed: BTreeMap<usize, String> = match (&spec.checkpoint, spec.resume) {
-        (Some(path), true) => read_checkpoint(path)?,
-        _ => BTreeMap::new(),
-    };
+    let (completed, scan): (BTreeMap<usize, String>, ScanStats) =
+        match (&spec.checkpoint, spec.resume) {
+            (Some(path), true) => read_checkpoint_counting(path)?,
+            _ => (BTreeMap::new(), ScanStats::default()),
+        };
     let out: HardenedOutcome = run_hardened(HardenedSpec {
         jobs: jobs(spec),
         threads: spec.threads,
-        timeout: WATCHDOG,
+        timeout: spec.watchdog,
         max_attempts: MAX_ATTEMPTS,
-        backoff_base: Duration::from_millis(10),
-        backoff_cap: Duration::from_millis(100),
+        retry: spec.retry,
+        retry_hangs: false,
         completed,
         checkpoint: spec.checkpoint.clone(),
         stop_after: spec.stop_after,
@@ -349,6 +365,7 @@ pub fn run(spec: &SoakSpec) -> std::io::Result<SoakReport> {
         quarantined: out.quarantined,
         resumed: out.resumed,
         stopped: out.stopped,
+        torn_lines: scan.dropped(),
     })
 }
 

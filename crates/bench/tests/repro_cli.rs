@@ -43,6 +43,7 @@ fn unknown_subcommand_exits_2_and_lists_lint() {
     assert!(err.contains("soak"), "usage must list soak: {err}");
     assert!(err.contains("serve"), "usage must list serve: {err}");
     assert!(err.contains("storm"), "usage must list storm: {err}");
+    assert!(err.contains("chaos"), "usage must list chaos: {err}");
     assert!(err.contains("tune"), "usage must list tune: {err}");
 }
 
@@ -292,6 +293,103 @@ fn storm_unknown_flag_exits_2_and_names_it() {
     assert_eq!(out.status.code(), Some(2));
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown flag --frobs"), "{err}");
+}
+
+#[test]
+fn chaos_campaign_accounts_for_every_fault_and_replays_byte_identically() {
+    let args = [
+        "chaos",
+        "--seed",
+        "42",
+        "--faults",
+        "7",
+        "--threads",
+        "4",
+        "--json",
+    ];
+    let a = repro(&args);
+    let text = String::from_utf8(a.stdout.clone()).unwrap();
+    assert!(a.status.success(), "{text}");
+    let doc: serde_json::Value = serde_json::from_str(text.trim()).expect("valid JSON");
+    assert_eq!(doc["tool"], serde_json::json!("timber-chaos"));
+    assert_eq!(doc["schema_version"], serde_json::json!(1));
+    assert_eq!(doc["pass"], serde_json::json!(true));
+    for entry in doc["taxonomy"].as_array().expect("taxonomy array") {
+        assert_eq!(
+            entry["injected"], entry["detected"],
+            "unaccounted fault kind: {entry}"
+        );
+    }
+    // The same campaign at a different thread count must produce the
+    // identical document.
+    let mut replay_args = args;
+    replay_args[6] = "1";
+    let b = repro(&replay_args);
+    assert!(b.status.success());
+    assert_eq!(a.stdout, b.stdout, "chaos report must be thread-invariant");
+}
+
+#[test]
+fn chaos_sabotage_is_caught_and_exits_1() {
+    let out = repro(&["chaos", "--seed", "42", "--faults", "7", "--sabotage"]);
+    assert_eq!(out.status.code(), Some(1), "sabotage must fail the gate");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("FAIL"), "{text}");
+    assert!(
+        text.contains("checksum-sentinel-caught"),
+        "the sentinel check must be reported: {text}"
+    );
+}
+
+#[test]
+fn chaos_unknown_flag_exits_2_and_names_it() {
+    let out = repro(&["chaos", "--frobs", "3"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag --frobs"), "{err}");
+}
+
+#[test]
+fn chaos_bad_faults_count_exits_2_and_names_the_flag() {
+    let out = repro(&["chaos", "--faults", "banana"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--faults"));
+}
+
+#[test]
+fn storm_chaos_client_retries_to_a_fully_served_stream() {
+    let out = repro(&[
+        "storm",
+        "--requests",
+        "64",
+        "--seed",
+        "7",
+        "--chaos-seed",
+        "5",
+        "--retry-base",
+        "1",
+        "--retry-cap",
+        "2",
+        "--json",
+    ]);
+    let text = String::from_utf8(out.stdout.clone()).unwrap();
+    assert!(out.status.success(), "{text}");
+    let doc: serde_json::Value = serde_json::from_str(text.trim()).expect("valid JSON");
+    assert_eq!(doc["schema_version"], serde_json::json!(2));
+    assert_eq!(doc["chaos_seed"], serde_json::json!(5));
+    let clients = doc["client_stats"].as_array().expect("client_stats");
+    let deadline_misses: u64 = clients
+        .iter()
+        .map(|c| c["deadline_misses"].as_u64().unwrap())
+        .sum();
+    let retries: u64 = clients.iter().map(|c| c["retries"].as_u64().unwrap()).sum();
+    assert!(deadline_misses > 0, "seeded deadlines must fire: {doc}");
+    assert!(retries >= deadline_misses, "{doc}");
+    assert!(doc["responses"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .all(|r| r["status"] == serde_json::json!("ok")));
 }
 
 #[test]

@@ -1,0 +1,50 @@
+//! # timber-chaos
+//!
+//! Deterministic chaos engineering for the TIMBER evaluation service:
+//! a seeded fault plan (splitmix64 counter-mode) drives byte-level
+//! corruption, journal tears, evaluation hangs and stalls, dropped
+//! request lines and poisoned specs into a live [`timber_serve`]
+//! engine, and the campaign gate demands *exact accounting* — every
+//! injected fault detected and recovered or quarantined, zero
+//! corrupted responses served, and a final replay byte-identical to an
+//! unfaulted oracle run.
+//!
+//! Determinism is the design center, not an afterthought: the plan is
+//! a pure function of `(seed, faults)`, every victim choice (which
+//! cache entry, which byte, which record) is a splitmix64 draw, and
+//! the report carries no wall-clock, paths or thread counts — so
+//! `repro chaos --seed S --json` is byte-identical for any
+//! `--threads N`, and CI can `diff` the two.
+//!
+//! The `--sabotage` switch disables exactly one defense (the
+//! cache-read checksum) and the campaign must then *fail*: a harness
+//! that cannot catch a served corruption proves nothing when it
+//! passes.
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod plan;
+
+pub use campaign::{run, ChaosReport, Check};
+pub use plan::{Fault, FaultKind, FaultPlan};
+
+/// Default campaign size (`repro chaos --faults`): two passes over the
+/// seven-kind taxonomy.
+pub const DEFAULT_FAULTS: usize = 14;
+
+/// Campaign parameters (`repro chaos`).
+#[derive(Debug, Clone)]
+pub struct ChaosSpec {
+    /// Seed naming the exact fault plan and every victim draw.
+    pub seed: u64,
+    /// Faults to inject (≥ 7 exercises the whole taxonomy).
+    pub faults: usize,
+    /// Worker threads for cache-miss batches (0 = all cores). Never
+    /// changes a report byte.
+    pub threads: usize,
+    /// Disable the cache-read checksum so the campaign can prove it
+    /// catches a served corruption (the run is then *expected* to
+    /// fail).
+    pub sabotage: bool,
+}

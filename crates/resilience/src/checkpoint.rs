@@ -99,33 +99,61 @@ impl JournalWriter {
     }
 }
 
+/// What a log scan dropped: the evidence behind the
+/// `journal_torn_lines` telemetry counter. Drops are tolerated, never
+/// fatal — but they are *counted*, so bit-rot and torn appends surface
+/// in `{"op":"stats"}` and the soak/serve reports instead of vanishing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// A non-empty unterminated tail was dropped (a kill tore the
+    /// final append mid-line).
+    pub torn_tail: bool,
+    /// Complete lines dropped for having no tab separator or an empty
+    /// key (cannot be produced by the writers; evidence of corruption).
+    pub malformed: usize,
+}
+
+impl ScanStats {
+    /// Total dropped lines (torn tail plus malformed), the value the
+    /// `journal_torn_lines` counter accumulates.
+    pub fn dropped(&self) -> u64 {
+        self.malformed as u64 + u64::from(self.torn_tail)
+    }
+}
+
 /// Reads an append-only log back as complete `(key, payload)` records
-/// in file order. The unterminated tail (a torn final append) and any
-/// malformed complete line are skipped rather than fatal: the only
-/// writers are the `record` methods, so they can't occur in practice,
-/// and a resume should never be scuttled by one stray line.
-fn scan_records(path: &Path) -> std::io::Result<Vec<(String, String)>> {
+/// in file order, counting what it drops. The unterminated tail (a
+/// torn final append) and any malformed complete line are skipped
+/// rather than fatal: the only writers are the `record` methods, so
+/// they can't occur in practice, and a resume should never be
+/// scuttled by one stray line — but each drop lands in [`ScanStats`].
+pub fn scan_log(path: &Path) -> std::io::Result<(Vec<(String, String)>, ScanStats)> {
     let mut text = String::new();
     match File::open(path) {
         Ok(mut f) => {
             f.read_to_string(&mut text)?;
         }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok((Vec::new(), ScanStats::default()))
+        }
         Err(e) => return Err(e),
     }
     let mut records = Vec::new();
+    let mut stats = ScanStats::default();
     let mut rest = text.as_str();
     while let Some(nl) = rest.find('\n') {
         let line = &rest[..nl];
         rest = &rest[nl + 1..];
-        if let Some((key, payload)) = line.split_once('\t') {
-            if !key.is_empty() {
+        match line.split_once('\t') {
+            Some((key, payload)) if !key.is_empty() => {
                 records.push((key.to_owned(), payload.to_owned()));
             }
+            _ => stats.malformed += 1,
         }
     }
     // `rest` is now the unterminated tail, if any: a torn final append.
-    Ok(records)
+    stats.torn_tail = !rest.is_empty();
+    Ok((records, stats))
 }
 
 /// Reads a checkpoint file back as `index -> payload`.
@@ -134,13 +162,24 @@ fn scan_records(path: &Path) -> std::io::Result<Vec<(String, String)>> {
 /// (kill mid-append) is dropped; a later record for the same index wins
 /// (harmless — payloads are deterministic, so duplicates are equal).
 pub fn read_checkpoint(path: &Path) -> std::io::Result<BTreeMap<usize, String>> {
+    Ok(read_checkpoint_counting(path)?.0)
+}
+
+/// [`read_checkpoint`] plus the [`ScanStats`] of what was dropped.
+pub fn read_checkpoint_counting(
+    path: &Path,
+) -> std::io::Result<(BTreeMap<usize, String>, ScanStats)> {
+    let (records, mut stats) = scan_log(path)?;
     let mut map = BTreeMap::new();
-    for (key, payload) in scan_records(path)? {
-        if let Ok(i) = key.parse::<usize>() {
-            map.insert(i, payload);
+    for (key, payload) in records {
+        match key.parse::<usize>() {
+            Ok(i) => {
+                map.insert(i, payload);
+            }
+            Err(_) => stats.malformed += 1,
         }
     }
-    Ok(map)
+    Ok((map, stats))
 }
 
 /// Reads a journal file back as `(key, payload)` records in append
@@ -148,7 +187,7 @@ pub fn read_checkpoint(path: &Path) -> std::io::Result<BTreeMap<usize, String>> 
 /// order). Returns an empty list if the file does not exist; a torn
 /// final line is dropped.
 pub fn read_journal(path: &Path) -> std::io::Result<Vec<(String, String)>> {
-    scan_records(path)
+    Ok(scan_log(path)?.0)
 }
 
 #[cfg(test)]

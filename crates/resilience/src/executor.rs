@@ -18,8 +18,10 @@
 //! each attempt therefore runs on a detached thread, and a timed-out
 //! attempt's thread is *leaked* — it keeps running, its eventual result
 //! discarded. That bounds campaign wall-clock without pretending to
-//! cancel arbitrary computation. Hangs are not retried: a deterministic
-//! trial that hung once will hang again.
+//! cancel arbitrary computation. Hangs are terminal by default — a
+//! deterministic trial that hung once will hang again — but a caller
+//! expecting *transient* stalls (the chaos campaign's injected delays)
+//! can opt into retrying them with [`HardenedSpec::retry_hangs`].
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -30,6 +32,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crate::checkpoint::CheckpointWriter;
+use crate::retry::RetryPolicy;
 
 /// Resolves a `--threads` value: 0 means all available cores.
 pub fn resolve_threads(threads: usize) -> usize {
@@ -153,12 +156,18 @@ pub struct HardenedSpec {
     pub threads: usize,
     /// Per-attempt wall-clock watchdog.
     pub timeout: Duration,
-    /// Attempts per trial for panics/errors (≥ 1). Hangs get one.
+    /// Attempts per trial for panics/errors (≥ 1). Hangs get one
+    /// unless [`HardenedSpec::retry_hangs`] is set.
     pub max_attempts: u32,
-    /// Backoff before retry `n` is `backoff_base * 2^(n-1)`, capped.
-    pub backoff_base: Duration,
-    /// Upper bound on a single backoff sleep.
-    pub backoff_cap: Duration,
+    /// Deterministic seeded-jitter backoff between attempts; the trial
+    /// index is the jitter token.
+    pub retry: RetryPolicy,
+    /// Retry watchdog timeouts like other transient failures instead of
+    /// quarantining on the first one. Off by default: a deterministic
+    /// trial that hung once will hang again, and each timed-out attempt
+    /// leaks its thread. Turn on only when stalls are known to be
+    /// transient (fault injection).
+    pub retry_hangs: bool,
     /// Payloads of trials already completed in a previous run
     /// (from [`crate::read_checkpoint`]); these are not re-run.
     pub completed: BTreeMap<usize, String>,
@@ -179,6 +188,10 @@ pub struct HardenedOutcome {
     pub quarantined: Vec<QuarantineEntry>,
     /// Trials satisfied from the resume checkpoint without re-running.
     pub resumed: usize,
+    /// Attempts beyond each trial's first, summed over the campaign —
+    /// deterministic, since attempt outcomes are (the chaos gate checks
+    /// every injected transient fault produced exactly one retry).
+    pub retries: u64,
     /// True if `stop_after` ended the campaign early.
     pub stopped: bool,
 }
@@ -210,17 +223,23 @@ fn attempt_with_watchdog(
     rx.recv_timeout(timeout).map_err(|_| ())
 }
 
-/// Full attempt/retry/quarantine cycle for trial `index`.
+/// One worker-owned result slot: the trial's payload and attempts
+/// consumed, or its quarantine record.
+type TrialSlot = Mutex<Option<Result<(String, u32), QuarantineEntry>>>;
+
+/// Full attempt/retry/quarantine cycle for trial `index`. `Ok` carries
+/// the payload and the attempts consumed (so the caller can account
+/// retries).
 fn run_one_hardened(
     index: usize,
     job: &TrialJob,
     spec: &HardenedSpec,
-) -> Result<String, QuarantineEntry> {
+) -> Result<(String, u32), QuarantineEntry> {
     let mut last_detail = String::new();
     let mut last_kind = FailureKind::Error;
     for attempt in 1..=spec.max_attempts {
         match attempt_with_watchdog(job, spec.timeout) {
-            Ok(Ok(Ok(payload))) => return Ok(payload),
+            Ok(Ok(Ok(payload))) => return Ok((payload, attempt)),
             Ok(Ok(Err(e))) => {
                 last_kind = FailureKind::Error;
                 last_detail = e;
@@ -230,23 +249,23 @@ fn run_one_hardened(
                 last_detail = panic_message(panic_payload.as_ref());
             }
             Err(()) => {
-                // Hangs are terminal: a deterministic trial that hung
-                // once will hang again, and its thread is already leaked.
-                return Err(QuarantineEntry {
-                    index,
-                    kind: FailureKind::Hang,
-                    attempts: attempt,
-                    detail: format!("exceeded {} ms watchdog", spec.timeout.as_millis()),
-                });
+                if !spec.retry_hangs {
+                    // Hangs are terminal by default: a deterministic
+                    // trial that hung once will hang again, and its
+                    // thread is already leaked.
+                    return Err(QuarantineEntry {
+                        index,
+                        kind: FailureKind::Hang,
+                        attempts: attempt,
+                        detail: format!("exceeded {} ms watchdog", spec.timeout.as_millis()),
+                    });
+                }
+                last_kind = FailureKind::Hang;
+                last_detail = format!("exceeded {} ms watchdog", spec.timeout.as_millis());
             }
         }
         if attempt < spec.max_attempts {
-            let exp = attempt.saturating_sub(1).min(16);
-            let backoff = spec
-                .backoff_base
-                .saturating_mul(1u32 << exp)
-                .min(spec.backoff_cap);
-            std::thread::sleep(backoff);
+            std::thread::sleep(spec.retry.backoff(attempt, index as u64));
         }
     }
     Err(QuarantineEntry {
@@ -282,8 +301,7 @@ pub fn run_hardened(spec: HardenedSpec) -> std::io::Result<HardenedOutcome> {
         None => None,
     };
 
-    let slots: Vec<Mutex<Option<Result<String, QuarantineEntry>>>> =
-        (0..total).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<TrialSlot> = (0..total).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let fresh_done = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
@@ -305,7 +323,7 @@ pub fn run_hardened(spec: HardenedSpec) -> std::io::Result<HardenedOutcome> {
                     continue;
                 }
                 let outcome = run_one_hardened(i, &spec.jobs[i], &spec);
-                if let Ok(payload) = &outcome {
+                if let Ok((payload, _)) = &outcome {
                     if let Some(w) = &writer {
                         if let Err(e) = w.lock().unwrap().record(i, payload) {
                             *io_error.lock().unwrap() = Some(e);
@@ -328,10 +346,17 @@ pub fn run_hardened(spec: HardenedSpec) -> std::io::Result<HardenedOutcome> {
         return Err(e);
     }
     let mut quarantined = Vec::new();
+    let mut retries: u64 = 0;
     for (i, slot) in slots.into_iter().enumerate() {
         match slot.into_inner().unwrap() {
-            Some(Ok(payload)) => payloads[i] = Some(payload),
-            Some(Err(entry)) => quarantined.push(entry),
+            Some(Ok((payload, attempts))) => {
+                retries += u64::from(attempts.saturating_sub(1));
+                payloads[i] = Some(payload);
+            }
+            Some(Err(entry)) => {
+                retries += u64::from(entry.attempts.saturating_sub(1));
+                quarantined.push(entry);
+            }
             None => {} // resumed, or never pulled because of an early stop
         }
     }
@@ -340,6 +365,7 @@ pub fn run_hardened(spec: HardenedSpec) -> std::io::Result<HardenedOutcome> {
         payloads,
         quarantined,
         resumed,
+        retries,
         stopped: stopped_early.into_inner(),
     })
 }
@@ -358,8 +384,8 @@ mod tests {
             threads: 3,
             timeout: Duration::from_secs(5),
             max_attempts: 2,
-            backoff_base: Duration::from_millis(1),
-            backoff_cap: Duration::from_millis(4),
+            retry: RetryPolicy::from_millis(1, 4, 0),
+            retry_hangs: false,
             completed: BTreeMap::new(),
             checkpoint: None,
             stop_after: None,
@@ -438,6 +464,43 @@ mod tests {
         assert!(out.quarantined.is_empty());
         assert_eq!(out.payloads[1].as_deref(), Some("{\"trial\":1}"));
         assert_eq!(tries.load(Ordering::SeqCst), 2);
+        assert_eq!(out.retries, 1);
+    }
+
+    #[test]
+    fn retry_hangs_recovers_a_transient_stall() {
+        let tries = Arc::new(AtomicUsize::new(0));
+        let t = Arc::clone(&tries);
+        let mut jobs: Vec<TrialJob> = (0..3).map(ok_job).collect();
+        jobs[1] = Arc::new(move || {
+            if t.fetch_add(1, Ordering::SeqCst) == 0 {
+                std::thread::sleep(Duration::from_secs(600));
+            }
+            Ok("{\"trial\":1}".to_owned())
+        });
+        let mut s = spec(jobs);
+        s.timeout = Duration::from_millis(50);
+        s.retry_hangs = true;
+        let out = run_hardened(s).unwrap();
+        assert!(out.quarantined.is_empty(), "{:?}", out.quarantined);
+        assert_eq!(out.payloads[1].as_deref(), Some("{\"trial\":1}"));
+        assert_eq!(out.retries, 1);
+    }
+
+    #[test]
+    fn retry_hangs_still_quarantines_a_persistent_hang() {
+        let mut jobs: Vec<TrialJob> = (0..2).map(ok_job).collect();
+        jobs[0] = Arc::new(|| {
+            std::thread::sleep(Duration::from_secs(600));
+            Ok(String::new())
+        });
+        let mut s = spec(jobs);
+        s.timeout = Duration::from_millis(50);
+        s.retry_hangs = true;
+        let out = run_hardened(s).unwrap();
+        assert_eq!(out.quarantined.len(), 1);
+        assert_eq!(out.quarantined[0].kind, FailureKind::Hang);
+        assert_eq!(out.quarantined[0].attempts, 2);
     }
 
     #[test]

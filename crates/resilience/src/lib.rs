@@ -35,9 +35,13 @@
 pub mod checkpoint;
 pub mod executor;
 pub mod governor;
+pub mod retry;
 pub mod storms;
 
-pub use checkpoint::{read_checkpoint, read_journal, CheckpointWriter, JournalWriter};
+pub use checkpoint::{
+    read_checkpoint, read_checkpoint_counting, read_journal, scan_log, CheckpointWriter,
+    JournalWriter, ScanStats,
+};
 pub use executor::{
     resolve_threads, run_hardened, scatter_strict, FailureKind, HardenedOutcome, HardenedSpec,
     QuarantineEntry, TrialJob,
@@ -45,6 +49,7 @@ pub use executor::{
 pub use governor::{
     GovernorConfig, GovernorLevel, GovernorState, LadderGovernor, LadderTransition,
 };
+pub use retry::RetryPolicy;
 pub use storms::StormScenario;
 
 #[cfg(test)]

@@ -69,6 +69,21 @@ impl<V> LruCache<V> {
         self.entries.get(key).map(|slot| &slot.1)
     }
 
+    /// Mutable peek without refreshing recency. This is the chaos
+    /// harness's corruption port: flipping a byte in place must not
+    /// disturb the recency trajectory, or detection would perturb the
+    /// very determinism the campaign gates on.
+    pub fn peek_mut(&mut self, key: &CacheKey) -> Option<&mut V> {
+        self.entries.get_mut(key).map(|slot| &mut slot.1)
+    }
+
+    /// Removes `key`, returning its value. Quarantine path: a cached
+    /// entry whose checksum fails verification is removed so the next
+    /// request recomputes it as a miss.
+    pub fn remove(&mut self, key: &CacheKey) -> Option<V> {
+        self.entries.remove(key).map(|(_, v)| v)
+    }
+
     /// Inserts (or replaces) `key`, evicting the least-recently-used
     /// entry if the cache is full. Returns how many entries were
     /// evicted (0 or 1).
@@ -155,6 +170,31 @@ mod tests {
             (log, keys)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn remove_frees_a_slot_without_touching_recency() {
+        let mut c: LruCache<u32> = LruCache::new(2);
+        c.insert(k(1), 1);
+        c.insert(k(2), 2);
+        assert_eq!(c.remove(&k(1)), Some(1));
+        assert_eq!(c.remove(&k(1)), None);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.insert(k(3), 3), 0); // freed slot: no eviction
+    }
+
+    #[test]
+    fn peek_mut_edits_in_place_without_refreshing() {
+        let mut c: LruCache<String> = LruCache::new(2);
+        c.insert(k(1), "aa".into());
+        c.insert(k(2), "bb".into());
+        if let Some(v) = c.peek_mut(&k(1)) {
+            v.replace_range(0..1, "X");
+        }
+        assert_eq!(c.peek(&k(1)).map(String::as_str), Some("Xa"));
+        // Recency untouched: key 1 is still the stalest and evicts first.
+        assert_eq!(c.insert(k(3), "cc".into()), 1);
+        assert!(c.peek(&k(1)).is_none());
     }
 
     #[test]

@@ -20,30 +20,53 @@
 //! Determinism: response bodies are pure functions of specs, cache
 //! trajectories are pure functions of the request stream, and only the
 //! `stats` operation exposes wall-clock latency (in its own object).
+//!
+//! # Integrity and degradation
+//!
+//! Every body entering the result cache or the journal is *sealed*
+//! ([`crate::integrity`]): prefixed with a checksum over its exact
+//! bytes. Reads verify the seal, so a flipped bit in RAM or on disk is
+//! detected, counted (`cache_corrupt` / `journal_corrupt`), dropped,
+//! and transparently recomputed as a miss — **a corrupted payload is
+//! never served**. Admission runs through a [`ServiceGovernor`]
+//! degradation ladder (nominal → shed-low → cache-only → reject) fed
+//! by per-batch cold demand, and each miss is screened against the
+//! request's `deadline_ms` with a deterministic cost model before any
+//! work is spent on it.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use timber_resilience::{read_journal, run_hardened, HardenedSpec, JournalWriter, TrialJob};
+use timber_resilience::{
+    run_hardened, scan_log, HardenedSpec, JournalWriter, RetryPolicy, TrialJob,
+};
 use timber_telemetry::{ServiceCounter, ServiceStats};
 
 use crate::cache::LruCache;
 use crate::compile::{compile, evaluate, CompiledDesign};
+use crate::governor::{ServiceGovernor, ServiceGovernorConfig, ServiceLevel};
+use crate::integrity::{open, seal, SEAL_PREFIX_LEN};
 use crate::key::CacheKey;
-use crate::spec::{parse_request, EvalSpec, Request};
+use crate::spec::{parse_request, EvalSpec, Priority, Request};
 
 /// Default result-tier capacity (full response bodies).
 pub const DEFAULT_RESULT_CAPACITY: usize = 1024;
 /// Default design-tier capacity (compiled netlist artifacts).
 pub const DEFAULT_DESIGN_CAPACITY: usize = 64;
-/// Per-attempt watchdog for one evaluation job.
-const WATCHDOG: Duration = Duration::from_secs(30);
-/// Attempts per evaluation before quarantine.
-const MAX_ATTEMPTS: u32 = 2;
+/// Default per-attempt watchdog for one evaluation job.
+pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(30);
+/// Default attempts per evaluation before quarantine.
+pub const DEFAULT_MAX_ATTEMPTS: u32 = 2;
+/// Deterministic cost model for deadline screening: simulated cycles
+/// one wall-clock millisecond is assumed to cover. Deliberately a
+/// *model*, not a measurement — wall-clock estimates would make
+/// admission non-deterministic across machines.
+pub const CYCLES_PER_MS: u64 = 100;
 
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
@@ -55,10 +78,24 @@ pub struct EngineConfig {
     /// Worker threads for cache-miss batches (0 = all cores). Never
     /// changes any response byte.
     pub threads: usize,
-    /// Append-only durability journal (`keyhex\tbody` lines).
+    /// Append-only durability journal (`keyhex\tsealed-body` lines).
     pub journal: Option<PathBuf>,
     /// Preload the journal into the result cache at startup.
     pub resume: bool,
+    /// Per-attempt watchdog for one evaluation job.
+    pub watchdog: Duration,
+    /// Attempts per evaluation before quarantine.
+    pub max_attempts: u32,
+    /// Backoff between evaluation attempts.
+    pub retry: RetryPolicy,
+    /// Treat a watchdog expiry as retryable instead of terminal.
+    pub retry_hangs: bool,
+    /// Admission-control ladder tuning (the default is inert).
+    pub governor: ServiceGovernorConfig,
+    /// Verify seals on cache reads. `false` is the chaos `--sabotage`
+    /// switch: it disables exactly one checksum path so the campaign
+    /// can prove it detects a served corruption.
+    pub verify_reads: bool,
 }
 
 impl Default for EngineConfig {
@@ -69,8 +106,25 @@ impl Default for EngineConfig {
             threads: 0,
             journal: None,
             resume: false,
+            watchdog: DEFAULT_WATCHDOG,
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
+            retry: RetryPolicy::default_policy(),
+            retry_hangs: false,
+            governor: ServiceGovernorConfig::default(),
+            verify_reads: true,
         }
     }
+}
+
+/// A one-shot fault armed by the chaos harness against the next cold
+/// evaluation's **first attempt** (later attempts run clean, so the
+/// retry machinery gets something to recover).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalFault {
+    /// The first attempt sleeps past the watchdog and is abandoned.
+    Hang,
+    /// The first attempt stalls briefly, then fails retryably.
+    Stall(Duration),
 }
 
 /// One rendered response line.
@@ -116,13 +170,19 @@ pub struct Engine {
     designs: LruCache<CompiledDesign>,
     journal: Option<JournalWriter>,
     stats: ServiceStats,
+    governor: ServiceGovernor,
+    /// One-shot fault armed by the chaos harness, consumed by the next
+    /// batch's first cold evaluation.
+    armed_fault: Option<EvalFault>,
     /// Running id handed to requests that carry none.
     seq: u64,
 }
 
 impl Engine {
     /// Builds an engine, replaying the journal into the result cache
-    /// when `resume` is set.
+    /// when `resume` is set. Replay always verifies seals: a corrupt
+    /// record is counted and dropped (the key recomputes as a miss),
+    /// and torn or malformed lines land in `journal_torn_lines`.
     pub fn new(config: EngineConfig) -> io::Result<Engine> {
         let mut stats = ServiceStats::new();
         let mut results = LruCache::new(config.result_capacity);
@@ -130,11 +190,16 @@ impl Engine {
             if path.exists() {
                 // Last record wins per key, in file order — exactly the
                 // state the journal writer left behind.
+                let (records, scan) = scan_log(path)?;
+                stats.add(ServiceCounter::JournalTornLines, scan.dropped());
                 let mut resumed: BTreeSet<CacheKey> = BTreeSet::new();
-                for (key, body) in read_journal(path)? {
-                    if let Some(key) = CacheKey::from_hex(&key) {
-                        resumed.insert(key);
-                        results.insert(key, body);
+                for (key, sealed) in records {
+                    match CacheKey::from_hex(&key) {
+                        Some(key) if open(&sealed, true).is_ok() => {
+                            resumed.insert(key);
+                            results.insert(key, sealed);
+                        }
+                        _ => stats.bump(ServiceCounter::JournalCorrupt),
                     }
                 }
                 stats.add(ServiceCounter::Resumed, resumed.len() as u64);
@@ -146,10 +211,12 @@ impl Engine {
         };
         Ok(Engine {
             designs: LruCache::new(config.design_capacity),
+            governor: ServiceGovernor::new(config.governor),
             config,
             results,
             journal,
             stats,
+            armed_fault: None,
             seq: 0,
         })
     }
@@ -162,6 +229,49 @@ impl Engine {
     /// Result-tier occupancy (diagnostics).
     pub fn cached_results(&self) -> usize {
         self.results.len()
+    }
+
+    /// Current service degradation level.
+    pub fn service_level(&self) -> ServiceLevel {
+        self.governor.level()
+    }
+
+    /// Deadline cost model: the milliseconds `spec` is assumed to cost
+    /// on a miss. A pure function of the spec, so admission is
+    /// byte-identical everywhere.
+    pub fn estimated_ms(spec: &EvalSpec) -> u64 {
+        (spec.trials as u64)
+            .saturating_mul(spec.cycles)
+            .div_ceil(CYCLES_PER_MS)
+    }
+
+    /// Chaos hook: flips one payload byte of the `nth` cached result
+    /// (in key order), past the seal prefix so the checksum — not the
+    /// prefix parser — must catch it. Returns the corrupted key, or
+    /// `None` if the cache holds fewer than `nth + 1` entries.
+    pub fn corrupt_cached_result(&mut self, nth: usize, byte_seed: u64) -> Option<CacheKey> {
+        let key = *self.results.keys().nth(nth)?;
+        let sealed = self.results.peek_mut(&key)?;
+        let body_len = sealed.len().checked_sub(SEAL_PREFIX_LEN)?;
+        if body_len == 0 {
+            return None;
+        }
+        let at = SEAL_PREFIX_LEN + (byte_seed % body_len as u64) as usize;
+        // Replace with a printable byte that differs from the original,
+        // keeping the entry valid UTF-8 and single-line.
+        let replacement = if sealed.as_bytes()[at] == b'#' {
+            "@"
+        } else {
+            "#"
+        };
+        sealed.replace_range(at..at + 1, replacement);
+        Some(key)
+    }
+
+    /// Chaos hook: arms a one-shot [`EvalFault`] against the next cold
+    /// evaluation's first attempt.
+    pub fn arm_eval_fault(&mut self, fault: EvalFault) {
+        self.armed_fault = Some(fault);
     }
 
     /// Fetches the compiled design for `spec`, compiling (and caching)
@@ -196,6 +306,12 @@ impl Engine {
         let mut pending: BTreeMap<CacheKey, Pending> = BTreeMap::new();
         let mut stats_ids: Vec<u64> = Vec::new();
         let mut shutdown = false;
+        // Distinct would-be-cold keys this batch, *including* shed and
+        // deadline-rejected ones: the governor's demand signal must see
+        // the arriving load, not just the admitted share, or shedding
+        // would zero the signal and the ladder would flap.
+        let mut cold_keys: BTreeSet<CacheKey> = BTreeSet::new();
+        let level = self.governor.level();
 
         for line in lines {
             self.stats.bump(ServiceCounter::Requests);
@@ -220,19 +336,46 @@ impl Engine {
                         body: "\"status\":\"ok\",\"shutdown\":true".to_owned(),
                     });
                 }
-                Ok(Request::Eval { id, spec }) => {
+                Ok(Request::Eval {
+                    id,
+                    spec,
+                    priority,
+                    deadline_ms,
+                }) => {
                     self.stats.bump(ServiceCounter::Evals);
                     let key = spec.key();
                     let probe = Instant::now();
-                    if let Some(body) = self.results.get(&key) {
-                        let body = body.clone();
-                        self.stats.bump(ServiceCounter::Hits);
-                        // Clamp to ≥ 1ns so a sub-tick probe cannot
-                        // zero the mean and void the speedup figure.
-                        self.stats
-                            .hit_latency
-                            .record((probe.elapsed().as_nanos() as u64).max(1));
-                        responses.push(Response { id, body });
+                    // Probe (and verify) the cache before admission, so
+                    // a corrupt entry is quarantined whatever the level.
+                    let cached = match self.results.get(&key) {
+                        Some(sealed) => match open(sealed, self.config.verify_reads) {
+                            Ok(body) => Some(body.to_owned()),
+                            Err(_) => {
+                                // Bit-rot: drop the entry so it
+                                // recomputes as a miss, never served.
+                                self.stats.bump(ServiceCounter::CacheCorrupt);
+                                self.results.remove(&key);
+                                None
+                            }
+                        },
+                        None => None,
+                    };
+                    if let Some(body) = cached {
+                        if level.serves_hits() {
+                            self.stats.bump(ServiceCounter::Hits);
+                            // Clamp to ≥ 1ns so a sub-tick probe cannot
+                            // zero the mean and void the speedup figure.
+                            self.stats
+                                .hit_latency
+                                .record((probe.elapsed().as_nanos() as u64).max(1));
+                            responses.push(Response { id, body });
+                        } else {
+                            self.stats.bump(ServiceCounter::Shed);
+                            responses.push(Response {
+                                id,
+                                body: self.shed_body(level),
+                            });
+                        }
                     } else if let Some(p) = pending.get_mut(&key) {
                         // Batch coalescing: same content, one compute.
                         self.stats.bump(ServiceCounter::Hits);
@@ -241,20 +384,53 @@ impl Engine {
                             .record((probe.elapsed().as_nanos() as u64).max(1));
                         p.ids.push(id);
                     } else {
-                        self.stats.bump(ServiceCounter::Misses);
-                        pending.insert(
-                            key,
-                            Pending {
-                                spec,
-                                ids: vec![id],
-                            },
-                        );
+                        cold_keys.insert(key);
+                        if !level.admits_miss(priority == Priority::High) {
+                            self.stats.bump(ServiceCounter::Shed);
+                            responses.push(Response {
+                                id,
+                                body: self.shed_body(level),
+                            });
+                        } else if deadline_ms
+                            .is_some_and(|budget| Engine::estimated_ms(&spec) > budget)
+                        {
+                            // The cost model says this miss cannot make
+                            // its deadline: reject before spending work.
+                            self.stats.bump(ServiceCounter::DeadlineRejected);
+                            responses.push(Response {
+                                id,
+                                body: format!(
+                                    "\"status\":\"deadline\",\"estimated_ms\":{},\
+                                     \"deadline_ms\":{}",
+                                    Engine::estimated_ms(&spec),
+                                    deadline_ms.expect("deadline present"),
+                                ),
+                            });
+                        } else {
+                            self.stats.bump(ServiceCounter::Misses);
+                            pending.insert(
+                                key,
+                                Pending {
+                                    spec,
+                                    ids: vec![id],
+                                },
+                            );
+                        }
                     }
                 }
             }
         }
 
         self.run_pending(pending, &mut responses)?;
+
+        // Close the governor's estimator window on this batch's demand.
+        if let Some(t) = self.governor.observe_batch(cold_keys.len() as u64) {
+            self.stats.bump(if t.is_escalation() {
+                ServiceCounter::GovernorEscalations
+            } else {
+                ServiceCounter::GovernorDeescalations
+            });
+        }
 
         // Stats responses last, so they see the whole batch's counters.
         for id in stats_ids {
@@ -268,6 +444,15 @@ impl Engine {
             responses,
             shutdown,
         })
+    }
+
+    /// The deterministic body of a shed response at `level`.
+    fn shed_body(&self, level: ServiceLevel) -> String {
+        format!(
+            "\"status\":\"shed\",\"level\":\"{}\",\"retry_after_batches\":{}",
+            level.name(),
+            self.governor.retry_after(),
+        )
     }
 
     /// Compiles, evaluates, journals and answers every pending miss.
@@ -313,6 +498,8 @@ impl Engine {
         // quarantine instead of a dead daemon. Per-job durations ride
         // out through a side table keyed by job index.
         let durations: Arc<Mutex<BTreeMap<usize, u64>>> = Arc::new(Mutex::new(BTreeMap::new()));
+        let armed = self.armed_fault.take();
+        let watchdog = self.config.watchdog;
         let jobs: Vec<TrialJob> = ready
             .iter()
             .enumerate()
@@ -320,7 +507,30 @@ impl Engine {
                 let spec = p.spec;
                 let design = design.clone();
                 let durations = Arc::clone(&durations);
+                // An armed chaos fault hits the batch's first cold job,
+                // first attempt only; retries run clean.
+                let fault = if pos == 0 { armed } else { None };
+                let attempts_seen = Arc::new(AtomicU32::new(0));
                 let job: TrialJob = Arc::new(move || {
+                    let attempt = attempts_seen.fetch_add(1, Ordering::SeqCst);
+                    if attempt == 0 {
+                        match fault {
+                            Some(EvalFault::Hang) => {
+                                // Sleep well past the watchdog; the
+                                // executor abandons this attempt and the
+                                // detached thread's result is discarded.
+                                std::thread::sleep(
+                                    watchdog.saturating_mul(40).max(Duration::from_secs(2)),
+                                );
+                                return Err("chaos: hung attempt abandoned".to_owned());
+                            }
+                            Some(EvalFault::Stall(delay)) => {
+                                std::thread::sleep(delay);
+                                return Err("chaos: injected stall".to_owned());
+                            }
+                            None => {}
+                        }
+                    }
                     let started = Instant::now();
                     let body = evaluate(&design, &spec);
                     durations
@@ -335,14 +545,15 @@ impl Engine {
         let outcome = run_hardened(HardenedSpec {
             jobs,
             threads: self.config.threads,
-            timeout: WATCHDOG,
-            max_attempts: MAX_ATTEMPTS,
-            backoff_base: Duration::from_millis(10),
-            backoff_cap: Duration::from_millis(100),
+            timeout: self.config.watchdog,
+            max_attempts: self.config.max_attempts,
+            retry: self.config.retry,
+            retry_hangs: self.config.retry_hangs,
             completed: BTreeMap::new(),
             checkpoint: None,
             stop_after: None,
         })?;
+        self.stats.add(ServiceCounter::Retries, outcome.retries);
 
         let mut quarantined: BTreeMap<usize, &timber_resilience::QuarantineEntry> =
             outcome.quarantined.iter().map(|q| (q.index, q)).collect();
@@ -359,10 +570,13 @@ impl Engine {
                     self.stats
                         .miss_latency
                         .record(compile_ns.max(eval_ns).max(1));
+                    // Seal once; the cache and journal both store the
+                    // checksummed form so every later read verifies.
+                    let sealed = seal(body);
                     if let Some(journal) = &mut self.journal {
-                        journal.record(&key.hex(), body)?;
+                        journal.record(&key.hex(), &sealed)?;
                     }
-                    let evicted = self.results.insert(*key, body.clone());
+                    let evicted = self.results.insert(*key, sealed);
                     self.stats.add(ServiceCounter::Evictions, evicted as u64);
                     for &id in &p.ids {
                         responses.push(Response {
@@ -549,5 +763,218 @@ mod tests {
             .unwrap();
         let ids: Vec<u64> = out.responses.iter().map(|r| r.id).collect();
         assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn corrupted_cache_entry_is_detected_and_recomputed_never_served() {
+        let mut e = Engine::new(tiny()).unwrap();
+        let cold = e
+            .process_batch(&lines(&[r#"{"id":1,"design":"rca16"}"#]))
+            .unwrap();
+        let key = e.corrupt_cached_result(0, 13).expect("one cached entry");
+        let again = e
+            .process_batch(&lines(&[r#"{"id":2,"design":"rca16"}"#]))
+            .unwrap();
+        // Same bytes as the uncorrupted run: recomputed, not served.
+        assert_eq!(again.responses[0].body, cold.responses[0].body);
+        assert_eq!(e.stats().counter(ServiceCounter::CacheCorrupt), 1);
+        assert_eq!(e.stats().counter(ServiceCounter::Misses), 2);
+        assert_eq!(e.stats().counter(ServiceCounter::Hits), 0);
+        assert_eq!(key, {
+            let Request::Eval { spec, .. } = parse_request(r#"{"design":"rca16"}"#, 0).unwrap()
+            else {
+                panic!("eval")
+            };
+            spec.key()
+        });
+    }
+
+    #[test]
+    fn sabotaged_verification_serves_the_corruption() {
+        // The negative control the chaos campaign relies on: with
+        // verify_reads off, the corrupted bytes flow straight out.
+        let mut cfg = tiny();
+        cfg.verify_reads = false;
+        let mut e = Engine::new(cfg).unwrap();
+        let cold = e
+            .process_batch(&lines(&[r#"{"id":1,"design":"rca16"}"#]))
+            .unwrap();
+        e.corrupt_cached_result(0, 13).expect("one cached entry");
+        let again = e
+            .process_batch(&lines(&[r#"{"id":2,"design":"rca16"}"#]))
+            .unwrap();
+        assert_ne!(again.responses[0].body, cold.responses[0].body);
+        assert_eq!(e.stats().counter(ServiceCounter::CacheCorrupt), 0);
+        assert_eq!(e.stats().counter(ServiceCounter::Hits), 1);
+    }
+
+    #[test]
+    fn governor_sheds_and_recovers() {
+        let mut cfg = tiny();
+        cfg.governor = crate::governor::ServiceGovernorConfig {
+            escalate_backlog: 1,
+            deescalate_backlog: 0,
+            hot_batches: 1,
+            hold_batches: 1,
+        };
+        let mut e = Engine::new(cfg).unwrap();
+        // Batch 1: cold demand 1 ≥ 1 escalates to shed-low after it.
+        let first = e
+            .process_batch(&lines(&[r#"{"id":1,"design":"rca16"}"#]))
+            .unwrap();
+        assert!(first.responses[0].body.contains("\"status\":\"ok\""));
+        assert_eq!(e.service_level(), ServiceLevel::ShedLow);
+        // Batch 2: a low-priority miss is shed; the hit still serves.
+        let second = e
+            .process_batch(&lines(&[
+                r#"{"id":2,"design":"ks16","priority":"low"}"#,
+                r#"{"id":3,"design":"rca16"}"#,
+            ]))
+            .unwrap();
+        assert!(
+            second.responses[0].body.contains("\"status\":\"shed\""),
+            "{}",
+            second.responses[0].body
+        );
+        assert!(second.responses[0].body.contains("\"level\":\"shed-low\""));
+        assert!(second.responses[1].body.contains("\"status\":\"ok\""));
+        assert_eq!(e.stats().counter(ServiceCounter::Shed), 1);
+        assert_eq!(e.stats().counter(ServiceCounter::GovernorEscalations), 2);
+        // Idle batches walk the ladder back down.
+        for _ in 0..8 {
+            let _ = e.process_batch(&[]).unwrap();
+        }
+        assert_eq!(e.service_level(), ServiceLevel::Nominal);
+        assert!(e.stats().counter(ServiceCounter::GovernorDeescalations) >= 2);
+    }
+
+    #[test]
+    fn deadline_screening_rejects_unaffordable_misses_but_serves_hits() {
+        let mut e = Engine::new(tiny()).unwrap();
+        // Defaults: trials=2, cycles=400 → 800 cycles → 8 ms estimate.
+        let out = e
+            .process_batch(&lines(&[r#"{"id":1,"design":"rca16","deadline_ms":2}"#]))
+            .unwrap();
+        assert!(
+            out.responses[0].body.contains("\"status\":\"deadline\""),
+            "{}",
+            out.responses[0].body
+        );
+        assert!(out.responses[0].body.contains("\"estimated_ms\":8"));
+        assert_eq!(e.stats().counter(ServiceCounter::DeadlineRejected), 1);
+        // A generous deadline admits; once cached, even a tight one hits.
+        let ok = e
+            .process_batch(&lines(&[
+                r#"{"id":2,"design":"rca16","deadline_ms":60000}"#,
+            ]))
+            .unwrap();
+        assert!(ok.responses[0].body.contains("\"status\":\"ok\""));
+        let warm = e
+            .process_batch(&lines(&[r#"{"id":3,"design":"rca16","deadline_ms":2}"#]))
+            .unwrap();
+        assert!(warm.responses[0].body.contains("\"status\":\"ok\""));
+        assert_eq!(e.stats().counter(ServiceCounter::Hits), 1);
+    }
+
+    #[test]
+    fn armed_stall_fault_is_retried_and_counted() {
+        let mut e = Engine::new(tiny()).unwrap();
+        e.arm_eval_fault(EvalFault::Stall(Duration::from_millis(5)));
+        let out = e
+            .process_batch(&lines(&[r#"{"id":1,"design":"rca16"}"#]))
+            .unwrap();
+        assert!(out.responses[0].body.contains("\"status\":\"ok\""));
+        assert_eq!(e.stats().counter(ServiceCounter::Retries), 1);
+        // The fault was one-shot: a fresh miss runs clean.
+        let next = e
+            .process_batch(&lines(&[r#"{"id":2,"design":"ks16"}"#]))
+            .unwrap();
+        assert!(next.responses[0].body.contains("\"status\":\"ok\""));
+        assert_eq!(e.stats().counter(ServiceCounter::Retries), 1);
+    }
+
+    #[test]
+    fn armed_hang_fault_recovers_when_hang_retries_are_on() {
+        let mut cfg = tiny();
+        cfg.watchdog = Duration::from_millis(100);
+        cfg.retry_hangs = true;
+        let mut e = Engine::new(cfg).unwrap();
+        e.arm_eval_fault(EvalFault::Hang);
+        let out = e
+            .process_batch(&lines(&[r#"{"id":1,"design":"rca16"}"#]))
+            .unwrap();
+        assert!(
+            out.responses[0].body.contains("\"status\":\"ok\""),
+            "{}",
+            out.responses[0].body
+        );
+        assert_eq!(e.stats().counter(ServiceCounter::Retries), 1);
+        assert_eq!(e.stats().counter(ServiceCounter::Quarantined), 0);
+    }
+
+    #[test]
+    fn torn_journal_tail_is_counted_and_resume_still_works() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("timber-serve-torn-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let mut cfg = tiny();
+        cfg.journal = Some(path.clone());
+        let mut e = Engine::new(cfg.clone()).unwrap();
+        let cold = e
+            .process_batch(&lines(&[r#"{"id":1,"design":"rca16"}"#]))
+            .unwrap();
+        drop(e);
+        // Tear a partial append onto the tail, as a kill would.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            write!(f, "deadbeef\t{{\"tru").unwrap();
+        }
+        cfg.resume = true;
+        let mut e2 = Engine::new(cfg).unwrap();
+        assert_eq!(e2.stats().counter(ServiceCounter::JournalTornLines), 1);
+        assert_eq!(e2.stats().counter(ServiceCounter::Resumed), 1);
+        let warm = e2
+            .process_batch(&lines(&[r#"{"id":7,"design":"rca16"}"#]))
+            .unwrap();
+        assert_eq!(warm.responses[0].body, cold.responses[0].body);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupted_journal_record_is_dropped_and_recomputed_on_resume() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("timber-serve-rot-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let mut cfg = tiny();
+        cfg.journal = Some(path.clone());
+        let mut e = Engine::new(cfg.clone()).unwrap();
+        let cold = e
+            .process_batch(&lines(&[r#"{"id":1,"design":"rca16"}"#]))
+            .unwrap();
+        drop(e);
+        // Flip one payload byte on disk (past key, tab and seal prefix).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let tab = bytes.iter().position(|&b| b == b'\t').unwrap();
+        let at = tab + 1 + SEAL_PREFIX_LEN + 3;
+        bytes[at] = if bytes[at] == b'#' { b'@' } else { b'#' };
+        std::fs::write(&path, &bytes).unwrap();
+
+        cfg.resume = true;
+        let mut e2 = Engine::new(cfg).unwrap();
+        assert_eq!(e2.stats().counter(ServiceCounter::JournalCorrupt), 1);
+        assert_eq!(e2.stats().counter(ServiceCounter::Resumed), 0);
+        let again = e2
+            .process_batch(&lines(&[r#"{"id":7,"design":"rca16"}"#]))
+            .unwrap();
+        // Recomputed to the exact uncorrupted bytes, as a miss.
+        assert_eq!(again.responses[0].body, cold.responses[0].body);
+        assert_eq!(e2.stats().counter(ServiceCounter::Misses), 1);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,146 @@
+//! Sealed (checksummed) payloads for the cache and journal.
+//!
+//! TIMBER's thesis is online *detection* before recovery: a Razor-style
+//! shadow comparison catches the corrupted value before it commits.
+//! The serving layer applies the same discipline to its own storage.
+//! Every response body that enters the result cache or the durability
+//! journal is **sealed**: prefixed with a checksum over its exact
+//! bytes, in the format
+//!
+//! ```text
+//! crc=<16 lowercase hex digits>;<body>
+//! ```
+//!
+//! The checksum is the XOR fold of the four [`content_hash`] lanes —
+//! the repository's standard splitmix64 sponge — over the body bytes,
+//! so the sealed form is a pure deterministic function of the body and
+//! verification costs one digest. On every read the seal is checked
+//! before the body is served or replayed; a mismatch means bit-rot (in
+//! RAM for the cache, on disk for the journal) and the entry is
+//! dropped and recomputed as a miss — **a corrupted payload is never
+//! served**. Like [`crate::key`], this is content integrity, not
+//! cryptography: it detects accidental corruption, not forgery.
+
+use crate::key::content_hash;
+
+/// Byte length of the `crc=<16hex>;` seal prefix.
+pub const SEAL_PREFIX_LEN: usize = 21;
+
+/// The 64-bit payload checksum: XOR fold of the four content-hash
+/// lanes over `bytes`.
+pub fn payload_crc(bytes: &[u8]) -> u64 {
+    let lanes = content_hash(bytes).0;
+    lanes[0] ^ lanes[1] ^ lanes[2] ^ lanes[3]
+}
+
+/// Seals `body` as `crc=<16hex>;<body>`.
+pub fn seal(body: &str) -> String {
+    format!("crc={:016x};{body}", payload_crc(body.as_bytes()))
+}
+
+/// Opens a sealed payload, returning the body if the seal verifies.
+///
+/// With `verify = false` the checksum comparison is skipped (the
+/// `--sabotage` path: the chaos harness disables this verification to
+/// prove the campaign detects a served corruption). The prefix shape
+/// is still required — a string that was never sealed is an error, not
+/// a silent pass-through.
+pub fn open(sealed: &str, verify: bool) -> Result<&str, SealError> {
+    let rest = sealed.strip_prefix("crc=").ok_or(SealError::Unsealed)?;
+    if rest.len() < 17 || rest.as_bytes()[16] != b';' {
+        return Err(SealError::Unsealed);
+    }
+    let (crc_hex, body) = (&rest[..16], &rest[17..]);
+    let stored = u64::from_str_radix(crc_hex, 16).map_err(|_| SealError::Unsealed)?;
+    if verify && stored != payload_crc(body.as_bytes()) {
+        return Err(SealError::Corrupt);
+    }
+    Ok(body)
+}
+
+/// Why a sealed payload failed to open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SealError {
+    /// The `crc=<16hex>;` prefix is missing or malformed — the string
+    /// was never sealed (or the seal itself was destroyed).
+    Unsealed,
+    /// The prefix parsed but the checksum does not match the body:
+    /// bit-rot inside the payload.
+    Corrupt,
+}
+
+impl std::fmt::Display for SealError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SealError::Unsealed => f.write_str("payload is not sealed"),
+            SealError::Corrupt => f.write_str("payload checksum mismatch"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_round_trips() {
+        let body = r#"{"status":"ok","mean_error":0.25}"#;
+        let sealed = seal(body);
+        assert!(sealed.starts_with("crc="));
+        assert_eq!(sealed.len(), SEAL_PREFIX_LEN + body.len());
+        assert_eq!(open(&sealed, true), Ok(body));
+    }
+
+    #[test]
+    fn seal_is_deterministic() {
+        assert_eq!(seal("abc"), seal("abc"));
+        assert_ne!(seal("abc"), seal("abd"));
+    }
+
+    #[test]
+    fn any_flipped_body_byte_is_detected() {
+        let sealed = seal(r#"{"status":"ok","p50":1.0}"#);
+        for i in SEAL_PREFIX_LEN..sealed.len() {
+            let mut bytes = sealed.clone().into_bytes();
+            bytes[i] = if bytes[i] == b'#' { b'@' } else { b'#' };
+            let mutated = String::from_utf8(bytes).unwrap();
+            assert_eq!(open(&mutated, true), Err(SealError::Corrupt), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn flipped_crc_digit_is_detected() {
+        let sealed = seal("payload");
+        let mut bytes = sealed.clone().into_bytes();
+        bytes[4] = if bytes[4] == b'0' { b'1' } else { b'0' };
+        let mutated = String::from_utf8(bytes).unwrap();
+        assert_eq!(open(&mutated, true), Err(SealError::Corrupt));
+    }
+
+    #[test]
+    fn unsealed_strings_are_rejected_even_unverified() {
+        assert_eq!(open("no prefix", false), Err(SealError::Unsealed));
+        assert_eq!(open("crc=short;x", false), Err(SealError::Unsealed));
+        assert_eq!(
+            open("crc=zzzzzzzzzzzzzzzz;x", false),
+            Err(SealError::Unsealed)
+        );
+    }
+
+    #[test]
+    fn verify_false_skips_the_checksum() {
+        let mut bytes = seal("body").into_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] = b'!';
+        let mutated = String::from_utf8(bytes).unwrap();
+        assert_eq!(open(&mutated, false), Ok("bod!"));
+        assert_eq!(open(&mutated, true), Err(SealError::Corrupt));
+    }
+
+    #[test]
+    fn empty_body_seals_and_opens() {
+        let sealed = seal("");
+        assert_eq!(sealed.len(), SEAL_PREFIX_LEN);
+        assert_eq!(open(&sealed, true), Ok(""));
+    }
+}

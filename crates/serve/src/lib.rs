@@ -26,9 +26,18 @@
 //!   executor (watchdog, retries, quarantine), crash-safe journalling
 //!   through its torn-line-tolerant record log, and `timber-telemetry`
 //!   service counters.
+//! * [`integrity`] — sealed (checksummed) payloads: every cache entry
+//!   and journal record carries a splitmix64-folded CRC over its exact
+//!   bytes, verified on every read, so bit-rot is detected and
+//!   recomputed as a miss instead of served.
+//! * [`governor`] — the service-level degradation ladder (nominal →
+//!   shed-low → cache-only → reject) driven by per-batch cold demand
+//!   with hysteresis, mirroring `timber-resilience`'s `LadderGovernor`
+//!   one layer up.
 //! * [`server`] — the stdin and Unix-socket transports.
 //! * [`storm`] — the deterministic load generator and its replay gate
-//!   (`repro storm`).
+//!   (`repro storm`), which doubles as the chaos client (seeded
+//!   priorities, deadlines and jittered retries).
 //!
 //! ## Determinism contract
 //!
@@ -44,6 +53,8 @@
 pub mod cache;
 pub mod compile;
 pub mod engine;
+pub mod governor;
+pub mod integrity;
 pub mod key;
 pub mod server;
 pub mod spec;
@@ -51,11 +62,13 @@ pub mod storm;
 
 pub use cache::LruCache;
 pub use compile::{compile, evaluate, CompiledDesign};
-pub use engine::{Engine, EngineConfig, Response};
+pub use engine::{Engine, EngineConfig, EvalFault, Response};
+pub use governor::{ServiceGovernor, ServiceGovernorConfig, ServiceLevel, ServiceTransition};
+pub use integrity::{open, payload_crc, seal, SealError, SEAL_PREFIX_LEN};
 pub use key::{content_hash, CacheKey};
 pub use server::{serve_lines, serve_unix, DEFAULT_BATCH_SIZE};
-pub use spec::{parse_request, DesignId, EvalSpec, Request};
-pub use storm::{StormReport, StormSpec};
+pub use spec::{parse_request, DesignId, EvalSpec, Priority, Request};
+pub use storm::{ClientChaos, StormReport, StormSpec};
 
 #[cfg(test)]
 mod props;

@@ -10,6 +10,7 @@ use timber_resilience::StormScenario;
 use timber_schemes::SchemeId;
 
 use crate::engine::{Engine, EngineConfig};
+use crate::integrity::{open, seal};
 use crate::spec::{parse_request, DesignId, EvalSpec, Request};
 
 /// Checking percentages drawn in properties (all valid, all snappable).
@@ -128,6 +129,31 @@ proptest! {
         prop_assert_eq!(a.key(), spec.key());
     }
 
+    /// Bit-rot never serves: replacing any single byte of a sealed
+    /// payload — checksum prefix or body alike — makes the verifying
+    /// open reject it.
+    #[test]
+    fn any_single_byte_corruption_of_a_seal_is_detected(
+        chars in proptest::collection::vec(0x20u8..0x7f, 0..64),
+        pos_seed in any::<u64>(),
+        replacement in 0x20u8..0x7f,
+    ) {
+        let body = String::from_utf8(chars).expect("printable ascii");
+        let sealed = seal(&body);
+        let at = (pos_seed % sealed.len() as u64) as usize;
+        let mut bytes = sealed.clone().into_bytes();
+        // A replacement equal to the original would be a no-op flip;
+        // nudge it to the next printable byte instead.
+        bytes[at] = if bytes[at] == replacement {
+            if replacement == 0x7e { 0x20 } else { replacement + 1 }
+        } else {
+            replacement
+        };
+        let corrupted = String::from_utf8(bytes).expect("ascii in, ascii out");
+        prop_assert!(open(&corrupted, true).is_err());
+        prop_assert_eq!(open(&sealed, true).unwrap(), body);
+    }
+
     /// Defaults round-trip: a fully-explicit line and the minimal line
     /// with every default omitted share one cache key.
     #[test]
@@ -176,4 +202,32 @@ fn cache_hit_bytes_equal_cold_miss_bytes_for_all_schemes() {
     assert_eq!(engine.stats().counter(ServiceCounter::Misses), 8);
     // All 16 requests hit one compiled design.
     assert_eq!(engine.stats().counter(ServiceCounter::DesignMisses), 1);
+}
+
+/// The read-path contract at every payload offset: a cached entry
+/// corrupted at *any* body byte is detected, quarantined and
+/// recomputed — the served bytes never change.
+#[test]
+fn corrupted_cache_bytes_are_never_served_at_any_offset() {
+    use timber_telemetry::ServiceCounter;
+    let mut engine = Engine::new(EngineConfig::default()).unwrap();
+    let line =
+        |id: usize| format!("{{\"id\":{id},\"design\":\"rca16\",\"trials\":1,\"cycles\":50}}");
+    let cold = engine.process_batch(&[line(0)]).unwrap().responses[0]
+        .body
+        .clone();
+    for offset in 0..cold.len() as u64 {
+        // `corrupt_cached_result` flips the payload byte at
+        // `offset % body_len`; sweeping 0..body_len covers them all.
+        assert!(engine.corrupt_cached_result(0, offset).is_some());
+        let served = engine.process_batch(&[line(1)]).unwrap().responses[0]
+            .body
+            .clone();
+        assert_eq!(served, cold, "offset {offset} served corrupted bytes");
+    }
+    assert_eq!(
+        engine.stats().counter(ServiceCounter::CacheCorrupt),
+        cold.len() as u64,
+        "every corruption must be detected exactly once"
+    );
 }

@@ -193,6 +193,30 @@ impl EvalSpec {
     }
 }
 
+/// Client-declared importance of an eval request. Only consulted when
+/// the service governor has escalated to shed-low: low-priority cache
+/// misses are shed first. Like `id`, it is a *service* attribute, not
+/// part of the spec — two requests differing only in priority share
+/// one cache entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Served at every level that admits misses (the default).
+    #[default]
+    High,
+    /// First to be shed under load.
+    Low,
+}
+
+impl Priority {
+    /// Stable machine-readable name (request field value).
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Low => "low",
+        }
+    }
+}
+
 /// One parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -202,6 +226,12 @@ pub enum Request {
         id: u64,
         /// The fully-defaulted spec.
         spec: EvalSpec,
+        /// Shedding priority (service attribute, not part of the spec).
+        priority: Priority,
+        /// Latency budget in milliseconds: a cache miss whose estimated
+        /// evaluation cost exceeds it is rejected up front rather than
+        /// admitted and finished late. `None` means no deadline.
+        deadline_ms: Option<u64>,
     },
     /// Return the service telemetry counters.
     Stats {
@@ -257,6 +287,9 @@ pub fn parse_request(line: &str, default_id: u64) -> Result<Request, String> {
     let mut id: Option<u64> = None;
     let mut design: Option<DesignId> = None;
     let mut spec_touched = false;
+    let mut priority = Priority::High;
+    let mut deadline_ms: Option<u64> = None;
+    let mut service_touched = false;
     // Staged overrides, applied once the design (and thus the default
     // spec) is known.
     let mut scheme: Option<SchemeId> = None;
@@ -363,6 +396,24 @@ pub fn parse_request(line: &str, default_id: u64) -> Result<Request, String> {
                 seed = Some(field_u64(value, "seed")?);
                 spec_touched = true;
             }
+            "priority" => {
+                priority = match field_str(value, "priority")? {
+                    "high" => Priority::High,
+                    "low" => Priority::Low,
+                    other => {
+                        return Err(format!("unknown priority {other:?} (expected high or low)"))
+                    }
+                };
+                service_touched = true;
+            }
+            "deadline_ms" => {
+                let d = field_u64(value, "deadline_ms")?;
+                if d == 0 {
+                    return Err("deadline_ms must be at least 1".to_owned());
+                }
+                deadline_ms = Some(d);
+                service_touched = true;
+            }
             other => return Err(format!("unknown field {other:?}")),
         }
         seen.push(name.as_str());
@@ -371,7 +422,7 @@ pub fn parse_request(line: &str, default_id: u64) -> Result<Request, String> {
     let id = id.unwrap_or(default_id);
     match op {
         "stats" | "shutdown" => {
-            if design.is_some() || spec_touched {
+            if design.is_some() || spec_touched || service_touched {
                 return Err(format!("op {op:?} takes no spec fields"));
             }
             Ok(if op == "stats" {
@@ -407,7 +458,12 @@ pub fn parse_request(line: &str, default_id: u64) -> Result<Request, String> {
             if let Some(v) = seed {
                 spec.seed = v;
             }
-            Ok(Request::Eval { id, spec })
+            Ok(Request::Eval {
+                id,
+                spec,
+                priority,
+                deadline_ms,
+            })
         }
     }
 }
@@ -428,11 +484,61 @@ mod tests {
     fn minimal_request_takes_all_defaults() {
         let r = parse_request(r#"{"design":"rca16"}"#, 9).unwrap();
         match r {
-            Request::Eval { id, spec } => {
+            Request::Eval {
+                id,
+                spec,
+                priority,
+                deadline_ms,
+            } => {
                 assert_eq!(id, 9);
                 assert_eq!(spec, EvalSpec::defaults(DesignId::Rca16));
+                assert_eq!(priority, Priority::High);
+                assert_eq!(deadline_ms, None);
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn priority_and_deadline_parse_but_stay_out_of_the_key() {
+        let a = parse_request(r#"{"design":"mul8"}"#, 0).unwrap();
+        let b = parse_request(r#"{"design":"mul8","priority":"low","deadline_ms":5}"#, 0).unwrap();
+        let (
+            Request::Eval { spec: sa, .. },
+            Request::Eval {
+                spec: sb,
+                priority,
+                deadline_ms,
+                ..
+            },
+        ) = (a, b)
+        else {
+            panic!("both must be evals");
+        };
+        assert_eq!(priority, Priority::Low);
+        assert_eq!(deadline_ms, Some(5));
+        // Service attributes are excluded from canonicalization, like id.
+        assert_eq!(sa.canonical(), sb.canonical());
+        assert_eq!(sa.key(), sb.key());
+    }
+
+    #[test]
+    fn bad_service_attributes_are_deterministic_errors() {
+        for (line, needle) in [
+            (
+                r#"{"design":"rca16","priority":"urgent"}"#,
+                "unknown priority",
+            ),
+            (r#"{"design":"rca16","deadline_ms":0}"#, "at least 1"),
+            (r#"{"op":"stats","priority":"low"}"#, "takes no spec fields"),
+            (
+                r#"{"op":"shutdown","deadline_ms":9}"#,
+                "takes no spec fields",
+            ),
+        ] {
+            let err = parse_request(line, 0).unwrap_err();
+            assert!(err.contains(needle), "{line} -> {err}");
+            assert_eq!(err, parse_request(line, 0).unwrap_err());
         }
     }
 

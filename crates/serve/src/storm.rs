@@ -15,20 +15,41 @@
 //! cold replay of the same campaign in a fresh process. Wall-clock
 //! latency (the 10× hit-speedup floor) is judged for the exit code but
 //! kept out of the deterministic report body.
+//!
+//! With a `chaos_seed` the storm doubles as the *chaos client*: a
+//! seeded splitmix64 draw demotes some requests to low priority and
+//! pins others to an unaffordable 1 ms deadline, the engine runs under
+//! the tight admission-control governor, and every shed or
+//! deadline-rejected response is retried — after idle batches that let
+//! the ladder step back down and a seeded jittered backoff — until the
+//! whole stream is served. The retried bodies replace the originals,
+//! so the determinism gate is unchanged: the final report must be
+//! byte-identical for any `--threads`, and every real request must end
+//! `ok`.
 
+use std::collections::BTreeMap;
 use std::io;
 
 use timber_pipeline::montecarlo::splitmix64;
+use timber_resilience::RetryPolicy;
 use timber_schemes::SchemeId;
 use timber_telemetry::{ServiceCounter, ServiceStats};
 
 use crate::engine::{Engine, EngineConfig, Response};
+use crate::governor::ServiceGovernorConfig;
 use crate::spec::DesignId;
 
 /// Minimum cache hit rate the gate demands from the pinned campaign.
 pub const MIN_HIT_RATE: f64 = 0.5;
 /// Minimum mean cold/hit service-time ratio the gate demands.
 pub const MIN_HIT_SPEEDUP: f64 = 10.0;
+/// Retry rounds the chaos client attempts before giving up (a stream
+/// still degraded after this many rounds fails the gate).
+pub const MAX_RETRY_ROUNDS: u32 = 8;
+/// Idle batches between chaos-client retry rounds: enough calm
+/// observations for the tight governor (`hold_batches = 2`) to step
+/// the ladder back down before the re-send.
+const IDLE_BATCHES_PER_ROUND: usize = 4;
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -47,6 +68,13 @@ pub struct StormSpec {
     pub batch_size: usize,
     /// Result-cache capacity.
     pub capacity: usize,
+    /// Chaos-client mode: the seed for the priority/deadline draw and
+    /// the retry jitter. `None` is the plain load campaign.
+    pub chaos_seed: Option<u64>,
+    /// Chaos-client retry backoff base, milliseconds.
+    pub retry_base_ms: u64,
+    /// Chaos-client retry backoff cap, milliseconds.
+    pub retry_cap_ms: u64,
 }
 
 impl StormSpec {
@@ -60,6 +88,9 @@ impl StormSpec {
             threads: 0,
             batch_size: 16,
             capacity: crate::engine::DEFAULT_RESULT_CAPACITY,
+            chaos_seed: None,
+            retry_base_ms: 10,
+            retry_cap_ms: 100,
         }
     }
 
@@ -83,17 +114,51 @@ impl StormSpec {
         )
     }
 
+    /// The *undecorated* request line for id `i`: a seeded pick from
+    /// the pool. This is also what the chaos client re-sends on retry —
+    /// priority back to the default and the hopeless deadline dropped.
+    fn request_line(&self, i: usize) -> String {
+        let pick = splitmix64(self.seed ^ 0x00C0_FFEE, i as u64) as usize;
+        self.pool_line(pick % self.pool_size(), i as u64)
+    }
+
+    /// The request line for id `i` as first sent: in chaos mode a
+    /// seeded draw pins ~1/8 of requests to an unaffordable 1 ms
+    /// deadline and demotes a disjoint ~1/4 to low priority, so the
+    /// tight governor and the deadline screen both get real traffic.
+    fn decorated_line(&self, i: usize) -> String {
+        let mut line = self.request_line(i);
+        let Some(chaos_seed) = self.chaos_seed else {
+            return line;
+        };
+        let draw = splitmix64(chaos_seed, i as u64);
+        let extra = if draw.is_multiple_of(8) {
+            ",\"deadline_ms\":1"
+        } else if draw % 4 == 1 {
+            ",\"priority\":\"low\""
+        } else {
+            return line;
+        };
+        line.pop(); // the closing brace
+        line.push_str(extra);
+        line.push('}');
+        line
+    }
+
+    /// Which simulated client request `id` was dealt to (poison rides
+    /// on the last client).
+    pub fn client_of(&self, id: u64) -> usize {
+        let clients = self.clients.max(1);
+        let block = self.requests.div_ceil(clients).max(1);
+        (id as usize / block).min(clients - 1)
+    }
+
     /// The full request stream in *arrival* order: block-dealt to
     /// clients, merged round-robin, poison appended last.
     pub fn stream(&self) -> Vec<String> {
         let clients = self.clients.max(1);
         // Id order first.
-        let by_id: Vec<String> = (0..self.requests)
-            .map(|i| {
-                let pick = splitmix64(self.seed ^ 0x00C0_FFEE, i as u64) as usize;
-                self.pool_line(pick % self.pool_size(), i as u64)
-            })
-            .collect();
+        let by_id: Vec<String> = (0..self.requests).map(|i| self.decorated_line(i)).collect();
         // Contiguous blocks per client, then round-robin across them:
         // the arrival order a fair scheduler would produce, and
         // measurably different from id order once clients > 1.
@@ -119,15 +184,31 @@ impl StormSpec {
     }
 }
 
+/// Per-client chaos accounting: what the simulated client saw and did.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ClientChaos {
+    /// Re-sent requests (each shed or deadline-rejected response costs
+    /// one retry in a later round).
+    pub retries: u64,
+    /// Shed responses observed, across all rounds.
+    pub sheds: u64,
+    /// Deadline-rejected responses observed, across all rounds.
+    pub deadline_misses: u64,
+}
+
 /// Campaign outcome.
 #[derive(Debug)]
 pub struct StormReport {
     /// The campaign parameters.
     pub spec: StormSpec,
-    /// All responses, sorted by request id.
+    /// All responses, sorted by request id (retried requests keep
+    /// their final body).
     pub responses: Vec<Response>,
     /// Final engine telemetry.
     pub stats: ServiceStats,
+    /// Per-client retry/shed/deadline accounting (all zero outside
+    /// chaos mode).
+    pub client_stats: Vec<ClientChaos>,
 }
 
 impl StormReport {
@@ -191,7 +272,7 @@ impl StormReport {
     /// Wall-clock latency is deliberately absent.
     pub fn json(&self) -> String {
         let mut out = String::new();
-        out.push_str("{\"tool\":\"timber-storm\",\"schema_version\":1");
+        out.push_str("{\"tool\":\"timber-storm\",\"schema_version\":2");
         out.push_str(&format!(
             ",\"clients\":{},\"requests\":{},\"seed\":{},\"poison\":{},\"pool\":{}",
             self.spec.clients,
@@ -200,6 +281,21 @@ impl StormReport {
             self.spec.poison,
             self.spec.pool_size()
         ));
+        match self.spec.chaos_seed {
+            Some(s) => out.push_str(&format!(",\"chaos_seed\":{s}")),
+            None => out.push_str(",\"chaos_seed\":null"),
+        }
+        out.push_str(",\"client_stats\":[");
+        for (i, c) in self.client_stats.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"client\":{i},\"retries\":{},\"sheds\":{},\"deadline_misses\":{}}}",
+                c.retries, c.sheds, c.deadline_misses
+            ));
+        }
+        out.push(']');
         out.push_str(",\"responses\":[");
         for (i, r) in self.responses.iter().enumerate() {
             if i > 0 {
@@ -250,19 +346,51 @@ impl StormReport {
             self.stats.counter(ServiceCounter::Quarantined),
             self.spec.poison
         ));
+        if self.spec.chaos_seed.is_some() {
+            let total: u64 = self.client_stats.iter().map(|c| c.retries).sum();
+            let sheds: u64 = self.client_stats.iter().map(|c| c.sheds).sum();
+            let deadline: u64 = self.client_stats.iter().map(|c| c.deadline_misses).sum();
+            out.push_str(&format!(
+                "chaos client: {total} retries | {sheds} sheds | {deadline} deadline misses\n",
+            ));
+        }
         out.push_str(if self.pass() { "PASS\n" } else { "FAIL\n" });
         out
+    }
+}
+
+/// Degraded responses the chaos client retries (everything else is
+/// final: `ok`, `quarantined` or a hard error).
+fn degraded(body: &str) -> bool {
+    body.starts_with("\"status\":\"shed\"") || body.starts_with("\"status\":\"deadline\"")
+}
+
+/// Bumps the owning client's shed/deadline tallies for one observed
+/// response.
+fn tally(spec: &StormSpec, response: &Response, stats: &mut [ClientChaos]) {
+    let client = spec.client_of(response.id);
+    if response.body.starts_with("\"status\":\"shed\"") {
+        stats[client].sheds += 1;
+    } else if response.body.starts_with("\"status\":\"deadline\"") {
+        stats[client].deadline_misses += 1;
     }
 }
 
 /// Runs the campaign against a fresh engine. `Err` is an I/O failure
 /// (journalling), not a gate verdict.
 pub fn run(spec: &StormSpec) -> io::Result<StormReport> {
-    let mut engine = Engine::new(EngineConfig {
+    let mut config = EngineConfig {
         result_capacity: spec.capacity,
         threads: spec.threads,
+        retry: RetryPolicy::from_millis(spec.retry_base_ms, spec.retry_cap_ms, spec.seed),
         ..EngineConfig::default()
-    })?;
+    };
+    if spec.chaos_seed.is_some() {
+        // Chaos mode exercises admission control; the inert default
+        // governor would never shed anything.
+        config.governor = ServiceGovernorConfig::tight();
+    }
+    let mut engine = Engine::new(config)?;
     let stream = spec.stream();
     let mut responses: Vec<Response> = Vec::with_capacity(stream.len());
     for batch in stream.chunks(spec.batch_size.max(1)) {
@@ -270,10 +398,62 @@ pub fn run(spec: &StormSpec) -> io::Result<StormReport> {
     }
     // Canonical ordering: by request id, whatever the interleaving.
     responses.sort_by_key(|r| r.id);
+    let mut client_stats = vec![ClientChaos::default(); spec.clients.max(1)];
+    if let Some(chaos_seed) = spec.chaos_seed {
+        for r in &responses {
+            tally(spec, r, &mut client_stats);
+        }
+        let policy = RetryPolicy::from_millis(spec.retry_base_ms, spec.retry_cap_ms, chaos_seed);
+        let idle: Vec<String> = Vec::new();
+        for round in 1..=MAX_RETRY_ROUNDS {
+            let pending: Vec<usize> = responses
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| degraded(&r.body))
+                .map(|(i, _)| i)
+                .collect();
+            if pending.is_empty() {
+                break;
+            }
+            // A patient client: idle batches are calm observations, so
+            // the governor's hold streak can step the ladder back down
+            // before the re-send.
+            for _ in 0..IDLE_BATCHES_PER_ROUND {
+                engine.process_batch(&idle)?;
+            }
+            // Seeded jittered backoff — slept once per round at the
+            // round's largest per-request wait. Wall-clock only; the
+            // deterministic report never sees it.
+            if let Some(wait) = pending
+                .iter()
+                .map(|&i| policy.backoff(round, responses[i].id))
+                .max()
+            {
+                std::thread::sleep(wait);
+            }
+            let lines: Vec<String> = pending
+                .iter()
+                .map(|&i| {
+                    let id = responses[i].id;
+                    client_stats[spec.client_of(id)].retries += 1;
+                    spec.request_line(id as usize)
+                })
+                .collect();
+            let by_id: BTreeMap<u64, usize> =
+                pending.iter().map(|&i| (responses[i].id, i)).collect();
+            for r in engine.process_batch(&lines)?.responses {
+                tally(spec, &r, &mut client_stats);
+                if let Some(&i) = by_id.get(&r.id) {
+                    responses[i] = r;
+                }
+            }
+        }
+    }
     Ok(StormReport {
         spec: spec.clone(),
         responses,
         stats: engine.stats().clone(),
+        client_stats,
     })
 }
 
@@ -290,6 +470,9 @@ mod tests {
             threads: 4,
             batch_size: 8,
             capacity: 1024,
+            chaos_seed: None,
+            retry_base_ms: 1,
+            retry_cap_ms: 2,
         }
     }
 
@@ -365,6 +548,42 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..24).collect::<Vec<u64>>());
         assert_ne!(ids, sorted, "block dealing must reorder arrivals");
+    }
+
+    #[test]
+    fn chaos_client_retries_until_every_request_is_served() {
+        let mut spec = quick(7);
+        spec.requests = 64;
+        spec.batch_size = 16;
+        spec.chaos_seed = Some(5);
+        let report = run(&spec).unwrap();
+        assert!(report.deterministic_pass(), "{}", report.render());
+        // The seeded draw must have produced real degradations, and
+        // every one of them must have been retried to completion.
+        let retries: u64 = report.client_stats.iter().map(|c| c.retries).sum();
+        let deadline: u64 = report.client_stats.iter().map(|c| c.deadline_misses).sum();
+        assert!(deadline > 0, "seeded deadlines never fired");
+        assert!(retries >= deadline, "every degradation costs a retry");
+        assert_eq!(
+            report.stats.counter(ServiceCounter::DeadlineRejected),
+            deadline
+        );
+        assert!(report
+            .responses
+            .iter()
+            .all(|r| r.body.starts_with("\"status\":\"ok\"")));
+    }
+
+    #[test]
+    fn chaos_client_report_is_thread_invariant() {
+        let mut a = quick(7);
+        a.requests = 64;
+        a.batch_size = 16;
+        a.chaos_seed = Some(5);
+        a.threads = 1;
+        let mut b = a.clone();
+        b.threads = 4;
+        assert_eq!(run(&a).unwrap().json(), run(&b).unwrap().json());
     }
 
     #[test]

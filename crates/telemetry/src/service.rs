@@ -44,11 +44,33 @@ pub enum ServiceCounter {
     Resumed,
     /// `stats` requests served.
     StatsRequests,
+    /// Cached results whose checksum failed on read: detected bit-rot,
+    /// evicted and recomputed as a miss — never served.
+    CacheCorrupt,
+    /// Journal records whose checksum failed on replay: dropped, the
+    /// result recomputed on demand.
+    JournalCorrupt,
+    /// Torn or malformed journal/checkpoint lines dropped on replay
+    /// (a kill mid-append tears at most the final line).
+    JournalTornLines,
+    /// Evaluation requests shed by the service governor's degradation
+    /// ladder (answered `status:"shed"` with a retry-after hint).
+    Shed,
+    /// Cache misses rejected because the deterministic cost model
+    /// exceeded the request's `deadline_ms` budget.
+    DeadlineRejected,
+    /// Evaluation attempts beyond the first (hardened-executor retries
+    /// after a transient error, panic or watchdog timeout).
+    Retries,
+    /// Service-governor ladder escalations (one level up).
+    GovernorEscalations,
+    /// Service-governor ladder de-escalations (one level down).
+    GovernorDeescalations,
 }
 
 impl ServiceCounter {
     /// Number of counters (array-index bound).
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 20;
 
     /// All counters, in index order.
     pub const ALL: [ServiceCounter; ServiceCounter::COUNT] = [
@@ -64,6 +86,14 @@ impl ServiceCounter {
         ServiceCounter::Quarantined,
         ServiceCounter::Resumed,
         ServiceCounter::StatsRequests,
+        ServiceCounter::CacheCorrupt,
+        ServiceCounter::JournalCorrupt,
+        ServiceCounter::JournalTornLines,
+        ServiceCounter::Shed,
+        ServiceCounter::DeadlineRejected,
+        ServiceCounter::Retries,
+        ServiceCounter::GovernorEscalations,
+        ServiceCounter::GovernorDeescalations,
     ];
 
     /// Stable machine-readable name (JSON export key).
@@ -81,6 +111,14 @@ impl ServiceCounter {
             ServiceCounter::Quarantined => "quarantined",
             ServiceCounter::Resumed => "resumed",
             ServiceCounter::StatsRequests => "stats_requests",
+            ServiceCounter::CacheCorrupt => "cache_corrupt",
+            ServiceCounter::JournalCorrupt => "journal_corrupt",
+            ServiceCounter::JournalTornLines => "journal_torn_lines",
+            ServiceCounter::Shed => "shed",
+            ServiceCounter::DeadlineRejected => "deadline_rejected",
+            ServiceCounter::Retries => "retries",
+            ServiceCounter::GovernorEscalations => "governor_escalations",
+            ServiceCounter::GovernorDeescalations => "governor_deescalations",
         }
     }
 }
